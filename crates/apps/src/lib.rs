@@ -1,0 +1,1 @@
+//! Carrier crate for the workspace-level examples and integration tests; see `examples/` and `tests/`.

@@ -1,0 +1,50 @@
+//! Ablation bench: the cost of deviating from the Table I decisions on an
+//! emulated lossy 100 ms inter-cluster path (reliable vs unreliable channels,
+//! synchronous vs asynchronous completion), measured at the session level.
+
+use bench_suite::run_ablation;
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2psap::{ChannelConfig, Session};
+
+fn bench_ablation(c: &mut Criterion) {
+    // The headline comparison is printed once (latency per variant).
+    for row in run_ablation() {
+        eprintln!(
+            "{:<55} send latency {:>8.2} ms, wire segments {:>4}",
+            row.variant, row.sync_send_latency_ms, row.wire_segments
+        );
+    }
+
+    // Criterion measurement: per-send protocol cost of each configuration.
+    let mut group = c.benchmark_group("ablation_channel_configs");
+    for (label, cfg) in [
+        ("async_unreliable", ChannelConfig::asynchronous_unreliable()),
+        ("async_reliable", ChannelConfig::asynchronous_reliable()),
+        ("sync_reliable", ChannelConfig::synchronous_reliable()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("send_recv", label), &cfg, |b, cfg| {
+            let mut tx = Session::new(*cfg);
+            let mut rx = Session::new(*cfg);
+            let payload = Bytes::from(vec![0u8; 2048]);
+            let mut now = 0u64;
+            b.iter(|| {
+                now += 1_000;
+                let (_, out) = tx.send(payload.clone(), now);
+                let mut delivered = 0;
+                for seg in out.wire {
+                    let rx_out = rx.on_wire(seg, now + 500);
+                    delivered += rx_out.delivered.len();
+                    for ack in rx_out.wire {
+                        let _ = tx.on_wire(ack, now + 900);
+                    }
+                }
+                std::hint::black_box(delivered)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

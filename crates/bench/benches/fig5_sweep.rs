@@ -1,0 +1,39 @@
+//! Criterion wrapper around the Figure 5 experiment (96³ obstacle problem,
+//! scaled): times representative (scheme × topology) configurations at a
+//! fixed peer count so regressions in the distributed runtime show up in CI.
+//! The full figure is produced by `cargo run -p bench-suite --bin repro -- fig5`.
+
+use bench_suite::{run_figure_filtered, FigureConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pdc::Scheme;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure5_configurations");
+    group.sample_size(10);
+    // A reduced grid keeps each Criterion sample fast; the compute model still
+    // preserves the paper's granularity ratio.
+    let config = FigureConfig {
+        n: 16,
+        ..FigureConfig::figure5(false)
+    };
+    for (label, scheme, clusters) in [
+        ("synchronous/1-cluster", Scheme::Synchronous, 1usize),
+        ("asynchronous/1-cluster", Scheme::Asynchronous, 1),
+        ("synchronous/2-clusters", Scheme::Synchronous, 2),
+        ("asynchronous/2-clusters", Scheme::Asynchronous, 2),
+        ("hybrid/2-clusters", Scheme::Hybrid, 2),
+    ] {
+        group.bench_with_input(BenchmarkId::new("run", label), &label, |b, _| {
+            b.iter(|| {
+                let result = run_figure_filtered("fig5-bench", &config, |s, cl, peers| {
+                    s == scheme && cl == clusters && peers == 8
+                });
+                std::hint::black_box(result.rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion wrapper around the Figure 6 experiment (144³ obstacle problem,
+//! scaled). Times the granularity effect the paper highlights: the same
+//! configurations as Figure 5 but with the larger per-peer work share, so the
+//! synchronous/asynchronous gap narrows. The full figure is produced by
+//! `cargo run -p bench-suite --bin repro -- fig6`.
+
+use bench_suite::{run_figure_filtered, FigureConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p2pdc::Scheme;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure6_configurations");
+    group.sample_size(10);
+    let config = FigureConfig {
+        n: 24,
+        ..FigureConfig::figure6(false)
+    };
+    for (label, scheme, clusters) in [
+        ("synchronous/2-clusters", Scheme::Synchronous, 2usize),
+        ("asynchronous/2-clusters", Scheme::Asynchronous, 2),
+        ("hybrid/2-clusters", Scheme::Hybrid, 2),
+    ] {
+        group.bench_with_input(BenchmarkId::new("run", label), &label, |b, _| {
+            b.iter(|| {
+                let result = run_figure_filtered("fig6-bench", &config, |s, cl, peers| {
+                    s == scheme && cl == clusters && peers == 8
+                });
+                std::hint::black_box(result.rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Micro-benchmark: throughput of the projected Richardson relaxation kernel
+//! (points relaxed per second), the quantity the compute model is calibrated
+//! from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use obstacle::{initial_iterate, sweep, ObstacleProblem};
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("richardson_kernel");
+    for n in [16usize, 32, 48] {
+        let problem = ObstacleProblem::membrane(n);
+        let u = initial_iterate(&problem);
+        let mut next = vec![0.0; problem.len()];
+        let delta = problem.optimal_delta();
+        group.throughput(Throughput::Elements(problem.len() as u64));
+        group.bench_with_input(BenchmarkId::new("sweep", n), &n, |b, _| {
+            b.iter(|| sweep(&problem, std::hint::black_box(&u), &mut next, delta));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benchmark of the self-adaptation machinery (Table I): the cost of a
+//! controller decision and of a full data-channel reconfiguration (plan +
+//! micro-protocol substitution), which bounds how cheaply P2PSAP can react to
+//! context changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netsim::ConnectionType;
+use p2psap::data::{apply_reconfiguration, build_transport, plan_reconfiguration};
+use p2psap::{ChannelConfig, Controller, Scheme, Session, SocketOption};
+
+fn bench_adaptation(c: &mut Criterion) {
+    let controller = Controller::with_table1_rules();
+    c.bench_function("controller_decision", |b| {
+        b.iter(|| {
+            let cfg = controller.decide_for(
+                std::hint::black_box(Scheme::Hybrid),
+                std::hint::black_box(ConnectionType::InterCluster),
+            );
+            std::hint::black_box(cfg)
+        })
+    });
+
+    c.bench_function("reconfiguration_plan_and_apply", |b| {
+        let from = ChannelConfig::synchronous_reliable();
+        let to = ChannelConfig::asynchronous_unreliable();
+        b.iter(|| {
+            let mut composite = build_transport(from);
+            let plan = plan_reconfiguration(from, to);
+            apply_reconfiguration(&mut composite, &plan);
+            std::hint::black_box(composite.micro_count())
+        })
+    });
+
+    c.bench_function("session_full_reconfigure", |b| {
+        b.iter(|| {
+            let mut session = Session::new(ChannelConfig::synchronous_reliable());
+            session.reconfigure(ChannelConfig::asynchronous_unreliable());
+            std::hint::black_box(session.transport_micros().len())
+        })
+    });
+
+    c.bench_function("socket_context_change_proposal", |b| {
+        b.iter(|| {
+            let mut socket =
+                p2psap::Socket::open(Scheme::Hybrid, ConnectionType::IntraCluster);
+            let out = socket.set_option(SocketOption::Connection(ConnectionType::InterCluster));
+            std::hint::black_box(out.control.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_adaptation);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! `repro` — regenerate the paper's evaluation artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro table1                 # Table I: adaptation rules
+//! repro fig5 [--full]          # Figure 5: 96³ obstacle problem (default: scaled 32³)
+//! repro fig6 [--full]          # Figure 6: 144³ obstacle problem (default: scaled 48³)
+//! repro ablation               # data-channel design-choice ablation
+//! repro all [--full]           # everything above
+//! ```
+//!
+//! Results are printed as text tables and also written as JSON under
+//! `results/` for EXPERIMENTS.md.
+
+use bench_suite::{
+    format_ablation, format_table1, run_ablation, run_figure, run_table1, FigureConfig,
+};
+use p2pdc::format_table;
+
+fn write_json(name: &str, value: &impl serde::Serialize) {
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/{name}.json");
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => {
+            if std::fs::write(&path, body).is_ok() {
+                eprintln!("(wrote {path})");
+            }
+        }
+        Err(e) => eprintln!("could not serialize {name}: {e}"),
+    }
+}
+
+fn run_fig(which: u8, full: bool) {
+    let (config, paper_label) = match which {
+        5 => (FigureConfig::figure5(full), "96x96x96"),
+        _ => (FigureConfig::figure6(full), "144x144x144"),
+    };
+    let title = format!(
+        "Figure {which}: obstacle problem {paper_label} (simulated at {n}^3, granularity-preserving compute model)",
+        n = config.n
+    );
+    eprintln!("running {title} ...");
+    let result = run_figure(&title, &config);
+    println!("{}", format_table(&result.title, &result.rows));
+    write_json(&format!("fig{which}{}", if full { "_full" } else { "" }), &result);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(|s| s.as_str()).unwrap_or("all");
+    let full = args.iter().any(|a| a == "--full");
+
+    match command {
+        "table1" => {
+            let rows = run_table1();
+            println!("{}", format_table1(&rows));
+            write_json("table1", &rows);
+            if !rows.iter().all(|r| r.matches_paper) {
+                eprintln!("WARNING: controller decisions deviate from the paper's Table I");
+                std::process::exit(1);
+            }
+        }
+        "fig5" => run_fig(5, full),
+        "fig6" => run_fig(6, full),
+        "ablation" => {
+            let rows = run_ablation();
+            println!("{}", format_ablation(&rows));
+            write_json("ablation", &rows);
+        }
+        "all" => {
+            let rows = run_table1();
+            println!("{}", format_table1(&rows));
+            write_json("table1", &rows);
+            run_fig(5, full);
+            run_fig(6, full);
+            let ablation = run_ablation();
+            println!("{}", format_ablation(&ablation));
+            write_json("ablation", &ablation);
+        }
+        other => {
+            eprintln!("unknown command '{other}'; expected table1 | fig5 | fig6 | ablation | all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `cactus` — a Rust re-implementation of the Cactus micro-protocol
+//! composition framework, with the three modifications introduced by the
+//! paper:
+//!
+//! 1. **Concurrent handler execution** ([`ConcurrentRuntime`]): worker
+//!    threads, each with its own composite-protocol instance.
+//! 2. **Zero-copy message passing between layers** ([`Message`]): payloads
+//!    are reference-counted [`bytes::Bytes`]; headers are pushed and popped
+//!    next to the body, so no payload byte is ever copied inside the stack.
+//! 3. **Explicit micro-protocol removal**
+//!    ([`CompositeProtocol::remove_micro`]): unbinds every handler of the
+//!    micro-protocol and calls its `on_remove` so it can release resources —
+//!    the operation P2PSAP's reconfiguration relies on.
+//!
+//! The P2PSAP transport protocol (crate `p2psap`) is built by composing
+//! [`MicroProtocol`]s into [`CompositeProtocol`]s and layering those into a
+//! [`ProtocolStack`].
+
+#![warn(missing_docs)]
+
+pub mod composite;
+pub mod event;
+pub mod message;
+pub mod micro;
+pub mod runtime;
+pub mod stack;
+
+pub use composite::{CompositeProtocol, Effect};
+pub use event::{events, EventName};
+pub use message::{AttrValue, Message};
+pub use micro::{MicroProtocol, Op, Operations};
+pub use runtime::ConcurrentRuntime;
+pub use stack::{ProtocolStack, StackOutput, TimerRequest, MSG_FROM_ABOVE};

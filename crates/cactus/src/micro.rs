@@ -1,0 +1,150 @@
+//! Micro-protocols and the operations their handlers can perform.
+//!
+//! A micro-protocol implements exactly one function of a protocol (congestion
+//! control, reliability, ordering, a communication mode, ...). Handlers react
+//! to events and express their consequences as [`Op`]s collected in an
+//! [`Operations`] sink; the enclosing composite protocol interprets internal
+//! raises and forwards external effects to the protocol stack.
+
+use crate::event::EventName;
+use crate::message::Message;
+
+/// Consequences a handler can request.
+#[derive(Debug)]
+pub enum Op {
+    /// Raise another event inside the same composite protocol, carrying `1`
+    /// message.
+    Raise(EventName, Message),
+    /// Hand a message to the layer below (towards the network).
+    SendDown(Message),
+    /// Hand a message to the layer above (towards the application).
+    SendUp(Message),
+    /// Deliver a message to the application receive queue.
+    DeliverToUser(Message),
+    /// Arm a timer; the stack owner must raise [`crate::event::events::TIMEOUT`]
+    /// with the same tag when it fires.
+    SetTimer {
+        /// Delay in nanoseconds of virtual or wall-clock time.
+        delay_ns: u64,
+        /// Caller-chosen tag identifying the timer's purpose.
+        tag: u64,
+    },
+    /// Cancel all pending timers with the given tag.
+    CancelTimer {
+        /// Tag passed to `SetTimer`.
+        tag: u64,
+    },
+    /// Signal the application that a synchronous send completed.
+    NotifySendComplete {
+        /// Sequence number of the completed send.
+        seq: u64,
+    },
+}
+
+/// Sink collecting the operations requested by handlers during one dispatch.
+#[derive(Debug, Default)]
+pub struct Operations {
+    ops: Vec<Op>,
+}
+
+impl Operations {
+    /// Create an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Raise `event` with `msg` inside the composite.
+    pub fn raise(&mut self, event: EventName, msg: Message) {
+        self.ops.push(Op::Raise(event, msg));
+    }
+
+    /// Send a message towards the network.
+    pub fn send_down(&mut self, msg: Message) {
+        self.ops.push(Op::SendDown(msg));
+    }
+
+    /// Send a message towards the application.
+    pub fn send_up(&mut self, msg: Message) {
+        self.ops.push(Op::SendUp(msg));
+    }
+
+    /// Deliver a message to the application receive queue.
+    pub fn deliver_to_user(&mut self, msg: Message) {
+        self.ops.push(Op::DeliverToUser(msg));
+    }
+
+    /// Arm a timer.
+    pub fn set_timer(&mut self, delay_ns: u64, tag: u64) {
+        self.ops.push(Op::SetTimer { delay_ns, tag });
+    }
+
+    /// Cancel timers with `tag`.
+    pub fn cancel_timer(&mut self, tag: u64) {
+        self.ops.push(Op::CancelTimer { tag });
+    }
+
+    /// Signal completion of a synchronous send.
+    pub fn notify_send_complete(&mut self, seq: u64) {
+        self.ops.push(Op::NotifySendComplete { seq });
+    }
+
+    /// Drain the collected operations.
+    pub fn drain(&mut self) -> Vec<Op> {
+        std::mem::take(&mut self.ops)
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no operations were requested.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A micro-protocol: one composable protocol function.
+pub trait MicroProtocol: Send {
+    /// Stable name used for lookup, removal and substitution.
+    fn name(&self) -> &'static str;
+
+    /// Events whose handlers this micro-protocol binds.
+    fn subscriptions(&self) -> Vec<EventName>;
+
+    /// Handle `event`. The message may be inspected and mutated; consequences
+    /// are pushed into `ops`.
+    fn handle(&mut self, event: EventName, msg: &mut Message, ops: &mut Operations);
+
+    /// Called once when the micro-protocol is inserted into a composite.
+    fn on_init(&mut self, _ops: &mut Operations) {}
+
+    /// Called when the micro-protocol is removed (the explicit removal
+    /// operation the paper added to Cactus); must release resources.
+    fn on_remove(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::events;
+
+    #[test]
+    fn operations_collect_in_order() {
+        let mut ops = Operations::new();
+        assert!(ops.is_empty());
+        ops.raise(events::USER_SEND, Message::default());
+        ops.send_down(Message::default());
+        ops.set_timer(5, 1);
+        ops.cancel_timer(1);
+        ops.notify_send_complete(9);
+        assert_eq!(ops.len(), 5);
+        let drained = ops.drain();
+        assert!(matches!(drained[0], Op::Raise(e, _) if e == events::USER_SEND));
+        assert!(matches!(drained[1], Op::SendDown(_)));
+        assert!(matches!(drained[2], Op::SetTimer { delay_ns: 5, tag: 1 }));
+        assert!(matches!(drained[3], Op::CancelTimer { tag: 1 }));
+        assert!(matches!(drained[4], Op::NotifySendComplete { seq: 9 }));
+        assert!(ops.is_empty());
+    }
+}

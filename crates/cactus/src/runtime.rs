@@ -1,0 +1,186 @@
+//! Concurrent handler execution.
+//!
+//! The original Cactus framework serialized handler execution; the paper's
+//! authors modified it so that handlers can run concurrently, "each thread
+//! \[having\] its own resources". This module provides that execution model:
+//! a pool of worker threads, each owning its *own* composite-protocol
+//! instance built from a factory, consuming events from a shared queue and
+//! emitting effects back to the submitter.
+//!
+//! In the deterministic simulation runtime the composites are driven inline
+//! instead; this runtime is used by the thread-based P2PDC runtime and by
+//! throughput benchmarks.
+
+use crate::composite::{CompositeProtocol, Effect};
+use crate::event::EventName;
+use crate::message::Message;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+enum Job {
+    Dispatch {
+        event: EventName,
+        msg: Message,
+    },
+    Shutdown,
+}
+
+/// A pool of workers executing composite-protocol handlers concurrently.
+pub struct ConcurrentRuntime {
+    job_tx: Sender<Job>,
+    effect_rx: Receiver<Vec<Effect>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ConcurrentRuntime {
+    /// Spawn `workers` threads; each builds its own composite protocol by
+    /// calling `factory` (per-thread resources, as in the paper's modified
+    /// Cactus).
+    pub fn new<F>(workers: usize, factory: F) -> Self
+    where
+        F: Fn() -> CompositeProtocol + Send + Sync + 'static,
+    {
+        assert!(workers > 0, "need at least one worker");
+        let factory = std::sync::Arc::new(factory);
+        let (job_tx, job_rx) = unbounded::<Job>();
+        let (effect_tx, effect_rx) = unbounded::<Vec<Effect>>();
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let effect_tx = effect_tx.clone();
+            let factory = std::sync::Arc::clone(&factory);
+            handles.push(std::thread::spawn(move || {
+                let mut composite = factory();
+                while let Ok(job) = job_rx.recv() {
+                    match job {
+                        Job::Dispatch { event, msg } => {
+                            let effects = composite.raise(event, msg);
+                            // The submitter may already be gone during shutdown.
+                            let _ = effect_tx.send(effects);
+                        }
+                        Job::Shutdown => break,
+                    }
+                }
+            }));
+        }
+        Self {
+            job_tx,
+            effect_rx,
+            workers: handles,
+        }
+    }
+
+    /// Submit an event for asynchronous dispatch on any worker.
+    pub fn submit(&self, event: EventName, msg: Message) {
+        self.job_tx
+            .send(Job::Dispatch { event, msg })
+            .expect("runtime workers have exited");
+    }
+
+    /// Block until the effects of one previously submitted event are
+    /// available.
+    pub fn recv_effects(&self) -> Vec<Effect> {
+        self.effect_rx
+            .recv()
+            .expect("runtime workers have exited")
+    }
+
+    /// Collect the effects of `n` previously submitted events.
+    pub fn collect_effects(&self, n: usize) -> Vec<Vec<Effect>> {
+        (0..n).map(|_| self.recv_effects()).collect()
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stop all workers and wait for them to exit.
+    pub fn shutdown(mut self) {
+        for _ in 0..self.workers.len() {
+            let _ = self.job_tx.send(Job::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ConcurrentRuntime {
+    fn drop(&mut self) {
+        for _ in 0..self.workers.len() {
+            let _ = self.job_tx.send(Job::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::events;
+    use crate::micro::{MicroProtocol, Operations};
+
+    /// Micro-protocol that echoes every USER_SEND as a DeliverToUser carrying
+    /// the same payload.
+    struct Echo;
+    impl MicroProtocol for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn subscriptions(&self) -> Vec<EventName> {
+            vec![events::USER_SEND]
+        }
+        fn handle(&mut self, _e: EventName, msg: &mut Message, ops: &mut Operations) {
+            ops.deliver_to_user(msg.clone());
+        }
+    }
+
+    fn echo_composite() -> CompositeProtocol {
+        let mut c = CompositeProtocol::new("echo");
+        c.add_micro(Box::new(Echo));
+        c
+    }
+
+    #[test]
+    fn all_submitted_events_are_processed() {
+        let rt = ConcurrentRuntime::new(4, echo_composite);
+        let n = 256;
+        for i in 0..n {
+            let mut m = Message::from_static(b"payload");
+            m.set_u64("i", i);
+            rt.submit(events::USER_SEND, m);
+        }
+        let mut seen: Vec<u64> = rt
+            .collect_effects(n as usize)
+            .into_iter()
+            .map(|effects| {
+                assert_eq!(effects.len(), 1);
+                match &effects[0] {
+                    Effect::DeliverToUser(m) => m.u64("i").unwrap(),
+                    other => panic!("unexpected effect {other:?}"),
+                }
+            })
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn single_worker_also_works() {
+        let rt = ConcurrentRuntime::new(1, echo_composite);
+        rt.submit(events::USER_SEND, Message::from_static(b"x"));
+        let effects = rt.recv_effects();
+        assert_eq!(effects.len(), 1);
+        assert_eq!(rt.worker_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ConcurrentRuntime::new(0, echo_composite);
+    }
+}

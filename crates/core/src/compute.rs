@@ -1,0 +1,95 @@
+//! Compute-cost model for the virtual-time runtime.
+//!
+//! The paper's peers are 1 GHz machines; in the simulated runtime the real
+//! relaxation kernel runs instantly (in wall-clock terms) and the virtual
+//! clock is charged according to this model: `work_points × ns_per_point /
+//! cpu_speed`. The default per-point cost corresponds to a ~1 GHz in-order
+//! machine executing the 7-point projected-Richardson update (about a dozen
+//! floating-point operations plus memory traffic per point).
+
+use desim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Cost model for relaxation work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeModel {
+    /// Virtual nanoseconds charged per relaxed grid point on a reference
+    /// (speed 1.0) peer.
+    pub ns_per_point: f64,
+}
+
+impl ComputeModel {
+    /// Model of the paper's 1 GHz NICTA machines (≈ 50 ns per relaxed point:
+    /// ~15 flops plus 8 memory accesses per point with no SIMD).
+    pub fn nicta_1ghz() -> Self {
+        Self { ns_per_point: 50.0 }
+    }
+
+    /// A model calibrated by timing the real kernel on the build machine
+    /// (used when absolute times should reflect the host rather than the
+    /// paper's hardware).
+    pub fn calibrated(ns_per_point: f64) -> Self {
+        assert!(ns_per_point > 0.0);
+        Self { ns_per_point }
+    }
+
+    /// Virtual time to relax `points` grid points on a peer of relative speed
+    /// `cpu_speed`.
+    pub fn relaxation_time(&self, points: u64, cpu_speed: f64) -> SimDuration {
+        assert!(cpu_speed > 0.0);
+        SimDuration::from_secs_f64(points as f64 * self.ns_per_point / cpu_speed / 1e9)
+    }
+}
+
+impl Default for ComputeModel {
+    fn default() -> Self {
+        Self::nicta_1ghz()
+    }
+}
+
+/// Measure the real per-point relaxation cost of the obstacle kernel on this
+/// host (used by `ComputeModel::calibrated` and the benchmark harness).
+pub fn calibrate_ns_per_point(n: usize, sweeps: usize) -> f64 {
+    use obstacle::{initial_iterate, sweep, ObstacleProblem};
+    let problem = ObstacleProblem::membrane(n);
+    let u = initial_iterate(&problem);
+    let mut next = vec![0.0; problem.len()];
+    let delta = problem.optimal_delta();
+    let start = std::time::Instant::now();
+    let mut acc = 0.0;
+    for _ in 0..sweeps {
+        acc += sweep(&problem, &u, &mut next, delta);
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    std::hint::black_box(acc);
+    elapsed / (sweeps as f64 * problem.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxation_time_scales_linearly_with_work_and_inversely_with_speed() {
+        let m = ComputeModel::nicta_1ghz();
+        let t1 = m.relaxation_time(1_000, 1.0);
+        let t2 = m.relaxation_time(2_000, 1.0);
+        let t_fast = m.relaxation_time(1_000, 2.0);
+        assert_eq!(t2.as_nanos(), 2 * t1.as_nanos());
+        assert_eq!(t_fast.as_nanos(), t1.as_nanos() / 2);
+        assert_eq!(t1.as_nanos(), 50_000);
+    }
+
+    #[test]
+    fn calibration_returns_a_positive_plausible_cost() {
+        let cost = calibrate_ns_per_point(12, 3);
+        assert!(cost > 0.05, "implausibly fast: {cost} ns/point");
+        assert!(cost < 10_000.0, "implausibly slow: {cost} ns/point");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_speed_rejected() {
+        let _ = ComputeModel::default().relaxation_time(10, 0.0);
+    }
+}

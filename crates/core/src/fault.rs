@@ -1,0 +1,144 @@
+//! Fault tolerance (paper architecture component 6 — listed but "not yet
+//! developed" in the paper's implementation; implemented here as an
+//! extension).
+//!
+//! Failures are detected by the topology manager's missed-ping rule; this
+//! module decides what to do with the failed peer's sub-task: reassign it to
+//! a spare peer, restarting from the most recent checkpoint of that peer's
+//! block state. Asynchronous iterations tolerate the resulting staleness (the
+//! paper notes asynchronous schemes are fault tolerant "in some sense" since
+//! they allow message loss); synchronous runs must roll every peer back to
+//! the checkpointed iteration.
+
+use netsim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A checkpoint of one peer's sub-task state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Rank whose state is checkpointed.
+    pub rank: usize,
+    /// Relaxation count at the checkpoint.
+    pub iteration: u64,
+    /// Serialized task state (same format as `IterativeTask::result`).
+    pub state: Vec<u8>,
+}
+
+/// Recovery action decided after a failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryAction {
+    /// Restart the rank's sub-task on a spare peer from the given checkpoint
+    /// iteration (0 = from the initial iterate).
+    Reassign {
+        /// Rank to restart.
+        rank: usize,
+        /// Peer that takes the work over.
+        replacement: NodeId,
+        /// Iteration to resume from.
+        from_iteration: u64,
+    },
+    /// No spare peer is available: the computation must be paused until one
+    /// joins.
+    Pause {
+        /// Rank left without an owner.
+        rank: usize,
+    },
+}
+
+/// Tracks checkpoints and proposes recovery plans.
+#[derive(Debug, Clone, Default)]
+pub struct FaultManager {
+    checkpoints: BTreeMap<usize, Checkpoint>,
+    spares: Vec<NodeId>,
+}
+
+impl FaultManager {
+    /// Create a fault manager with an initial pool of spare peers.
+    pub fn new(spares: Vec<NodeId>) -> Self {
+        Self {
+            checkpoints: BTreeMap::new(),
+            spares,
+        }
+    }
+
+    /// Record (replace) the checkpoint of a rank.
+    pub fn store_checkpoint(&mut self, checkpoint: Checkpoint) {
+        self.checkpoints.insert(checkpoint.rank, checkpoint);
+    }
+
+    /// Latest checkpoint of a rank.
+    pub fn checkpoint(&self, rank: usize) -> Option<&Checkpoint> {
+        self.checkpoints.get(&rank)
+    }
+
+    /// Add a spare peer to the pool.
+    pub fn add_spare(&mut self, peer: NodeId) {
+        self.spares.push(peer);
+    }
+
+    /// Number of available spare peers.
+    pub fn spare_count(&self) -> usize {
+        self.spares.len()
+    }
+
+    /// A peer owning `rank` failed: decide the recovery action.
+    pub fn on_failure(&mut self, rank: usize) -> RecoveryAction {
+        match self.spares.pop() {
+            Some(replacement) => RecoveryAction::Reassign {
+                rank,
+                replacement,
+                from_iteration: self.checkpoints.get(&rank).map(|c| c.iteration).unwrap_or(0),
+            },
+            None => RecoveryAction::Pause { rank },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reassignment_uses_latest_checkpoint_and_consumes_a_spare() {
+        let mut fm = FaultManager::new(vec![NodeId(10), NodeId(11)]);
+        fm.store_checkpoint(Checkpoint {
+            rank: 2,
+            iteration: 150,
+            state: vec![1, 2, 3],
+        });
+        fm.store_checkpoint(Checkpoint {
+            rank: 2,
+            iteration: 300,
+            state: vec![4, 5, 6],
+        });
+        assert_eq!(fm.checkpoint(2).unwrap().iteration, 300);
+        let action = fm.on_failure(2);
+        assert_eq!(
+            action,
+            RecoveryAction::Reassign {
+                rank: 2,
+                replacement: NodeId(11),
+                from_iteration: 300
+            }
+        );
+        assert_eq!(fm.spare_count(), 1);
+    }
+
+    #[test]
+    fn failure_without_checkpoint_restarts_from_zero() {
+        let mut fm = FaultManager::new(vec![NodeId(9)]);
+        match fm.on_failure(0) {
+            RecoveryAction::Reassign { from_iteration, .. } => assert_eq!(from_iteration, 0),
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failure_without_spares_pauses() {
+        let mut fm = FaultManager::new(vec![]);
+        assert_eq!(fm.on_failure(4), RecoveryAction::Pause { rank: 4 });
+        fm.add_spare(NodeId(3));
+        assert!(matches!(fm.on_failure(4), RecoveryAction::Reassign { .. }));
+    }
+}

@@ -1,0 +1,162 @@
+//! Load balancing (paper architecture component 5 — listed but "not yet
+//! developed" in the paper's implementation; implemented here as an
+//! extension).
+//!
+//! The estimator tracks per-peer throughput (points relaxed per second) and
+//! produces a capacity-proportional plane assignment via
+//! [`obstacle::BlockDecomposition::weighted`], which the task manager can use
+//! at start time (static balancing from declared CPU speeds) or when
+//! re-distributing after a membership change.
+
+use obstacle::BlockDecomposition;
+use serde::{Deserialize, Serialize};
+
+/// Observed workload of one peer.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PeerLoad {
+    /// Grid points relaxed so far.
+    pub points: u64,
+    /// Busy time spent relaxing, in seconds.
+    pub busy_seconds: f64,
+}
+
+impl PeerLoad {
+    /// Estimated throughput in points per second (None until data exists).
+    pub fn throughput(&self) -> Option<f64> {
+        if self.busy_seconds > 0.0 && self.points > 0 {
+            Some(self.points as f64 / self.busy_seconds)
+        } else {
+            None
+        }
+    }
+}
+
+/// Tracks peer workloads and proposes block assignments.
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    loads: Vec<PeerLoad>,
+    declared_speed: Vec<f64>,
+}
+
+impl LoadBalancer {
+    /// Create a balancer for `peers` peers with their declared relative CPU
+    /// speeds (used until throughput measurements exist).
+    pub fn new(declared_speed: Vec<f64>) -> Self {
+        assert!(!declared_speed.is_empty());
+        assert!(declared_speed.iter().all(|s| *s > 0.0));
+        Self {
+            loads: vec![PeerLoad::default(); declared_speed.len()],
+            declared_speed,
+        }
+    }
+
+    /// Record that peer `rank` relaxed `points` points in `seconds` seconds.
+    pub fn record(&mut self, rank: usize, points: u64, seconds: f64) {
+        let load = &mut self.loads[rank];
+        load.points += points;
+        load.busy_seconds += seconds.max(0.0);
+    }
+
+    /// Current capacity estimate of each peer: measured throughput when
+    /// available, declared speed otherwise (normalised so the two sources mix
+    /// sensibly).
+    pub fn capacities(&self) -> Vec<f64> {
+        // Normalise measured throughputs by the mean measured throughput of
+        // speed-1 peers; fall back to declared speeds.
+        let measured: Vec<Option<f64>> = self.loads.iter().map(|l| l.throughput()).collect();
+        let reference = measured
+            .iter()
+            .zip(self.declared_speed.iter())
+            .filter_map(|(m, s)| m.map(|t| t / s))
+            .fold((0.0, 0usize), |(sum, count), v| (sum + v, count + 1));
+        let per_speed_unit = if reference.1 > 0 {
+            reference.0 / reference.1 as f64
+        } else {
+            1.0
+        };
+        measured
+            .iter()
+            .zip(self.declared_speed.iter())
+            .map(|(m, s)| m.unwrap_or(s * per_speed_unit))
+            .collect()
+    }
+
+    /// Propose a plane assignment for a grid with `planes` planes.
+    pub fn propose_assignment(&self, planes: usize) -> BlockDecomposition {
+        BlockDecomposition::weighted(planes, &self.capacities())
+    }
+
+    /// Identify the most- and least-loaded peers (by planes per capacity) in
+    /// an existing assignment; returns `Some((overloaded, underloaded))` when
+    /// their imbalance exceeds `threshold` (e.g. 1.5 = 50 % more work per unit
+    /// of capacity).
+    pub fn detect_imbalance(
+        &self,
+        assignment: &BlockDecomposition,
+        threshold: f64,
+    ) -> Option<(usize, usize)> {
+        let capacities = self.capacities();
+        let ratio = |r: usize| assignment.count(r) as f64 / capacities[r];
+        let (mut max_r, mut min_r) = (0, 0);
+        for r in 1..assignment.alpha() {
+            if ratio(r) > ratio(max_r) {
+                max_r = r;
+            }
+            if ratio(r) < ratio(min_r) {
+                min_r = r;
+            }
+        }
+        if ratio(max_r) > threshold * ratio(min_r) {
+            Some((max_r, min_r))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_speeds_drive_initial_assignment() {
+        let lb = LoadBalancer::new(vec![1.0, 2.0, 1.0]);
+        let assignment = lb.propose_assignment(40);
+        assert_eq!(assignment.alpha(), 3);
+        assert!(assignment.count(1) > assignment.count(0));
+        let total: usize = (0..3).map(|r| assignment.count(r)).sum();
+        assert_eq!(total, 40);
+    }
+
+    #[test]
+    fn measurements_override_declared_speeds() {
+        let mut lb = LoadBalancer::new(vec![1.0, 1.0]);
+        // Peer 0 measured twice as fast as peer 1.
+        lb.record(0, 20_000, 1.0);
+        lb.record(1, 10_000, 1.0);
+        let caps = lb.capacities();
+        assert!(caps[0] > 1.9 * caps[1]);
+        let assignment = lb.propose_assignment(30);
+        assert!(assignment.count(0) > assignment.count(1));
+    }
+
+    #[test]
+    fn imbalance_detection() {
+        let mut lb = LoadBalancer::new(vec![1.0, 1.0]);
+        lb.record(0, 40_000, 1.0);
+        lb.record(1, 10_000, 1.0);
+        // Balanced plane counts but 4x capacity difference => peer 1 overloaded.
+        let even = BlockDecomposition::balanced(20, 2);
+        let (over, under) = lb.detect_imbalance(&even, 1.5).expect("imbalance expected");
+        assert_eq!(over, 1);
+        assert_eq!(under, 0);
+        // A capacity-proportional assignment clears the imbalance.
+        let balanced = lb.propose_assignment(20);
+        assert!(lb.detect_imbalance(&balanced, 1.5).is_none());
+    }
+
+    #[test]
+    fn throughput_none_without_data() {
+        assert!(PeerLoad::default().throughput().is_none());
+    }
+}

@@ -1,0 +1,391 @@
+//! The obstacle-problem application written against the P2PDC programming
+//! model (Section IV / Figure 4 of the paper).
+//!
+//! Peer `k` owns the contiguous plane range `[o(k), l(k)]` of the 3-D grid.
+//! After every relaxation it sends its first plane to peer `k−1` and its last
+//! plane to peer `k+1`; incoming planes become ghost boundaries for the next
+//! relaxation.
+
+use crate::app::{Application, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
+use obstacle::{BlockDecomposition, NodeState, ObstacleProblem};
+use p2psap::Scheme;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The boundary-plane update exchanged between neighbouring peers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateMsg {
+    /// Rank of the sending peer.
+    pub from: u32,
+    /// Relaxation index the plane belongs to.
+    pub iteration: u64,
+    /// The boundary plane values.
+    pub plane: Vec<f64>,
+}
+
+impl UpdateMsg {
+    /// Serialize to a compact little-endian byte representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.plane.len() * 8);
+        out.extend_from_slice(&self.from.to_le_bytes());
+        out.extend_from_slice(&(self.plane.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.iteration.to_le_bytes());
+        for v in &self.plane {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode from bytes produced by [`UpdateMsg::encode`].
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 16 {
+            return None;
+        }
+        let from = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+        let len = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+        let iteration = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+        if bytes.len() < 16 + len * 8 {
+            return None;
+        }
+        let mut plane = Vec::with_capacity(len);
+        for i in 0..len {
+            let start = 16 + i * 8;
+            plane.push(f64::from_le_bytes(bytes[start..start + 8].try_into().ok()?));
+        }
+        Some(Self {
+            from,
+            iteration,
+            plane,
+        })
+    }
+}
+
+/// Parameters of the obstacle application (the paper passes these on the
+/// `run` command line).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObstacleParams {
+    /// Grid points per dimension.
+    pub n: usize,
+    /// Number of peers.
+    pub peers: usize,
+    /// Scheme of computation.
+    pub scheme: Scheme,
+    /// Which built-in problem instance to solve.
+    pub instance: ObstacleInstance,
+}
+
+/// The built-in obstacle-problem instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObstacleInstance {
+    /// Membrane stretched over a spherical bump (zero load).
+    Membrane,
+    /// Options-pricing-like instance (payoff obstacle, sink term).
+    Financial,
+    /// Unconstrained Poisson validation problem.
+    PoissonValidation,
+}
+
+/// Build the problem instance selected by the parameters.
+pub fn build_problem(params: &ObstacleParams) -> ObstacleProblem {
+    match params.instance {
+        ObstacleInstance::Membrane => ObstacleProblem::membrane(params.n),
+        ObstacleInstance::Financial => ObstacleProblem::financial(params.n),
+        ObstacleInstance::PoissonValidation => ObstacleProblem::poisson_validation(params.n),
+    }
+}
+
+/// The per-peer computation: a wrapper of [`obstacle::NodeState`] speaking
+/// the [`IterativeTask`] interface.
+pub struct ObstacleTask {
+    problem: Arc<ObstacleProblem>,
+    rank: usize,
+    alpha: usize,
+    state: NodeState,
+    delta: f64,
+}
+
+impl ObstacleTask {
+    /// Create the task of peer `rank` among `alpha` peers.
+    pub fn new(problem: Arc<ObstacleProblem>, alpha: usize, rank: usize) -> Self {
+        let decomp = BlockDecomposition::balanced(problem.grid.n, alpha);
+        let state = NodeState::new(&problem, &decomp, rank);
+        let delta = problem.optimal_delta();
+        Self {
+            problem,
+            rank,
+            alpha,
+            state,
+            delta,
+        }
+    }
+
+    /// The plane range owned by this task.
+    pub fn plane_range(&self) -> (usize, usize) {
+        (self.state.z_start(), self.state.z_end())
+    }
+}
+
+impl IterativeTask for ObstacleTask {
+    fn relax(&mut self) -> LocalRelax {
+        let diff = self.state.sweep(&self.problem, self.delta);
+        LocalRelax {
+            local_diff: diff,
+            work_points: self.state.local_len() as u64,
+        }
+    }
+
+    fn outgoing(&mut self) -> Vec<(usize, Vec<u8>)> {
+        let mut out = Vec::new();
+        let iteration = self.state.relaxations();
+        if self.rank > 0 {
+            let msg = UpdateMsg {
+                from: self.rank as u32,
+                iteration,
+                plane: self.state.first_plane(),
+            };
+            out.push((self.rank - 1, msg.encode()));
+        }
+        if self.rank + 1 < self.alpha {
+            let msg = UpdateMsg {
+                from: self.rank as u32,
+                iteration,
+                plane: self.state.last_plane(),
+            };
+            out.push((self.rank + 1, msg.encode()));
+        }
+        out
+    }
+
+    fn incorporate(&mut self, from: usize, payload: &[u8]) -> f64 {
+        let Some(msg) = UpdateMsg::decode(payload) else {
+            return 0.0;
+        };
+        if from + 1 == self.rank {
+            // The lower neighbour's last plane becomes our lower ghost.
+            self.state.set_ghost_lo(&msg.plane)
+        } else if from == self.rank + 1 {
+            self.state.set_ghost_hi(&msg.plane)
+        } else {
+            0.0
+        }
+    }
+
+    fn neighbors(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        if self.rank > 0 {
+            v.push(self.rank - 1);
+        }
+        if self.rank + 1 < self.alpha {
+            v.push(self.rank + 1);
+        }
+        v
+    }
+
+    fn result(&self) -> Vec<u8> {
+        // Header: z_start (u32), plane count (u32), then the local values.
+        let mut out = Vec::with_capacity(8 + self.state.local_len() * 8);
+        out.extend_from_slice(&(self.state.z_start() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.state.plane_count() as u32).to_le_bytes());
+        for v in self.state.local_values() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn relaxations(&self) -> u64 {
+        self.state.relaxations()
+    }
+}
+
+/// Reassemble a global solution vector from the per-peer results produced by
+/// [`ObstacleTask::result`].
+pub fn assemble_solution(n: usize, results: &[(usize, Vec<u8>)]) -> Vec<f64> {
+    let plane = n * n;
+    let mut global = vec![0.0; n * plane];
+    for (_, bytes) in results {
+        if bytes.len() < 8 {
+            continue;
+        }
+        let z_start = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        for i in 0..count * plane {
+            let start = 8 + i * 8;
+            global[z_start * plane + i] =
+                f64::from_le_bytes(bytes[start..start + 8].try_into().unwrap());
+        }
+    }
+    global
+}
+
+/// The obstacle application registered with the P2PDC environment.
+pub struct ObstacleApp {
+    problem: Arc<ObstacleProblem>,
+    params: ObstacleParams,
+}
+
+impl ObstacleApp {
+    /// Create the application for a parameter set (the problem is built once
+    /// and shared read-only between the peers, mirroring the identical
+    /// problem data every peer derives from the sub-task definition).
+    pub fn new(params: ObstacleParams) -> Self {
+        let problem = Arc::new(build_problem(&params));
+        Self { problem, params }
+    }
+
+    /// Access the underlying problem.
+    pub fn problem(&self) -> Arc<ObstacleProblem> {
+        Arc::clone(&self.problem)
+    }
+}
+
+impl Application for ObstacleApp {
+    fn name(&self) -> &str {
+        "obstacle"
+    }
+
+    fn problem_definition(&self, params: &serde_json::Value) -> ProblemDefinition {
+        // Command-line parameters may override the scheme and peer count, as
+        // in the paper.
+        let peers = params
+            .get("peers")
+            .and_then(|v| v.as_u64())
+            .map(|v| v as usize)
+            .unwrap_or(self.params.peers);
+        let scheme = params
+            .get("scheme")
+            .and_then(|v| v.as_str())
+            .and_then(|s| match s {
+                "synchronous" => Some(Scheme::Synchronous),
+                "asynchronous" => Some(Scheme::Asynchronous),
+                "hybrid" => Some(Scheme::Hybrid),
+                _ => None,
+            })
+            .unwrap_or(self.params.scheme);
+        let decomp = BlockDecomposition::balanced(self.params.n, peers);
+        let subtasks = (0..peers)
+            .map(|rank| SubTask {
+                rank,
+                data: serde_json::to_vec(&serde_json::json!({
+                    "z_start": decomp.start(rank),
+                    "z_end": decomp.end(rank),
+                    "n": self.params.n,
+                }))
+                .expect("subtask serialization"),
+            })
+            .collect();
+        ProblemDefinition {
+            app_name: self.name().to_string(),
+            scheme,
+            peers_needed: peers,
+            subtasks,
+        }
+    }
+
+    fn calculate(&self, definition: &ProblemDefinition, rank: usize) -> Box<dyn IterativeTask> {
+        Box::new(ObstacleTask::new(
+            Arc::clone(&self.problem),
+            definition.peers_needed,
+            rank,
+        ))
+    }
+
+    fn results_aggregation(&self, results: &[(usize, Vec<u8>)]) -> Vec<u8> {
+        let solution = assemble_solution(self.params.n, results);
+        let mut out = Vec::with_capacity(solution.len() * 8);
+        for v in &solution {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obstacle::{solve_sequential, sup_norm_diff, RichardsonConfig};
+
+    #[test]
+    fn update_msg_round_trips() {
+        let msg = UpdateMsg {
+            from: 3,
+            iteration: 42,
+            plane: vec![1.5, -2.25, 0.0],
+        };
+        assert_eq!(UpdateMsg::decode(&msg.encode()), Some(msg));
+        assert_eq!(UpdateMsg::decode(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn tasks_with_exchange_reproduce_the_sequential_solution() {
+        // Drive two obstacle tasks by hand with synchronous exchanges and
+        // check the assembled solution matches the sequential solver.
+        let params = ObstacleParams {
+            n: 8,
+            peers: 2,
+            scheme: Scheme::Synchronous,
+            instance: ObstacleInstance::Membrane,
+        };
+        let app = ObstacleApp::new(params.clone());
+        let def = app.problem_definition(&serde_json::json!({}));
+        let mut t0 = app.calculate(&def, 0);
+        let mut t1 = app.calculate(&def, 1);
+        let config = RichardsonConfig {
+            tolerance: 1e-5,
+            ..Default::default()
+        };
+        let reference = solve_sequential(&app.problem(), config);
+        let mut iterations = 0;
+        loop {
+            let d0 = t0.relax();
+            let d1 = t1.relax();
+            iterations += 1;
+            let out0 = t0.outgoing();
+            let out1 = t1.outgoing();
+            for (dst, payload) in out0 {
+                assert_eq!(dst, 1);
+                t1.incorporate(0, &payload);
+            }
+            for (dst, payload) in out1 {
+                assert_eq!(dst, 0);
+                t0.incorporate(1, &payload);
+            }
+            if d0.local_diff.max(d1.local_diff) <= 1e-5 {
+                break;
+            }
+            assert!(iterations < 100_000, "did not converge");
+        }
+        assert_eq!(iterations, reference.iterations);
+        let solution = assemble_solution(8, &[(0, t0.result()), (1, t1.result())]);
+        assert!(sup_norm_diff(&solution, &reference.u) < 1e-12);
+    }
+
+    #[test]
+    fn problem_definition_honours_command_line_overrides() {
+        let app = ObstacleApp::new(ObstacleParams {
+            n: 8,
+            peers: 2,
+            scheme: Scheme::Synchronous,
+            instance: ObstacleInstance::Membrane,
+        });
+        let def = app.problem_definition(&serde_json::json!({
+            "peers": 4,
+            "scheme": "asynchronous",
+        }));
+        assert_eq!(def.peers_needed, 4);
+        assert_eq!(def.scheme, Scheme::Asynchronous);
+        assert_eq!(def.subtasks.len(), 4);
+    }
+
+    #[test]
+    fn neighbors_and_plane_ranges_are_consistent() {
+        let problem = Arc::new(ObstacleProblem::membrane(9));
+        let t0 = ObstacleTask::new(Arc::clone(&problem), 3, 0);
+        let t1 = ObstacleTask::new(Arc::clone(&problem), 3, 1);
+        let t2 = ObstacleTask::new(problem, 3, 2);
+        assert_eq!(t0.neighbors(), vec![1]);
+        assert_eq!(t1.neighbors(), vec![0, 2]);
+        assert_eq!(t2.neighbors(), vec![1]);
+        assert_eq!(t0.plane_range().0, 0);
+        assert_eq!(t2.plane_range().1, 9);
+    }
+}

@@ -1,0 +1,8 @@
+//! The two P2PDC runtimes: the virtual-time simulated runtime used by the
+//! evaluation harness, and the thread runtime used by the examples.
+
+pub mod sim;
+pub mod threads;
+
+pub use sim::{run_iterative, SimRunConfig, SimRunOutcome};
+pub use threads::{run_iterative_threads, ThreadRunConfig, ThreadRunOutcome};

@@ -1,0 +1,30 @@
+//! `netsim` — simulated network substrate for the P2PDC reproduction.
+//!
+//! The paper ran on the NICTA testbed: 38 identical 1 GHz machines on
+//! 100 Mbit/s Ethernet, optionally split into two clusters connected through a
+//! netem-emulated Internet path with 100 ms latency. This crate models that
+//! environment on top of the [`desim`] discrete-event engine:
+//!
+//! * [`Topology`] — nodes grouped into clusters, with intra- and
+//!   inter-cluster [`LinkSpec`]s; the [`ConnectionType`] classification is the
+//!   context input of the P2PSAP adaptation rules (Table I of the paper).
+//! * [`NetworkFabric`] — a simulated process that carries [`Packet`]s between
+//!   peer processes with serialization, FIFO queueing, propagation latency,
+//!   jitter, loss and optional [`Netem`] impairment.
+//! * [`NetStats`] — per-link and per-connection-type counters.
+
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod netem;
+pub mod network;
+pub mod packet;
+pub mod stats;
+pub mod topology;
+
+pub use link::LinkSpec;
+pub use netem::{Netem, NetemOutcome};
+pub use network::{stats_snapshot, NetworkFabric};
+pub use packet::{Deliver, Packet, PacketId, Transmit, WIRE_OVERHEAD_BYTES};
+pub use stats::{shared_stats, LinkStats, NetStats, SharedNetStats};
+pub use topology::{ClusterId, ConnectionType, NodeId, NodeSpec, Topology};

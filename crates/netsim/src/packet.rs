@@ -1,0 +1,77 @@
+//! Packets exchanged through the simulated network fabric.
+
+use crate::topology::NodeId;
+use bytes::Bytes;
+
+/// Monotonically increasing packet identifier (unique per network fabric).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+/// A packet in flight. The payload is an opaque byte buffer (protocol layers
+/// above put their headers inside it); `wire_bytes` is the size used for
+/// serialization-delay purposes and includes per-packet overhead.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Unique id assigned by the fabric at send time (0 until then).
+    pub id: PacketId,
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Opaque payload (headers + user data).
+    pub payload: Bytes,
+    /// Size on the wire in bytes (payload + link-layer overhead).
+    pub wire_bytes: usize,
+}
+
+/// Fixed per-packet overhead (Ethernet + IP + transport headers), added to the
+/// payload length to obtain the wire size.
+pub const WIRE_OVERHEAD_BYTES: usize = 66;
+
+impl Packet {
+    /// Create a packet; the wire size is the payload length plus
+    /// [`WIRE_OVERHEAD_BYTES`].
+    pub fn new(src: NodeId, dst: NodeId, payload: Bytes) -> Self {
+        let wire_bytes = payload.len() + WIRE_OVERHEAD_BYTES;
+        Self {
+            id: PacketId(0),
+            src,
+            dst,
+            payload,
+            wire_bytes,
+        }
+    }
+
+    /// Payload length in bytes (without link overhead).
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// Message sent by a node process to the network fabric process: "put this
+/// packet on the wire".
+#[derive(Debug)]
+pub struct Transmit {
+    /// The packet to transmit.
+    pub packet: Packet,
+}
+
+/// Message delivered by the network fabric process to the destination node's
+/// process.
+#[derive(Debug)]
+pub struct Deliver {
+    /// The delivered packet.
+    pub packet: Packet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_overhead() {
+        let p = Packet::new(NodeId(0), NodeId(1), Bytes::from(vec![0u8; 100]));
+        assert_eq!(p.payload_len(), 100);
+        assert_eq!(p.wire_bytes, 100 + WIRE_OVERHEAD_BYTES);
+    }
+}

@@ -1,0 +1,135 @@
+//! Per-link and aggregate network statistics.
+
+use crate::topology::{ConnectionType, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Counters for one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Packets handed to the link.
+    pub packets_sent: u64,
+    /// Packets actually delivered.
+    pub packets_delivered: u64,
+    /// Packets dropped by loss or impairment.
+    pub packets_dropped: u64,
+    /// Payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+/// Aggregate statistics of a network fabric.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    per_link: BTreeMap<(usize, usize), LinkStats>,
+    /// Totals by connection type (intra vs inter cluster).
+    pub intra: LinkStats,
+    /// Totals for inter-cluster traffic.
+    pub inter: LinkStats,
+}
+
+impl NetStats {
+    /// Record a send attempt.
+    pub fn record_sent(&mut self, src: NodeId, dst: NodeId, kind: ConnectionType) {
+        self.link_mut(src, dst).packets_sent += 1;
+        self.by_kind_mut(kind).packets_sent += 1;
+    }
+
+    /// Record a successful delivery of `bytes` payload bytes.
+    pub fn record_delivered(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        kind: ConnectionType,
+        bytes: usize,
+    ) {
+        let l = self.link_mut(src, dst);
+        l.packets_delivered += 1;
+        l.bytes_delivered += bytes as u64;
+        let k = self.by_kind_mut(kind);
+        k.packets_delivered += 1;
+        k.bytes_delivered += bytes as u64;
+    }
+
+    /// Record a drop.
+    pub fn record_dropped(&mut self, src: NodeId, dst: NodeId, kind: ConnectionType) {
+        self.link_mut(src, dst).packets_dropped += 1;
+        self.by_kind_mut(kind).packets_dropped += 1;
+    }
+
+    fn link_mut(&mut self, src: NodeId, dst: NodeId) -> &mut LinkStats {
+        self.per_link.entry((src.0, dst.0)).or_default()
+    }
+
+    fn by_kind_mut(&mut self, kind: ConnectionType) -> &mut LinkStats {
+        match kind {
+            ConnectionType::IntraCluster => &mut self.intra,
+            ConnectionType::InterCluster => &mut self.inter,
+        }
+    }
+
+    /// Statistics of the directed link `src -> dst`.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> LinkStats {
+        self.per_link
+            .get(&(src.0, dst.0))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Total packets delivered across all links.
+    pub fn total_delivered(&self) -> u64 {
+        self.intra.packets_delivered + self.inter.packets_delivered
+    }
+
+    /// Total packets dropped across all links.
+    pub fn total_dropped(&self) -> u64 {
+        self.intra.packets_dropped + self.inter.packets_dropped
+    }
+
+    /// Total payload bytes delivered across all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.intra.bytes_delivered + self.inter.bytes_delivered
+    }
+}
+
+/// Shared handle to the statistics of a running fabric, readable after the
+/// simulation finishes.
+pub type SharedNetStats = Arc<Mutex<NetStats>>;
+
+/// Create a fresh shared statistics handle.
+pub fn shared_stats() -> SharedNetStats {
+    Arc::new(Mutex::new(NetStats::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_link_and_kind() {
+        let mut s = NetStats::default();
+        let a = NodeId(0);
+        let b = NodeId(1);
+        s.record_sent(a, b, ConnectionType::IntraCluster);
+        s.record_delivered(a, b, ConnectionType::IntraCluster, 100);
+        s.record_sent(a, b, ConnectionType::IntraCluster);
+        s.record_dropped(a, b, ConnectionType::IntraCluster);
+
+        let l = s.link(a, b);
+        assert_eq!(l.packets_sent, 2);
+        assert_eq!(l.packets_delivered, 1);
+        assert_eq!(l.packets_dropped, 1);
+        assert_eq!(l.bytes_delivered, 100);
+        assert_eq!(s.intra.packets_sent, 2);
+        assert_eq!(s.inter.packets_sent, 0);
+        assert_eq!(s.total_delivered(), 1);
+        assert_eq!(s.total_dropped(), 1);
+        assert_eq!(s.total_bytes(), 100);
+    }
+
+    #[test]
+    fn unknown_link_is_zero() {
+        let s = NetStats::default();
+        assert_eq!(s.link(NodeId(5), NodeId(6)), LinkStats::default());
+    }
+}

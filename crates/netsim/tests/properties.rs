@@ -1,0 +1,58 @@
+//! Property-based tests for the network substrate.
+
+use desim::SimDuration;
+use netsim::{ConnectionType, LinkSpec, Netem, NetemOutcome, NodeId, Topology};
+use proptest::prelude::*;
+
+proptest! {
+    /// Serialization delay is monotone in packet size and linear in 1/bandwidth.
+    #[test]
+    fn serialization_monotone(size_a in 0usize..100_000, size_b in 0usize..100_000,
+                              bw_mbps in 1u32..10_000) {
+        let link = LinkSpec::new(SimDuration::ZERO, bw_mbps as f64 * 1e6);
+        let (small, large) = if size_a <= size_b { (size_a, size_b) } else { (size_b, size_a) };
+        prop_assert!(link.serialization_delay(small) <= link.serialization_delay(large));
+    }
+
+    /// Nominal delay is never smaller than the propagation latency alone.
+    #[test]
+    fn nominal_delay_lower_bound(size in 0usize..100_000, lat_us in 0u64..1_000_000) {
+        let link = LinkSpec::new(SimDuration::from_micros(lat_us), 100e6);
+        prop_assert!(link.nominal_delay(size) >= SimDuration::from_micros(lat_us));
+    }
+
+    /// Every pair of nodes in a two-cluster topology is classified consistently
+    /// (symmetric classification, intra iff same cluster).
+    #[test]
+    fn classification_is_symmetric(n in 2usize..40) {
+        let t = Topology::nicta_two_clusters(n);
+        for i in 0..n {
+            for j in 0..n {
+                let ij = t.connection_type(NodeId(i), NodeId(j));
+                let ji = t.connection_type(NodeId(j), NodeId(i));
+                prop_assert_eq!(ij, ji);
+                let same = t.cluster_of(NodeId(i)) == t.cluster_of(NodeId(j));
+                prop_assert_eq!(ij == ConnectionType::IntraCluster, same);
+            }
+        }
+    }
+
+    /// Netem never produces a delay below the configured constant delay and
+    /// never above delay + jitter.
+    #[test]
+    fn netem_delay_bounds(delay_ms in 0u64..500, jitter_ms in 0u64..100, seed in any::<u64>()) {
+        let netem = Netem::none()
+            .with_delay(SimDuration::from_millis(delay_ms))
+            .with_jitter(SimDuration::from_millis(jitter_ms));
+        let mut rng = desim::RngFactory::new(seed).stream(0);
+        for _ in 0..50 {
+            match netem.apply(&mut rng) {
+                NetemOutcome::Deliver { extra_delay, .. } => {
+                    prop_assert!(extra_delay >= SimDuration::from_millis(delay_ms));
+                    prop_assert!(extra_delay <= SimDuration::from_millis(delay_ms + jitter_ms));
+                }
+                NetemOutcome::Drop => prop_assert!(false, "loss is zero, must not drop"),
+            }
+        }
+    }
+}

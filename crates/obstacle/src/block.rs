@@ -1,0 +1,328 @@
+//! Per-peer block state for the distributed projected Richardson method.
+//!
+//! Each peer owns a contiguous range of z-planes (sub-blocks of `n²` points,
+//! Section IV.B / Figure 4 of the paper). A relaxation sweep updates every
+//! owned plane from the previous iterate (Jacobi ordering, so the synchronous
+//! distributed scheme reproduces the sequential iterates exactly) using ghost
+//! copies of the neighbouring peers' boundary planes. After a sweep the peer
+//! sends its first plane to the peer below and its last plane to the peer
+//! above.
+
+use crate::grid::BlockDecomposition;
+use crate::problem::ObstacleProblem;
+use crate::richardson::{initial_iterate, RichardsonConfig, SolveResult};
+use serde::{Deserialize, Serialize};
+
+/// The state a peer keeps for its share of the iterate vector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeState {
+    n: usize,
+    z_start: usize,
+    z_end: usize,
+    u: Vec<f64>,
+    next: Vec<f64>,
+    ghost_lo: Vec<f64>,
+    ghost_hi: Vec<f64>,
+    relaxations: u64,
+}
+
+impl NodeState {
+    /// Create the state of peer `r` under `decomp`, initialised (including
+    /// ghost planes) from the canonical initial iterate `P_K(0)`.
+    pub fn new(problem: &ObstacleProblem, decomp: &BlockDecomposition, r: usize) -> Self {
+        let n = problem.grid.n;
+        let plane = problem.grid.plane_len();
+        let z_start = decomp.start(r);
+        let z_end = decomp.end(r);
+        let full = initial_iterate(problem);
+        let u = full[z_start * plane..z_end * plane].to_vec();
+        let ghost_lo = if z_start > 0 {
+            full[(z_start - 1) * plane..z_start * plane].to_vec()
+        } else {
+            Vec::new()
+        };
+        let ghost_hi = if z_end < n {
+            full[z_end * plane..(z_end + 1) * plane].to_vec()
+        } else {
+            Vec::new()
+        };
+        let len = u.len();
+        Self {
+            n,
+            z_start,
+            z_end,
+            u,
+            next: vec![0.0; len],
+            ghost_lo,
+            ghost_hi,
+            relaxations: 0,
+        }
+    }
+
+    /// First owned plane index (the paper's `o(k)`).
+    pub fn z_start(&self) -> usize {
+        self.z_start
+    }
+
+    /// One past the last owned plane index.
+    pub fn z_end(&self) -> usize {
+        self.z_end
+    }
+
+    /// Number of owned planes.
+    pub fn plane_count(&self) -> usize {
+        self.z_end - self.z_start
+    }
+
+    /// Number of owned unknowns.
+    pub fn local_len(&self) -> usize {
+        self.u.len()
+    }
+
+    /// Number of relaxation sweeps performed by this peer.
+    pub fn relaxations(&self) -> u64 {
+        self.relaxations
+    }
+
+    /// Copy of the first owned plane (sent to the peer below).
+    pub fn first_plane(&self) -> Vec<f64> {
+        self.u[0..self.n * self.n].to_vec()
+    }
+
+    /// Copy of the last owned plane (sent to the peer above).
+    pub fn last_plane(&self) -> Vec<f64> {
+        let plane = self.n * self.n;
+        self.u[self.u.len() - plane..].to_vec()
+    }
+
+    /// Install the boundary plane received from the peer below (its last
+    /// plane). Returns the sup-norm change with respect to the previous ghost
+    /// (used by asynchronous convergence detection).
+    pub fn set_ghost_lo(&mut self, plane: &[f64]) -> f64 {
+        assert_eq!(plane.len(), self.n * self.n, "ghost plane size mismatch");
+        assert!(self.z_start > 0, "peer 0 has no lower neighbour");
+        let change = plane
+            .iter()
+            .zip(self.ghost_lo.iter())
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+        self.ghost_lo.clear();
+        self.ghost_lo.extend_from_slice(plane);
+        change
+    }
+
+    /// Install the boundary plane received from the peer above (its first
+    /// plane). Returns the sup-norm change with respect to the previous ghost.
+    pub fn set_ghost_hi(&mut self, plane: &[f64]) -> f64 {
+        assert_eq!(plane.len(), self.n * self.n, "ghost plane size mismatch");
+        assert!(self.z_end < self.n, "the last peer has no upper neighbour");
+        let change = plane
+            .iter()
+            .zip(self.ghost_hi.iter())
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+        self.ghost_hi.clear();
+        self.ghost_hi.extend_from_slice(plane);
+        change
+    }
+
+    /// Perform one projected Richardson sweep over the owned planes using the
+    /// previous iterate and the current ghost planes. Returns the sup-norm of
+    /// the local successive difference.
+    pub fn sweep(&mut self, problem: &ObstacleProblem, delta: f64) -> f64 {
+        let n = self.n;
+        let plane = n * n;
+        let mut max_diff = 0.0f64;
+        for lz in 0..self.plane_count() {
+            let z = self.z_start + lz;
+            for j in 0..n {
+                for i in 0..n {
+                    let li = i + n * j + plane * lz;
+                    let gi = problem.grid.idx(i, j, z);
+                    let center = self.u[li];
+                    let mut acc = 6.0 * center;
+                    if i > 0 {
+                        acc -= self.u[li - 1];
+                    }
+                    if i + 1 < n {
+                        acc -= self.u[li + 1];
+                    }
+                    if j > 0 {
+                        acc -= self.u[li - n];
+                    }
+                    if j + 1 < n {
+                        acc -= self.u[li + n];
+                    }
+                    // Below in z.
+                    if lz > 0 {
+                        acc -= self.u[li - plane];
+                    } else if z > 0 {
+                        acc -= self.ghost_lo[i + n * j];
+                    }
+                    // Above in z.
+                    if lz + 1 < self.plane_count() {
+                        acc -= self.u[li + plane];
+                    } else if z + 1 < n {
+                        acc -= self.ghost_hi[i + n * j];
+                    }
+                    let candidate = center - delta * (acc - problem.rhs[gi]);
+                    let projected = candidate.max(problem.psi[gi]);
+                    max_diff = max_diff.max((projected - center).abs());
+                    self.next[li] = projected;
+                }
+            }
+        }
+        std::mem::swap(&mut self.u, &mut self.next);
+        self.relaxations += 1;
+        max_diff
+    }
+
+    /// Copy the owned planes into their place in a global solution vector.
+    pub fn copy_into_global(&self, out: &mut [f64]) {
+        let plane = self.n * self.n;
+        let start = self.z_start * plane;
+        out[start..start + self.u.len()].copy_from_slice(&self.u);
+    }
+
+    /// Owned values (planes concatenated in z order).
+    pub fn local_values(&self) -> &[f64] {
+        &self.u
+    }
+}
+
+/// Sequentially emulate the *synchronous* distributed scheme with `alpha`
+/// peers: every iteration, all peers sweep from the same iteration-`p` ghost
+/// planes, then exchange boundaries. Produces exactly the same iterates as
+/// [`crate::richardson::solve_sequential`]; used to validate the distributed
+/// runtime and as a fast harness baseline.
+pub fn solve_block_synchronous(
+    problem: &ObstacleProblem,
+    alpha: usize,
+    config: RichardsonConfig,
+) -> SolveResult {
+    let decomp = BlockDecomposition::balanced(problem.grid.n, alpha);
+    let delta = config.delta.unwrap_or_else(|| problem.optimal_delta());
+    let mut nodes: Vec<NodeState> = (0..alpha)
+        .map(|r| NodeState::new(problem, &decomp, r))
+        .collect();
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut diff = f64::INFINITY;
+    while iterations < config.max_iterations {
+        diff = nodes
+            .iter_mut()
+            .map(|node| node.sweep(problem, delta))
+            .fold(0.0f64, f64::max);
+        iterations += 1;
+        // Synchronous boundary exchange.
+        for r in 0..alpha {
+            if r > 0 {
+                let plane = nodes[r - 1].last_plane();
+                nodes[r].set_ghost_lo(&plane);
+            }
+            if r + 1 < alpha {
+                let plane = nodes[r + 1].first_plane();
+                nodes[r].set_ghost_hi(&plane);
+            }
+        }
+        if diff <= config.tolerance {
+            converged = true;
+            break;
+        }
+    }
+    let mut u = vec![0.0; problem.len()];
+    for node in &nodes {
+        node.copy_into_global(&mut u);
+    }
+    SolveResult {
+        u,
+        iterations,
+        converged,
+        final_diff: diff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::richardson::solve_sequential;
+
+    #[test]
+    fn node_state_covers_decomposition() {
+        let problem = ObstacleProblem::membrane(8);
+        let decomp = BlockDecomposition::balanced(8, 3);
+        let nodes: Vec<NodeState> = (0..3).map(|r| NodeState::new(&problem, &decomp, r)).collect();
+        let total: usize = nodes.iter().map(|s| s.local_len()).sum();
+        assert_eq!(total, problem.len());
+        assert_eq!(nodes[0].z_start(), 0);
+        assert_eq!(nodes[2].z_end(), 8);
+        assert_eq!(nodes[1].first_plane().len(), 64);
+    }
+
+    #[test]
+    fn block_synchronous_matches_sequential_exactly() {
+        let problem = ObstacleProblem::membrane(10);
+        let config = RichardsonConfig {
+            tolerance: 1e-6,
+            ..Default::default()
+        };
+        let reference = solve_sequential(&problem, config);
+        for alpha in [1usize, 2, 3, 5, 10] {
+            let distributed = solve_block_synchronous(&problem, alpha, config);
+            assert_eq!(
+                distributed.iterations, reference.iterations,
+                "synchronous relaxation count must not depend on the decomposition (alpha={alpha})"
+            );
+            let max_err = reference
+                .u
+                .iter()
+                .zip(distributed.u.iter())
+                .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+            assert!(
+                max_err < 1e-12,
+                "alpha={alpha}: distributed sync iterates diverged from sequential ({max_err})"
+            );
+        }
+    }
+
+    #[test]
+    fn block_synchronous_matches_on_validation_problem_too() {
+        let problem = ObstacleProblem::poisson_validation(8);
+        let config = RichardsonConfig {
+            tolerance: 1e-5,
+            ..Default::default()
+        };
+        let a = solve_sequential(&problem, config);
+        let b = solve_block_synchronous(&problem, 4, config);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn stale_ghosts_change_the_iterates_but_not_feasibility() {
+        // An "asynchronous-like" emulation: never exchange ghosts. The result
+        // differs from the reference but every iterate stays feasible.
+        let problem = ObstacleProblem::membrane(6);
+        let decomp = BlockDecomposition::balanced(6, 2);
+        let mut node = NodeState::new(&problem, &decomp, 0);
+        let delta = problem.optimal_delta();
+        for _ in 0..50 {
+            node.sweep(&problem, delta);
+        }
+        for (lz, value) in node.local_values().iter().enumerate() {
+            let z = node.z_start() + lz / problem.grid.plane_len();
+            let within = lz % problem.grid.plane_len();
+            let i = within % problem.grid.n;
+            let j = within / problem.grid.n;
+            let gi = problem.grid.idx(i, j, z);
+            assert!(*value >= problem.psi[gi] - 1e-12);
+        }
+        assert_eq!(node.relaxations(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost plane size mismatch")]
+    fn wrong_ghost_size_rejected() {
+        let problem = ObstacleProblem::membrane(6);
+        let decomp = BlockDecomposition::balanced(6, 2);
+        let mut node = NodeState::new(&problem, &decomp, 1);
+        node.set_ghost_lo(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,269 @@
+//! The 3-D discretization grid and its block decomposition.
+//!
+//! The obstacle problem is discretized on the unit cube with `n` interior
+//! points per dimension (`n³` unknowns, homogeneous Dirichlet boundary).
+//! Following the paper, the iterate vector is decomposed into `n` sub-blocks
+//! of `n²` points — the z-planes of the grid — and contiguous ranges of
+//! planes are assigned to the `α ≤ n` peers.
+
+use serde::{Deserialize, Serialize};
+
+/// The discretization grid: `n³` interior points of the unit cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Grid3 {
+    /// Number of interior points per dimension.
+    pub n: usize,
+}
+
+impl Grid3 {
+    /// Create a grid with `n` interior points per dimension.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "grid needs at least 2 points per dimension");
+        Self { n }
+    }
+
+    /// Mesh spacing `h = 1 / (n + 1)`.
+    pub fn h(&self) -> f64 {
+        1.0 / (self.n as f64 + 1.0)
+    }
+
+    /// Total number of unknowns (`n³`).
+    pub fn len(&self) -> usize {
+        self.n * self.n * self.n
+    }
+
+    /// Always false (kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of points in one z-plane (`n²`), i.e. the sub-block size of the
+    /// paper's decomposition.
+    pub fn plane_len(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Linear index of interior point `(i, j, k)` with `0 ≤ i,j,k < n`
+    /// (`i` fastest, `k` = z slowest).
+    pub fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(i < self.n && j < self.n && k < self.n);
+        i + self.n * (j + self.n * k)
+    }
+
+    /// Physical coordinate of interior index `i` along one axis.
+    pub fn coord(&self, i: usize) -> f64 {
+        (i as f64 + 1.0) * self.h()
+    }
+
+    /// Iterate over all `(i, j, k)` triples in index order.
+    pub fn points(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let n = self.n;
+        (0..n).flat_map(move |k| (0..n).flat_map(move |j| (0..n).map(move |i| (i, j, k))))
+    }
+}
+
+/// Assignment of the `n` z-plane sub-blocks to `alpha` peers: peer `r` owns
+/// the contiguous plane range `[start(r), end(r))`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockDecomposition {
+    n: usize,
+    alpha: usize,
+    starts: Vec<usize>,
+}
+
+impl BlockDecomposition {
+    /// Split `n` planes over `alpha` peers as evenly as possible; the first
+    /// `n % alpha` peers get one extra plane.
+    pub fn balanced(n: usize, alpha: usize) -> Self {
+        assert!(alpha >= 1, "need at least one peer");
+        assert!(
+            alpha <= n,
+            "the paper requires alpha <= n (at least one plane per peer)"
+        );
+        let base = n / alpha;
+        let extra = n % alpha;
+        let mut starts = Vec::with_capacity(alpha + 1);
+        let mut cursor = 0;
+        for r in 0..alpha {
+            starts.push(cursor);
+            cursor += base + usize::from(r < extra);
+        }
+        starts.push(cursor);
+        debug_assert_eq!(cursor, n);
+        Self { n, alpha, starts }
+    }
+
+    /// Weighted split: peer `r` receives a plane count proportional to
+    /// `weights[r]` (used by the load-balancing extension for heterogeneous
+    /// peers). Every peer receives at least one plane.
+    pub fn weighted(n: usize, weights: &[f64]) -> Self {
+        let alpha = weights.len();
+        assert!(alpha >= 1 && alpha <= n);
+        assert!(weights.iter().all(|w| *w > 0.0), "weights must be positive");
+        let total: f64 = weights.iter().sum();
+        // Largest-remainder allocation with a floor of one plane per peer.
+        let mut counts: Vec<usize> = vec![1; alpha];
+        let mut remaining = n - alpha;
+        let mut fractional: Vec<(usize, f64)> = Vec::with_capacity(alpha);
+        for (r, w) in weights.iter().enumerate() {
+            let ideal = (n as f64) * w / total;
+            let extra = (ideal - 1.0).max(0.0);
+            let whole = extra.floor() as usize;
+            let take = whole.min(remaining);
+            counts[r] += take;
+            remaining -= take;
+            fractional.push((r, extra - whole as f64));
+        }
+        fractional.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let mut i = 0;
+        while remaining > 0 {
+            counts[fractional[i % alpha].0] += 1;
+            remaining -= 1;
+            i += 1;
+        }
+        let mut starts = Vec::with_capacity(alpha + 1);
+        let mut cursor = 0;
+        for c in &counts {
+            starts.push(cursor);
+            cursor += c;
+        }
+        starts.push(cursor);
+        debug_assert_eq!(cursor, n);
+        Self { n, alpha, starts }
+    }
+
+    /// Number of peers.
+    pub fn alpha(&self) -> usize {
+        self.alpha
+    }
+
+    /// Number of planes (sub-blocks).
+    pub fn planes(&self) -> usize {
+        self.n
+    }
+
+    /// First plane owned by peer `r` (the paper's `o(k)`).
+    pub fn start(&self, r: usize) -> usize {
+        self.starts[r]
+    }
+
+    /// One past the last plane owned by peer `r` (the paper's `l(k) + 1`).
+    pub fn end(&self, r: usize) -> usize {
+        self.starts[r + 1]
+    }
+
+    /// Number of planes owned by peer `r`.
+    pub fn count(&self, r: usize) -> usize {
+        self.end(r) - self.start(r)
+    }
+
+    /// Peer owning plane `z`.
+    pub fn owner_of(&self, z: usize) -> usize {
+        assert!(z < self.n);
+        // starts is sorted; find the last start <= z.
+        match self.starts.binary_search(&z) {
+            Ok(r) if r < self.alpha => r,
+            Ok(r) => r - 1,
+            Err(ins) => ins - 1,
+        }
+    }
+
+    /// Neighbouring peers of peer `r` in the 1-D plane decomposition (the
+    /// peers it exchanges boundary planes with).
+    pub fn neighbors(&self, r: usize) -> Vec<usize> {
+        let mut v = Vec::new();
+        if r > 0 {
+            v.push(r - 1);
+        }
+        if r + 1 < self.alpha {
+            v.push(r + 1);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_basics() {
+        let g = Grid3::new(4);
+        assert_eq!(g.len(), 64);
+        assert_eq!(g.plane_len(), 16);
+        assert!((g.h() - 0.2).abs() < 1e-12);
+        assert_eq!(g.idx(0, 0, 0), 0);
+        assert_eq!(g.idx(3, 3, 3), 63);
+        assert_eq!(g.idx(1, 2, 3), 1 + 4 * (2 + 4 * 3));
+        assert!((g.coord(0) - 0.2).abs() < 1e-12);
+        assert_eq!(g.points().count(), 64);
+    }
+
+    #[test]
+    fn balanced_decomposition_covers_all_planes() {
+        for n in [5usize, 8, 96, 144] {
+            for alpha in [1usize, 2, 3, 4, 5] {
+                if alpha > n {
+                    continue;
+                }
+                let d = BlockDecomposition::balanced(n, alpha);
+                let mut total = 0;
+                for r in 0..alpha {
+                    assert!(d.count(r) >= 1);
+                    total += d.count(r);
+                    if r > 0 {
+                        assert_eq!(d.start(r), d.end(r - 1));
+                    }
+                }
+                assert_eq!(total, n);
+                // Balance: counts differ by at most 1.
+                let max = (0..alpha).map(|r| d.count(r)).max().unwrap();
+                let min = (0..alpha).map(|r| d.count(r)).min().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_configuration_96_over_24() {
+        let d = BlockDecomposition::balanced(96, 24);
+        for r in 0..24 {
+            assert_eq!(d.count(r), 4);
+        }
+        assert_eq!(d.start(0), 0);
+        assert_eq!(d.end(23), 96);
+    }
+
+    #[test]
+    fn owner_of_is_consistent_with_ranges() {
+        let d = BlockDecomposition::balanced(17, 5);
+        for z in 0..17 {
+            let r = d.owner_of(z);
+            assert!(d.start(r) <= z && z < d.end(r));
+        }
+    }
+
+    #[test]
+    fn neighbors_are_the_adjacent_peers() {
+        let d = BlockDecomposition::balanced(10, 4);
+        assert_eq!(d.neighbors(0), vec![1]);
+        assert_eq!(d.neighbors(1), vec![0, 2]);
+        assert_eq!(d.neighbors(3), vec![2]);
+    }
+
+    #[test]
+    fn weighted_decomposition_respects_proportions() {
+        let d = BlockDecomposition::weighted(100, &[1.0, 3.0]);
+        assert_eq!(d.count(0) + d.count(1), 100);
+        assert!(d.count(1) > d.count(0) * 2, "3x weight should get ~3x planes");
+        // Every peer gets at least one plane even with tiny weights.
+        let d2 = BlockDecomposition::weighted(4, &[1e-6, 1.0, 1.0, 1.0]);
+        assert!(d2.count(0) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha <= n")]
+    fn too_many_peers_rejected() {
+        let _ = BlockDecomposition::balanced(4, 5);
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the obstacle-problem crate.
+
+use obstacle::{
+    solve_block_synchronous, solve_sequential, sup_norm_diff, BlockDecomposition, ObstacleProblem,
+    RichardsonConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// A balanced decomposition always partitions the planes: contiguous,
+    /// non-empty, covering ranges.
+    #[test]
+    fn decomposition_partitions_planes(n in 2usize..64, alpha_raw in 1usize..64) {
+        let alpha = alpha_raw.min(n);
+        let d = BlockDecomposition::balanced(n, alpha);
+        prop_assert_eq!(d.alpha(), alpha);
+        prop_assert_eq!(d.start(0), 0);
+        prop_assert_eq!(d.end(alpha - 1), n);
+        for r in 0..alpha {
+            prop_assert!(d.count(r) >= 1);
+            if r > 0 {
+                prop_assert_eq!(d.start(r), d.end(r - 1));
+            }
+        }
+        for z in 0..n {
+            let owner = d.owner_of(z);
+            prop_assert!(d.start(owner) <= z && z < d.end(owner));
+        }
+    }
+
+    /// Projection is idempotent, monotone and enforces the obstacle for
+    /// arbitrary vectors.
+    #[test]
+    fn projection_properties(n in 2usize..8, values in proptest::collection::vec(-10.0f64..10.0, 8)) {
+        let p = ObstacleProblem::membrane(n);
+        let mut v: Vec<f64> = (0..p.len()).map(|i| values[i % values.len()]).collect();
+        let original = v.clone();
+        p.project(&mut v);
+        for idx in 0..p.len() {
+            prop_assert!(v[idx] >= p.psi[idx]);
+            prop_assert!(v[idx] >= original[idx] || (v[idx] - p.psi[idx]).abs() < 1e-15);
+        }
+        let once = v.clone();
+        p.project(&mut v);
+        prop_assert_eq!(v, once);
+    }
+
+    /// The synchronous block scheme reproduces the sequential iterates for any
+    /// peer count (relaxation-count invariance claimed by the paper).
+    #[test]
+    fn block_sync_equals_sequential(n in 4usize..10, alpha_raw in 1usize..10) {
+        let alpha = alpha_raw.min(n);
+        let problem = ObstacleProblem::membrane(n);
+        let config = RichardsonConfig { tolerance: 1e-4, ..Default::default() };
+        let a = solve_sequential(&problem, config);
+        let b = solve_block_synchronous(&problem, alpha, config);
+        prop_assert_eq!(a.iterations, b.iterations);
+        prop_assert!(sup_norm_diff(&a.u, &b.u) < 1e-12);
+    }
+
+    /// Every iterate of the sequential solver is feasible (u >= psi) and the
+    /// final difference is below the tolerance when converged.
+    #[test]
+    fn sequential_solution_feasible(n in 4usize..10) {
+        let problem = ObstacleProblem::financial(n);
+        let config = RichardsonConfig { tolerance: 1e-5, ..Default::default() };
+        let result = solve_sequential(&problem, config);
+        prop_assert!(result.converged);
+        prop_assert!(result.final_diff <= 1e-5);
+        for idx in 0..problem.len() {
+            prop_assert!(result.u[idx] >= problem.psi[idx] - 1e-12);
+        }
+    }
+}

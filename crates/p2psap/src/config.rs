@@ -1,0 +1,209 @@
+//! Protocol configuration types: schemes of computation, communication modes
+//! and data-channel configurations.
+
+use serde::{Deserialize, Serialize};
+
+/// Scheme of computation chosen by the application programmer (the only
+/// communication-related choice the P2PDC programming model exposes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Jacobi-like synchronous iterations: every peer waits for the updates of
+    /// iteration `p` before starting iteration `p+1`.
+    Synchronous,
+    /// Asynchronous iterations: peers relax at their own pace using the
+    /// freshest values available.
+    Asynchronous,
+    /// The protocol is free to pick the communication mode per connection
+    /// from the context (synchronous intra-cluster, asynchronous
+    /// inter-cluster).
+    Hybrid,
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Scheme::Synchronous => "synchronous",
+            Scheme::Asynchronous => "asynchronous",
+            Scheme::Hybrid => "hybrid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Communication mode of a data channel (decided by the protocol, not by the
+/// programmer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommunicationMode {
+    /// A send completes only when the receiver side acknowledged the message.
+    Synchronous,
+    /// A send completes immediately; receives return the freshest available
+    /// message without blocking.
+    Asynchronous,
+}
+
+/// Whether lost data segments are retransmitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reliability {
+    /// Lost segments are detected and retransmitted.
+    Reliable,
+    /// Losses are tolerated (asynchronous iterations accept missing updates).
+    Unreliable,
+}
+
+/// Congestion-control algorithm used by the data channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CongestionAlgorithm {
+    /// TCP New-Reno (RFC 2582): suited to low-latency LANs.
+    NewReno,
+    /// H-TCP: designed for high speed × high latency paths (inter-cluster).
+    HTcp,
+    /// TCP Tahoe: baseline algorithm inherited from CTP.
+    Tahoe,
+    /// SCP-style congestion control inherited from CTP.
+    Scp,
+}
+
+/// Physical network type under the data channel. The paper's data channel can
+/// switch between network-specific composite protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhysicalNetwork {
+    /// Commodity Ethernet (the NICTA testbed uses 100 Mbit/s Ethernet).
+    Ethernet,
+    /// InfiniBand verbs.
+    InfiniBand,
+    /// Myrinet.
+    Myrinet,
+}
+
+/// Complete configuration of a data channel between two peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChannelConfig {
+    /// Communication mode (synchronous / asynchronous).
+    pub mode: CommunicationMode,
+    /// Reliability of data segments.
+    pub reliability: Reliability,
+    /// Whether data segments are delivered to the application in sequence
+    /// order.
+    pub ordered: bool,
+    /// Congestion control algorithm.
+    pub congestion: CongestionAlgorithm,
+    /// Physical network used below the transport layer.
+    pub physical: PhysicalNetwork,
+}
+
+impl ChannelConfig {
+    /// Synchronous, reliable, ordered channel with New-Reno (the intra-cluster
+    /// synchronous configuration of Table I).
+    pub fn synchronous_reliable() -> Self {
+        Self {
+            mode: CommunicationMode::Synchronous,
+            reliability: Reliability::Reliable,
+            ordered: true,
+            congestion: CongestionAlgorithm::NewReno,
+            physical: PhysicalNetwork::Ethernet,
+        }
+    }
+
+    /// Asynchronous but reliable channel (intra-cluster asynchronous row of
+    /// Table I).
+    pub fn asynchronous_reliable() -> Self {
+        Self {
+            mode: CommunicationMode::Asynchronous,
+            reliability: Reliability::Reliable,
+            ordered: false,
+            congestion: CongestionAlgorithm::NewReno,
+            physical: PhysicalNetwork::Ethernet,
+        }
+    }
+
+    /// Asynchronous, unreliable channel (inter-cluster asynchronous/hybrid
+    /// rows of Table I).
+    pub fn asynchronous_unreliable() -> Self {
+        Self {
+            mode: CommunicationMode::Asynchronous,
+            reliability: Reliability::Unreliable,
+            ordered: false,
+            congestion: CongestionAlgorithm::HTcp,
+            physical: PhysicalNetwork::Ethernet,
+        }
+    }
+
+    /// Builder: set the congestion control algorithm.
+    pub fn with_congestion(mut self, congestion: CongestionAlgorithm) -> Self {
+        self.congestion = congestion;
+        self
+    }
+
+    /// Builder: set the physical network.
+    pub fn with_physical(mut self, physical: PhysicalNetwork) -> Self {
+        self.physical = physical;
+        self
+    }
+
+    /// Human-readable summary, e.g. `"sync/reliable/ordered/new-reno"`.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            match self.mode {
+                CommunicationMode::Synchronous => "sync",
+                CommunicationMode::Asynchronous => "async",
+            },
+            match self.reliability {
+                Reliability::Reliable => "reliable",
+                Reliability::Unreliable => "unreliable",
+            },
+            if self.ordered { "ordered" } else { "unordered" },
+            match self.congestion {
+                CongestionAlgorithm::NewReno => "new-reno",
+                CongestionAlgorithm::HTcp => "h-tcp",
+                CongestionAlgorithm::Tahoe => "tahoe",
+                CongestionAlgorithm::Scp => "scp",
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_their_names() {
+        let s = ChannelConfig::synchronous_reliable();
+        assert_eq!(s.mode, CommunicationMode::Synchronous);
+        assert_eq!(s.reliability, Reliability::Reliable);
+        assert!(s.ordered);
+
+        let a = ChannelConfig::asynchronous_unreliable();
+        assert_eq!(a.mode, CommunicationMode::Asynchronous);
+        assert_eq!(a.reliability, Reliability::Unreliable);
+        assert!(!a.ordered);
+    }
+
+    #[test]
+    fn summary_is_stable() {
+        assert_eq!(
+            ChannelConfig::synchronous_reliable().summary(),
+            "sync/reliable/ordered/new-reno"
+        );
+        assert_eq!(
+            ChannelConfig::asynchronous_unreliable().summary(),
+            "async/unreliable/unordered/h-tcp"
+        );
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = ChannelConfig::synchronous_reliable()
+            .with_congestion(CongestionAlgorithm::HTcp)
+            .with_physical(PhysicalNetwork::InfiniBand);
+        assert_eq!(c.congestion, CongestionAlgorithm::HTcp);
+        assert_eq!(c.physical, PhysicalNetwork::InfiniBand);
+    }
+
+    #[test]
+    fn scheme_display() {
+        assert_eq!(Scheme::Synchronous.to_string(), "synchronous");
+        assert_eq!(Scheme::Hybrid.to_string(), "hybrid");
+    }
+}

@@ -1,0 +1,229 @@
+//! Inter-peer coordination of data-channel (re)configuration.
+//!
+//! Both end points of a session must run compatible micro-protocol sets. The
+//! coordination component exchanges control messages (carried by the reliable
+//! control channel — the paper uses TCP for these) so that a reconfiguration
+//! decided by one peer is applied by both, and only once both agreed.
+//!
+//! The handshake is a two-phase epoch protocol:
+//!
+//! 1. The initiator sends `Propose { epoch, config }` and keeps using the old
+//!    configuration.
+//! 2. The responder applies the configuration, moves to `epoch`, and replies
+//!    `Accept { epoch }`.
+//! 3. On receiving the accept, the initiator applies the configuration and
+//!    moves to `epoch`.
+//!
+//! Epochs are monotonically increasing; stale proposals and accepts are
+//! ignored, which makes the protocol idempotent under retransmission.
+
+use crate::config::ChannelConfig;
+use serde::{Deserialize, Serialize};
+
+/// Control-channel messages exchanged between the two coordination components
+/// of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ControlMessage {
+    /// Propose switching to `config` at `epoch`.
+    Propose {
+        /// Proposed configuration epoch.
+        epoch: u64,
+        /// Proposed data-channel configuration.
+        config: ChannelConfig,
+    },
+    /// Accept the proposal for `epoch`.
+    Accept {
+        /// Accepted configuration epoch.
+        epoch: u64,
+    },
+    /// Reject the proposal for `epoch` (the responder keeps its
+    /// configuration; the initiator must not apply).
+    Reject {
+        /// Rejected configuration epoch.
+        epoch: u64,
+    },
+}
+
+/// Result of feeding a control message to the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoordinationOutcome {
+    /// Nothing to do.
+    None,
+    /// Apply this configuration to the local data channel now.
+    Apply(ChannelConfig),
+    /// Send this control message to the remote coordinator.
+    Send(ControlMessage),
+    /// Apply the configuration and send a message.
+    ApplyAndSend(ChannelConfig, ControlMessage),
+}
+
+/// Per-session coordination state machine.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    epoch: u64,
+    pending: Option<(u64, ChannelConfig)>,
+}
+
+impl Coordinator {
+    /// New coordinator at epoch 0.
+    pub fn new() -> Self {
+        Self {
+            epoch: 0,
+            pending: None,
+        }
+    }
+
+    /// Current configuration epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether a proposal initiated locally is still waiting for the remote
+    /// accept.
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Initiate a reconfiguration to `config`. Returns the proposal to send to
+    /// the peer; the local data channel keeps the old configuration until the
+    /// accept arrives.
+    pub fn propose(&mut self, config: ChannelConfig) -> ControlMessage {
+        let epoch = self.epoch + 1;
+        self.pending = Some((epoch, config));
+        ControlMessage::Propose { epoch, config }
+    }
+
+    /// Handle a control message from the remote coordinator.
+    pub fn on_message(&mut self, msg: ControlMessage) -> CoordinationOutcome {
+        match msg {
+            ControlMessage::Propose { epoch, config } => {
+                if epoch <= self.epoch {
+                    // Stale or duplicate proposal: re-accept idempotently so a
+                    // lost accept is recovered.
+                    return CoordinationOutcome::Send(ControlMessage::Accept { epoch });
+                }
+                // Concurrent proposals: the peer with a pending proposal of a
+                // lower epoch yields to the higher epoch.
+                if let Some((pending_epoch, _)) = self.pending {
+                    if pending_epoch >= epoch {
+                        return CoordinationOutcome::Send(ControlMessage::Reject { epoch });
+                    }
+                    self.pending = None;
+                }
+                self.epoch = epoch;
+                CoordinationOutcome::ApplyAndSend(config, ControlMessage::Accept { epoch })
+            }
+            ControlMessage::Accept { epoch } => match self.pending {
+                Some((pending_epoch, config)) if pending_epoch == epoch => {
+                    self.pending = None;
+                    self.epoch = epoch;
+                    CoordinationOutcome::Apply(config)
+                }
+                _ => CoordinationOutcome::None,
+            },
+            ControlMessage::Reject { epoch } => {
+                if let Some((pending_epoch, _)) = self.pending {
+                    if pending_epoch == epoch {
+                        self.pending = None;
+                    }
+                }
+                CoordinationOutcome::None
+            }
+        }
+    }
+}
+
+impl Default for Coordinator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_applies_on_both_sides() {
+        let mut a = Coordinator::new();
+        let mut b = Coordinator::new();
+        let target = ChannelConfig::asynchronous_unreliable();
+
+        let proposal = a.propose(target);
+        assert!(a.has_pending());
+
+        // B receives the proposal: applies and accepts.
+        let outcome = b.on_message(proposal);
+        let accept = match outcome {
+            CoordinationOutcome::ApplyAndSend(cfg, reply) => {
+                assert_eq!(cfg, target);
+                reply
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        };
+        assert_eq!(b.epoch(), 1);
+
+        // A receives the accept: applies too.
+        match a.on_message(accept) {
+            CoordinationOutcome::Apply(cfg) => assert_eq!(cfg, target),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(a.epoch(), 1);
+        assert!(!a.has_pending());
+    }
+
+    #[test]
+    fn stale_proposal_is_re_accepted_idempotently() {
+        let mut b = Coordinator::new();
+        let cfg = ChannelConfig::synchronous_reliable();
+        let p1 = ControlMessage::Propose { epoch: 1, config: cfg };
+        let _ = b.on_message(p1);
+        // Duplicate (e.g. control-channel retransmission): only a re-accept.
+        match b.on_message(p1) {
+            CoordinationOutcome::Send(ControlMessage::Accept { epoch: 1 }) => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(b.epoch(), 1);
+    }
+
+    #[test]
+    fn unexpected_accept_is_ignored() {
+        let mut a = Coordinator::new();
+        assert_eq!(
+            a.on_message(ControlMessage::Accept { epoch: 5 }),
+            CoordinationOutcome::None
+        );
+        assert_eq!(a.epoch(), 0);
+    }
+
+    #[test]
+    fn concurrent_proposals_resolve_by_epoch() {
+        let mut a = Coordinator::new();
+        let mut b = Coordinator::new();
+        let cfg_a = ChannelConfig::asynchronous_unreliable();
+        let cfg_b = ChannelConfig::asynchronous_reliable();
+
+        let pa = a.propose(cfg_a); // epoch 1
+        let _pb = b.propose(cfg_b); // epoch 1 too
+
+        // B sees A's proposal with an epoch not larger than its own pending
+        // one: reject.
+        match b.on_message(pa) {
+            CoordinationOutcome::Send(ControlMessage::Reject { epoch: 1 }) => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        // A processes the reject and clears its pending proposal.
+        let _ = a.on_message(ControlMessage::Reject { epoch: 1 });
+        assert!(!a.has_pending());
+    }
+
+    #[test]
+    fn reject_clears_only_matching_epoch() {
+        let mut a = Coordinator::new();
+        let _ = a.propose(ChannelConfig::synchronous_reliable()); // epoch 1
+        let _ = a.on_message(ControlMessage::Reject { epoch: 9 });
+        assert!(a.has_pending());
+        let _ = a.on_message(ControlMessage::Reject { epoch: 1 });
+        assert!(!a.has_pending());
+    }
+}

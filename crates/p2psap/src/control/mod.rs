@@ -1,0 +1,10 @@
+//! The control channel of P2PSAP: context monitoring, rule-based decisions,
+//! reconfiguration planning and inter-peer coordination.
+
+pub mod controller;
+pub mod coordination;
+pub mod monitor;
+
+pub use controller::{Controller, Rule};
+pub use coordination::{ControlMessage, CoordinationOutcome, Coordinator};
+pub use monitor::{ContextMonitor, ContextSnapshot};

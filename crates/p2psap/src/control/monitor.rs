@@ -1,0 +1,168 @@
+//! The context monitor of the control channel.
+//!
+//! The monitor collects context data — requirements imposed at application
+//! level (the scheme of computation) and environment observations (peer
+//! location, latency, machine load) — and exposes an aggregated snapshot that
+//! the controller consults when deciding the data-channel configuration.
+
+use crate::config::Scheme;
+use netsim::ConnectionType;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated context snapshot used by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContextSnapshot {
+    /// Scheme of computation requested by the application.
+    pub scheme: Scheme,
+    /// Whether the remote peer is in the same cluster.
+    pub connection: ConnectionType,
+    /// Smoothed round-trip time estimate in seconds (None until measured).
+    pub srtt: Option<f64>,
+    /// Observed loss ratio in [0, 1] (None until enough samples).
+    pub loss_ratio: Option<f64>,
+    /// Local machine load in [0, 1].
+    pub local_load: f64,
+}
+
+/// Collects context data and produces [`ContextSnapshot`]s.
+#[derive(Debug, Clone)]
+pub struct ContextMonitor {
+    scheme: Scheme,
+    connection: ConnectionType,
+    srtt: Option<f64>,
+    rtt_samples: u64,
+    packets_sent: u64,
+    packets_lost: u64,
+    local_load: f64,
+}
+
+/// Exponential smoothing factor for the RTT estimate (as in TCP's SRTT).
+const SRTT_ALPHA: f64 = 0.125;
+/// Minimum number of packets before a loss ratio is reported.
+const MIN_LOSS_SAMPLES: u64 = 16;
+
+impl ContextMonitor {
+    /// Create a monitor with the application-imposed scheme and the topology
+    /// classification of the connection.
+    pub fn new(scheme: Scheme, connection: ConnectionType) -> Self {
+        Self {
+            scheme,
+            connection,
+            srtt: None,
+            rtt_samples: 0,
+            packets_sent: 0,
+            packets_lost: 0,
+            local_load: 0.0,
+        }
+    }
+
+    /// Application changed the scheme of computation.
+    pub fn set_scheme(&mut self, scheme: Scheme) {
+        self.scheme = scheme;
+    }
+
+    /// Topology manager re-classified the connection (e.g. the peer moved to
+    /// another cluster).
+    pub fn set_connection(&mut self, connection: ConnectionType) {
+        self.connection = connection;
+    }
+
+    /// Record an RTT measurement in seconds.
+    pub fn observe_rtt(&mut self, rtt: f64) {
+        if rtt <= 0.0 {
+            return;
+        }
+        self.rtt_samples += 1;
+        self.srtt = Some(match self.srtt {
+            None => rtt,
+            Some(s) => (1.0 - SRTT_ALPHA) * s + SRTT_ALPHA * rtt,
+        });
+    }
+
+    /// Record that a packet was sent (for the loss ratio).
+    pub fn observe_sent(&mut self) {
+        self.packets_sent += 1;
+    }
+
+    /// Record that a packet was detected lost.
+    pub fn observe_loss(&mut self) {
+        self.packets_lost += 1;
+    }
+
+    /// Record the local machine load in [0, 1].
+    pub fn observe_load(&mut self, load: f64) {
+        self.local_load = load.clamp(0.0, 1.0);
+    }
+
+    /// Aggregate the collected data into a snapshot.
+    pub fn snapshot(&self) -> ContextSnapshot {
+        let loss_ratio = if self.packets_sent >= MIN_LOSS_SAMPLES {
+            Some(self.packets_lost as f64 / self.packets_sent as f64)
+        } else {
+            None
+        };
+        ContextSnapshot {
+            scheme: self.scheme,
+            connection: self.connection,
+            srtt: self.srtt,
+            loss_ratio,
+            local_load: self.local_load,
+        }
+    }
+
+    /// Number of RTT samples observed so far.
+    pub fn rtt_samples(&self) -> u64 {
+        self.rtt_samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srtt_is_exponentially_smoothed() {
+        let mut m = ContextMonitor::new(Scheme::Hybrid, ConnectionType::IntraCluster);
+        m.observe_rtt(0.1);
+        assert_eq!(m.snapshot().srtt, Some(0.1));
+        m.observe_rtt(0.2);
+        let srtt = m.snapshot().srtt.unwrap();
+        assert!((srtt - (0.875 * 0.1 + 0.125 * 0.2)).abs() < 1e-12);
+        assert_eq!(m.rtt_samples(), 2);
+    }
+
+    #[test]
+    fn non_positive_rtt_ignored() {
+        let mut m = ContextMonitor::new(Scheme::Hybrid, ConnectionType::IntraCluster);
+        m.observe_rtt(0.0);
+        m.observe_rtt(-1.0);
+        assert_eq!(m.snapshot().srtt, None);
+    }
+
+    #[test]
+    fn loss_ratio_needs_enough_samples() {
+        let mut m = ContextMonitor::new(Scheme::Asynchronous, ConnectionType::InterCluster);
+        for _ in 0..10 {
+            m.observe_sent();
+        }
+        m.observe_loss();
+        assert_eq!(m.snapshot().loss_ratio, None);
+        for _ in 0..10 {
+            m.observe_sent();
+        }
+        let ratio = m.snapshot().loss_ratio.unwrap();
+        assert!((ratio - 1.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scheme_and_connection_updates_propagate() {
+        let mut m = ContextMonitor::new(Scheme::Synchronous, ConnectionType::IntraCluster);
+        m.set_scheme(Scheme::Asynchronous);
+        m.set_connection(ConnectionType::InterCluster);
+        m.observe_load(1.7);
+        let s = m.snapshot();
+        assert_eq!(s.scheme, Scheme::Asynchronous);
+        assert_eq!(s.connection, ConnectionType::InterCluster);
+        assert_eq!(s.local_load, 1.0);
+    }
+}

@@ -1,0 +1,425 @@
+//! Congestion-control algorithms of the data channel.
+//!
+//! CTP shipped SCP and TCP-Tahoe congestion control; the paper adds TCP
+//! New-Reno (RFC 2582) for low-latency intra-cluster paths and H-TCP for the
+//! high bandwidth-delay-product inter-cluster path. All algorithms implement
+//! the [`CongestionControl`] trait; the data channel selects one according to
+//! the controller's decision and can substitute it at run time.
+//!
+//! Windows are expressed in segments (MSS units), as in the original papers.
+
+use crate::config::CongestionAlgorithm;
+
+/// Common interface of window-based congestion-control algorithms.
+pub trait CongestionControl: Send {
+    /// Algorithm name.
+    fn name(&self) -> &'static str;
+
+    /// Called for every acknowledged segment. `rtt` is the measured round-trip
+    /// time in seconds and `now` the current time in seconds.
+    fn on_ack(&mut self, rtt: f64, now: f64);
+
+    /// Called when a loss is detected by duplicate acknowledgements
+    /// (fast-retransmit style loss).
+    fn on_loss(&mut self, now: f64);
+
+    /// Called when a retransmission timeout expires.
+    fn on_timeout(&mut self, now: f64);
+
+    /// Current congestion window in segments.
+    fn cwnd(&self) -> f64;
+
+    /// Current slow-start threshold in segments.
+    fn ssthresh(&self) -> f64;
+
+    /// Whether the algorithm is currently in slow start.
+    fn in_slow_start(&self) -> bool {
+        self.cwnd() < self.ssthresh()
+    }
+}
+
+/// Initial congestion window (segments).
+pub const INITIAL_CWND: f64 = 2.0;
+/// Initial slow-start threshold (segments).
+pub const INITIAL_SSTHRESH: f64 = 64.0;
+/// Floor for the congestion window.
+pub const MIN_CWND: f64 = 1.0;
+
+/// TCP Tahoe: slow start + congestion avoidance; every loss (dup-ack or
+/// timeout) collapses the window to one segment.
+#[derive(Debug, Clone)]
+pub struct Tahoe {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl Tahoe {
+    /// New Tahoe instance with default parameters.
+    pub fn new() -> Self {
+        Self {
+            cwnd: INITIAL_CWND,
+            ssthresh: INITIAL_SSTHRESH,
+        }
+    }
+}
+
+impl Default for Tahoe {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Tahoe {
+    fn name(&self) -> &'static str {
+        "tcp-tahoe"
+    }
+    fn on_ack(&mut self, _rtt: f64, _now: f64) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += 1.0 / self.cwnd;
+        }
+    }
+    fn on_loss(&mut self, _now: f64) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND * 2.0);
+        self.cwnd = MIN_CWND;
+    }
+    fn on_timeout(&mut self, now: f64) {
+        self.on_loss(now);
+    }
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+/// TCP New-Reno (RFC 2582): like Tahoe, but a dup-ack loss enters fast
+/// recovery (window halves instead of collapsing to one segment).
+#[derive(Debug, Clone)]
+pub struct NewReno {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl NewReno {
+    /// New New-Reno instance with default parameters.
+    pub fn new() -> Self {
+        Self {
+            cwnd: INITIAL_CWND,
+            ssthresh: INITIAL_SSTHRESH,
+        }
+    }
+}
+
+impl Default for NewReno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for NewReno {
+    fn name(&self) -> &'static str {
+        "tcp-new-reno"
+    }
+    fn on_ack(&mut self, _rtt: f64, _now: f64) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += 1.0 / self.cwnd;
+        }
+    }
+    fn on_loss(&mut self, _now: f64) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND * 2.0);
+        self.cwnd = self.ssthresh;
+    }
+    fn on_timeout(&mut self, _now: f64) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND * 2.0);
+        self.cwnd = MIN_CWND;
+    }
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+/// H-TCP (Leith & Shorten): the additive-increase factor grows with the time
+/// elapsed since the last loss, so long-lived flows on high
+/// bandwidth-delay-product paths ramp up much faster than New-Reno; the
+/// multiplicative decrease adapts to the RTT ratio.
+#[derive(Debug, Clone)]
+pub struct HTcp {
+    cwnd: f64,
+    ssthresh: f64,
+    last_loss: f64,
+    rtt_min: f64,
+    rtt_max: f64,
+    /// Low-speed regime threshold Δ_L in seconds (1 s in the H-TCP paper).
+    delta_l: f64,
+}
+
+impl HTcp {
+    /// New H-TCP instance with default parameters.
+    pub fn new() -> Self {
+        Self {
+            cwnd: INITIAL_CWND,
+            ssthresh: INITIAL_SSTHRESH,
+            last_loss: 0.0,
+            rtt_min: f64::INFINITY,
+            rtt_max: 0.0,
+            delta_l: 1.0,
+        }
+    }
+
+    /// The H-TCP additive increase factor α(Δ) for Δ seconds since last loss.
+    pub fn alpha(&self, delta: f64) -> f64 {
+        if delta <= self.delta_l {
+            1.0
+        } else {
+            let d = delta - self.delta_l;
+            1.0 + 10.0 * d + (d / 2.0) * (d / 2.0)
+        }
+    }
+
+    /// The adaptive back-off factor β in [0.5, 0.8].
+    pub fn beta(&self) -> f64 {
+        if self.rtt_max <= 0.0 || !self.rtt_min.is_finite() {
+            0.5
+        } else {
+            (self.rtt_min / self.rtt_max).clamp(0.5, 0.8)
+        }
+    }
+}
+
+impl Default for HTcp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for HTcp {
+    fn name(&self) -> &'static str {
+        "h-tcp"
+    }
+    fn on_ack(&mut self, rtt: f64, now: f64) {
+        if rtt > 0.0 {
+            self.rtt_min = self.rtt_min.min(rtt);
+            self.rtt_max = self.rtt_max.max(rtt);
+        }
+        if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0;
+        } else {
+            let delta = (now - self.last_loss).max(0.0);
+            self.cwnd += self.alpha(delta) / self.cwnd;
+        }
+    }
+    fn on_loss(&mut self, now: f64) {
+        let beta = self.beta();
+        self.ssthresh = (self.cwnd * beta).max(MIN_CWND * 2.0);
+        self.cwnd = self.ssthresh;
+        self.last_loss = now;
+    }
+    fn on_timeout(&mut self, now: f64) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND * 2.0);
+        self.cwnd = MIN_CWND;
+        self.last_loss = now;
+    }
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+/// SCP-style congestion control inherited from CTP: multiplicative decrease
+/// with a gentle 7/8 factor and linear increase (rate-based SCP approximated
+/// in window form).
+#[derive(Debug, Clone)]
+pub struct Scp {
+    cwnd: f64,
+    ssthresh: f64,
+}
+
+impl Scp {
+    /// New SCP instance with default parameters.
+    pub fn new() -> Self {
+        Self {
+            cwnd: INITIAL_CWND,
+            ssthresh: INITIAL_SSTHRESH,
+        }
+    }
+}
+
+impl Default for Scp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Scp {
+    fn name(&self) -> &'static str {
+        "scp"
+    }
+    fn on_ack(&mut self, _rtt: f64, _now: f64) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0;
+        } else {
+            self.cwnd += 0.5 / self.cwnd;
+        }
+    }
+    fn on_loss(&mut self, _now: f64) {
+        self.cwnd = (self.cwnd * 0.875).max(MIN_CWND);
+        self.ssthresh = self.cwnd;
+    }
+    fn on_timeout(&mut self, _now: f64) {
+        self.ssthresh = (self.cwnd / 2.0).max(MIN_CWND * 2.0);
+        self.cwnd = MIN_CWND;
+    }
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+}
+
+/// Instantiate the algorithm selected by a [`CongestionAlgorithm`] tag.
+pub fn make_congestion(algorithm: CongestionAlgorithm) -> Box<dyn CongestionControl> {
+    match algorithm {
+        CongestionAlgorithm::NewReno => Box::new(NewReno::new()),
+        CongestionAlgorithm::HTcp => Box::new(HTcp::new()),
+        CongestionAlgorithm::Tahoe => Box::new(Tahoe::new()),
+        CongestionAlgorithm::Scp => Box::new(Scp::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive_acks<C: CongestionControl>(cc: &mut C, n: usize, rtt: f64, start: f64) -> f64 {
+        let mut now = start;
+        for _ in 0..n {
+            now += rtt;
+            cc.on_ack(rtt, now);
+        }
+        now
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt_equivalent() {
+        let mut nr = NewReno::new();
+        // 10 acks in slow start: cwnd grows by 1 per ack.
+        drive_acks(&mut nr, 10, 0.01, 0.0);
+        assert!((nr.cwnd() - (INITIAL_CWND + 10.0)).abs() < 1e-9);
+        assert!(nr.in_slow_start());
+    }
+
+    #[test]
+    fn new_reno_halves_on_loss_tahoe_collapses() {
+        let mut nr = NewReno::new();
+        let mut th = Tahoe::new();
+        drive_acks(&mut nr, 100, 0.01, 0.0);
+        drive_acks(&mut th, 100, 0.01, 0.0);
+        let w_nr = nr.cwnd();
+        let w_th = th.cwnd();
+        nr.on_loss(1.0);
+        th.on_loss(1.0);
+        assert!((nr.cwnd() - w_nr / 2.0).abs() < 1e-9);
+        assert_eq!(th.cwnd(), MIN_CWND);
+        assert!((th.ssthresh() - w_th / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_always_collapses_window() {
+        for mut cc in [
+            make_congestion(CongestionAlgorithm::NewReno),
+            make_congestion(CongestionAlgorithm::HTcp),
+            make_congestion(CongestionAlgorithm::Tahoe),
+            make_congestion(CongestionAlgorithm::Scp),
+        ] {
+            for i in 0..200 {
+                cc.on_ack(0.01, i as f64 * 0.01);
+            }
+            cc.on_timeout(3.0);
+            assert_eq!(cc.cwnd(), MIN_CWND, "{} must collapse on RTO", cc.name());
+        }
+    }
+
+    #[test]
+    fn htcp_outgrows_new_reno_on_long_loss_free_periods() {
+        // After a loss, run both algorithms loss-free for a long virtual period
+        // in congestion avoidance; H-TCP's α(Δ) growth must dominate.
+        let mut h = HTcp::new();
+        let mut nr = NewReno::new();
+        h.on_loss(0.0);
+        nr.on_loss(0.0);
+        // Push both out of slow start.
+        h.ssthresh = 0.0;
+        let rtt = 0.1; // 100 ms inter-cluster RTT
+        let mut now = 0.0;
+        for _ in 0..300 {
+            now += rtt;
+            h.on_ack(rtt, now);
+            nr.on_ack(rtt, now);
+        }
+        assert!(
+            h.cwnd() > 2.0 * nr.cwnd(),
+            "H-TCP ({:.1}) should grow much faster than New-Reno ({:.1}) on a 100 ms path",
+            h.cwnd(),
+            nr.cwnd()
+        );
+    }
+
+    #[test]
+    fn htcp_alpha_is_one_in_low_speed_regime() {
+        let h = HTcp::new();
+        assert_eq!(h.alpha(0.5), 1.0);
+        assert_eq!(h.alpha(1.0), 1.0);
+        assert!(h.alpha(2.0) > 10.0);
+    }
+
+    #[test]
+    fn htcp_beta_adapts_to_rtt_ratio() {
+        let mut h = HTcp::new();
+        // Default (no RTT samples): conservative 0.5.
+        assert_eq!(h.beta(), 0.5);
+        h.on_ack(0.100, 0.1);
+        h.on_ack(0.125, 0.2);
+        let beta = h.beta();
+        assert!((0.5..=0.8).contains(&beta));
+        assert!((beta - 0.8).abs() < 1e-9); // 100/125 = 0.8
+    }
+
+    #[test]
+    fn scp_decrease_is_gentler_than_half() {
+        let mut scp = Scp::new();
+        drive_acks(&mut scp, 100, 0.01, 0.0);
+        let before = scp.cwnd();
+        scp.on_loss(1.0);
+        assert!((scp.cwnd() - before * 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factory_returns_requested_algorithm() {
+        assert_eq!(make_congestion(CongestionAlgorithm::NewReno).name(), "tcp-new-reno");
+        assert_eq!(make_congestion(CongestionAlgorithm::HTcp).name(), "h-tcp");
+        assert_eq!(make_congestion(CongestionAlgorithm::Tahoe).name(), "tcp-tahoe");
+        assert_eq!(make_congestion(CongestionAlgorithm::Scp).name(), "scp");
+    }
+
+    #[test]
+    fn cwnd_never_falls_below_floor() {
+        let mut cc = make_congestion(CongestionAlgorithm::Tahoe);
+        for i in 0..10 {
+            cc.on_loss(i as f64);
+            cc.on_timeout(i as f64 + 0.5);
+            assert!(cc.cwnd() >= MIN_CWND);
+            assert!(cc.ssthresh() >= MIN_CWND);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! The data channel of P2PSAP: wire format, transport micro-protocols,
+//! congestion control, physical layer adapters and the transport builder.
+
+pub mod congestion;
+pub mod micros;
+pub mod physical;
+pub mod transport;
+pub mod wire;
+
+pub use congestion::{make_congestion, CongestionControl, HTcp, NewReno, Scp, Tahoe};
+pub use micros::{
+    AsynchronousMode, BufferManagement, CongestionMicro, OrderingMicro, ReliabilityMicro,
+    SegmentTx, SynchronousMode, ATTR_NOW, DATA_IN,
+};
+pub use physical::{adapter_name, build_physical, PhysicalAdapter};
+pub use transport::{
+    apply_reconfiguration, build_transport, plan_reconfiguration, priorities, ReconfigAction,
+};
+pub use wire::{SegmentKind, WireSegment, SEGMENT_HEADER_BYTES};

@@ -1,0 +1,191 @@
+//! Wire format of the data channel and message attribute keys shared by the
+//! transport micro-protocols.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use cactus::Message;
+
+/// Attribute: sequence number of a data segment.
+pub const ATTR_SEQ: &str = "seq";
+/// Attribute: segment kind (see [`SegmentKind`]).
+pub const ATTR_KIND: &str = "kind";
+/// Attribute: the receiver must acknowledge this segment.
+pub const ATTR_ACK_REQUESTED: &str = "ack_requested";
+/// Attribute: send timestamp in nanoseconds (for RTT estimation).
+pub const ATTR_SENT_AT: &str = "sent_at_ns";
+/// Attribute set by the cactus stack on timer events.
+pub const ATTR_TIMER_TAG: &str = "timer_tag";
+
+/// Kind of a data-channel segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Application data.
+    Data,
+    /// Acknowledgement of a data segment.
+    Ack,
+}
+
+impl SegmentKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            SegmentKind::Data => 0,
+            SegmentKind::Ack => 1,
+        }
+    }
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(SegmentKind::Data),
+            1 => Some(SegmentKind::Ack),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded data-channel segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSegment {
+    /// Segment kind.
+    pub kind: SegmentKind,
+    /// Sequence number.
+    pub seq: u64,
+    /// Whether the receiver must acknowledge.
+    pub ack_requested: bool,
+    /// Send timestamp in nanoseconds (0 when unknown).
+    pub sent_at_ns: u64,
+    /// Application payload (empty for acks).
+    pub payload: Bytes,
+}
+
+/// Size in bytes of the fixed segment header.
+pub const SEGMENT_HEADER_BYTES: usize = 1 + 1 + 8 + 8 + 4;
+
+impl WireSegment {
+    /// Build a data segment.
+    pub fn data(seq: u64, ack_requested: bool, sent_at_ns: u64, payload: Bytes) -> Self {
+        Self {
+            kind: SegmentKind::Data,
+            seq,
+            ack_requested,
+            sent_at_ns,
+            payload,
+        }
+    }
+
+    /// Build an acknowledgement for `seq`.
+    pub fn ack(seq: u64, sent_at_ns: u64) -> Self {
+        Self {
+            kind: SegmentKind::Ack,
+            seq,
+            ack_requested: false,
+            sent_at_ns,
+            payload: Bytes::new(),
+        }
+    }
+
+    /// Encode to the on-wire byte representation.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(SEGMENT_HEADER_BYTES + self.payload.len());
+        buf.put_u8(self.kind.to_u8());
+        buf.put_u8(u8::from(self.ack_requested));
+        buf.put_u64(self.seq);
+        buf.put_u64(self.sent_at_ns);
+        buf.put_u32(self.payload.len() as u32);
+        buf.extend_from_slice(&self.payload);
+        buf.freeze()
+    }
+
+    /// Decode from the on-wire byte representation.
+    pub fn decode(mut bytes: Bytes) -> Option<Self> {
+        use bytes::Buf;
+        if bytes.len() < SEGMENT_HEADER_BYTES {
+            return None;
+        }
+        let kind = SegmentKind::from_u8(bytes.get_u8())?;
+        let ack_requested = bytes.get_u8() != 0;
+        let seq = bytes.get_u64();
+        let sent_at_ns = bytes.get_u64();
+        let len = bytes.get_u32() as usize;
+        if bytes.len() < len {
+            return None;
+        }
+        let payload = bytes.split_to(len);
+        Some(Self {
+            kind,
+            seq,
+            ack_requested,
+            sent_at_ns,
+            payload,
+        })
+    }
+
+    /// Convert into a cactus [`Message`] carrying the same information as
+    /// attributes (used when a received segment enters the protocol stack).
+    pub fn into_message(self) -> Message {
+        let mut m = Message::new(self.payload);
+        m.set_u64(ATTR_SEQ, self.seq);
+        m.set_u64(ATTR_KIND, self.kind.to_u8() as u64);
+        m.set_flag(ATTR_ACK_REQUESTED, self.ack_requested);
+        m.set_u64(ATTR_SENT_AT, self.sent_at_ns);
+        m
+    }
+
+    /// Build a segment from a cactus [`Message`] leaving the protocol stack.
+    pub fn from_message(msg: &Message) -> Self {
+        let kind = match msg.u64(ATTR_KIND) {
+            Some(1) => SegmentKind::Ack,
+            _ => SegmentKind::Data,
+        };
+        Self {
+            kind,
+            seq: msg.u64(ATTR_SEQ).unwrap_or(0),
+            ack_requested: msg.flag(ATTR_ACK_REQUESTED),
+            sent_at_ns: msg.u64(ATTR_SENT_AT).unwrap_or(0),
+            payload: msg.payload().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let seg = WireSegment::data(42, true, 123_456, Bytes::from_static(b"hello world"));
+        let decoded = WireSegment::decode(seg.encode()).expect("decodes");
+        assert_eq!(decoded, seg);
+    }
+
+    #[test]
+    fn ack_round_trip() {
+        let seg = WireSegment::ack(7, 99);
+        let decoded = WireSegment::decode(seg.encode()).expect("decodes");
+        assert_eq!(decoded.kind, SegmentKind::Ack);
+        assert_eq!(decoded.seq, 7);
+        assert!(decoded.payload.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let seg = WireSegment::data(1, false, 0, Bytes::from_static(b"abc"));
+        let bytes = seg.encode();
+        assert!(WireSegment::decode(bytes.slice(0..5)).is_none());
+        assert!(WireSegment::decode(bytes.slice(0..SEGMENT_HEADER_BYTES + 1)).is_none());
+    }
+
+    #[test]
+    fn message_conversion_preserves_attributes() {
+        let seg = WireSegment::data(9, true, 5, Bytes::from_static(b"xy"));
+        let msg = seg.clone().into_message();
+        assert_eq!(msg.u64(ATTR_SEQ), Some(9));
+        assert!(msg.flag(ATTR_ACK_REQUESTED));
+        let back = WireSegment::from_message(&msg);
+        assert_eq!(back, seg);
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut raw = WireSegment::data(1, false, 0, Bytes::new()).encode().to_vec();
+        raw[0] = 9;
+        assert!(WireSegment::decode(Bytes::from(raw)).is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the P2PSAP protocol.
+
+use bytes::Bytes;
+use netsim::ConnectionType;
+use p2psap::data::{make_congestion, WireSegment};
+use p2psap::{ChannelConfig, CongestionAlgorithm, Controller, Reliability, Scheme, Session};
+use proptest::prelude::*;
+
+fn any_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Synchronous),
+        Just(Scheme::Asynchronous),
+        Just(Scheme::Hybrid)
+    ]
+}
+
+fn any_connection() -> impl Strategy<Value = ConnectionType> {
+    prop_oneof![
+        Just(ConnectionType::IntraCluster),
+        Just(ConnectionType::InterCluster)
+    ]
+}
+
+fn any_algorithm() -> impl Strategy<Value = CongestionAlgorithm> {
+    prop_oneof![
+        Just(CongestionAlgorithm::NewReno),
+        Just(CongestionAlgorithm::HTcp),
+        Just(CongestionAlgorithm::Tahoe),
+        Just(CongestionAlgorithm::Scp)
+    ]
+}
+
+proptest! {
+    /// The wire codec round-trips arbitrary payloads and header fields.
+    #[test]
+    fn wire_codec_round_trips(seq in any::<u64>(), ack in any::<bool>(),
+                              sent_at in any::<u64>(),
+                              payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let seg = WireSegment::data(seq, ack, sent_at, Bytes::from(payload));
+        let decoded = WireSegment::decode(seg.encode()).expect("well-formed segment decodes");
+        prop_assert_eq!(decoded, seg);
+    }
+
+    /// The controller is total: every (scheme, connection) context yields a
+    /// configuration, and the communication mode obeys Table I.
+    #[test]
+    fn controller_is_total_and_consistent(scheme in any_scheme(), conn in any_connection()) {
+        let c = Controller::with_table1_rules();
+        let cfg = c.decide_for(scheme, conn);
+        match (scheme, conn) {
+            (Scheme::Synchronous, _) => {
+                prop_assert_eq!(cfg.mode, p2psap::CommunicationMode::Synchronous);
+                prop_assert_eq!(cfg.reliability, Reliability::Reliable);
+            }
+            (Scheme::Asynchronous, ConnectionType::IntraCluster) => {
+                prop_assert_eq!(cfg.mode, p2psap::CommunicationMode::Asynchronous);
+                prop_assert_eq!(cfg.reliability, Reliability::Reliable);
+            }
+            (Scheme::Asynchronous, ConnectionType::InterCluster)
+            | (Scheme::Hybrid, ConnectionType::InterCluster) => {
+                prop_assert_eq!(cfg.mode, p2psap::CommunicationMode::Asynchronous);
+                prop_assert_eq!(cfg.reliability, Reliability::Unreliable);
+            }
+            (Scheme::Hybrid, ConnectionType::IntraCluster) => {
+                prop_assert_eq!(cfg.mode, p2psap::CommunicationMode::Synchronous);
+                prop_assert_eq!(cfg.reliability, Reliability::Reliable);
+            }
+        }
+    }
+
+    /// Congestion windows stay within sane bounds under arbitrary ack/loss
+    /// event sequences.
+    #[test]
+    fn congestion_window_bounded(alg in any_algorithm(),
+                                 steps in proptest::collection::vec(any::<u8>(), 1..256)) {
+        let mut cc = make_congestion(alg);
+        let mut now = 0.0;
+        for s in steps {
+            now += 0.01;
+            match s % 4 {
+                0 | 1 => cc.on_ack(0.01, now),
+                2 => cc.on_loss(now),
+                _ => cc.on_timeout(now),
+            }
+            prop_assert!(cc.cwnd() >= 1.0, "{}: cwnd fell below 1", cc.name());
+            prop_assert!(cc.cwnd() <= 1e7, "{}: cwnd diverged", cc.name());
+            prop_assert!(cc.ssthresh() >= 1.0);
+        }
+    }
+
+    /// An ordered reliable session delivers every distinct payload exactly
+    /// once and in order, for any interleaving of two senders' segments.
+    #[test]
+    fn ordered_session_delivers_in_order(count in 1usize..32, seed in any::<u64>()) {
+        let cfg = ChannelConfig::synchronous_reliable();
+        let mut tx = Session::new(cfg);
+        let mut rx = Session::new(cfg);
+        // Produce `count` segments.
+        let mut segments = Vec::new();
+        for i in 0..count {
+            let (_, out) = tx.send(Bytes::from(format!("payload-{i}")), i as u64);
+            segments.extend(out.wire);
+        }
+        // Shuffle deterministically based on the seed.
+        let mut order: Vec<usize> = (0..segments.len()).collect();
+        let mut state = seed;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut delivered = Vec::new();
+        for idx in order {
+            let out = rx.on_wire(segments[idx].clone(), 1_000);
+            delivered.extend(out.delivered);
+        }
+        prop_assert_eq!(delivered.len(), count);
+        for (i, d) in delivered.iter().enumerate() {
+            let expected = format!("payload-{i}");
+            prop_assert_eq!(d.as_ref(), expected.as_bytes());
+        }
+    }
+
+    /// Reconfiguring a session to any target configuration and back leaves the
+    /// micro-protocol set consistent with the configuration.
+    #[test]
+    fn reconfiguration_is_consistent(scheme in any_scheme(), conn in any_connection()) {
+        let controller = Controller::with_table1_rules();
+        let start = ChannelConfig::synchronous_reliable();
+        let target = controller.decide_for(scheme, conn);
+        let mut s = Session::new(start);
+        s.reconfigure(target);
+        let micros = s.transport_micros();
+        let has_rel = micros.contains(&"reliability");
+        prop_assert_eq!(has_rel, target.reliability == Reliability::Reliable);
+        let has_sync = micros.contains(&"mode-synchronous");
+        prop_assert_eq!(has_sync, target.mode == p2psap::CommunicationMode::Synchronous);
+        // Round trip back to the start configuration.
+        s.reconfigure(start);
+        prop_assert!(s.transport_micros().contains(&"mode-synchronous"));
+        prop_assert!(s.transport_micros().contains(&"reliability"));
+    }
+}

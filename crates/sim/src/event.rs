@@ -1,0 +1,223 @@
+//! Event queue of the simulator.
+//!
+//! Events are ordered by (time, sequence number). The sequence number is a
+//! monotonically increasing tie-breaker that guarantees FIFO order among
+//! events scheduled for the same instant, which makes the simulation fully
+//! deterministic.
+
+use crate::process::ProcessId;
+use crate::time::SimTime;
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) u64);
+
+/// Identifier of a timer set by a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub(crate) u64);
+
+/// Payload delivered to a process. Network substrates and applications define
+/// their own concrete message types and downcast on receipt.
+pub type Payload = Box<dyn Any + Send>;
+
+/// What a scheduled event does when it fires.
+pub enum EventKind {
+    /// Deliver a message payload to a process.
+    Message {
+        /// Originating process (may be the process itself).
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+        /// Opaque payload.
+        payload: Payload,
+    },
+    /// Fire a timer on a process.
+    Timer {
+        /// Destination process.
+        to: ProcessId,
+        /// Timer identity returned by `set_timer`.
+        timer: TimerId,
+        /// Caller-chosen tag to distinguish timer purposes.
+        tag: u64,
+    },
+    /// Start a process (deliver its `on_start` callback).
+    Start {
+        /// Process to start.
+        to: ProcessId,
+    },
+    /// Stop the whole simulation when this event is reached.
+    Halt,
+}
+
+impl std::fmt::Debug for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EventKind::Message { from, to, .. } => {
+                write!(f, "Message {{ from: {from:?}, to: {to:?} }}")
+            }
+            EventKind::Timer { to, timer, tag } => {
+                write!(f, "Timer {{ to: {to:?}, timer: {timer:?}, tag: {tag} }}")
+            }
+            EventKind::Start { to } => write!(f, "Start {{ to: {to:?} }}"),
+            EventKind::Halt => write!(f, "Halt"),
+        }
+    }
+}
+
+/// A scheduled event with its firing time and tie-breaking sequence number.
+pub(crate) struct ScheduledEvent {
+    pub time: SimTime,
+    pub seq: u64,
+    pub id: EventId,
+    pub kind: EventKind,
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    /// Reversed so that the `BinaryHeap` (a max-heap) pops the earliest event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Priority queue of pending events.
+#[derive(Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+    next_event_id: u64,
+    cancelled: std::collections::HashSet<EventId>,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// True when no non-cancelled events remain.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule an event at an absolute time. Returns its id for cancellation.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) -> EventId {
+        let id = EventId(self.next_event_id);
+        self.next_event_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time,
+            seq,
+            id,
+            kind,
+        });
+        id
+    }
+
+    /// Mark an event as cancelled; it will be skipped when popped.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Pop the next non-cancelled event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.id) {
+                continue;
+            }
+            return Some(ev);
+        }
+        None
+    }
+
+    /// Time of the next non-cancelled event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let cancelled = match self.heap.peek() {
+                None => return None,
+                Some(ev) => self.cancelled.contains(&ev.id),
+            };
+            if cancelled {
+                let ev = self.heap.pop().expect("peeked event vanished");
+                self.cancelled.remove(&ev.id);
+            } else {
+                return self.heap.peek().map(|ev| ev.time);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn halt() -> EventKind {
+        EventKind::Halt
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), halt());
+        q.push(SimTime::from_nanos(10), halt());
+        q.push(SimTime::from_nanos(20), halt());
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.time.as_nanos())).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        let a = q.push(t, halt());
+        let b = q.push(t, halt());
+        let c = q.push(t, halt());
+        let order: Vec<EventId> = std::iter::from_fn(|| q.pop().map(|e| e.id)).collect();
+        assert_eq!(order, vec![a, b, c]);
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_nanos(1), halt());
+        let b = q.push(SimTime::from_nanos(2), halt());
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        let popped = q.pop().unwrap();
+        assert_eq!(popped.id, b);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_nanos(1), halt());
+        q.push(SimTime::from_nanos(7), halt());
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+    }
+}

@@ -1,0 +1,55 @@
+//! `desim` — a small, deterministic discrete-event simulation engine.
+//!
+//! This crate is the bottom-most substrate of the P2PDC reproduction. The
+//! paper evaluated its system on the NICTA testbed (38 physical machines with
+//! netem-injected WAN latency); this repository replaces that hardware with a
+//! virtual-time simulation so that the full evaluation sweep is deterministic
+//! and laptop-friendly while the numerical application still executes its
+//! real floating-point kernel.
+//!
+//! Main concepts:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond virtual time.
+//! * [`Process`] — an actor with `on_start`, `on_message`, `on_timer`.
+//! * [`Simulator`] — the event loop: owns the clock, processes, RNG streams
+//!   and the [`Tracer`].
+//! * [`Context`] — handle given to process callbacks for sending messages,
+//!   arming timers and recording statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use desim::{Context, Payload, Process, ProcessId, SimDuration, Simulator};
+//!
+//! struct Counter { count: u64 }
+//! impl Process for Counter {
+//!     fn on_start(&mut self, ctx: &mut Context<'_>) {
+//!         let me = ctx.me();
+//!         ctx.send_delayed(me, Box::new(()), SimDuration::from_millis(1));
+//!     }
+//!     fn on_message(&mut self, _ctx: &mut Context<'_>, _from: ProcessId, _p: Payload) {
+//!         self.count += 1;
+//!     }
+//! }
+//!
+//! let mut sim = Simulator::new(42);
+//! sim.add_process(Box::new(Counter { count: 0 }));
+//! sim.run();
+//! assert_eq!(sim.now().as_nanos(), 1_000_000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod event;
+mod process;
+mod rng;
+mod scheduler;
+mod time;
+mod trace;
+
+pub use event::{EventId, EventKind, Payload, TimerId};
+pub use process::{Process, ProcessId};
+pub use rng::{uniform01, RngFactory};
+pub use scheduler::{Context, RunOutcome, Simulator};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceRecord, Tracer};

@@ -1,0 +1,63 @@
+//! Simulated processes (actors).
+//!
+//! A process reacts to three kinds of stimuli: a start signal, messages from
+//! other processes, and its own timers. Handlers receive a [`Context`] through
+//! which they can read the clock, send messages, set timers and record
+//! statistics.
+
+use crate::event::{Payload, TimerId};
+use crate::scheduler::Context;
+
+/// Index of a process registered with the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Behaviour of a simulated process.
+///
+/// All callbacks run to completion instantly in virtual time; time only
+/// advances through explicitly scheduled events (messages and timers).
+pub trait Process: Send {
+    /// Called once when the process' start event fires.
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called when a message addressed to this process is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, payload: Payload);
+
+    /// Called when one of the process' timers fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _timer: TimerId, _tag: u64) {}
+
+    /// Human-readable name used in traces.
+    fn name(&self) -> String {
+        "process".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl Process for Dummy {
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: ProcessId, _payload: Payload) {}
+    }
+
+    #[test]
+    fn default_name_and_id_display() {
+        assert_eq!(Dummy.name(), "process");
+        assert_eq!(ProcessId(3).to_string(), "P3");
+        assert_eq!(ProcessId(3).index(), 3);
+    }
+}

@@ -1,0 +1,52 @@
+//! One-cluster experiment: compare the three schemes of computation on the
+//! simulated NICTA-style cluster (100 Mbit/s Ethernet), reproducing the
+//! single-cluster series of the paper's Figure 5 for one grid size.
+//!
+//! ```text
+//! cargo run --release --example obstacle_cluster [n] [peers]
+//! ```
+
+use p2pdc::{
+    derive_row, format_table, run_obstacle_experiment, ComputeModel, ObstacleExperiment, Scheme,
+};
+
+/// Build an experiment whose per-sweep virtual cost matches the paper's 96³
+/// runs, so the computation/communication granularity is representative even
+/// at a reduced grid size (same scaling the benchmark harness uses).
+fn experiment(n: usize, scheme: Scheme, peers: usize, clusters: usize) -> ObstacleExperiment {
+    let mut exp = ObstacleExperiment::new(n, scheme, peers, clusters);
+    exp.compute = ComputeModel::calibrated(50.0 * (96.0_f64 / n as f64).powi(3));
+    exp
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(24);
+    let peers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    println!("obstacle problem {n}^3, single cluster, {peers} peers\n");
+
+    // Single-peer reference for speedups.
+    let reference = run_obstacle_experiment(&experiment(n, Scheme::Synchronous, 1, 1));
+    let mut rows = vec![derive_row(
+        "synchronous",
+        "1 cluster",
+        reference.measurement.elapsed,
+        &reference.measurement,
+    )];
+    for scheme in [Scheme::Synchronous, Scheme::Asynchronous, Scheme::Hybrid] {
+        let exp = experiment(n, scheme, peers, 1);
+        let result = run_obstacle_experiment(&exp);
+        rows.push(derive_row(
+            &scheme.to_string(),
+            "1 cluster",
+            reference.measurement.elapsed,
+            &result.measurement,
+        ));
+        println!(
+            "{scheme}: residual {:.2e}, intra-cluster packets {}",
+            result.measurement.residual, result.net.intra.packets_delivered
+        );
+    }
+    println!();
+    println!("{}", format_table("Single-cluster scheme comparison", &rows));
+}

@@ -1,0 +1,80 @@
+//! Integration test of the P2PDC environment: user daemon commands, topology
+//! manager, task manager and the obstacle application working together.
+
+use desim::{SimDuration, SimTime};
+use netsim::{ClusterId, NodeId};
+use p2pdc::{
+    parse_command, Command, JobState, ObstacleApp, ObstacleInstance, ObstacleParams, Scheme,
+    TaskManager, TopologyManager,
+};
+use std::sync::Arc;
+
+fn environment(peers: usize) -> (TopologyManager, TaskManager) {
+    let mut topology = TopologyManager::new(SimDuration::from_secs(1));
+    for i in 0..peers {
+        topology.register(NodeId(i), ClusterId(i % 2), 1.0, SimTime::ZERO);
+    }
+    let mut tm = TaskManager::new();
+    tm.register_application(Arc::new(ObstacleApp::new(ObstacleParams {
+        n: 8,
+        peers: 2,
+        scheme: Scheme::Synchronous,
+        instance: ObstacleInstance::Membrane,
+    })));
+    (topology, tm)
+}
+
+#[test]
+fn full_job_lifecycle_via_user_daemon_commands() {
+    let (mut topology, mut tm) = environment(4);
+
+    // run command with overrides, as the paper allows at start time.
+    let cmd = parse_command(r#"run obstacle {"peers": 3, "scheme": "asynchronous"}"#).unwrap();
+    let Command::Run { app, params } = cmd else {
+        panic!("expected run")
+    };
+    let job = tm.submit(&app, &params, &mut topology);
+    assert_eq!(tm.job(job).state, JobState::Running);
+    assert_eq!(tm.job(job).definition.peers_needed, 3);
+    assert_eq!(tm.job(job).definition.scheme, Scheme::Asynchronous);
+    assert_eq!(topology.free_count(), 1);
+
+    // Execute the three sub-tasks (task-execution component).
+    let application = tm.application("obstacle").unwrap();
+    let definition = tm.job(job).definition.clone();
+    for rank in 0..3 {
+        let mut task = application.calculate(&definition, rank);
+        for _ in 0..5 {
+            task.relax();
+        }
+        tm.submit_result(job, rank, task.result());
+    }
+    assert_eq!(tm.job(job).state, JobState::Completed);
+    let output = tm.job(job).output.as_ref().expect("aggregated output");
+    assert_eq!(output.len(), 8 * 8 * 8 * 8, "full grid of f64 values");
+
+    tm.release(job, &mut topology);
+    assert_eq!(topology.free_count(), 4);
+}
+
+#[test]
+fn stat_and_exit_commands_parse_and_peer_eviction_works() {
+    assert_eq!(parse_command("stat").unwrap(), Command::Stat);
+    assert_eq!(parse_command("exit").unwrap(), Command::Exit);
+
+    let (mut topology, _) = environment(2);
+    // Peer 1 keeps pinging, peer 0 goes silent and is evicted after 3 periods.
+    topology.ping(NodeId(1), SimTime::from_secs_f64(3.2));
+    let evicted = topology.evict_stale(SimTime::from_secs_f64(3.5));
+    assert_eq!(evicted, vec![NodeId(0)]);
+    assert_eq!(topology.peer_count(), 1);
+}
+
+#[test]
+fn submission_is_rejected_without_enough_free_peers() {
+    let (mut topology, mut tm) = environment(1);
+    let job = tm.submit("obstacle", &serde_json::json!({"peers": 2}), &mut topology);
+    assert!(matches!(tm.job(job).state, JobState::Rejected(_)));
+    // The failed submission must not leak peer allocations.
+    assert_eq!(topology.free_count(), 1);
+}
