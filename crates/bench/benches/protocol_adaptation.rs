@@ -41,8 +41,7 @@ fn bench_adaptation(c: &mut Criterion) {
 
     c.bench_function("socket_context_change_proposal", |b| {
         b.iter(|| {
-            let mut socket =
-                p2psap::Socket::open(Scheme::Hybrid, ConnectionType::IntraCluster);
+            let mut socket = p2psap::Socket::open(Scheme::Hybrid, ConnectionType::IntraCluster);
             let out = socket.set_option(SocketOption::Connection(ConnectionType::InterCluster));
             std::hint::black_box(out.control.len())
         })

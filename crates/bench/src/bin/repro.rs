@@ -43,7 +43,10 @@ fn run_fig(which: u8, full: bool) {
     eprintln!("running {title} ...");
     let result = run_figure(&title, &config);
     println!("{}", format_table(&result.title, &result.rows));
-    write_json(&format!("fig{which}{}", if full { "_full" } else { "" }), &result);
+    write_json(
+        &format!("fig{which}{}", if full { "_full" } else { "" }),
+        &result,
+    );
 }
 
 fn main() {

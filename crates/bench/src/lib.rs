@@ -111,7 +111,11 @@ where
                 let measurement = run_single(config, compute, scheme, peers, clusters);
                 rows.push(derive_row(
                     &scheme.to_string(),
-                    if clusters == 1 { "1 cluster" } else { "2 clusters" },
+                    if clusters == 1 {
+                        "1 cluster"
+                    } else {
+                        "2 clusters"
+                    },
                     reference_elapsed,
                     &measurement,
                 ));
@@ -179,12 +183,36 @@ pub fn run_table1() -> Vec<Table1Row> {
     use p2psap::{CommunicationMode, Controller, Reliability};
     let controller = Controller::with_table1_rules();
     let expectations = [
-        (Scheme::Synchronous, ConnectionType::IntraCluster, "synchronous reliable"),
-        (Scheme::Synchronous, ConnectionType::InterCluster, "synchronous reliable"),
-        (Scheme::Asynchronous, ConnectionType::IntraCluster, "asynchronous reliable"),
-        (Scheme::Asynchronous, ConnectionType::InterCluster, "asynchronous unreliable"),
-        (Scheme::Hybrid, ConnectionType::IntraCluster, "synchronous reliable"),
-        (Scheme::Hybrid, ConnectionType::InterCluster, "asynchronous unreliable"),
+        (
+            Scheme::Synchronous,
+            ConnectionType::IntraCluster,
+            "synchronous reliable",
+        ),
+        (
+            Scheme::Synchronous,
+            ConnectionType::InterCluster,
+            "synchronous reliable",
+        ),
+        (
+            Scheme::Asynchronous,
+            ConnectionType::IntraCluster,
+            "asynchronous reliable",
+        ),
+        (
+            Scheme::Asynchronous,
+            ConnectionType::InterCluster,
+            "asynchronous unreliable",
+        ),
+        (
+            Scheme::Hybrid,
+            ConnectionType::IntraCluster,
+            "synchronous reliable",
+        ),
+        (
+            Scheme::Hybrid,
+            ConnectionType::InterCluster,
+            "asynchronous unreliable",
+        ),
     ];
     expectations
         .iter()
@@ -225,7 +253,13 @@ pub fn format_table1(rows: &[Table1Row]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<14} {:<14} {:<14} {:<12} {:<10} {:<24} {}\n",
-            r.scheme, r.connection, r.mode, r.reliability, r.congestion, r.paper_expected, r.matches_paper
+            r.scheme,
+            r.connection,
+            r.mode,
+            r.reliability,
+            r.congestion,
+            r.paper_expected,
+            r.matches_paper
         ));
     }
     out
@@ -318,7 +352,8 @@ pub fn run_ablation() -> Vec<AblationRow> {
 
 /// Render the ablation rows as text.
 pub fn format_ablation(rows: &[AblationRow]) -> String {
-    let mut out = String::from("== Ablation: data-channel configuration on a lossy 100 ms path ==\n");
+    let mut out =
+        String::from("== Ablation: data-channel configuration on a lossy 100 ms path ==\n");
     out.push_str(&format!(
         "{:<55} {:>22} {:>15}\n",
         "variant", "send latency [ms]", "wire segments"

@@ -142,7 +142,13 @@ mod tests {
         let drained = ops.drain();
         assert!(matches!(drained[0], Op::Raise(e, _) if e == events::USER_SEND));
         assert!(matches!(drained[1], Op::SendDown(_)));
-        assert!(matches!(drained[2], Op::SetTimer { delay_ns: 5, tag: 1 }));
+        assert!(matches!(
+            drained[2],
+            Op::SetTimer {
+                delay_ns: 5,
+                tag: 1
+            }
+        ));
         assert!(matches!(drained[3], Op::CancelTimer { tag: 1 }));
         assert!(matches!(drained[4], Op::NotifySendComplete { seq: 9 }));
         assert!(ops.is_empty());

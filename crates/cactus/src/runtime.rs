@@ -18,10 +18,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::thread::JoinHandle;
 
 enum Job {
-    Dispatch {
-        event: EventName,
-        msg: Message,
-    },
+    Dispatch { event: EventName, msg: Message },
     Shutdown,
 }
 
@@ -80,9 +77,7 @@ impl ConcurrentRuntime {
     /// Block until the effects of one previously submitted event are
     /// available.
     pub fn recv_effects(&self) -> Vec<Effect> {
-        self.effect_rx
-            .recv()
-            .expect("runtime workers have exited")
+        self.effect_rx.recv().expect("runtime workers have exited")
     }
 
     /// Collect the effects of `n` previously submitted events.

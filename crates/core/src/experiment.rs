@@ -4,7 +4,9 @@
 
 use crate::compute::ComputeModel;
 use crate::metrics::RunMeasurement;
-use crate::obstacle_app::{assemble_solution, build_problem, ObstacleInstance, ObstacleParams, ObstacleTask};
+use crate::obstacle_app::{
+    assemble_solution, build_problem, ObstacleInstance, ObstacleParams, ObstacleTask,
+};
 use crate::runtime::sim::{run_iterative, SimRunConfig, SimRunOutcome};
 use desim::SimDuration;
 use netsim::{NetStats, Topology};
@@ -105,7 +107,11 @@ pub fn run_obstacle_experiment(exp: &ObstacleExperiment) -> ExperimentResult {
         results,
         net,
     } = run_iterative(&config, move |rank| {
-        Box::new(ObstacleTask::new(Arc::clone(&problem_for_tasks), peers, rank))
+        Box::new(ObstacleTask::new(
+            Arc::clone(&problem_for_tasks),
+            peers,
+            rank,
+        ))
     });
     let solution = assemble_solution(exp.n, &results);
     measurement.residual = fixed_point_residual(&problem, &solution, problem.optimal_delta());
@@ -142,7 +148,8 @@ mod tests {
 
     #[test]
     fn synchronous_distributed_run_keeps_the_relaxation_count() {
-        let reference = run_obstacle_experiment(&ObstacleExperiment::new(8, Scheme::Synchronous, 1, 1));
+        let reference =
+            run_obstacle_experiment(&ObstacleExperiment::new(8, Scheme::Synchronous, 1, 1));
         for peers in [2usize, 4] {
             let exp = ObstacleExperiment::new(8, Scheme::Synchronous, peers, 1);
             let result = run_obstacle_experiment(&exp);
@@ -186,7 +193,10 @@ mod tests {
         let exp = ObstacleExperiment::new(16, Scheme::Asynchronous, 4, 2);
         let result = run_obstacle_experiment(&exp);
         assert!(result.measurement.converged);
-        assert!(result.net.inter.packets_delivered > 0, "inter-cluster traffic expected");
+        assert!(
+            result.net.inter.packets_delivered > 0,
+            "inter-cluster traffic expected"
+        );
         assert!(
             result.measurement.residual < 2e-2,
             "residual {} beyond the staleness bound",

@@ -88,7 +88,11 @@ impl FaultManager {
             Some(replacement) => RecoveryAction::Reassign {
                 rank,
                 replacement,
-                from_iteration: self.checkpoints.get(&rank).map(|c| c.iteration).unwrap_or(0),
+                from_iteration: self
+                    .checkpoints
+                    .get(&rank)
+                    .map(|c| c.iteration)
+                    .unwrap_or(0),
             },
             None => RecoveryAction::Pause { rank },
         }

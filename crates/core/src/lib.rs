@@ -46,8 +46,9 @@ pub use obstacle_app::{
     UpdateMsg,
 };
 pub use runtime::{
-    run_iterative, run_iterative_threads, SimRunConfig, SimRunOutcome, ThreadRunConfig,
-    ThreadRunOutcome,
+    run_iterative, run_iterative_loopback, run_iterative_threads, ConvergenceDetector,
+    LoopbackRunConfig, LoopbackRunOutcome, PeerEngine, PeerTransport, SimRunConfig, SimRunOutcome,
+    ThreadRunConfig, ThreadRunOutcome,
 };
 pub use task_manager::{parse_command, Command, Job, JobState, TaskManager};
 pub use topology_manager::{PeerRecord, TopologyManager, MISSED_PINGS_BEFORE_EVICTION};

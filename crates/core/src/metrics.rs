@@ -24,6 +24,31 @@ pub struct RunMeasurement {
 }
 
 impl RunMeasurement {
+    /// The one constructor every runtime uses (via
+    /// [`crate::runtime::engine::ConvergenceDetector::finish_run`]), so all
+    /// runtimes report identical metric shapes. The fixed-point residual is
+    /// a solution-quality check only the experiment layer can compute; it
+    /// starts out as NaN and is filled in there.
+    pub fn from_run(
+        peers: usize,
+        elapsed: SimDuration,
+        relaxations_per_peer: Vec<u64>,
+        converged: bool,
+    ) -> Self {
+        assert_eq!(
+            peers,
+            relaxations_per_peer.len(),
+            "one relaxation count per peer"
+        );
+        Self {
+            peers,
+            elapsed,
+            relaxations_per_peer,
+            converged,
+            residual: f64::NAN,
+        }
+    }
+
     /// Total number of relaxations across all peers.
     pub fn total_relaxations(&self) -> u64 {
         self.relaxations_per_peer.iter().sum()
@@ -103,12 +128,26 @@ pub fn format_table(title: &str, rows: &[FigureRow]) -> String {
     out.push_str(&format!("== {title} ==\n"));
     out.push_str(&format!(
         "{:<14} {:<11} {:>6} {:>12} {:>13} {:>9} {:>11} {:>10}\n",
-        "scheme", "topology", "peers", "time [s]", "relaxations", "speedup", "efficiency", "converged"
+        "scheme",
+        "topology",
+        "peers",
+        "time [s]",
+        "relaxations",
+        "speedup",
+        "efficiency",
+        "converged"
     ));
     for r in rows {
         out.push_str(&format!(
             "{:<14} {:<11} {:>6} {:>12.3} {:>13.1} {:>9.2} {:>11.3} {:>10}\n",
-            r.scheme, r.topology, r.peers, r.time_s, r.relaxations, r.speedup, r.efficiency, r.converged
+            r.scheme,
+            r.topology,
+            r.peers,
+            r.time_s,
+            r.relaxations,
+            r.speedup,
+            r.efficiency,
+            r.converged
         ));
     }
     out
@@ -140,10 +179,20 @@ mod tests {
     #[test]
     fn speedup_and_efficiency() {
         let reference = SimDuration::from_secs_f64(10.0);
-        let row = derive_row("synchronous", "1 cluster", reference, &measurement(4, 2.5, 50));
+        let row = derive_row(
+            "synchronous",
+            "1 cluster",
+            reference,
+            &measurement(4, 2.5, 50),
+        );
         assert!((row.speedup - 4.0).abs() < 1e-12);
         assert!((row.efficiency - 1.0).abs() < 1e-12);
-        let poor = derive_row("synchronous", "2 clusters", reference, &measurement(8, 10.0, 50));
+        let poor = derive_row(
+            "synchronous",
+            "2 clusters",
+            reference,
+            &measurement(8, 10.0, 50),
+        );
         assert!((poor.speedup - 1.0).abs() < 1e-12);
         assert!((poor.efficiency - 0.125).abs() < 1e-12);
     }
@@ -152,7 +201,12 @@ mod tests {
     fn table_contains_every_row() {
         let reference = SimDuration::from_secs_f64(4.0);
         let rows = vec![
-            derive_row("asynchronous", "1 cluster", reference, &measurement(2, 2.0, 60)),
+            derive_row(
+                "asynchronous",
+                "1 cluster",
+                reference,
+                &measurement(2, 2.0, 60),
+            ),
             derive_row("hybrid", "2 clusters", reference, &measurement(4, 1.0, 70)),
         ];
         let table = format_table("Figure X", &rows);

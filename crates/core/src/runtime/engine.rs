@@ -1,0 +1,980 @@
+//! The runtime-agnostic peer engine.
+//!
+//! The paper's central claim is that the programming model
+//! (`Problem_Definition` / `Calculate` / `Results_Aggregation` with
+//! `P2P_Send` / `P2P_Receive`) is independent of the substrate it runs on.
+//! This module is that independence made concrete: [`PeerEngine`] owns
+//! everything about driving one peer's [`IterativeTask`] that does *not*
+//! depend on the runtime — the relaxation loop, the P2PSAP sockets, the
+//! scheme-dependent wait conditions (synchronous / asynchronous / hybrid),
+//! the per-neighbour update buffers, and the convergence / termination
+//! protocol — while everything substrate-specific is reached through the
+//! small [`PeerTransport`] trait.
+//!
+//! The engine is written in the same sans-io style as the P2PSAP
+//! [`Socket`]: it never blocks and never owns a clock. The runtime driver
+//! feeds it events (`on_start`, `on_segment`, `on_timer`,
+//! `on_compute_done`, `on_stop_signal`) and executes the actions the engine
+//! pushes through its transport (transmit a segment, arm or cancel a
+//! protocol timer, schedule the completion of a relaxation, broadcast the
+//! stop signal). Three transports exist today: the virtual-time desim /
+//! netsim fabric ([`crate::runtime::sim`]), real OS threads with routed
+//! channels ([`crate::runtime::threads`]), and the zero-latency in-process
+//! loopback ([`crate::runtime::loopback`]).
+//!
+//! Global convergence detection lives in [`ConvergenceDetector`], shared by
+//! all peers of a run. It is an omniscient observer (it consumes no network
+//! resources), standing in for the coordinator-based detection a deployment
+//! would use.
+
+use crate::app::{IterativeTask, LocalRelax};
+use crate::metrics::RunMeasurement;
+use bytes::Bytes;
+use desim::SimDuration;
+use netsim::{NodeId, Topology};
+use p2psap::{Scheme, Socket};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Identifier of a protocol timer armed by a peer's socket:
+/// `(neighbour rank, protocol layer, protocol tag)`.
+pub type TimerKey = (usize, usize, u64);
+
+/// The substrate services a [`PeerEngine`] needs. Implementations execute
+/// the engine's actions on a concrete runtime; all methods are non-blocking.
+pub trait PeerTransport {
+    /// Current time in nanoseconds (virtual or wall-clock since run start).
+    fn now_ns(&mut self) -> u64;
+
+    /// Put one wire segment produced by a P2PSAP socket on the network
+    /// towards neighbour `to`.
+    fn transmit(&mut self, to: usize, segment: Bytes);
+
+    /// Arm a protocol timer; the driver must call
+    /// [`PeerEngine::on_timer`] with `key` once `delay_ns` has elapsed,
+    /// unless the timer is cancelled first.
+    fn arm_timer(&mut self, key: TimerKey, delay_ns: u64);
+
+    /// Cancel a previously armed protocol timer.
+    fn cancel_timer(&mut self, key: TimerKey);
+
+    /// A relaxation of `work_points` grid points has been performed; the
+    /// driver must call [`PeerEngine::on_compute_done`] once the substrate's
+    /// compute-cost model says the sweep has finished (immediately for
+    /// wall-clock runtimes, after the modelled virtual duration for the
+    /// simulated one).
+    fn schedule_compute(&mut self, work_points: u64);
+
+    /// Wake every other peer of the run: global convergence (or the
+    /// relaxation cap) has been reached and peers idling in a synchronous
+    /// wait must terminate. The driver delivers this as
+    /// [`PeerEngine::on_stop_signal`].
+    fn broadcast_stop(&mut self);
+
+    /// Sender-side pacing gate for updates to *asynchronous* neighbours: an
+    /// update that would only queue behind the previous one on the link may
+    /// be skipped (it would be obsolete before reaching the wire — exactly
+    /// the situation the paper's unreliable asynchronous mode tolerates).
+    /// Returns whether the update may be sent now; a `true` return may
+    /// advance the transport's internal pacing gate. Defaults to always
+    /// sending (no pacing).
+    fn pacing_gate(&mut self, _to: usize, _wire_bytes: usize) -> bool {
+        true
+    }
+
+    /// Record a named statistic (the simulated runtime forwards these to
+    /// its tracer; other transports ignore them).
+    fn note(&mut self, _counter: &'static str) {}
+}
+
+/// Deadline queue for protocol timers, shared by the transports that keep
+/// their own clock (threads, loopback). Re-arming a key replaces its
+/// previous deadline; popping is in deadline order.
+#[derive(Debug, Default)]
+pub struct TimerQueue {
+    ordered: std::collections::BTreeSet<(u64, TimerKey)>,
+    deadlines: HashMap<TimerKey, u64>,
+}
+
+impl TimerQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm `key` to fire at `deadline_ns`, replacing any previous deadline.
+    pub fn arm(&mut self, key: TimerKey, deadline_ns: u64) {
+        if let Some(old) = self.deadlines.insert(key, deadline_ns) {
+            self.ordered.remove(&(old, key));
+        }
+        self.ordered.insert((deadline_ns, key));
+    }
+
+    /// Cancel `key` if armed.
+    pub fn cancel(&mut self, key: TimerKey) {
+        if let Some(deadline) = self.deadlines.remove(&key) {
+            self.ordered.remove(&(deadline, key));
+        }
+    }
+
+    /// Pop the earliest timer whose deadline is at or before `now_ns`.
+    pub fn pop_due(&mut self, now_ns: u64) -> Option<TimerKey> {
+        let &(deadline, key) = self.ordered.iter().next()?;
+        if deadline > now_ns {
+            return None;
+        }
+        self.ordered.remove(&(deadline, key));
+        self.deadlines.remove(&key);
+        Some(key)
+    }
+
+    /// The earliest armed deadline, if any.
+    pub fn earliest_deadline(&self) -> Option<u64> {
+        self.ordered.iter().next().map(|&(deadline, _)| deadline)
+    }
+}
+
+/// Shared state used for global convergence detection and result
+/// collection, one per run.
+pub struct ConvergenceDetector {
+    tolerance: f64,
+    scheme: Scheme,
+    peers: usize,
+    /// Which peers have at least one asynchronous (non-waiting) neighbour.
+    has_async_neighbor: Vec<bool>,
+    /// Per-iteration: (number of peers that completed it, max local diff).
+    iteration_reports: HashMap<u64, (usize, f64)>,
+    /// Latest "stable" flag per peer: the peer's last sweep was below the
+    /// tolerance *and* it had incorporated at least one fresh update from
+    /// every asynchronous neighbour since its last above-tolerance sweep.
+    /// This guards against declaring convergence on stale boundary data.
+    latest_stable: Vec<bool>,
+    /// Consecutive stable reports per peer (asynchronous rule).
+    streaks: Vec<u32>,
+    /// Set when global convergence is detected.
+    stop: bool,
+    stop_time_ns: Option<u64>,
+    /// Whether the stop signal has been broadcast to every peer.
+    stop_broadcast: bool,
+    /// Peers that have acknowledged the stop and deposited their result.
+    results: Vec<Option<(u64, Vec<u8>)>>,
+}
+
+/// A [`ConvergenceDetector`] shared between the peers of one run.
+pub type SharedDetector = Arc<Mutex<ConvergenceDetector>>;
+
+impl ConvergenceDetector {
+    /// Create the detector for a run of `peers` peers.
+    pub fn new(tolerance: f64, scheme: Scheme, peers: usize) -> Self {
+        Self {
+            tolerance,
+            scheme,
+            peers,
+            has_async_neighbor: vec![false; peers],
+            iteration_reports: HashMap::new(),
+            latest_stable: vec![false; peers],
+            streaks: vec![0; peers],
+            stop: false,
+            stop_time_ns: None,
+            stop_broadcast: false,
+            results: vec![None; peers],
+        }
+    }
+
+    /// Create a shared detector handle.
+    pub fn shared(tolerance: f64, scheme: Scheme, peers: usize) -> SharedDetector {
+        Arc::new(Mutex::new(Self::new(tolerance, scheme, peers)))
+    }
+
+    /// Whether global convergence (or the cap) has stopped the run.
+    pub fn stopped(&self) -> bool {
+        self.stop
+    }
+
+    /// Record the completion of relaxation number `iteration` (1-based) by
+    /// peer `rank` with local difference `diff`; returns true when this
+    /// report establishes global convergence. `stable` is computed by the
+    /// peer (see [`ConvergenceDetector::latest_stable`]).
+    fn report(
+        &mut self,
+        rank: usize,
+        iteration: u64,
+        diff: f64,
+        stable: bool,
+        now_ns: u64,
+    ) -> bool {
+        if self.stop {
+            return true;
+        }
+        self.latest_stable[rank] = stable;
+        if stable {
+            self.streaks[rank] = self.streaks[rank].saturating_add(1);
+        } else {
+            self.streaks[rank] = 0;
+        }
+        let converged = match self.scheme {
+            // Synchronous and hybrid schemes progress iteration by iteration:
+            // stop at the first iteration whose global max difference is below
+            // the tolerance (the same test the sequential solver applies). For
+            // hybrid runs, peers with asynchronous (cross-cluster) neighbours
+            // must additionally be stable, so stale inter-cluster boundaries
+            // cannot fake convergence.
+            Scheme::Synchronous | Scheme::Hybrid => {
+                let entry = self.iteration_reports.entry(iteration).or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 = entry.1.max(diff);
+                let complete = entry.0 == self.peers;
+                let max_diff = entry.1;
+                if complete {
+                    // Each peer reports an iteration exactly once, so a
+                    // complete entry can never be touched again — drop it to
+                    // keep the map bounded by the in-flight iterations.
+                    self.iteration_reports.remove(&iteration);
+                }
+                complete
+                    && max_diff <= self.tolerance
+                    && self
+                        .has_async_neighbor
+                        .iter()
+                        .zip(self.latest_stable.iter())
+                        .all(|(async_nb, stable)| !async_nb || *stable)
+            }
+            // Asynchronous scheme: every peer must have reported two
+            // consecutive stable sweeps.
+            Scheme::Asynchronous => self.streaks.iter().all(|s| *s >= 2),
+        };
+        if converged {
+            self.stop = true;
+            self.stop_time_ns = Some(now_ns);
+        }
+        self.stop
+    }
+
+    /// Assemble the run's [`RunMeasurement`] and the per-rank results. Used
+    /// by every runtime so all report the same metric shapes. `fallback_now`
+    /// is the clock value when the run ended without a recorded stop time
+    /// (deadline reached, missing results).
+    pub fn finish_run(
+        &self,
+        fallback_now_ns: u64,
+        max_relaxations: u64,
+    ) -> (RunMeasurement, Vec<(usize, Vec<u8>)>) {
+        let elapsed = SimDuration::from_nanos(self.stop_time_ns.unwrap_or(fallback_now_ns));
+        let mut relaxations = Vec::with_capacity(self.peers);
+        let mut results = Vec::with_capacity(self.peers);
+        let mut all_reported = true;
+        for (rank, entry) in self.results.iter().enumerate() {
+            match entry {
+                Some((r, data)) => {
+                    relaxations.push(*r);
+                    results.push((rank, data.clone()));
+                }
+                None => {
+                    all_reported = false;
+                    relaxations.push(0);
+                }
+            }
+        }
+        let converged =
+            self.stop && all_reported && relaxations.iter().all(|&r| r < max_relaxations);
+        (
+            RunMeasurement::from_run(self.peers, elapsed, relaxations, converged),
+            results,
+        )
+    }
+}
+
+/// Drives one peer's [`IterativeTask`] on any substrate: relax, `P2P_Send`
+/// the boundary updates through the P2PSAP sockets, `P2P_Receive` the
+/// neighbours' updates, and repeat until global convergence. The scheme of
+/// computation determines which neighbours the peer waits for:
+///
+/// * synchronous — wait for the iteration-`p` update of every neighbour
+///   before relaxation `p+1` (Jacobi-like);
+/// * asynchronous — never wait, always use the freshest received update;
+/// * hybrid — wait only for same-cluster neighbours; cross-cluster updates
+///   are used asynchronously (this is what the P2PSAP rules produce).
+pub struct PeerEngine {
+    rank: usize,
+    max_relaxations: u64,
+    task: Box<dyn IterativeTask>,
+    shared: SharedDetector,
+    /// Result of the sweep currently being "executed" (published when the
+    /// transport reports compute completion).
+    pending_relax: Option<LocalRelax>,
+    /// One P2PSAP socket per neighbour rank.
+    sockets: HashMap<usize, Socket>,
+    /// Which neighbours must deliver an update before the next relaxation.
+    sync_neighbors: Vec<usize>,
+    /// Neighbours whose updates are used asynchronously (no waiting).
+    async_neighbors: Vec<usize>,
+    /// Updates incorporated from each asynchronous neighbour since the last
+    /// above-tolerance sweep (freshness tracking for convergence detection).
+    async_fresh: HashMap<usize, u64>,
+    /// Largest change introduced by asynchronous updates since the last
+    /// convergence report.
+    max_ghost_change: f64,
+    /// Convergence tolerance (used to compute the stability flag).
+    tolerance: f64,
+    /// Queued updates from synchronous neighbours (FIFO, one per iteration).
+    pending_sync: HashMap<usize, VecDeque<Vec<u8>>>,
+    /// Whether a relaxation is currently "executing" (compute pending).
+    computing: bool,
+    finished: bool,
+}
+
+impl PeerEngine {
+    /// Create the engine of peer `rank`. The topology classifies each
+    /// neighbour connection so the scheme's wait rule (Table I semantics)
+    /// can be applied per neighbour.
+    pub fn new(
+        rank: usize,
+        scheme: Scheme,
+        topology: &Topology,
+        task: Box<dyn IterativeTask>,
+        shared: SharedDetector,
+        max_relaxations: u64,
+    ) -> Self {
+        let neighbors = task.neighbors();
+        let mut sockets = HashMap::new();
+        let mut sync_neighbors = Vec::new();
+        let mut async_neighbors = Vec::new();
+        let mut async_fresh = HashMap::new();
+        let mut pending_sync = HashMap::new();
+        for &nb in &neighbors {
+            let connection = topology.connection_type(NodeId(rank), NodeId(nb));
+            // The socket derives the communication mode from (scheme,
+            // connection) through the P2PSAP controller (Table I).
+            sockets.insert(nb, Socket::open(scheme, connection));
+            let wait = match scheme {
+                Scheme::Synchronous => true,
+                Scheme::Asynchronous => false,
+                Scheme::Hybrid => connection == netsim::ConnectionType::IntraCluster,
+            };
+            if wait {
+                sync_neighbors.push(nb);
+                pending_sync.insert(nb, VecDeque::new());
+            } else {
+                async_neighbors.push(nb);
+                async_fresh.insert(nb, 0);
+            }
+        }
+        let tolerance = {
+            let mut detector = shared.lock().unwrap();
+            detector.has_async_neighbor[rank] = !async_neighbors.is_empty();
+            detector.tolerance
+        };
+        Self {
+            rank,
+            max_relaxations,
+            task,
+            shared,
+            pending_relax: None,
+            sockets,
+            sync_neighbors,
+            async_neighbors,
+            async_fresh,
+            max_ghost_change: 0.0,
+            tolerance,
+            pending_sync,
+            computing: false,
+            finished: false,
+        }
+    }
+
+    /// This peer's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Whether the peer has terminated and deposited its result.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Whether a relaxation is currently executing (compute pending).
+    pub fn computing(&self) -> bool {
+        self.computing
+    }
+
+    /// Relaxations performed so far by the task.
+    pub fn relaxations(&self) -> u64 {
+        self.task.relaxations()
+    }
+
+    /// Start the peer: performs the first relaxation.
+    pub fn on_start(&mut self, transport: &mut impl PeerTransport) {
+        transport.note("p2pdc.peers_started");
+        self.begin_relaxation(transport);
+    }
+
+    /// Execute the consequences of a socket call: transmit segments and
+    /// arm/cancel timers through the transport.
+    fn run_socket_output(
+        &mut self,
+        transport: &mut impl PeerTransport,
+        neighbor: usize,
+        output: p2psap::SocketOutput,
+    ) {
+        for segment in output.data {
+            transport.transmit(neighbor, segment);
+        }
+        // Control messages would travel over the reliable control channel; in
+        // these experiments the configuration is static after opening, so none
+        // are produced (covered by protocol unit tests).
+        for timer in output.timers {
+            transport.arm_timer((neighbor, timer.layer, timer.tag), timer.delay_ns);
+        }
+        for (layer, tag) in output.cancels {
+            transport.cancel_timer((neighbor, layer, tag));
+        }
+    }
+
+    /// Start the next relaxation: the sweep runs now (so its outputs are
+    /// causally insulated from ghosts arriving *during* the sweep) and its
+    /// effects are published when the transport reports compute completion.
+    fn begin_relaxation(&mut self, transport: &mut impl PeerTransport) {
+        debug_assert!(!self.computing && !self.finished);
+        self.computing = true;
+        let relax = self.task.relax();
+        let work_points = relax.work_points;
+        self.pending_relax = Some(relax);
+        transport.schedule_compute(work_points);
+    }
+
+    /// The substrate's compute model says the pending sweep has finished:
+    /// publish its results (`P2P_Send`), report to the convergence detector
+    /// and advance if the scheme's wait condition allows it.
+    pub fn on_compute_done(&mut self, transport: &mut impl PeerTransport) {
+        if self.finished {
+            return;
+        }
+        self.computing = false;
+        let relax = self.pending_relax.take().expect("a sweep was in progress");
+        let iteration = self.task.relaxations();
+        // P2P_Send of the boundary planes. Updates to asynchronous neighbours
+        // pass the transport's pacing gate; skipped updates are superseded by
+        // the next relaxation's planes anyway.
+        let outgoing = self.task.outgoing();
+        for (dst, payload) in outgoing {
+            if self.async_neighbors.contains(&dst) {
+                let wire = payload.len() + netsim::WIRE_OVERHEAD_BYTES;
+                if !transport.pacing_gate(dst, wire) {
+                    continue;
+                }
+            }
+            let now = transport.now_ns();
+            let socket = self.sockets.get_mut(&dst).expect("socket per neighbour");
+            let (_, out) = socket.send(Bytes::from(payload), now);
+            self.run_socket_output(transport, dst, out);
+        }
+        // Stability: the local sweep changed little, every asynchronous
+        // neighbour has delivered at least one fresh update since the last
+        // dirty sweep, and those updates themselves changed the boundary by
+        // less than the tolerance (otherwise the boundary data is still
+        // moving and "convergence" would be an artefact of staleness).
+        let stable = relax.local_diff <= self.tolerance
+            && self
+                .async_neighbors
+                .iter()
+                .all(|nb| self.async_fresh[nb] >= 1)
+            && self.max_ghost_change <= self.tolerance;
+        if relax.local_diff > self.tolerance {
+            for counter in self.async_fresh.values_mut() {
+                *counter = 0;
+            }
+        }
+        self.max_ghost_change = 0.0;
+        // Report to the convergence detector.
+        let now = transport.now_ns();
+        let stop = {
+            let mut shared = self.shared.lock().unwrap();
+            shared.report(self.rank, iteration, relax.local_diff, stable, now)
+        };
+        transport.note("p2pdc.relaxations");
+        if stop || iteration >= self.max_relaxations {
+            self.finish(transport);
+            return;
+        }
+        self.try_advance(transport);
+    }
+
+    /// Start the next relaxation if the scheme's waiting condition allows it.
+    fn try_advance(&mut self, transport: &mut impl PeerTransport) {
+        if self.computing || self.finished {
+            return;
+        }
+        // Check the stop flag set by other peers.
+        if self.shared.lock().unwrap().stop {
+            self.finish(transport);
+            return;
+        }
+        // Synchronous neighbours: one queued update per neighbour is required.
+        let ready = self
+            .sync_neighbors
+            .iter()
+            .all(|nb| !self.pending_sync[nb].is_empty());
+        if !ready {
+            return;
+        }
+        // Incorporate exactly one update from each synchronous neighbour (the
+        // iteration-p boundary needed for relaxation p+1).
+        let sync_neighbors = self.sync_neighbors.clone();
+        for nb in sync_neighbors {
+            if let Some(payload) = self.pending_sync.get_mut(&nb).and_then(|q| q.pop_front()) {
+                self.task.incorporate(nb, &payload);
+            }
+        }
+        self.begin_relaxation(transport);
+    }
+
+    /// Terminate: deposit the result with the detector and, if this peer is
+    /// the first to observe the stop, wake everyone else.
+    fn finish(&mut self, transport: &mut impl PeerTransport) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let now = transport.now_ns();
+        let broadcast_needed = {
+            let mut shared = self.shared.lock().unwrap();
+            if shared.stop_time_ns.is_none() {
+                // The run ended by the relaxation cap rather than convergence.
+                shared.stop = true;
+                shared.stop_time_ns = Some(now);
+            }
+            shared.results[self.rank] = Some((self.task.relaxations(), self.task.result()));
+            if shared.stop_broadcast {
+                false
+            } else {
+                shared.stop_broadcast = true;
+                true
+            }
+        };
+        if broadcast_needed {
+            // Wake every other peer: some may be idling on a synchronous wait
+            // whose counterpart has already terminated.
+            transport.broadcast_stop();
+        }
+    }
+
+    /// `P2P_Receive` one delivered payload: queue it (synchronous neighbour)
+    /// or incorporate it immediately (asynchronous neighbour).
+    fn receive_payload(&mut self, from: usize, payload: Bytes) {
+        if self.pending_sync.contains_key(&from) {
+            self.pending_sync
+                .get_mut(&from)
+                .expect("checked")
+                .push_back(payload.to_vec());
+        } else {
+            // Asynchronous neighbour: freshest value wins immediately.
+            let change = self.task.incorporate(from, &payload);
+            self.max_ghost_change = self.max_ghost_change.max(change);
+            if let Some(counter) = self.async_fresh.get_mut(&from) {
+                *counter += 1;
+            }
+        }
+    }
+
+    /// A data segment arrived from neighbour `from`.
+    pub fn on_segment(&mut self, from: usize, segment: Bytes, transport: &mut impl PeerTransport) {
+        let now = transport.now_ns();
+        let Some(socket) = self.sockets.get_mut(&from) else {
+            return;
+        };
+        let out = socket.on_data(segment, now);
+        // Collect delivered application payloads (P2P_Receive).
+        let mut received = Vec::new();
+        while let Some(p) = socket.receive() {
+            received.push(p);
+        }
+        self.run_socket_output(transport, from, out);
+        for payload in received {
+            self.receive_payload(from, payload);
+        }
+        if !self.finished {
+            self.try_advance(transport);
+        }
+    }
+
+    /// A previously armed protocol timer fired.
+    pub fn on_timer(&mut self, key: TimerKey, transport: &mut impl PeerTransport) {
+        if self.finished {
+            return;
+        }
+        let (neighbor, layer, tag) = key;
+        let now = transport.now_ns();
+        if let Some(socket) = self.sockets.get_mut(&neighbor) {
+            let out = socket.on_timer(layer, tag, now);
+            // Retransmissions may deliver nothing; received data handled as
+            // usual.
+            let mut received = Vec::new();
+            while let Some(p) = socket.receive() {
+                received.push(p);
+            }
+            self.run_socket_output(transport, neighbor, out);
+            for payload in received {
+                self.receive_payload(neighbor, payload);
+            }
+            self.try_advance(transport);
+        }
+    }
+
+    /// The stop broadcast reached this peer. Peers in the middle of a sweep
+    /// ignore it (their own compute completion performs the final report).
+    pub fn on_stop_signal(&mut self, transport: &mut impl PeerTransport) {
+        if !self.finished && !self.computing {
+            self.finish(transport);
+        }
+    }
+}
+
+/// Test support shared by the engine's scripted-transport tests and the
+/// loopback runtime's tests (which run the same scheme-semantics checks
+/// through a real transport).
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::*;
+
+    /// A task whose local difference ramps down to zero after `ramp`
+    /// relaxations; sends its relaxation count to every neighbour.
+    pub(crate) struct RampTask {
+        pub(crate) rank: usize,
+        pub(crate) neighbors: Vec<usize>,
+        pub(crate) remaining: u64,
+        pub(crate) relaxed: u64,
+        pub(crate) incorporated: Vec<(usize, Vec<u8>)>,
+    }
+
+    impl RampTask {
+        pub(crate) fn new(rank: usize, neighbors: Vec<usize>, ramp: u64) -> Self {
+            Self {
+                rank,
+                neighbors,
+                remaining: ramp,
+                relaxed: 0,
+                incorporated: Vec::new(),
+            }
+        }
+
+        /// A ramp task wired into a line topology (neighbours rank±1).
+        pub(crate) fn line(rank: usize, peers: usize, ramp: u64) -> Self {
+            let mut neighbors = Vec::new();
+            if rank > 0 {
+                neighbors.push(rank - 1);
+            }
+            if rank + 1 < peers {
+                neighbors.push(rank + 1);
+            }
+            Self::new(rank, neighbors, ramp)
+        }
+    }
+
+    impl IterativeTask for RampTask {
+        fn relax(&mut self) -> LocalRelax {
+            self.remaining = self.remaining.saturating_sub(1);
+            self.relaxed += 1;
+            LocalRelax {
+                local_diff: self.remaining as f64,
+                work_points: 1,
+            }
+        }
+        fn outgoing(&mut self) -> Vec<(usize, Vec<u8>)> {
+            self.neighbors
+                .iter()
+                .map(|&nb| (nb, vec![self.relaxed as u8]))
+                .collect()
+        }
+        fn incorporate(&mut self, from: usize, payload: &[u8]) -> f64 {
+            self.incorporated.push((from, payload.to_vec()));
+            0.0
+        }
+        fn neighbors(&self) -> Vec<usize> {
+            self.neighbors.clone()
+        }
+        fn result(&self) -> Vec<u8> {
+            vec![self.rank as u8, self.relaxed as u8]
+        }
+        fn relaxations(&self) -> u64 {
+            self.relaxed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::RampTask;
+    use super::*;
+
+    /// Scripted in-memory transport: records every action the engine takes
+    /// so tests can assert on it and shuttle segments between engines by
+    /// hand.
+    struct ScriptTransport {
+        rank: usize,
+        now_ns: u64,
+        /// `(to, segment)` transmissions in order.
+        sent: Vec<(usize, Bytes)>,
+        armed: Vec<(TimerKey, u64)>,
+        cancelled: Vec<TimerKey>,
+        compute_pending: bool,
+        stop_broadcasts: usize,
+        notes: Vec<&'static str>,
+    }
+
+    impl ScriptTransport {
+        fn new(rank: usize) -> Self {
+            Self {
+                rank,
+                now_ns: 0,
+                sent: Vec::new(),
+                armed: Vec::new(),
+                cancelled: Vec::new(),
+                compute_pending: false,
+                stop_broadcasts: 0,
+                notes: Vec::new(),
+            }
+        }
+
+        /// Drain the transmissions recorded so far.
+        fn drain_sent(&mut self) -> Vec<(usize, Bytes)> {
+            std::mem::take(&mut self.sent)
+        }
+    }
+
+    impl PeerTransport for ScriptTransport {
+        fn now_ns(&mut self) -> u64 {
+            self.now_ns += 1;
+            self.now_ns
+        }
+        fn transmit(&mut self, to: usize, segment: Bytes) {
+            self.sent.push((to, segment));
+        }
+        fn arm_timer(&mut self, key: TimerKey, delay_ns: u64) {
+            self.armed.push((key, delay_ns));
+        }
+        fn cancel_timer(&mut self, key: TimerKey) {
+            self.cancelled.push(key);
+        }
+        fn schedule_compute(&mut self, _work_points: u64) {
+            assert!(!self.compute_pending, "peer {} double compute", self.rank);
+            self.compute_pending = true;
+        }
+        fn broadcast_stop(&mut self) {
+            self.stop_broadcasts += 1;
+        }
+        fn note(&mut self, counter: &'static str) {
+            self.notes.push(counter);
+        }
+    }
+
+    fn engine_pair(
+        scheme: Scheme,
+        topology: &Topology,
+        ranks: (usize, usize),
+        ramp: u64,
+        tolerance: f64,
+    ) -> (SharedDetector, PeerEngine, PeerEngine) {
+        let shared = ConvergenceDetector::shared(tolerance, scheme, topology.len());
+        let mk = |rank: usize, nb: usize| {
+            PeerEngine::new(
+                rank,
+                scheme,
+                topology,
+                Box::new(RampTask::new(rank, vec![nb], ramp)),
+                Arc::clone(&shared),
+                1_000,
+            )
+        };
+        let a = mk(ranks.0, ranks.1);
+        let b = mk(ranks.1, ranks.0);
+        (shared, a, b)
+    }
+
+    /// Deliver previously recorded transmissions addressed to `engine`.
+    fn deliver(
+        engine: &mut PeerEngine,
+        transport: &mut ScriptTransport,
+        traffic: &[(usize, Bytes)],
+        from: usize,
+        to: usize,
+    ) {
+        for (dst, segment) in traffic {
+            if *dst == to {
+                engine.on_segment(from, segment.clone(), transport);
+            }
+        }
+    }
+
+    #[test]
+    fn synchronous_peers_wait_for_every_neighbour() {
+        let topology = Topology::nicta_single_cluster(2);
+        let (_, mut a, mut b) = engine_pair(Scheme::Synchronous, &topology, (0, 1), 10, 0.5);
+        let (mut ta, mut tb) = (ScriptTransport::new(0), ScriptTransport::new(1));
+
+        a.on_start(&mut ta);
+        b.on_start(&mut tb);
+        assert!(ta.compute_pending && tb.compute_pending);
+        ta.compute_pending = false;
+        tb.compute_pending = false;
+        a.on_compute_done(&mut ta);
+        b.on_compute_done(&mut tb);
+
+        // Both published their first update and now WAIT: no second sweep may
+        // start before the neighbour's update arrives.
+        assert_eq!(a.relaxations(), 1);
+        assert!(
+            !a.computing(),
+            "synchronous peer must wait for its neighbour"
+        );
+        let from_a = ta.drain_sent();
+        let from_b = tb.drain_sent();
+        assert!(!from_a.is_empty() && !from_b.is_empty());
+
+        // B's update reaches A: the wait is satisfied, sweep 2 starts.
+        deliver(&mut a, &mut ta, &from_b, 1, 0);
+        assert!(
+            a.computing(),
+            "update from the only neighbour unblocks the peer"
+        );
+        assert_eq!(a.relaxations(), 2);
+
+        // The reliable synchronous channel also acknowledged the segment.
+        assert!(ta.sent.iter().any(|(to, _)| *to == 1), "ack goes back to B");
+    }
+
+    #[test]
+    fn asynchronous_peers_never_wait() {
+        let topology = Topology::nicta_single_cluster(2);
+        let (_, mut a, _b) = engine_pair(Scheme::Asynchronous, &topology, (0, 1), 10, 0.5);
+        let mut ta = ScriptTransport::new(0);
+
+        a.on_start(&mut ta);
+        for sweep in 1..=5u64 {
+            assert!(ta.compute_pending);
+            ta.compute_pending = false;
+            a.on_compute_done(&mut ta);
+            // The next sweep starts immediately inside on_compute_done —
+            // the asynchronous scheme never waits for a delivery.
+            assert_eq!(a.relaxations(), sweep + 1);
+            assert!(a.computing());
+        }
+    }
+
+    #[test]
+    fn hybrid_peers_wait_intra_cluster_only() {
+        // nicta_two_clusters(4): ranks {0,1} in cluster 0, {2,3} in cluster 1.
+        let topology = Topology::nicta_two_clusters(4);
+        assert_eq!(
+            topology.connection_type(NodeId(1), NodeId(0)),
+            netsim::ConnectionType::IntraCluster
+        );
+        assert_eq!(
+            topology.connection_type(NodeId(1), NodeId(2)),
+            netsim::ConnectionType::InterCluster
+        );
+        let shared = ConvergenceDetector::shared(0.5, Scheme::Hybrid, 4);
+        // Rank 1 has an intra-cluster neighbour (0) and a cross-cluster one (2).
+        let mut peer = PeerEngine::new(
+            1,
+            Scheme::Hybrid,
+            &topology,
+            Box::new(RampTask::new(1, vec![0, 2], 10)),
+            Arc::clone(&shared),
+            1_000,
+        );
+        let mut intra = PeerEngine::new(
+            0,
+            Scheme::Hybrid,
+            &topology,
+            Box::new(RampTask::new(0, vec![1], 10)),
+            Arc::clone(&shared),
+            1_000,
+        );
+        let (mut tp, mut ti) = (ScriptTransport::new(1), ScriptTransport::new(0));
+
+        peer.on_start(&mut tp);
+        intra.on_start(&mut ti);
+        tp.compute_pending = false;
+        ti.compute_pending = false;
+        peer.on_compute_done(&mut tp);
+        intra.on_compute_done(&mut ti);
+        assert!(
+            !peer.computing(),
+            "hybrid peer waits for its intra-cluster neighbour"
+        );
+
+        // The intra-cluster update alone unblocks it — no word from the
+        // cross-cluster neighbour 2 is needed.
+        let from_intra = ti.drain_sent();
+        deliver(&mut peer, &mut tp, &from_intra, 0, 1);
+        assert!(peer.computing(), "intra-cluster update suffices");
+        assert_eq!(peer.relaxations(), 2);
+    }
+
+    #[test]
+    fn termination_handshake_broadcasts_once_and_collects_all_results() {
+        let topology = Topology::nicta_single_cluster(2);
+        // Ramp of 1: the first sweep already reports diff 0 <= tolerance.
+        let (shared, mut a, mut b) = engine_pair(Scheme::Synchronous, &topology, (0, 1), 1, 0.5);
+        let (mut ta, mut tb) = (ScriptTransport::new(0), ScriptTransport::new(1));
+
+        a.on_start(&mut ta);
+        b.on_start(&mut tb);
+        ta.compute_pending = false;
+        a.on_compute_done(&mut ta);
+        // A reported diff 0 but B has not: no convergence yet.
+        assert!(!shared.lock().unwrap().stopped());
+        assert!(!a.finished());
+
+        tb.compute_pending = false;
+        b.on_compute_done(&mut tb);
+        // B's report completes the iteration below tolerance: B detects the
+        // stop, finishes, and is the one peer to broadcast.
+        assert!(shared.lock().unwrap().stopped());
+        assert!(b.finished());
+        assert_eq!(tb.stop_broadcasts, 1);
+
+        // The broadcast reaches A (idling in its synchronous wait): it
+        // terminates without broadcasting again.
+        a.on_stop_signal(&mut ta);
+        assert!(a.finished());
+        assert_eq!(ta.stop_broadcasts, 0);
+
+        // Every result was deposited and the shared assembly reports a
+        // converged run with the metric shape all runtimes share.
+        let (measurement, results) = shared.lock().unwrap().finish_run(99, 1_000);
+        assert!(measurement.converged);
+        assert_eq!(measurement.peers, 2);
+        assert_eq!(measurement.relaxations_per_peer, vec![1, 1]);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].1, vec![0, 1]);
+        assert_eq!(results[1].1, vec![1, 1]);
+    }
+
+    #[test]
+    fn relaxation_cap_stops_a_non_convergent_run() {
+        let topology = Topology::nicta_single_cluster(2);
+        // Tolerance no ramp can reach, tiny cap.
+        let shared = ConvergenceDetector::shared(-1.0, Scheme::Asynchronous, 2);
+        let mut a = PeerEngine::new(
+            0,
+            Scheme::Asynchronous,
+            &topology,
+            Box::new(RampTask::new(0, vec![1], u64::MAX)),
+            Arc::clone(&shared),
+            3,
+        );
+        let mut ta = ScriptTransport::new(0);
+        a.on_start(&mut ta);
+        for _ in 0..3 {
+            ta.compute_pending = false;
+            a.on_compute_done(&mut ta);
+        }
+        assert!(a.finished(), "the cap must terminate the peer");
+        let (measurement, _) = shared.lock().unwrap().finish_run(5, 3);
+        assert!(
+            !measurement.converged,
+            "hitting the cap is reported as non-convergence"
+        );
+    }
+}

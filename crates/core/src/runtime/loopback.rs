@@ -1,0 +1,354 @@
+//! The loopback runtime of P2PDC: single-process, zero-latency, fully
+//! deterministic.
+//!
+//! The third [`PeerTransport`] implementation, and the cheapest: every peer's
+//! [`PeerEngine`] lives in one thread, wire segments are delivered instantly
+//! through in-memory queues, and the "clock" is a counter that advances one
+//! nanosecond per engine event (it only has to be monotone for the P2PSAP
+//! sockets and the convergence detector — the elapsed time it yields is not
+//! a performance measurement). Peers are driven round-robin, so runs are
+//! bit-for-bit reproducible with no simulator in the loop.
+//!
+//! Quick tests and the engine's own unit tests use this runtime: it
+//! exercises the exact scheme-wait, socket and termination logic of the
+//! other substrates at a fraction of their cost, and demonstrates that the
+//! engine abstraction really is runtime-agnostic (three transports, one peer
+//! loop).
+
+use crate::app::IterativeTask;
+use crate::metrics::RunMeasurement;
+use crate::runtime::engine::{
+    ConvergenceDetector, PeerEngine, PeerTransport, TimerKey, TimerQueue,
+};
+use bytes::Bytes;
+use netsim::Topology;
+use p2psap::Scheme;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Configuration of a loopback run.
+#[derive(Debug, Clone)]
+pub struct LoopbackRunConfig {
+    /// Scheme of computation.
+    pub scheme: Scheme,
+    /// Topology (defines peer count and the cluster split used by the
+    /// hybrid scheme's wait rule; latencies are ignored).
+    pub topology: Topology,
+    /// Convergence tolerance.
+    pub tolerance: f64,
+    /// Cap on relaxations per peer.
+    pub max_relaxations: u64,
+}
+
+impl LoopbackRunConfig {
+    /// Quick configuration: `peers` peers in a single cluster.
+    pub fn quick(scheme: Scheme, peers: usize) -> Self {
+        Self {
+            scheme,
+            topology: Topology::nicta_single_cluster(peers),
+            tolerance: 1e-4,
+            max_relaxations: 500_000,
+        }
+    }
+
+    /// Same, split into two clusters (exercises the hybrid wait rule).
+    pub fn two_clusters(scheme: Scheme, peers: usize) -> Self {
+        Self {
+            topology: Topology::nicta_two_clusters(peers),
+            ..Self::quick(scheme, peers)
+        }
+    }
+}
+
+/// Outcome of a loopback run.
+#[derive(Debug, Clone)]
+pub struct LoopbackRunOutcome {
+    /// Relaxation measurements (elapsed counts engine events, not time).
+    pub measurement: RunMeasurement,
+    /// Per-rank serialized results.
+    pub results: Vec<(usize, Vec<u8>)>,
+}
+
+enum LoopWire {
+    Segment(Bytes),
+    Stop,
+}
+
+/// The [`PeerTransport`] of the loopback runtime: instant delivery into
+/// sibling inboxes, timers on the shared event-counter clock.
+struct LoopbackTransport {
+    rank: usize,
+    peers: usize,
+    /// Event-counter clock, set by the driver before every engine call.
+    clock_ns: u64,
+    /// Segments and stop signals produced by the last engine call, drained
+    /// into the destination inboxes by the driver.
+    outbox: Vec<(usize, LoopWire)>,
+    timers: TimerQueue,
+    compute_pending: bool,
+}
+
+impl LoopbackTransport {
+    fn pop_due_timer(&mut self) -> Option<TimerKey> {
+        self.timers.pop_due(self.clock_ns)
+    }
+
+    fn earliest_deadline(&self) -> Option<u64> {
+        self.timers.earliest_deadline()
+    }
+}
+
+impl PeerTransport for LoopbackTransport {
+    fn now_ns(&mut self) -> u64 {
+        self.clock_ns
+    }
+
+    fn transmit(&mut self, to: usize, segment: Bytes) {
+        self.outbox.push((to, LoopWire::Segment(segment)));
+    }
+
+    fn arm_timer(&mut self, key: TimerKey, delay_ns: u64) {
+        self.timers.arm(key, self.clock_ns + delay_ns);
+    }
+
+    fn cancel_timer(&mut self, key: TimerKey) {
+        self.timers.cancel(key);
+    }
+
+    fn schedule_compute(&mut self, _work_points: u64) {
+        // Zero-cost compute: the driver advances the engine on its next turn.
+        self.compute_pending = true;
+    }
+
+    fn broadcast_stop(&mut self) {
+        for rank in 0..self.peers {
+            if rank != self.rank {
+                self.outbox.push((rank, LoopWire::Stop));
+            }
+        }
+    }
+}
+
+/// Run a distributed iterative computation in-process with zero latency.
+pub fn run_iterative_loopback<F>(
+    config: &LoopbackRunConfig,
+    mut task_factory: F,
+) -> LoopbackRunOutcome
+where
+    F: FnMut(usize) -> Box<dyn IterativeTask>,
+{
+    let alpha = config.topology.len();
+    assert!(alpha >= 1);
+    let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
+
+    let mut engines: Vec<PeerEngine> = (0..alpha)
+        .map(|rank| {
+            PeerEngine::new(
+                rank,
+                config.scheme,
+                &config.topology,
+                task_factory(rank),
+                Arc::clone(&shared),
+                config.max_relaxations,
+            )
+        })
+        .collect();
+    let mut transports: Vec<LoopbackTransport> = (0..alpha)
+        .map(|rank| LoopbackTransport {
+            rank,
+            peers: alpha,
+            clock_ns: 0,
+            outbox: Vec::new(),
+            timers: TimerQueue::new(),
+            compute_pending: false,
+        })
+        .collect();
+    let mut inboxes: Vec<VecDeque<(usize, LoopWire)>> =
+        (0..alpha).map(|_| VecDeque::new()).collect();
+
+    let mut clock: u64 = 0;
+    // Drain a transport's outbox into the destination inboxes.
+    fn flush(
+        rank: usize,
+        transports: &mut [LoopbackTransport],
+        inboxes: &mut [VecDeque<(usize, LoopWire)>],
+    ) {
+        for (to, wire) in transports[rank].outbox.drain(..) {
+            inboxes[to].push_back((rank, wire));
+        }
+    }
+
+    for rank in 0..alpha {
+        clock += 1;
+        transports[rank].clock_ns = clock;
+        engines[rank].on_start(&mut transports[rank]);
+        flush(rank, &mut transports, &mut inboxes);
+    }
+
+    loop {
+        let mut progress = false;
+        for rank in 0..alpha {
+            // Deliver everything queued for this peer.
+            while let Some((from, wire)) = inboxes[rank].pop_front() {
+                clock += 1;
+                transports[rank].clock_ns = clock;
+                match wire {
+                    LoopWire::Segment(segment) => {
+                        engines[rank].on_segment(from, segment, &mut transports[rank])
+                    }
+                    LoopWire::Stop => engines[rank].on_stop_signal(&mut transports[rank]),
+                }
+                flush(rank, &mut transports, &mut inboxes);
+                progress = true;
+            }
+            // Fire due protocol timers.
+            transports[rank].clock_ns = clock;
+            while let Some(key) = transports[rank].pop_due_timer() {
+                clock += 1;
+                transports[rank].clock_ns = clock;
+                engines[rank].on_timer(key, &mut transports[rank]);
+                flush(rank, &mut transports, &mut inboxes);
+                progress = true;
+            }
+            // Complete a pending relaxation.
+            if transports[rank].compute_pending {
+                transports[rank].compute_pending = false;
+                clock += 1;
+                transports[rank].clock_ns = clock;
+                engines[rank].on_compute_done(&mut transports[rank]);
+                flush(rank, &mut transports, &mut inboxes);
+                progress = true;
+            }
+            // Propagate a stop another peer established.
+            if !engines[rank].finished()
+                && !engines[rank].computing()
+                && shared.lock().unwrap().stopped()
+            {
+                clock += 1;
+                transports[rank].clock_ns = clock;
+                engines[rank].on_stop_signal(&mut transports[rank]);
+                flush(rank, &mut transports, &mut inboxes);
+                progress = true;
+            }
+        }
+        if engines.iter().all(|e| e.finished()) {
+            break;
+        }
+        if !progress {
+            // Everyone is waiting: jump the clock to the earliest armed
+            // protocol timer (e.g. a retransmission) or give up if none —
+            // finish_run then reports the run as not converged.
+            match transports
+                .iter()
+                .filter_map(|t| t.earliest_deadline())
+                .min()
+            {
+                Some(deadline) if deadline > clock => clock = deadline,
+                _ => break,
+            }
+        }
+    }
+
+    let (measurement, results) = shared
+        .lock()
+        .unwrap()
+        .finish_run(clock, config.max_relaxations);
+    LoopbackRunOutcome {
+        measurement,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::engine::testing::RampTask;
+
+    const RAMP: u64 = 10;
+
+    fn run(config: &LoopbackRunConfig) -> LoopbackRunOutcome {
+        let peers = config.topology.len();
+        run_iterative_loopback(config, |rank| Box::new(RampTask::line(rank, peers, RAMP)))
+    }
+
+    #[test]
+    fn synchronous_scheme_runs_in_lockstep() {
+        let mut config = LoopbackRunConfig::quick(Scheme::Synchronous, 3);
+        config.tolerance = 0.5;
+        let outcome = run(&config);
+        assert!(outcome.measurement.converged);
+        // Synchronous peers advance iteration by iteration, so every peer
+        // performs exactly the ramp's relaxation count.
+        assert_eq!(outcome.measurement.relaxations_per_peer, vec![RAMP; 3]);
+        assert_eq!(outcome.results.len(), 3);
+    }
+
+    #[test]
+    fn asynchronous_scheme_converges_without_waiting() {
+        let mut config = LoopbackRunConfig::quick(Scheme::Asynchronous, 3);
+        config.tolerance = 0.5;
+        let outcome = run(&config);
+        assert!(outcome.measurement.converged);
+        // The asynchronous rule needs two consecutive stable sweeps per peer
+        // on fresh boundary data, so every peer relaxes at least the ramp.
+        for &count in &outcome.measurement.relaxations_per_peer {
+            assert!(count >= RAMP, "peer finished early: {count} < {RAMP}");
+        }
+    }
+
+    #[test]
+    fn hybrid_scheme_converges_across_two_clusters() {
+        let mut config = LoopbackRunConfig::two_clusters(Scheme::Hybrid, 4);
+        config.tolerance = 0.5;
+        let outcome = run(&config);
+        assert!(outcome.measurement.converged);
+        assert_eq!(outcome.results.len(), 4);
+        for &count in &outcome.measurement.relaxations_per_peer {
+            assert!(count >= RAMP);
+        }
+    }
+
+    #[test]
+    fn loopback_obstacle_run_matches_the_sequential_solver() {
+        use crate::obstacle_app::ObstacleTask;
+        use obstacle::{solve_sequential, ObstacleProblem, RichardsonConfig};
+        use std::sync::Arc;
+
+        let n = 8;
+        let peers = 2;
+        let problem = Arc::new(ObstacleProblem::membrane(n));
+        let config = LoopbackRunConfig::quick(Scheme::Synchronous, peers);
+        let outcome = run_iterative_loopback(&config, |rank| {
+            Box::new(ObstacleTask::new(Arc::clone(&problem), peers, rank))
+        });
+        assert!(outcome.measurement.converged);
+        let reference = solve_sequential(
+            &problem,
+            RichardsonConfig {
+                tolerance: config.tolerance,
+                ..Default::default()
+            },
+        );
+        // Relaxation-count invariance of the synchronous scheme (the paper's
+        // claim), on the third transport.
+        let max = outcome.measurement.max_relaxations();
+        let expected = reference.iterations as u64;
+        assert!(
+            max >= expected && max <= expected + 1,
+            "loopback {max} vs sequential {expected}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut config = LoopbackRunConfig::quick(Scheme::Asynchronous, 4);
+        config.tolerance = 0.5;
+        let a = run(&config);
+        let b = run(&config);
+        assert_eq!(
+            a.measurement.relaxations_per_peer,
+            b.measurement.relaxations_per_peer
+        );
+        assert_eq!(a.results, b.results);
+    }
+}

@@ -1,8 +1,51 @@
-//! The two P2PDC runtimes: the virtual-time simulated runtime used by the
-//! evaluation harness, and the thread runtime used by the examples.
+//! The P2PDC runtimes: one peer loop, three substrates.
+//!
+//! # Engine / transport split
+//!
+//! The paper's claim that the programming model is independent of the
+//! execution substrate is enforced structurally here:
+//!
+//! * [`engine`] — the runtime-agnostic layer. [`engine::PeerEngine`] drives
+//!   one peer's [`crate::app::IterativeTask`]: the relaxation loop, the
+//!   P2PSAP sockets (`P2P_Send` / `P2P_Receive`), the scheme-dependent wait
+//!   conditions (synchronous waits for every neighbour, asynchronous never
+//!   waits, hybrid waits intra-cluster only), the per-neighbour update
+//!   buffers, and the convergence / termination handshake against the shared
+//!   [`engine::ConvergenceDetector`]. The engine is sans-io: it never
+//!   blocks, never sleeps, and reaches the substrate only through the
+//!   [`engine::PeerTransport`] trait (transmit a segment, arm/cancel a
+//!   protocol timer, schedule compute completion, broadcast the stop
+//!   signal, pace an asynchronous send).
+//!
+//! * [`sim`] — the virtual-time substrate used by the evaluation harness:
+//!   every peer is a [`desim::Process`], segments ride the [`netsim`]
+//!   fabric (serialization, latency, loss, optional netem impairment), and
+//!   relaxations charge virtual time through the
+//!   [`crate::compute::ComputeModel`].
+//!
+//! * [`threads`] — the wall-clock substrate used by the examples: one OS
+//!   thread per peer, segments routed through channels with scaled link
+//!   latency, relaxations costing their real kernel time.
+//!
+//! * [`loopback`] — the zero-latency in-process substrate used by quick
+//!   tests: instant delivery, round-robin drive, an event counter for a
+//!   clock. The cheapest way to exercise the full peer loop, and the proof
+//!   that the engine abstraction carries to a third backend unchanged.
+//!
+//! Adding a backend means implementing [`engine::PeerTransport`] plus a
+//! small drive loop — candidate future backends are listed in ROADMAP.md
+//! (async/tokio over real sockets, MPI-style process ranks).
+//!
+//! All runtimes assemble their [`crate::metrics::RunMeasurement`] through
+//! [`engine::ConvergenceDetector::finish_run`], so they report identical
+//! metric shapes.
 
+pub mod engine;
+pub mod loopback;
 pub mod sim;
 pub mod threads;
 
+pub use engine::{ConvergenceDetector, PeerEngine, PeerTransport, SharedDetector, TimerKey};
+pub use loopback::{run_iterative_loopback, LoopbackRunConfig, LoopbackRunOutcome};
 pub use sim::{run_iterative, SimRunConfig, SimRunOutcome};
 pub use threads::{run_iterative_threads, ThreadRunConfig, ThreadRunOutcome};

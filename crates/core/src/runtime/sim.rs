@@ -1,35 +1,29 @@
 //! The virtual-time (simulated) runtime of P2PDC.
 //!
-//! Every peer is a [`desim::Process`]; the network is a [`netsim`] fabric with
-//! the experiment topology (one cluster, or two clusters joined by a netem
-//! path). A peer drives its [`IterativeTask`] exactly as the paper's
-//! `Calculate()` does: relax, `P2P_Send` the boundary updates through its
-//! P2PSAP sockets, `P2P_Receive` the neighbours' updates, and repeat until
-//! global convergence. The scheme of computation determines which neighbours
-//! a peer waits for:
-//!
-//! * synchronous — wait for the iteration-`p` update of every neighbour
-//!   before relaxation `p+1` (Jacobi-like);
-//! * asynchronous — never wait, always use the freshest received update;
-//! * hybrid — wait only for same-cluster neighbours; cross-cluster updates
-//!   are used asynchronously (this is what the P2PSAP rules produce).
+//! Every peer is a [`desim::Process`] hosting a runtime-agnostic
+//! [`PeerEngine`]; the network is a [`netsim`] fabric with the experiment
+//! topology (one cluster, or two clusters joined by a netem path). This
+//! module only implements the substrate side of the engine's
+//! [`PeerTransport`]: wire segments become fabric packets, protocol timers
+//! become desim timers, and relaxations are charged to the virtual clock by
+//! the [`ComputeModel`]. All scheme-wait and convergence semantics live in
+//! [`crate::runtime::engine`].
 //!
 //! The relaxation kernel runs for real (so relaxation counts and residuals
 //! are genuine); only the clock is virtual: each relaxation advances the
 //! peer's clock by the [`ComputeModel`] cost and every message experiences
 //! the simulated network delays.
 
-use crate::app::{IterativeTask, LocalRelax};
+use crate::app::IterativeTask;
 use crate::compute::ComputeModel;
 use crate::metrics::RunMeasurement;
+use crate::runtime::engine::{ConvergenceDetector, PeerEngine, PeerTransport, TimerKey};
 use bytes::Bytes;
 use desim::{Context, Payload, Process, ProcessId, SimDuration, SimTime, Simulator, TimerId};
-use netsim::{
-    shared_stats, Deliver, NetStats, NetworkFabric, NodeId, Packet, Topology, Transmit,
-};
-use p2psap::{Scheme, Socket};
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use netsim::{shared_stats, Deliver, NetStats, NetworkFabric, NodeId, Packet, Topology, Transmit};
+use p2psap::Scheme;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Timer tag used for "local relaxation finished".
 const COMPUTE_TIMER_TAG: u64 = u64::MAX;
@@ -93,466 +87,172 @@ pub struct SimRunOutcome {
     pub net: NetStats,
 }
 
-/// Shared state used for global convergence detection. The detector is an
-/// omniscient observer (it does not consume network resources), standing in
-/// for the coordinator-based detection a deployment would use; see DESIGN.md.
-struct SharedRun {
-    tolerance: f64,
-    scheme: Scheme,
-    peers: usize,
-    /// Which peers have at least one asynchronous (non-waiting) neighbour.
-    has_async_neighbor: Vec<bool>,
-    /// Per-iteration: (number of peers that completed it, max local diff).
-    iteration_reports: HashMap<u64, (usize, f64)>,
-    /// Latest "stable" flag per peer: the peer's last sweep was below the
-    /// tolerance *and* it had incorporated at least one fresh update from
-    /// every asynchronous neighbour since its last above-tolerance sweep.
-    /// This guards against declaring convergence on stale boundary data.
-    latest_stable: Vec<bool>,
-    /// Consecutive stable reports per peer (asynchronous rule).
-    streaks: Vec<u32>,
-    /// Set when global convergence is detected.
-    stop: bool,
-    stop_time: Option<SimTime>,
-    /// Whether the stop signal has been broadcast to every peer process.
-    stop_broadcast: bool,
-    /// Peers that have acknowledged the stop and deposited their result.
-    results: Vec<Option<(u64, Vec<u8>)>>,
-}
-
-impl SharedRun {
-    fn new(tolerance: f64, scheme: Scheme, peers: usize) -> Self {
-        Self {
-            tolerance,
-            scheme,
-            peers,
-            has_async_neighbor: vec![false; peers],
-            iteration_reports: HashMap::new(),
-            latest_stable: vec![false; peers],
-            streaks: vec![0; peers],
-            stop: false,
-            stop_time: None,
-            stop_broadcast: false,
-            results: vec![None; peers],
-        }
-    }
-
-    /// Record the completion of relaxation number `iteration` (1-based) by
-    /// peer `rank` with local difference `diff`; returns true when this report
-    /// establishes global convergence. `stable` is computed by the peer (see
-    /// [`SharedRun::latest_stable`]).
-    fn report(&mut self, rank: usize, iteration: u64, diff: f64, stable: bool, now: SimTime) -> bool {
-        if self.stop {
-            return true;
-        }
-        self.latest_stable[rank] = stable;
-        if stable {
-            self.streaks[rank] = self.streaks[rank].saturating_add(1);
-        } else {
-            self.streaks[rank] = 0;
-        }
-        let converged = match self.scheme {
-            // Synchronous and hybrid schemes progress iteration by iteration:
-            // stop at the first iteration whose global max difference is below
-            // the tolerance (the same test the sequential solver applies). For
-            // hybrid runs, peers with asynchronous (cross-cluster) neighbours
-            // must additionally be stable, so stale inter-cluster boundaries
-            // cannot fake convergence.
-            Scheme::Synchronous | Scheme::Hybrid => {
-                let entry = self.iteration_reports.entry(iteration).or_insert((0, 0.0));
-                entry.0 += 1;
-                entry.1 = entry.1.max(diff);
-                entry.0 == self.peers
-                    && entry.1 <= self.tolerance
-                    && self
-                        .has_async_neighbor
-                        .iter()
-                        .zip(self.latest_stable.iter())
-                        .all(|(async_nb, stable)| !async_nb || *stable)
-            }
-            // Asynchronous scheme: every peer must have reported two
-            // consecutive stable sweeps.
-            Scheme::Asynchronous => self.streaks.iter().all(|s| *s >= 2),
-        };
-        if converged {
-            self.stop = true;
-            self.stop_time = Some(now);
-        }
-        self.stop
-    }
-}
-
 /// Signal broadcast to every peer once global convergence has been detected,
 /// so peers idling on a synchronous wait (their neighbours have already
 /// finished and will send nothing more) terminate and deposit their results.
 struct StopSignal;
 
-/// One peer of the distributed computation: drives the application task,
-/// owns one P2PSAP socket per neighbour and exchanges packets with the
-/// network fabric.
-struct PeerActor {
+/// Substrate-side state of one simulated peer: fabric addressing, the
+/// compute-cost model, sender-side pacing gates and desim timer bookkeeping.
+struct SimNet {
     rank: usize,
     fabric: ProcessId,
     topology: Topology,
     compute: ComputeModel,
-    max_relaxations: u64,
-    task: Box<dyn IterativeTask>,
-    shared: Arc<Mutex<SharedRun>>,
-    /// Result of the sweep currently being "executed" (published when the
-    /// compute timer fires).
-    pending_relax: Option<LocalRelax>,
-    /// One P2PSAP socket per neighbour rank.
-    sockets: HashMap<usize, Socket>,
-    /// Which neighbours must deliver an update before the next relaxation.
-    sync_neighbors: Vec<usize>,
-    /// Neighbours whose updates are used asynchronously (no waiting).
-    async_neighbors: Vec<usize>,
-    /// Updates incorporated from each asynchronous neighbour since the last
-    /// above-tolerance sweep (freshness tracking for convergence detection).
-    async_fresh: HashMap<usize, u64>,
-    /// Largest change introduced by asynchronous updates since the last
-    /// convergence report.
-    max_ghost_change: f64,
     /// Earliest time the next update may be sent to each asynchronous
-    /// neighbour (sender-side pacing: an update that would only queue behind
-    /// the previous one on the link is skipped — it would be obsolete before
-    /// reaching the wire, exactly the situation the paper's unreliable
-    /// asynchronous mode is designed to tolerate).
+    /// neighbour (sender-side pacing against the link serialization rate).
     next_send_ok: HashMap<usize, SimTime>,
-    /// Convergence tolerance (used to compute the stability flag).
-    tolerance: f64,
-    /// Queued updates from synchronous neighbours (FIFO, one per iteration).
-    pending_sync: HashMap<usize, VecDeque<Vec<u8>>>,
-    /// Timer bookkeeping: slot index -> (neighbour, layer, protocol tag).
-    timer_slots: Vec<(usize, usize, u64)>,
-    /// Map (neighbour, layer, protocol tag) -> armed desim timer.
-    armed: HashMap<(usize, usize, u64), TimerId>,
-    /// Whether a relaxation is currently "executing" (compute timer pending).
-    computing: bool,
-    finished: bool,
+    /// Timer bookkeeping: desim tag (slot) -> protocol timer key. Entries
+    /// are reclaimed on fire and cancel, so the map is bounded by the
+    /// in-flight timers.
+    slots: HashMap<u64, TimerKey>,
+    /// Monotonic desim tag allocator.
+    next_slot: u64,
+    /// Map protocol timer key -> (armed desim timer, its slot).
+    armed: HashMap<TimerKey, (TimerId, u64)>,
 }
 
-impl PeerActor {
-    #[allow(clippy::too_many_arguments)]
-    fn new(
-        rank: usize,
-        fabric: ProcessId,
-        scheme: Scheme,
-        topology: Topology,
-        compute: ComputeModel,
-        max_relaxations: u64,
-        task: Box<dyn IterativeTask>,
-        shared: Arc<Mutex<SharedRun>>,
-    ) -> Self {
-        let neighbors = task.neighbors();
-        let mut sockets = HashMap::new();
-        let mut sync_neighbors = Vec::new();
-        let mut async_neighbors = Vec::new();
-        let mut async_fresh = HashMap::new();
-        let mut pending_sync = HashMap::new();
-        for &nb in &neighbors {
-            let connection = topology.connection_type(NodeId(rank), NodeId(nb));
-            // The socket derives the communication mode from (scheme, connection)
-            // through the P2PSAP controller (Table I).
-            sockets.insert(nb, Socket::open(scheme, connection));
-            let wait = match scheme {
-                Scheme::Synchronous => true,
-                Scheme::Asynchronous => false,
-                Scheme::Hybrid => connection == netsim::ConnectionType::IntraCluster,
-            };
-            if wait {
-                sync_neighbors.push(nb);
-                pending_sync.insert(nb, VecDeque::new());
-            } else {
-                async_neighbors.push(nb);
-                async_fresh.insert(nb, 0);
-            }
-        }
-        let tolerance = shared.lock().unwrap().tolerance;
-        shared.lock().unwrap().has_async_neighbor[rank] = !async_neighbors.is_empty();
-        Self {
-            rank,
-            fabric,
-            topology,
-            compute,
-            max_relaxations,
-            task,
-            shared,
-            pending_relax: None,
-            sockets,
-            sync_neighbors,
-            async_neighbors,
-            async_fresh,
-            max_ghost_change: 0.0,
-            next_send_ok: HashMap::new(),
-            tolerance,
-            pending_sync,
-            timer_slots: Vec::new(),
-            armed: HashMap::new(),
-            computing: false,
-            finished: false,
-        }
-    }
-
+impl SimNet {
     fn cpu_speed(&self) -> f64 {
         self.topology.node(NodeId(self.rank)).cpu_speed
     }
+}
 
-    /// Execute the consequences of a socket call: transmit segments through
-    /// the fabric, arm/cancel timers.
-    fn run_socket_output(
-        &mut self,
-        ctx: &mut Context<'_>,
-        neighbor: usize,
-        output: p2psap::SocketOutput,
-    ) {
-        for segment in output.data {
-            let packet = Packet::new(NodeId(self.rank), NodeId(neighbor), segment);
-            ctx.send(self.fabric, Box::new(Transmit { packet }));
+/// The [`PeerTransport`] of the simulated runtime: a borrow of the peer's
+/// [`SimNet`] state plus the desim [`Context`] of the current callback.
+struct SimTransport<'a, 'c> {
+    net: &'a mut SimNet,
+    ctx: &'a mut Context<'c>,
+}
+
+impl PeerTransport for SimTransport<'_, '_> {
+    fn now_ns(&mut self) -> u64 {
+        self.ctx.now().as_nanos()
+    }
+
+    fn transmit(&mut self, to: usize, segment: Bytes) {
+        let packet = Packet::new(NodeId(self.net.rank), NodeId(to), segment);
+        self.ctx
+            .send(self.net.fabric, Box::new(Transmit { packet }));
+    }
+
+    fn arm_timer(&mut self, key: TimerKey, delay_ns: u64) {
+        // Re-arming a key replaces its pending timer (the TimerQueue-based
+        // transports behave the same way).
+        if let Some((old_id, old_slot)) = self.net.armed.remove(&key) {
+            self.ctx.cancel_timer(old_id);
+            self.net.slots.remove(&old_slot);
         }
-        // Control messages would travel over the reliable control channel; in
-        // these experiments the configuration is static after opening, so none
-        // are produced (covered by protocol unit tests).
-        for timer in output.timers {
-            let slot = self.timer_slots.len() as u64;
-            self.timer_slots.push((neighbor, timer.layer, timer.tag));
-            let id = ctx.set_timer(SimDuration::from_nanos(timer.delay_ns), slot);
-            self.armed.insert((neighbor, timer.layer, timer.tag), id);
-        }
-        for (layer, tag) in output.cancels {
-            if let Some(id) = self.armed.remove(&(neighbor, layer, tag)) {
-                ctx.cancel_timer(id);
-            }
+        let slot = self.net.next_slot;
+        self.net.next_slot += 1;
+        self.net.slots.insert(slot, key);
+        let id = self.ctx.set_timer(SimDuration::from_nanos(delay_ns), slot);
+        self.net.armed.insert(key, (id, slot));
+    }
+
+    fn cancel_timer(&mut self, key: TimerKey) {
+        if let Some((id, slot)) = self.net.armed.remove(&key) {
+            self.ctx.cancel_timer(id);
+            self.net.slots.remove(&slot);
         }
     }
 
-    /// Start the next relaxation: charge its compute time, then the timer
-    /// callback performs the actual sweep.
-    fn begin_relaxation(&mut self, ctx: &mut Context<'_>) {
-        debug_assert!(!self.computing && !self.finished);
-        self.computing = true;
-        // Work size of the upcoming sweep equals the size of the previous one
-        // (static decomposition), so charge based on the task's plane count by
-        // probing a zero-cost estimate: we charge after the sweep instead.
-        // Simpler and exact: run the sweep now but deliver its effects when the
-        // compute timer fires. To keep the iterate timeline causally correct
-        // (ghosts arriving *during* the sweep must not affect it), the sweep is
-        // performed here and its outputs are buffered until the timer fires.
-        let relax = self.task.relax();
+    fn schedule_compute(&mut self, work_points: u64) {
         let duration = self
+            .net
             .compute
-            .relaxation_time(relax.work_points, self.cpu_speed());
-        self.pending_relax = Some(relax);
-        ctx.set_timer(duration, COMPUTE_TIMER_TAG);
+            .relaxation_time(work_points, self.net.cpu_speed());
+        self.ctx.set_timer(duration, COMPUTE_TIMER_TAG);
     }
 
-    /// Called when the compute timer fires: publish the sweep's results.
-    fn finish_relaxation(&mut self, ctx: &mut Context<'_>) {
-        self.computing = false;
-        let relax = self.pending_relax.take().expect("a sweep was in progress");
-        let iteration = self.task.relaxations();
-        // P2P_Send of the boundary planes. Updates to asynchronous neighbours
-        // are paced to the link's serialization rate; skipped updates are
-        // superseded by the next relaxation's planes anyway.
-        let outgoing = self.task.outgoing();
-        for (dst, payload) in outgoing {
-            let now_time = ctx.now();
-            if self.async_neighbors.contains(&dst) {
-                let gate = self.next_send_ok.get(&dst).copied().unwrap_or(SimTime::ZERO);
-                if now_time < gate {
-                    continue;
-                }
-                let link = self.topology.link_between(NodeId(self.rank), NodeId(dst));
-                let wire = payload.len() + netsim::WIRE_OVERHEAD_BYTES;
-                self.next_send_ok
-                    .insert(dst, now_time + link.serialization_delay(wire));
-            }
-            let now = now_time.as_nanos();
-            let socket = self.sockets.get_mut(&dst).expect("socket per neighbour");
-            let (_, out) = socket.send(Bytes::from(payload), now);
-            self.run_socket_output(ctx, dst, out);
-        }
-        // Stability: the local sweep changed little, every asynchronous
-        // neighbour has delivered at least one fresh update since the last
-        // dirty sweep, and those updates themselves changed the boundary by
-        // less than the tolerance (otherwise the boundary data is still
-        // moving and "convergence" would be an artefact of staleness).
-        let stable = relax.local_diff <= self.tolerance
-            && self.async_neighbors.iter().all(|nb| self.async_fresh[nb] >= 1)
-            && self.max_ghost_change <= self.tolerance;
-        if relax.local_diff > self.tolerance {
-            for counter in self.async_fresh.values_mut() {
-                *counter = 0;
-            }
-        }
-        self.max_ghost_change = 0.0;
-        // Report to the convergence detector.
-        let stop = {
-            let mut shared = self.shared.lock().unwrap();
-            shared.report(self.rank, iteration, relax.local_diff, stable, ctx.now())
-        };
-        ctx.stats().add("p2pdc.relaxations", 1);
-        if stop || iteration >= self.max_relaxations {
-            self.finish(ctx);
-            return;
-        }
-        self.try_advance(ctx);
-    }
-
-    /// Start the next relaxation if the scheme's waiting condition allows it.
-    fn try_advance(&mut self, ctx: &mut Context<'_>) {
-        if self.computing || self.finished {
-            return;
-        }
-        // Check the stop flag set by other peers.
-        if self.shared.lock().unwrap().stop {
-            self.finish(ctx);
-            return;
-        }
-        // Synchronous neighbours: one queued update per neighbour is required.
-        let ready = self
-            .sync_neighbors
-            .iter()
-            .all(|nb| !self.pending_sync[nb].is_empty());
-        if !ready {
-            return;
-        }
-        // Incorporate exactly one update from each synchronous neighbour (the
-        // iteration-p boundary needed for relaxation p+1).
-        let sync_neighbors = self.sync_neighbors.clone();
-        for nb in sync_neighbors {
-            if let Some(payload) = self.pending_sync.get_mut(&nb).and_then(|q| q.pop_front()) {
-                self.task.incorporate(nb, &payload);
-            }
-        }
-        self.begin_relaxation(ctx);
-    }
-
-    fn finish(&mut self, ctx: &mut Context<'_>) {
-        if self.finished {
-            return;
-        }
-        self.finished = true;
-        let broadcast_needed = {
-            let mut shared = self.shared.lock().unwrap();
-            if shared.stop_time.is_none() {
-                // The run ended by the relaxation cap rather than convergence.
-                shared.stop = true;
-                shared.stop_time = Some(ctx.now());
-            }
-            shared.results[self.rank] = Some((self.task.relaxations(), self.task.result()));
-            if shared.stop_broadcast {
-                false
-            } else {
-                shared.stop_broadcast = true;
-                true
-            }
-        };
-        if broadcast_needed {
-            // Wake every other peer: some may be idling on a synchronous wait
-            // whose counterpart has already terminated.
-            for rank in 0..self.topology.len() {
-                if rank != self.rank {
-                    ctx.send(ProcessId(rank), Box::new(StopSignal));
-                }
+    fn broadcast_stop(&mut self) {
+        for rank in 0..self.net.topology.len() {
+            if rank != self.net.rank {
+                self.ctx.send(ProcessId(rank), Box::new(StopSignal));
             }
         }
     }
 
-    /// A data segment arrived for one of this peer's sockets.
-    fn on_deliver(&mut self, ctx: &mut Context<'_>, deliver: Deliver) {
-        let from = deliver.packet.src.0;
-        let now = ctx.now().as_nanos();
-        let Some(socket) = self.sockets.get_mut(&from) else {
-            return;
-        };
-        let out = socket.on_data(deliver.packet.payload, now);
-        // Collect delivered application payloads (P2P_Receive).
-        let mut received = Vec::new();
-        while let Some(p) = socket.receive() {
-            received.push(p);
+    fn pacing_gate(&mut self, to: usize, wire_bytes: usize) -> bool {
+        let now = self.ctx.now();
+        let gate = self
+            .net
+            .next_send_ok
+            .get(&to)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        if now < gate {
+            return false;
         }
-        self.run_socket_output(ctx, from, out);
-        for payload in received {
-            if self.pending_sync.contains_key(&from) {
-                self.pending_sync
-                    .get_mut(&from)
-                    .expect("checked")
-                    .push_back(payload.to_vec());
-            } else {
-                // Asynchronous neighbour: freshest value wins immediately.
-                let change = self.task.incorporate(from, &payload);
-                self.max_ghost_change = self.max_ghost_change.max(change);
-                if let Some(counter) = self.async_fresh.get_mut(&from) {
-                    *counter += 1;
-                }
-            }
-        }
-        if !self.finished {
-            self.try_advance(ctx);
-        }
+        let link = self
+            .net
+            .topology
+            .link_between(NodeId(self.net.rank), NodeId(to));
+        self.net
+            .next_send_ok
+            .insert(to, now + link.serialization_delay(wire_bytes));
+        true
+    }
+
+    fn note(&mut self, counter: &'static str) {
+        self.ctx.stats().add(counter, 1);
+    }
+}
+
+/// One peer of the distributed computation: a [`PeerEngine`] plus the
+/// simulated-substrate state it drives its transport with.
+struct PeerActor {
+    engine: PeerEngine,
+    net: SimNet,
+}
+
+impl PeerActor {
+    fn transport<'a, 'c>(net: &'a mut SimNet, ctx: &'a mut Context<'c>) -> SimTransport<'a, 'c> {
+        SimTransport { net, ctx }
     }
 }
 
 impl Process for PeerActor {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        ctx.stats().add("p2pdc.peers_started", 1);
-        self.begin_relaxation(ctx);
+        let mut transport = Self::transport(&mut self.net, ctx);
+        self.engine.on_start(&mut transport);
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, payload: Payload) {
+        let mut transport = Self::transport(&mut self.net, ctx);
         match payload.downcast::<Deliver>() {
-            Ok(deliver) => self.on_deliver(ctx, *deliver),
+            Ok(deliver) => {
+                let from = deliver.packet.src.0;
+                self.engine
+                    .on_segment(from, deliver.packet.payload, &mut transport);
+            }
             Err(other) => {
-                if other.downcast::<StopSignal>().is_ok() && !self.finished && !self.computing {
-                    self.finish(ctx);
+                if other.downcast::<StopSignal>().is_ok() {
+                    self.engine.on_stop_signal(&mut transport);
                 }
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: TimerId, tag: u64) {
-        if self.finished {
+        if self.engine.finished() {
             return;
         }
+        let mut transport = Self::transport(&mut self.net, ctx);
         if tag == COMPUTE_TIMER_TAG {
-            self.finish_relaxation(ctx);
+            self.engine.on_compute_done(&mut transport);
             return;
         }
         // Protocol timer (retransmission etc.).
-        let Some(&(neighbor, layer, protocol_tag)) = self.timer_slots.get(tag as usize) else {
+        let Some(key) = transport.net.slots.remove(&tag) else {
             return;
         };
-        self.armed.remove(&(neighbor, layer, protocol_tag));
-        let now = ctx.now().as_nanos();
-        if let Some(socket) = self.sockets.get_mut(&neighbor) {
-            let out = socket.on_timer(layer, protocol_tag, now);
-            // Retransmissions may deliver nothing; received data handled as usual.
-            let mut received = Vec::new();
-            while let Some(p) = socket.receive() {
-                received.push(p);
-            }
-            self.run_socket_output(ctx, neighbor, out);
-            for payload in received {
-                if self.pending_sync.contains_key(&neighbor) {
-                    self.pending_sync
-                        .get_mut(&neighbor)
-                        .expect("checked")
-                        .push_back(payload.to_vec());
-                } else {
-                    let change = self.task.incorporate(neighbor, &payload);
-                    self.max_ghost_change = self.max_ghost_change.max(change);
-                    if let Some(counter) = self.async_fresh.get_mut(&neighbor) {
-                        *counter += 1;
-                    }
-                }
-            }
-            self.try_advance(ctx);
-        }
+        transport.net.armed.remove(&key);
+        self.engine.on_timer(key, &mut transport);
     }
 
     fn name(&self) -> String {
-        format!("peer-{}", self.rank)
+        format!("peer-{}", self.engine.rank())
     }
 }
 
@@ -564,11 +264,7 @@ where
 {
     let alpha = config.peers();
     assert!(alpha >= 1);
-    let shared = Arc::new(Mutex::new(SharedRun::new(
-        config.tolerance,
-        config.scheme,
-        alpha,
-    )));
+    let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
     let stats = shared_stats();
     let mut sim = Simulator::new(config.seed);
 
@@ -576,16 +272,27 @@ where
     let fabric_id = ProcessId(alpha);
     let mut endpoints = Vec::with_capacity(alpha);
     for rank in 0..alpha {
-        let actor = PeerActor::new(
+        let engine = PeerEngine::new(
             rank,
-            fabric_id,
             config.scheme,
-            config.topology.clone(),
-            config.compute,
-            config.max_relaxations,
+            &config.topology,
             task_factory(rank),
             Arc::clone(&shared),
+            config.max_relaxations,
         );
+        let actor = PeerActor {
+            engine,
+            net: SimNet {
+                rank,
+                fabric: fabric_id,
+                topology: config.topology.clone(),
+                compute: config.compute,
+                next_send_ok: HashMap::new(),
+                slots: HashMap::new(),
+                next_slot: 0,
+                armed: HashMap::new(),
+            },
+        };
         let pid = sim.add_process(Box::new(actor));
         assert_eq!(pid.index(), rank);
         endpoints.push(pid);
@@ -597,42 +304,12 @@ where
     let actual_fabric_id = sim.add_process(Box::new(fabric));
     assert_eq!(actual_fabric_id, fabric_id);
 
-    let outcome = sim.run_until(SimTime::ZERO + config.deadline);
-    // Drain any events left after the deadline so finished peers deposited
-    // their results; a LimitReached outcome with missing results is reported
-    // as non-convergence below.
-    let _ = outcome;
+    let _ = sim.run_until(SimTime::ZERO + config.deadline);
 
-    let shared = shared.lock().unwrap();
-    let elapsed = shared
-        .stop_time
-        .map(|t| t.saturating_since(SimTime::ZERO))
-        .unwrap_or_else(|| sim.now().saturating_since(SimTime::ZERO));
-    let mut relaxations = Vec::with_capacity(alpha);
-    let mut results = Vec::with_capacity(alpha);
-    let mut all_reported = true;
-    for (rank, entry) in shared.results.iter().enumerate() {
-        match entry {
-            Some((r, data)) => {
-                relaxations.push(*r);
-                results.push((rank, data.clone()));
-            }
-            None => {
-                all_reported = false;
-                relaxations.push(0);
-            }
-        }
-    }
-    let converged = shared.stop
-        && all_reported
-        && relaxations.iter().all(|&r| r < config.max_relaxations);
-    let measurement = RunMeasurement {
-        peers: alpha,
-        elapsed,
-        relaxations_per_peer: relaxations,
-        converged,
-        residual: f64::NAN,
-    };
+    let (measurement, results) = shared
+        .lock()
+        .unwrap()
+        .finish_run(sim.now().as_nanos(), config.max_relaxations);
     SimRunOutcome {
         measurement,
         results,

@@ -1,24 +1,30 @@
 //! The thread-based runtime of P2PDC.
 //!
-//! Every peer runs as a real OS thread; messages travel through channels via
-//! a router thread that injects per-link latency, mimicking the cluster /
-//! two-cluster topologies in wall-clock time. This runtime exercises the same
-//! application tasks and the same scheme semantics as the simulated runtime,
-//! but with genuine parallelism — it is what the examples and the
-//! `quickstart` use, and it demonstrates that the programming model does not
-//! depend on the virtual-time substrate.
+//! Every peer runs as a real OS thread hosting the same runtime-agnostic
+//! [`PeerEngine`] the simulated runtime drives; messages travel through
+//! channels via a router thread that injects per-link latency, mimicking the
+//! cluster / two-cluster topologies in wall-clock time. This module only
+//! implements the substrate side ([`PeerTransport`]): wire segments become
+//! routed channel messages, protocol timers become wall-clock deadlines
+//! checked by the drive loop, and relaxations complete immediately (the real
+//! kernel already consumed the wall-clock time). All scheme-wait and
+//! convergence semantics live in [`crate::runtime::engine`] — peers exchange
+//! genuine P2PSAP socket segments, exactly like the simulated runtime.
 //!
-//! Latencies are scaled down by default (milliseconds rather than the paper's
-//! 100 ms) so that examples and tests complete quickly.
+//! Latencies are scaled down by default (fractions of the paper's 100 ms) so
+//! that examples and tests complete quickly.
 
 use crate::app::IterativeTask;
 use crate::metrics::RunMeasurement;
+use crate::runtime::engine::{
+    ConvergenceDetector, PeerEngine, PeerTransport, TimerKey, TimerQueue,
+};
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use desim::SimDuration;
 use netsim::{NodeId, Topology};
 use p2psap::Scheme;
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a thread-runtime run.
@@ -49,14 +55,6 @@ impl ThreadRunConfig {
     }
 }
 
-/// Message routed between peer threads.
-struct Routed {
-    to: usize,
-    from: usize,
-    deliver_at: Instant,
-    payload: Vec<u8>,
-}
-
 /// Outcome of a thread-runtime run.
 #[derive(Debug, Clone)]
 pub struct ThreadRunOutcome {
@@ -66,10 +64,98 @@ pub struct ThreadRunOutcome {
     pub results: Vec<(usize, Vec<u8>)>,
 }
 
-struct SharedState {
-    latest_diff: Vec<f64>,
-    streaks: Vec<u32>,
-    stop: bool,
+/// What travels between peer threads.
+enum PeerWire {
+    /// A P2PSAP data-channel segment.
+    Segment(Bytes),
+    /// The termination broadcast.
+    Stop,
+}
+
+/// Message routed between peer threads with injected link latency.
+struct Routed {
+    to: usize,
+    from: usize,
+    deliver_at: Instant,
+    wire: PeerWire,
+}
+
+/// The [`PeerTransport`] of the thread runtime.
+struct ThreadTransport {
+    rank: usize,
+    peers: usize,
+    start: Instant,
+    router: Sender<Routed>,
+    topology: Topology,
+    latency_scale: f64,
+    /// Armed protocol timers ordered by wall-clock deadline (ns since start).
+    timers: TimerQueue,
+    /// Set when a relaxation completed and the engine must be advanced.
+    compute_pending: bool,
+}
+
+impl ThreadTransport {
+    /// Pop a timer whose deadline has passed.
+    fn pop_due_timer(&mut self) -> Option<TimerKey> {
+        let now = self.start.elapsed().as_nanos() as u64;
+        self.timers.pop_due(now)
+    }
+
+    /// Time until the next timer deadline, if any.
+    fn next_timer_wait(&self) -> Option<Duration> {
+        let deadline = self.timers.earliest_deadline()?;
+        let now = self.start.elapsed().as_nanos() as u64;
+        Some(Duration::from_nanos(deadline.saturating_sub(now)))
+    }
+}
+
+impl PeerTransport for ThreadTransport {
+    fn now_ns(&mut self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn transmit(&mut self, to: usize, segment: Bytes) {
+        let latency = self
+            .topology
+            .link_between(NodeId(self.rank), NodeId(to))
+            .latency
+            .as_nanos() as f64
+            * self.latency_scale;
+        let _ = self.router.send(Routed {
+            to,
+            from: self.rank,
+            deliver_at: Instant::now() + Duration::from_nanos(latency as u64),
+            wire: PeerWire::Segment(segment),
+        });
+    }
+
+    fn arm_timer(&mut self, key: TimerKey, delay_ns: u64) {
+        let deadline = self.start.elapsed().as_nanos() as u64 + delay_ns;
+        self.timers.arm(key, deadline);
+    }
+
+    fn cancel_timer(&mut self, key: TimerKey) {
+        self.timers.cancel(key);
+    }
+
+    fn schedule_compute(&mut self, _work_points: u64) {
+        // The relaxation kernel already ran for real on this thread; the
+        // engine is advanced on the next drive-loop turn.
+        self.compute_pending = true;
+    }
+
+    fn broadcast_stop(&mut self) {
+        for rank in 0..self.peers {
+            if rank != self.rank {
+                let _ = self.router.send(Routed {
+                    to: rank,
+                    from: self.rank,
+                    deliver_at: Instant::now(),
+                    wire: PeerWire::Stop,
+                });
+            }
+        }
+    }
 }
 
 /// Run a distributed iterative computation with one OS thread per peer.
@@ -78,17 +164,12 @@ where
     F: Fn(usize) -> Box<dyn IterativeTask> + Send + Sync,
 {
     let alpha = config.topology.len();
-    let tolerance = config.tolerance;
-    let shared = Arc::new(Mutex::new(SharedState {
-        latest_diff: vec![f64::INFINITY; alpha],
-        streaks: vec![0; alpha],
-        stop: false,
-    }));
+    let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
 
     // Router: one inbox per peer plus a central routing channel.
     let (router_tx, router_rx) = unbounded::<Routed>();
-    let mut peer_txs: Vec<Sender<(usize, Vec<u8>)>> = Vec::new();
-    let mut peer_rxs: Vec<Receiver<(usize, Vec<u8>)>> = Vec::new();
+    let mut peer_txs: Vec<Sender<(usize, PeerWire)>> = Vec::new();
+    let mut peer_rxs: Vec<Receiver<(usize, PeerWire)>> = Vec::new();
     for _ in 0..alpha {
         let (tx, rx) = unbounded();
         peer_txs.push(tx);
@@ -105,7 +186,7 @@ where
             while i < queue.len() {
                 if queue[i].deliver_at <= now {
                     let m = queue.remove(i).unwrap();
-                    let _ = peer_txs[m.to].send((m.from, m.payload));
+                    let _ = peer_txs[m.to].send((m.from, m.wire));
                 } else {
                     i += 1;
                 }
@@ -113,7 +194,7 @@ where
             match router_rx.recv_timeout(Duration::from_micros(200)) {
                 Ok(msg) => queue.push_back(msg),
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    if router_shared.lock().unwrap().stop && queue.is_empty() {
+                    if router_shared.lock().unwrap().stopped() && queue.is_empty() {
                         break;
                     }
                 }
@@ -124,120 +205,92 @@ where
 
     let start = Instant::now();
     let task_factory = &task_factory;
-    let results: Vec<(usize, u64, Vec<u8>)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for rank in 0..alpha {
-            let rx = peer_rxs[rank].clone();
+    std::thread::scope(|scope| {
+        for (rank, peer_rx) in peer_rxs.iter().enumerate() {
+            let rx = peer_rx.clone();
             let tx = router_tx.clone();
             let shared = Arc::clone(&shared);
             let topology = config.topology.clone();
             let scheme = config.scheme;
             let max_relaxations = config.max_relaxations;
             let latency_scale = config.latency_scale;
-            handles.push(scope.spawn(move || {
-                let mut task = task_factory(rank);
-                let neighbors = task.neighbors();
-                let sync_required: HashMap<usize, bool> = neighbors
-                    .iter()
-                    .map(|&nb| {
-                        let conn = topology.connection_type(NodeId(rank), NodeId(nb));
-                        let wait = match scheme {
-                            Scheme::Synchronous => true,
-                            Scheme::Asynchronous => false,
-                            Scheme::Hybrid => conn == netsim::ConnectionType::IntraCluster,
-                        };
-                        (nb, wait)
-                    })
-                    .collect();
-                let mut pending: HashMap<usize, VecDeque<Vec<u8>>> =
-                    neighbors.iter().map(|&nb| (nb, VecDeque::new())).collect();
-                loop {
-                    let relax = task.relax();
-                    // P2P_Send the boundary updates through the router.
-                    for (dst, payload) in task.outgoing() {
-                        let latency = topology
-                            .link_between(NodeId(rank), NodeId(dst))
-                            .latency
-                            .as_nanos() as f64
-                            * latency_scale;
-                        let _ = tx.send(Routed {
-                            to: dst,
-                            from: rank,
-                            deliver_at: Instant::now() + Duration::from_nanos(latency as u64),
-                            payload,
-                        });
-                    }
-                    // Convergence bookkeeping.
-                    {
-                        let mut s = shared.lock().unwrap();
-                        s.latest_diff[rank] = relax.local_diff;
-                        if relax.local_diff <= tolerance {
-                            s.streaks[rank] += 1;
-                        } else {
-                            s.streaks[rank] = 0;
-                        }
-                        let persistence = if scheme == Scheme::Asynchronous { 2 } else { 1 };
-                        if s.streaks.iter().all(|&x| x >= persistence) {
-                            s.stop = true;
-                        }
-                        if s.stop || task.relaxations() >= max_relaxations {
-                            s.stop = true;
-                            return (rank, task.relaxations(), task.result());
-                        }
-                    }
-                    // P2P_Receive: drain the inbox; for synchronous neighbours
-                    // block until their next update arrives.
-                    while let Ok((from, payload)) = rx.try_recv() {
-                        pending.get_mut(&from).map(|q| q.push_back(payload));
-                    }
-                    for &nb in &neighbors {
-                        if sync_required[&nb] {
-                            while pending[&nb].is_empty() {
-                                if shared.lock().unwrap().stop {
-                                    return (rank, task.relaxations(), task.result());
-                                }
-                                match rx.recv_timeout(Duration::from_millis(20)) {
-                                    Ok((from, payload)) => {
-                                        pending.get_mut(&from).map(|q| q.push_back(payload));
-                                    }
-                                    Err(_) => {}
-                                }
+            scope.spawn(move || {
+                let mut engine = PeerEngine::new(
+                    rank,
+                    scheme,
+                    &topology,
+                    task_factory(rank),
+                    Arc::clone(&shared),
+                    max_relaxations,
+                );
+                let mut transport = ThreadTransport {
+                    rank,
+                    peers: alpha,
+                    start,
+                    router: tx,
+                    topology,
+                    latency_scale,
+                    timers: TimerQueue::new(),
+                    compute_pending: false,
+                };
+                engine.on_start(&mut transport);
+                while !engine.finished() {
+                    // Drain everything already delivered (asynchronous peers
+                    // relax back-to-back, so fresh ghosts must be picked up
+                    // between sweeps, like deliveries interleave with compute
+                    // windows on the simulated runtime).
+                    loop {
+                        match rx.try_recv() {
+                            Ok((from, PeerWire::Segment(segment))) => {
+                                engine.on_segment(from, segment, &mut transport);
                             }
-                            let update = pending.get_mut(&nb).unwrap().pop_front().unwrap();
-                            let _ = task.incorporate(nb, &update);
-                        } else {
-                            // Asynchronous: use the freshest available update.
-                            while let Some(update) = pending.get_mut(&nb).unwrap().pop_front() {
-                                let _ = task.incorporate(nb, &update);
-                            }
+                            Ok((_, PeerWire::Stop)) => engine.on_stop_signal(&mut transport),
+                            Err(_) => break,
                         }
+                    }
+                    if engine.finished() {
+                        break;
+                    }
+                    if let Some(key) = transport.pop_due_timer() {
+                        engine.on_timer(key, &mut transport);
+                        continue;
+                    }
+                    if transport.compute_pending {
+                        transport.compute_pending = false;
+                        engine.on_compute_done(&mut transport);
+                        continue;
+                    }
+                    // Another peer may have stopped the run while this one
+                    // was idling in a scheme wait.
+                    if shared.lock().unwrap().stopped() {
+                        engine.on_stop_signal(&mut transport);
+                        continue;
+                    }
+                    let wait = transport
+                        .next_timer_wait()
+                        .unwrap_or(Duration::from_millis(20))
+                        .min(Duration::from_millis(20));
+                    match rx.recv_timeout(wait) {
+                        Ok((from, PeerWire::Segment(segment))) => {
+                            engine.on_segment(from, segment, &mut transport);
+                        }
+                        Ok((_, PeerWire::Stop)) => engine.on_stop_signal(&mut transport),
+                        Err(_) => {}
                     }
                 }
-            }));
+            });
         }
-        handles.into_iter().map(|h| h.join().expect("peer thread")).collect()
     });
-    shared.lock().unwrap().stop = true;
     drop(router_tx);
     let _ = router.join();
 
-    let elapsed = start.elapsed();
-    let mut relaxations = vec![0u64; alpha];
-    let mut out_results = Vec::with_capacity(alpha);
-    for (rank, relax, data) in results {
-        relaxations[rank] = relax;
-        out_results.push((rank, data));
-    }
-    out_results.sort_by_key(|(rank, _)| *rank);
-    let converged = relaxations.iter().all(|&r| r < config.max_relaxations);
+    let fallback_now = start.elapsed().as_nanos() as u64;
+    let (measurement, results) = shared
+        .lock()
+        .unwrap()
+        .finish_run(fallback_now, config.max_relaxations);
     ThreadRunOutcome {
-        measurement: RunMeasurement {
-            peers: alpha,
-            elapsed: SimDuration::from_nanos(elapsed.as_nanos() as u64),
-            relaxations_per_peer: relaxations,
-            converged,
-            residual: f64::NAN,
-        },
-        results: out_results,
+        measurement,
+        results,
     }
 }

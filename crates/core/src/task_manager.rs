@@ -191,8 +191,9 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 .to_string();
             let params = match parts.next() {
                 None => serde_json::json!({}),
-                Some(raw) => serde_json::from_str(raw)
-                    .map_err(|e| format!("invalid parameter JSON: {e}"))?,
+                Some(raw) => {
+                    serde_json::from_str(raw).map_err(|e| format!("invalid parameter JSON: {e}"))?
+                }
             };
             Ok(Command::Run { app, params })
         }

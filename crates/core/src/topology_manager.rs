@@ -169,7 +169,10 @@ mod tests {
     fn register_and_ping_keep_a_peer_alive() {
         let mut m = manager();
         assert!(m.register(NodeId(0), ClusterId(0), 1.0, t(0.0)));
-        assert!(!m.register(NodeId(0), ClusterId(0), 1.0, t(0.5)), "re-registration is not new");
+        assert!(
+            !m.register(NodeId(0), ClusterId(0), 1.0, t(0.5)),
+            "re-registration is not new"
+        );
         assert!(m.ping(NodeId(0), t(2.0)));
         assert!(m.evict_stale(t(4.9)).is_empty());
         assert_eq!(m.peer_count(), 1);
@@ -195,7 +198,11 @@ mod tests {
             m.register(NodeId(i), ClusterId(0), 1.0, t(0.0));
         }
         assert!(m.collect_peers(5).is_none(), "not enough peers");
-        assert_eq!(m.free_count(), 4, "failed allocation must not mark peers busy");
+        assert_eq!(
+            m.free_count(),
+            4,
+            "failed allocation must not mark peers busy"
+        );
         let allocated = m.collect_peers(3).expect("enough peers");
         assert_eq!(allocated.len(), 3);
         assert_eq!(m.free_count(), 1);

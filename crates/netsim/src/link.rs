@@ -58,7 +58,10 @@ impl LinkSpec {
 
     /// Builder: set the loss probability.
     pub fn with_loss(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability must be in [0,1]"
+        );
         self.loss_probability = p;
         self
     }
@@ -107,7 +110,7 @@ mod tests {
     #[test]
     fn serialization_delay_scales_with_size() {
         let l = LinkSpec::new(SimDuration::ZERO, 100e6); // 100 Mbit/s
-        // 12_500 bytes = 100_000 bits => 1 ms
+                                                         // 12_500 bytes = 100_000 bits => 1 ms
         assert_eq!(l.serialization_delay(12_500), SimDuration::from_millis(1));
         assert_eq!(l.serialization_delay(0), SimDuration::ZERO);
     }
@@ -115,10 +118,7 @@ mod tests {
     #[test]
     fn nominal_delay_adds_latency() {
         let l = LinkSpec::new(SimDuration::from_millis(10), 100e6);
-        assert_eq!(
-            l.nominal_delay(12_500),
-            SimDuration::from_millis(11)
-        );
+        assert_eq!(l.nominal_delay(12_500), SimDuration::from_millis(11));
     }
 
     #[test]
@@ -128,7 +128,9 @@ mod tests {
             SimDuration::from_millis(100)
         );
         assert!(LinkSpec::ethernet_100mbps().latency < LinkSpec::internet_100ms().latency);
-        assert!(LinkSpec::ethernet_1gbps().bandwidth_bps > LinkSpec::ethernet_100mbps().bandwidth_bps);
+        assert!(
+            LinkSpec::ethernet_1gbps().bandwidth_bps > LinkSpec::ethernet_100mbps().bandwidth_bps
+        );
     }
 
     #[test]

@@ -119,12 +119,10 @@ impl NetworkFabric {
         let arrival = done_sending + link.latency + extra;
         let delay = arrival - now;
 
-        self.stats.lock().unwrap().record_delivered(
-            src,
-            dst,
-            kind,
-            transmit.packet.payload_len(),
-        );
+        self.stats
+            .lock()
+            .unwrap()
+            .record_delivered(src, dst, kind, transmit.packet.payload_len());
         ctx.stats().add("net.packets_delivered", 1);
         ctx.stats()
             .add("net.bytes_delivered", transmit.packet.payload_len() as u64);
@@ -136,7 +134,13 @@ impl NetworkFabric {
             };
             ctx.send_delayed(endpoint, Box::new(copy), delay);
         }
-        ctx.send_delayed(endpoint, Box::new(Deliver { packet: transmit.packet }), delay);
+        ctx.send_delayed(
+            endpoint,
+            Box::new(Deliver {
+                packet: transmit.packet,
+            }),
+            delay,
+        );
     }
 }
 
@@ -198,11 +202,13 @@ mod tests {
         fn on_timer(&mut self, _ctx: &mut Context<'_>, _t: TimerId, _tag: u64) {}
     }
 
+    type ArrivalLog = Arc<Mutex<Vec<(u64, usize)>>>;
+
     fn build_two_node_sim(
         topology: Topology,
         payload_size: usize,
         netem: Option<Netem>,
-    ) -> (Simulator, Arc<Mutex<Vec<(u64, usize)>>>, SharedNetStats) {
+    ) -> (Simulator, ArrivalLog, SharedNetStats) {
         let arrivals = Arc::new(Mutex::new(Vec::new()));
         let stats = shared_stats();
         let mut sim = Simulator::new(11);
@@ -271,10 +277,8 @@ mod tests {
 
     #[test]
     fn full_loss_link_drops() {
-        let topo = Topology::single_cluster(
-            2,
-            crate::link::LinkSpec::ethernet_100mbps().with_loss(1.0),
-        );
+        let topo =
+            Topology::single_cluster(2, crate::link::LinkSpec::ethernet_100mbps().with_loss(1.0));
         let (mut sim, arrivals, stats) = build_two_node_sim(topo, 100, None);
         sim.run();
         assert!(arrivals.lock().unwrap().is_empty());

@@ -249,7 +249,9 @@ mod tests {
     fn node_state_covers_decomposition() {
         let problem = ObstacleProblem::membrane(8);
         let decomp = BlockDecomposition::balanced(8, 3);
-        let nodes: Vec<NodeState> = (0..3).map(|r| NodeState::new(&problem, &decomp, r)).collect();
+        let nodes: Vec<NodeState> = (0..3)
+            .map(|r| NodeState::new(&problem, &decomp, r))
+            .collect();
         let total: usize = nodes.iter().map(|s| s.local_len()).sum();
         assert_eq!(total, problem.len());
         assert_eq!(nodes[0].z_start(), 0);

@@ -134,7 +134,7 @@ mod tests {
         g.report(1, 1e-9);
         assert!(!g.is_globally_converged(), "only one clean round so far");
         g.report(0, 1e-9);
-        assert!(!g.report(1, 1e-9) == false || g.is_globally_converged());
+        assert!(g.report(1, 1e-9) || g.is_globally_converged());
         assert!(g.is_globally_converged());
         // A bad report resets that peer's streak.
         g.report(0, 1.0);

@@ -255,7 +255,10 @@ mod tests {
     fn weighted_decomposition_respects_proportions() {
         let d = BlockDecomposition::weighted(100, &[1.0, 3.0]);
         assert_eq!(d.count(0) + d.count(1), 100);
-        assert!(d.count(1) > d.count(0) * 2, "3x weight should get ~3x planes");
+        assert!(
+            d.count(1) > d.count(0) * 2,
+            "3x weight should get ~3x planes"
+        );
         // Every peer gets at least one plane even with tiny weights.
         let d2 = BlockDecomposition::weighted(4, &[1e-6, 1.0, 1.0, 1.0]);
         assert!(d2.count(0) >= 1);

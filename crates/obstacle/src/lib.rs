@@ -25,9 +25,7 @@ pub mod problem;
 pub mod richardson;
 
 pub use block::{solve_block_synchronous, NodeState};
-pub use convergence::{
-    l2_norm, sup_norm, sup_norm_diff, ConvergenceCriterion, GlobalConvergence,
-};
+pub use convergence::{l2_norm, sup_norm, sup_norm_diff, ConvergenceCriterion, GlobalConvergence};
 pub use grid::{BlockDecomposition, Grid3};
 pub use problem::{ObstacleProblem, NO_OBSTACLE};
 pub use richardson::{

@@ -38,8 +38,8 @@ pub struct Rule {
 
 impl Rule {
     fn matches(&self, ctx: &ContextSnapshot) -> bool {
-        self.scheme.map_or(true, |s| s == ctx.scheme)
-            && self.connection.map_or(true, |c| c == ctx.connection)
+        self.scheme.is_none_or(|s| s == ctx.scheme)
+            && self.connection.is_none_or(|c| c == ctx.connection)
     }
 }
 

@@ -176,7 +176,10 @@ mod tests {
     fn stale_proposal_is_re_accepted_idempotently() {
         let mut b = Coordinator::new();
         let cfg = ChannelConfig::synchronous_reliable();
-        let p1 = ControlMessage::Propose { epoch: 1, config: cfg };
+        let p1 = ControlMessage::Propose {
+            epoch: 1,
+            config: cfg,
+        };
         let _ = b.on_message(p1);
         // Duplicate (e.g. control-channel retransmission): only a re-accept.
         match b.on_message(p1) {

@@ -406,9 +406,15 @@ mod tests {
 
     #[test]
     fn factory_returns_requested_algorithm() {
-        assert_eq!(make_congestion(CongestionAlgorithm::NewReno).name(), "tcp-new-reno");
+        assert_eq!(
+            make_congestion(CongestionAlgorithm::NewReno).name(),
+            "tcp-new-reno"
+        );
         assert_eq!(make_congestion(CongestionAlgorithm::HTcp).name(), "h-tcp");
-        assert_eq!(make_congestion(CongestionAlgorithm::Tahoe).name(), "tcp-tahoe");
+        assert_eq!(
+            make_congestion(CongestionAlgorithm::Tahoe).name(),
+            "tcp-tahoe"
+        );
         assert_eq!(make_congestion(CongestionAlgorithm::Scp).name(), "scp");
     }
 

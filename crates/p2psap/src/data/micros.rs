@@ -72,7 +72,11 @@ impl MicroProtocol for SynchronousMode {
         "mode-synchronous"
     }
     fn subscriptions(&self) -> Vec<EventName> {
-        vec![events::USER_SEND, events::MSG_FROM_NET, events::SEGMENT_ACKED]
+        vec![
+            events::USER_SEND,
+            events::MSG_FROM_NET,
+            events::SEGMENT_ACKED,
+        ]
     }
     fn handle(&mut self, event: EventName, msg: &mut Message, ops: &mut Operations) {
         if event == events::USER_SEND {
@@ -498,7 +502,9 @@ mod tests {
         let effects = c.raise(events::MSG_FROM_NET, data);
         let acks: Vec<_> = effects
             .iter()
-            .filter(|e| matches!(e, cactus::Effect::SendDown(m) if m.u64(ATTR_KIND) == Some(KIND_ACK)))
+            .filter(
+                |e| matches!(e, cactus::Effect::SendDown(m) if m.u64(ATTR_KIND) == Some(KIND_ACK)),
+            )
             .collect();
         let delivered: Vec<_> = effects
             .iter()
@@ -525,9 +531,9 @@ mod tests {
             .collect();
         assert_eq!(timers, vec![7]);
         // The outgoing segment must now request an ack (reliability added it).
-        assert!(effects.iter().any(
-            |e| matches!(e, cactus::Effect::SendDown(m) if m.flag(ATTR_ACK_REQUESTED))
-        ));
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, cactus::Effect::SendDown(m) if m.flag(ATTR_ACK_REQUESTED))));
 
         // Timer fires: a retransmission and a new timer with back-off.
         let mut timeout = Message::default();
@@ -546,7 +552,10 @@ mod tests {
             .collect();
         assert_eq!(backoff.len(), 1);
         assert_eq!(backoff[0].1, 7);
-        assert!(backoff[0].0 > 1_000_000, "back-off must exceed the base RTO");
+        assert!(
+            backoff[0].0 > 1_000_000,
+            "back-off must exceed the base RTO"
+        );
 
         // Ack arrives: timer cancelled; later timeouts retransmit nothing.
         let mut ack = Message::default();
@@ -645,10 +654,7 @@ mod tests {
         use crate::data::congestion::{NewReno, INITIAL_CWND};
         let mut c = CompositeProtocol::new("t");
         c.add_micro(Box::new(AsynchronousMode::new()));
-        c.add_micro_with_priority(
-            Box::new(CongestionMicro::new(Box::new(NewReno::new()))),
-            20,
-        );
+        c.add_micro_with_priority(Box::new(CongestionMicro::new(Box::new(NewReno::new()))), 20);
         c.add_micro_with_priority(Box::new(SegmentTx::new()), SegmentTx::PRIORITY);
         // One send, one ack: the window grows.
         let _ = c.raise(events::USER_SEND, user_send_msg(0, b"x"));

@@ -9,7 +9,9 @@
 //! identity used by reconfiguration.
 
 use crate::config::PhysicalNetwork;
-use cactus::{events, CompositeProtocol, EventName, Message, MicroProtocol, Operations, MSG_FROM_ABOVE};
+use cactus::{
+    events, CompositeProtocol, EventName, Message, MicroProtocol, Operations, MSG_FROM_ABOVE,
+};
 
 /// Adapter micro-protocol for one physical network type.
 #[derive(Debug)]

@@ -49,7 +49,10 @@ pub fn build_transport(config: ChannelConfig) -> CompositeProtocol {
         Box::new(CongestionMicro::new(make_congestion(config.congestion))),
         priorities::CONGESTION,
     );
-    c.add_micro_with_priority(Box::new(OrderingMicro::new(config.ordered)), priorities::ORDERING);
+    c.add_micro_with_priority(
+        Box::new(OrderingMicro::new(config.ordered)),
+        priorities::ORDERING,
+    );
     c.add_micro_with_priority(Box::new(SegmentTx::new()), priorities::SEGMENT_TX);
     c
 }

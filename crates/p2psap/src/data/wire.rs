@@ -184,7 +184,9 @@ mod tests {
 
     #[test]
     fn unknown_kind_rejected() {
-        let mut raw = WireSegment::data(1, false, 0, Bytes::new()).encode().to_vec();
+        let mut raw = WireSegment::data(1, false, 0, Bytes::new())
+            .encode()
+            .to_vec();
         raw[0] = 9;
         assert!(WireSegment::decode(Bytes::from(raw)).is_none());
     }

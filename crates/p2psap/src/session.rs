@@ -239,7 +239,10 @@ mod tests {
         let (_, second) = a.send(Bytes::from_static(b"second"), 2);
         // Deliver out of order.
         let out1 = deliver(&second, &mut b, 10);
-        assert!(out1.delivered.is_empty(), "segment 1 held back until 0 arrives");
+        assert!(
+            out1.delivered.is_empty(),
+            "segment 1 held back until 0 arrives"
+        );
         let out2 = deliver(&first, &mut b, 11);
         assert_eq!(out2.delivered.len(), 2);
         assert_eq!(out2.delivered[0].as_ref(), b"first");

@@ -275,7 +275,11 @@ mod tests {
 
         // Topology change: the peer is now reached across clusters.
         let reconfig = a.set_option(SocketOption::Connection(ConnectionType::InterCluster));
-        assert_eq!(reconfig.control.len(), 1, "a reconfiguration proposal is sent");
+        assert_eq!(
+            reconfig.control.len(),
+            1,
+            "a reconfiguration proposal is sent"
+        );
         // B processes the proposal, applies and accepts; A applies on accept.
         let b_reply = shuttle(&reconfig, &mut b, 3);
         assert_eq!(b.config().mode, CommunicationMode::Asynchronous);

@@ -14,10 +14,7 @@ struct Recorder {
 impl Process for Recorder {
     fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, payload: Payload) {
         let tag = *payload.downcast::<u64>().expect("u64 tag");
-        self.log
-            .lock()
-            .unwrap()
-            .push((ctx.now().as_nanos(), tag));
+        self.log.lock().unwrap().push((ctx.now().as_nanos(), tag));
     }
     fn name(&self) -> String {
         "recorder".into()

@@ -48,5 +48,8 @@ fn main() {
         );
     }
     println!();
-    println!("{}", format_table("Single-cluster scheme comparison", &rows));
+    println!(
+        "{}",
+        format_table("Single-cluster scheme comparison", &rows)
+    );
 }

@@ -26,7 +26,11 @@ fn main() {
     for i in 0..peers + 2 {
         topology.register(NodeId(i), ClusterId(i % 2), 1.0, SimTime::ZERO);
     }
-    println!("{} peers registered, {} free", topology.peer_count(), topology.free_count());
+    println!(
+        "{} peers registered, {} free",
+        topology.peer_count(),
+        topology.free_count()
+    );
 
     // 2. The user submits the application through the user daemon.
     let mut task_manager = TaskManager::new();
@@ -37,7 +41,9 @@ fn main() {
         instance: ObstacleInstance::Financial,
     })));
     let command = parse_command(&format!(r#"run obstacle {{"peers": {peers}}}"#)).expect("command");
-    let Command::Run { app, params } = command else { unreachable!() };
+    let Command::Run { app, params } = command else {
+        unreachable!()
+    };
     let job = task_manager.submit(&app, &params, &mut topology);
     println!(
         "job {job} submitted: {:?}, peers allocated: {:?}",
@@ -70,7 +76,10 @@ fn main() {
     for rank in 0..peers {
         task_manager.submit_result(job, rank, vec![0u8; 8]);
     }
-    println!("job state after collection: {:?}", task_manager.job(job).state);
+    println!(
+        "job state after collection: {:?}",
+        task_manager.job(job).state
+    );
     task_manager.release(job, &mut topology);
     println!("peers released, {} free again", topology.free_count());
 

@@ -6,10 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use p2pdc::{
-    assemble_solution, run_iterative_threads, ObstacleTask, Scheme, ThreadRunConfig,
-};
 use obstacle::{solve_sequential, sup_norm_diff, ObstacleProblem, RichardsonConfig};
+use p2pdc::{assemble_solution, run_iterative_threads, ObstacleTask, Scheme, ThreadRunConfig};
 use std::sync::Arc;
 
 fn main() {
@@ -27,7 +25,11 @@ fn main() {
     let config = ThreadRunConfig::quick(Scheme::Synchronous, peers);
     let problem_for_tasks = Arc::clone(&problem);
     let outcome = run_iterative_threads(&config, move |rank| {
-        Box::new(ObstacleTask::new(Arc::clone(&problem_for_tasks), peers, rank))
+        Box::new(ObstacleTask::new(
+            Arc::clone(&problem_for_tasks),
+            peers,
+            rank,
+        ))
     });
 
     println!(

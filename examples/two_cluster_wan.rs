@@ -33,7 +33,11 @@ fn main() {
             let result = run_obstacle_experiment(&exp);
             rows.push(derive_row(
                 &scheme.to_string(),
-                if clusters == 1 { "1 cluster" } else { "2 clusters" },
+                if clusters == 1 {
+                    "1 cluster"
+                } else {
+                    "2 clusters"
+                },
                 reference.measurement.elapsed,
                 &result.measurement,
             ));

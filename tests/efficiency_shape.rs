@@ -25,7 +25,10 @@ fn experiment(scheme: Scheme, peers: usize, clusters: usize) -> ObstacleExperime
 
 fn elapsed(scheme: Scheme, peers: usize, clusters: usize) -> f64 {
     let m = run_obstacle_experiment(&experiment(scheme, peers, clusters)).measurement;
-    assert!(m.converged, "{scheme} / {peers} peers / {clusters} clusters did not converge");
+    assert!(
+        m.converged,
+        "{scheme} / {peers} peers / {clusters} clusters did not converge"
+    );
     m.elapsed.as_secs_f64()
 }
 
@@ -84,7 +87,10 @@ fn speedup_ordering_matches_the_paper_on_two_clusters() {
         "asynchronous speedup {asynchronous:.2} should be comparable to hybrid {hybrid:.2}"
     );
     // The asynchronous scheme achieves a real speedup.
-    assert!(asynchronous > 1.5, "asynchronous speedup {asynchronous:.2} too small");
+    assert!(
+        asynchronous > 1.5,
+        "asynchronous speedup {asynchronous:.2} too small"
+    );
 }
 
 #[test]

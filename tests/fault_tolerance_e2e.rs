@@ -5,11 +5,11 @@
 use desim::{SimDuration, SimTime};
 use netsim::{ClusterId, NodeId};
 use obstacle::BlockDecomposition;
+use p2pdc::IterativeTask;
 use p2pdc::{
     Checkpoint, FaultManager, LoadBalancer, ObstacleInstance, ObstacleParams, ObstacleTask,
     RecoveryAction, Scheme, TopologyManager,
 };
-use p2pdc::IterativeTask;
 use std::sync::Arc;
 
 #[test]

@@ -52,7 +52,9 @@ impl Process for ProtoPeer {
     }
     fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, payload: Payload) {
         if let Ok(deliver) = payload.downcast::<Deliver>() {
-            let out = self.socket.on_data(deliver.packet.payload, ctx.now().as_nanos());
+            let out = self
+                .socket
+                .on_data(deliver.packet.payload, ctx.now().as_nanos());
             while let Some(p) = self.socket.receive() {
                 self.received.lock().unwrap().push(p.to_vec());
             }
@@ -87,7 +89,9 @@ fn run_exchange(
         remote: 1,
         fabric: fabric_id,
         socket: Socket::open(scheme, connection),
-        to_send: (0..messages).map(|i| format!("payload-{i}").into_bytes()).collect(),
+        to_send: (0..messages)
+            .map(|i| format!("payload-{i}").into_bytes())
+            .collect(),
         received: Arc::new(Mutex::new(Vec::new())),
         timer_slots: Vec::new(),
         armed: HashMap::new(),
@@ -114,7 +118,8 @@ fn run_exchange(
 
 #[test]
 fn synchronous_reliable_exchange_delivers_everything_in_order() {
-    let (received, stats) = run_exchange(Topology::nicta_single_cluster(2), Scheme::Synchronous, 20);
+    let (received, stats) =
+        run_exchange(Topology::nicta_single_cluster(2), Scheme::Synchronous, 20);
     assert_eq!(received.len(), 20);
     for (i, payload) in received.iter().enumerate() {
         assert_eq!(payload, format!("payload-{i}").as_bytes());
@@ -129,8 +134,15 @@ fn reliability_recovers_from_heavy_loss() {
     // still deliver every payload thanks to retransmissions.
     let topology = Topology::single_cluster(2, LinkSpec::ethernet_100mbps().with_loss(0.3));
     let (received, stats) = run_exchange(topology, Scheme::Synchronous, 15);
-    assert_eq!(received.len(), 15, "reliable channel must recover all losses");
-    assert!(stats.total_dropped() > 0, "the link should actually have dropped packets");
+    assert_eq!(
+        received.len(),
+        15,
+        "reliable channel must recover all losses"
+    );
+    assert!(
+        stats.total_dropped() > 0,
+        "the link should actually have dropped packets"
+    );
 }
 
 #[test]
@@ -143,7 +155,10 @@ fn unreliable_asynchronous_channel_tolerates_loss_without_retransmission() {
         LinkSpec::internet_100ms().with_loss(0.4),
     );
     let (received, stats) = run_exchange(topology, Scheme::Asynchronous, 50);
-    assert!(received.len() < 50, "with 40% loss some messages must be missing");
+    assert!(
+        received.len() < 50,
+        "with 40% loss some messages must be missing"
+    );
     assert!(!received.is_empty(), "but not everything is lost");
     assert!(stats.inter.packets_dropped > 0);
     // No retransmissions: the number of packets put on the wire equals the
@@ -155,8 +170,20 @@ fn unreliable_asynchronous_channel_tolerates_loss_without_retransmission() {
 fn hybrid_scheme_picks_different_configs_per_connection() {
     let sock_intra = Socket::open(Scheme::Hybrid, netsim::ConnectionType::IntraCluster);
     let sock_inter = Socket::open(Scheme::Hybrid, netsim::ConnectionType::InterCluster);
-    assert_eq!(sock_intra.config().mode, p2psap::CommunicationMode::Synchronous);
-    assert_eq!(sock_inter.config().mode, p2psap::CommunicationMode::Asynchronous);
-    assert_eq!(sock_intra.config().reliability, p2psap::Reliability::Reliable);
-    assert_eq!(sock_inter.config().reliability, p2psap::Reliability::Unreliable);
+    assert_eq!(
+        sock_intra.config().mode,
+        p2psap::CommunicationMode::Synchronous
+    );
+    assert_eq!(
+        sock_inter.config().mode,
+        p2psap::CommunicationMode::Asynchronous
+    );
+    assert_eq!(
+        sock_intra.config().reliability,
+        p2psap::Reliability::Reliable
+    );
+    assert_eq!(
+        sock_inter.config().reliability,
+        p2psap::Reliability::Unreliable
+    );
 }

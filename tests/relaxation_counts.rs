@@ -50,8 +50,7 @@ fn asynchronous_relaxation_count_grows_with_the_peer_count() {
 fn all_schemes_produce_valid_obstacle_solutions() {
     let problem = obstacle::ObstacleProblem::membrane(N);
     for scheme in [Scheme::Synchronous, Scheme::Asynchronous, Scheme::Hybrid] {
-        let result =
-            run_obstacle_experiment(&ObstacleExperiment::new(N, scheme, 4, 1));
+        let result = run_obstacle_experiment(&ObstacleExperiment::new(N, scheme, 4, 1));
         assert!(result.measurement.converged, "{scheme} did not converge");
         // Feasibility of the assembled solution.
         for (u, psi) in result.solution.iter().zip(problem.psi.iter()) {

@@ -1,0 +1,182 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset this workspace's benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros — with
+//! a simple mean-of-a-few-iterations timer instead of upstream's full
+//! statistical machinery. Good enough to spot gross regressions and to keep
+//! `cargo bench` runnable offline.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Throughput annotation (recorded, reported per element/byte).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iterations: u32,
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One warm-up pass, then the timed passes.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.last_mean_ns = start.elapsed().as_nanos() as f64 / self.iterations as f64;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut line = format!("bench {label:<50} {:>14.1} ns/iter", mean_ns);
+    match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            line.push_str(&format!(
+                "  ({:.1} Melem/s)",
+                n as f64 / mean_ns * 1e9 / 1e6
+            ));
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            line.push_str(&format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / mean_ns * 1e9 / 1048576.0
+            ));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted for API compatibility; the stub runs a
+    /// fixed small number of iterations).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmark a routine parameterized by an input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut routine = routine;
+        let mut bencher = Bencher {
+            iterations: 3,
+            last_mean_ns: 0.0,
+        };
+        routine(&mut bencher, input);
+        report(
+            Some(&self.name),
+            &id.name,
+            bencher.last_mean_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function(&mut self, id: &str, routine: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut routine = routine;
+        let mut bencher = Bencher {
+            iterations: 3,
+            last_mean_ns: 0.0,
+        };
+        routine(&mut bencher);
+        report(None, id, bencher.last_mean_ns, None);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit the `main` function running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

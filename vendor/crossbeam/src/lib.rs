@@ -1,0 +1,247 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the `crossbeam::channel` subset this workspace uses: an
+//! unbounded MPMC channel with cloneable senders *and* receivers,
+//! `try_recv`, blocking `recv` and `recv_timeout`, and disconnection
+//! detection when all peers of one side have been dropped.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        available: Condvar,
+    }
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The message could not be sent because the channel is disconnected.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            // Like upstream: the payload may not be Debug.
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// The channel is empty and disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a non-blocking receive attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Outcome of a bounded-wait receive attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "channel empty or disconnected")
+        }
+    }
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "channel timed out or disconnected")
+        }
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            available: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message. Fails only when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.chan.available.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
+            Self {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.chan.available.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.chan.state.lock().unwrap();
+            match state.queue.pop_front() {
+                Some(msg) => Ok(msg),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.chan.available.wait(state).unwrap();
+            }
+        }
+
+        /// Receive, waiting at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, result) = self
+                    .chan
+                    .available
+                    .wait_timeout(state, deadline - now)
+                    .unwrap();
+                state = guard;
+                if result.timed_out() && state.queue.is_empty() {
+                    return if state.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().receivers += 1;
+            Self {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.state.lock().unwrap().receivers -= 1;
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn send_and_receive_across_threads() {
+            let (tx, rx) = unbounded();
+            let rx2 = rx.clone();
+            let handle = std::thread::spawn(move || rx2.recv().unwrap());
+            tx.send(41u64).unwrap();
+            assert_eq!(handle.join().unwrap(), 41);
+            tx.send(42u64).unwrap();
+            assert_eq!(rx.try_recv(), Ok(42));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnection_is_observed() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            let (tx2, rx2) = unbounded::<u8>();
+            drop(rx2);
+            assert_eq!(tx2.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<u8>();
+            let err = rx.recv_timeout(Duration::from_millis(10)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Timeout);
+        }
+    }
+}

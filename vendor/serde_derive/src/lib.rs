@@ -1,0 +1,399 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the item
+//! shapes this workspace uses — named structs, tuple structs, unit structs,
+//! and enums whose variants are unit, tuple, or named — without `syn` or
+//! `quote`: the derive input is parsed directly from the token stream and
+//! the impl is emitted as source text. Generic items are not supported (the
+//! workspace derives none).
+//!
+//! Representation conventions match upstream serde's JSON behaviour for
+//! these shapes: structs serialize as maps keyed by field name, one-field
+//! tuple structs (newtypes) are transparent, longer tuple structs are
+//! arrays, unit enum variants are strings, and data-carrying variants are
+//! single-entry maps keyed by the variant name.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip any leading `#[...]` attribute pairs starting at `i`.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(i) {
+        if ident.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past a type (or any token run) up to the next top-level comma,
+/// tracking `<...>` nesting. Returns the index of the comma (or end).
+fn skip_to_top_level_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse the field names of a named-fields group (`{ a: T, pub b: U }`).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_visibility(&tokens, i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde_derive stub: expected field name, found {:?}",
+                tokens[i]
+            );
+        };
+        names.push(name.to_string());
+        i += 1; // field name
+        i += 1; // ':'
+        i = skip_to_top_level_comma(&tokens, i);
+        i += 1; // ','
+    }
+    names
+}
+
+/// Count the fields of a tuple group (`( T, U )`).
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        i = skip_visibility(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_to_top_level_comma(&tokens, i);
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attributes(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!(
+                "serde_derive stub: expected variant name, found {:?}",
+                tokens[i]
+            );
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip a possible discriminant, then the trailing comma.
+        i = skip_to_top_level_comma(&tokens, i);
+        i += 1;
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+    let TokenTree::Ident(keyword) = &tokens[i] else {
+        panic!("serde_derive stub: expected `struct` or `enum`");
+    };
+    let keyword = keyword.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive stub: expected item name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic items are not supported (item `{name}`)");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(Fields::Named(parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Struct(Fields::Tuple(count_tuple_fields(g)))
+            }
+            _ => Shape::Struct(Fields::Unit),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => panic!("serde_derive stub: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+// ---- Serialize -----------------------------------------------------------
+
+fn serialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let mut body = String::from("let mut entries = Vec::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "entries.push((String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            body.push_str("::serde::Value::Map(entries)");
+            body
+        }
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), {inner})]),\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("{ let mut entries = Vec::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "entries.push((String::from(\"{f}\"), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Map(entries) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(String::from(\"{vn}\"), {inner})]),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
+}
+
+/// Derive `Serialize` (Value-based stub semantics).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    let name = &item.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl parses")
+}
+
+// ---- Deserialize ---------------------------------------------------------
+
+/// Expression deserializing field `field` of a map held in `source`.
+fn named_field_expr(field: &str, source: &str) -> String {
+    format!(
+        "match {source}.get(\"{field}\") {{\n\
+             Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+             // Missing fields deserialize from null so Option<T> defaults to\n\
+             // None (other types report the missing field).\n\
+             None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+                 .map_err(|e| ::serde::DeError(format!(\"field `{field}`: {{e}}\")))?,\n\
+         }}"
+    )
+}
+
+fn deserialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {}", named_field_expr(f, "value")))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(",\n"))
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let mut body = format!(
+                "let items = value.as_array().ok_or_else(|| ::serde::__unexpected(\"an array of {n} elements\", value))?;\n\
+                 if items.len() != {n} {{ return Err(::serde::__unexpected(\"an array of {n} elements\", value)); }}\n"
+            );
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            body.push_str(&format!("Ok({name}({}))", inits.join(", ")));
+            body
+        }
+        Shape::Struct(Fields::Unit) => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut body = String::new();
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{vn}\" => return Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            if !unit_arms.is_empty() {
+                body.push_str(&format!(
+                    "if let Some(s) = value.as_str() {{ match s {{ {} _ => {{}} }} }}\n",
+                    unit_arms.join("\n")
+                ));
+            }
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => body.push_str(&format!(
+                        "if let Some(inner) = value.get(\"{vn}\") {{\n\
+                             return Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?));\n\
+                         }}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        body.push_str(&format!(
+                            "if let Some(inner) = value.get(\"{vn}\") {{\n\
+                                 let items = inner.as_array().ok_or_else(|| ::serde::__unexpected(\"an array of {n} elements\", inner))?;\n\
+                                 if items.len() != {n} {{ return Err(::serde::__unexpected(\"an array of {n} elements\", inner)); }}\n\
+                                 return Ok({name}::{vn}({}));\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: {}", named_field_expr(f, "inner")))
+                            .collect();
+                        body.push_str(&format!(
+                            "if let Some(inner) = value.get(\"{vn}\") {{\n\
+                                 return Ok({name}::{vn} {{ {} }});\n\
+                             }}\n",
+                            inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "Err(::serde::__unexpected(\"a variant of enum {name}\", value))"
+            ));
+            body
+        }
+    }
+}
+
+/// Derive `Deserialize` (Value-based stub semantics).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = deserialize_body(&item);
+    let name = &item.name;
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl parses")
+}
