@@ -7,28 +7,34 @@
 //! repro fig5 [--full]          # Figure 5: 96³ obstacle problem (default: scaled 32³)
 //! repro fig6 [--full]          # Figure 6: 144³ obstacle problem (default: scaled 48³)
 //! repro ablation               # data-channel design-choice ablation
+//! repro runtimes               # runtime-backend matrix -> BENCH_runtimes.json
 //! repro all [--full]           # everything above
 //! ```
 //!
 //! Results are printed as text tables and also written as JSON under
-//! `results/` for EXPERIMENTS.md.
+//! `results/` for EXPERIMENTS.md. `repro runtimes` additionally writes the
+//! machine-readable `BENCH_runtimes.json` into the working directory; CI
+//! uploads it as a workflow artifact on every PR (the perf trajectory).
 
 use bench_suite::{
-    format_ablation, format_table1, run_ablation, run_figure, run_table1, FigureConfig,
+    format_ablation, format_runtime_matrix, format_table1, run_ablation, run_figure,
+    run_runtime_matrix, run_table1, FigureConfig, RuntimeMatrixScenario,
 };
 use p2pdc::format_table;
 
+fn write_json_to(path: &str, value: &impl serde::Serialize) {
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => match std::fs::write(path, body) {
+            Ok(()) => eprintln!("(wrote {path})"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        },
+        Err(e) => eprintln!("could not serialize {path}: {e}"),
+    }
+}
+
 fn write_json(name: &str, value: &impl serde::Serialize) {
     let _ = std::fs::create_dir_all("results");
-    let path = format!("results/{name}.json");
-    match serde_json::to_string_pretty(value) {
-        Ok(body) => {
-            if std::fs::write(&path, body).is_ok() {
-                eprintln!("(wrote {path})");
-            }
-        }
-        Err(e) => eprintln!("could not serialize {name}: {e}"),
-    }
+    write_json_to(&format!("results/{name}.json"), value);
 }
 
 fn run_fig(which: u8, full: bool) {
@@ -47,6 +53,19 @@ fn run_fig(which: u8, full: bool) {
         &format!("fig{which}{}", if full { "_full" } else { "" }),
         &result,
     );
+}
+
+fn run_runtimes() {
+    eprintln!("running the runtime-backend matrix ...");
+    let result = run_runtime_matrix(&RuntimeMatrixScenario::default());
+    println!("{}", format_runtime_matrix(&result));
+    write_json("runtimes", &result);
+    // The perf-trajectory artifact CI uploads on every PR.
+    write_json_to("BENCH_runtimes.json", &result);
+    if !result.rows.iter().all(|r| r.converged) {
+        eprintln!("WARNING: a runtime backend failed to converge");
+        std::process::exit(1);
+    }
 }
 
 fn main() {
@@ -71,6 +90,7 @@ fn main() {
             println!("{}", format_ablation(&rows));
             write_json("ablation", &rows);
         }
+        "runtimes" => run_runtimes(),
         "all" => {
             let rows = run_table1();
             println!("{}", format_table1(&rows));
@@ -80,9 +100,12 @@ fn main() {
             let ablation = run_ablation();
             println!("{}", format_ablation(&ablation));
             write_json("ablation", &ablation);
+            run_runtimes();
         }
         other => {
-            eprintln!("unknown command '{other}'; expected table1 | fig5 | fig6 | ablation | all");
+            eprintln!(
+                "unknown command '{other}'; expected table1 | fig5 | fig6 | ablation | runtimes | all"
+            );
             std::process::exit(2);
         }
     }

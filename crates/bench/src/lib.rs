@@ -3,10 +3,11 @@
 //! the `repro` binary and the Criterion benches call into this crate.
 
 use p2pdc::{
-    derive_row, run_obstacle_experiment, ComputeModel, FigureRow, ObstacleExperiment,
-    ObstacleInstance, Scheme,
+    derive_row, run_obstacle_experiment, run_obstacle_on, ComputeModel, FigureRow,
+    ObstacleExperiment, ObstacleInstance, RuntimeKind, Scheme,
 };
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Peer counts used by the paper's experiments.
 pub const PAPER_PEER_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 24];
@@ -155,6 +156,141 @@ fn run_single(
         seed: 42,
     };
     run_obstacle_experiment(&exp).measurement
+}
+
+/// One row of the runtime-backend matrix: the same obstacle scenario run on
+/// one of the four backends, with the harness wall time alongside the
+/// runtime's own elapsed metric (virtual for the simulated backend,
+/// wall-clock for the others). This is the machine-readable shape CI
+/// uploads as `BENCH_runtimes.json`, seeding the perf trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeBenchRow {
+    /// Backend label ("sim", "threads", "loopback", "udp").
+    pub runtime: String,
+    /// Scheme of computation.
+    pub scheme: String,
+    /// Grid points per dimension.
+    pub n: usize,
+    /// Number of peers.
+    pub peers: usize,
+    /// Real time the whole run took on the bench machine, in seconds.
+    pub wall_time_s: f64,
+    /// The elapsed time the runtime itself reported, in seconds.
+    pub reported_elapsed_s: f64,
+    /// Relaxations performed by each peer.
+    pub relaxations_per_peer: Vec<u64>,
+    /// Total relaxations across all peers.
+    pub total_relaxations: u64,
+    /// Whether the run converged.
+    pub converged: bool,
+    /// Fixed-point residual of the assembled solution.
+    pub residual: f64,
+}
+
+/// The scenario the runtime matrix runs (one JSON artifact per scenario).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeMatrixScenario {
+    /// Grid points per dimension.
+    pub n: usize,
+    /// Number of peers.
+    pub peers: usize,
+    /// Convergence tolerance.
+    pub tolerance: f64,
+    /// Seed shared by all backends.
+    pub seed: u64,
+}
+
+/// A complete runtime-backend matrix: scenario plus one row per
+/// (backend, scheme).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimeMatrixResult {
+    /// Artifact schema version (bump when the row shape changes).
+    pub schema_version: u32,
+    /// The scenario all rows ran.
+    pub scenario: RuntimeMatrixScenario,
+    /// All rows.
+    pub rows: Vec<RuntimeBenchRow>,
+}
+
+/// Run one obstacle scenario on one backend and measure it.
+pub fn run_runtime_once(
+    scenario: &RuntimeMatrixScenario,
+    runtime: RuntimeKind,
+    scheme: Scheme,
+) -> RuntimeBenchRow {
+    let mut exp = ObstacleExperiment::new(scenario.n, scheme, scenario.peers, 1);
+    exp.tolerance = scenario.tolerance;
+    exp.seed = scenario.seed;
+    let started = Instant::now();
+    let result = run_obstacle_on(&exp, runtime);
+    let wall = started.elapsed();
+    RuntimeBenchRow {
+        runtime: runtime.label().to_string(),
+        scheme: scheme.to_string(),
+        n: scenario.n,
+        peers: scenario.peers,
+        wall_time_s: wall.as_secs_f64(),
+        reported_elapsed_s: result.measurement.elapsed.as_secs_f64(),
+        relaxations_per_peer: result.measurement.relaxations_per_peer.clone(),
+        total_relaxations: result.measurement.total_relaxations(),
+        converged: result.measurement.converged,
+        residual: result.measurement.residual,
+    }
+}
+
+/// Run the full runtime-backend matrix: every backend × the synchronous and
+/// asynchronous schemes on one fixed-seed obstacle scenario.
+pub fn run_runtime_matrix(scenario: &RuntimeMatrixScenario) -> RuntimeMatrixResult {
+    let mut rows = Vec::new();
+    for runtime in RuntimeKind::ALL {
+        for scheme in [Scheme::Synchronous, Scheme::Asynchronous] {
+            rows.push(run_runtime_once(scenario, runtime, scheme));
+        }
+    }
+    RuntimeMatrixResult {
+        schema_version: 1,
+        scenario: scenario.clone(),
+        rows,
+    }
+}
+
+impl Default for RuntimeMatrixScenario {
+    /// The CI bench-smoke scenario: small enough for seconds-scale runs,
+    /// large enough that UDP boundary planes (n²·8 bytes) span multiple
+    /// datagrams and exercise reassembly.
+    fn default() -> Self {
+        Self {
+            n: 14,
+            peers: 4,
+            tolerance: 1e-4,
+            seed: 42,
+        }
+    }
+}
+
+/// Render the runtime matrix as text.
+pub fn format_runtime_matrix(result: &RuntimeMatrixResult) -> String {
+    let mut out = format!(
+        "== Runtime-backend matrix: obstacle {n}^3, {peers} peers ==\n",
+        n = result.scenario.n,
+        peers = result.scenario.peers
+    );
+    out.push_str(&format!(
+        "{:<10} {:<14} {:>13} {:>15} {:>13} {:>10}\n",
+        "runtime", "scheme", "wall [s]", "reported [s]", "relaxations", "converged"
+    ));
+    for r in &result.rows {
+        out.push_str(&format!(
+            "{:<10} {:<14} {:>13.3} {:>15.3} {:>13} {:>10}\n",
+            r.runtime,
+            r.scheme,
+            r.wall_time_s,
+            r.reported_elapsed_s,
+            r.total_relaxations,
+            r.converged
+        ));
+    }
+    out
 }
 
 /// The Table I verification: for every (scheme, connection) cell, the
@@ -397,6 +533,36 @@ mod tests {
         assert!(rows[2].sync_send_latency_ms > 100.0);
         // Reliable variants put more segments on the wire than the unreliable one.
         assert!(rows[1].wire_segments >= rows[0].wire_segments);
+    }
+
+    #[test]
+    fn runtime_matrix_covers_all_backends_and_converges() {
+        let scenario = RuntimeMatrixScenario {
+            n: 8,
+            peers: 2,
+            tolerance: 1e-3,
+            seed: 42,
+        };
+        let result = run_runtime_matrix(&scenario);
+        assert_eq!(result.rows.len(), RuntimeKind::ALL.len() * 2);
+        for row in &result.rows {
+            assert!(
+                row.converged,
+                "{}/{} did not converge",
+                row.runtime, row.scheme
+            );
+            assert!(row.wall_time_s > 0.0);
+            assert_eq!(row.relaxations_per_peer.len(), 2);
+            assert!(
+                row.residual < 1e-2,
+                "{}: residual {}",
+                row.runtime,
+                row.residual
+            );
+        }
+        // The matrix serializes for the BENCH_runtimes.json artifact.
+        let json = serde_json::to_string(&result).expect("serializes");
+        assert!(json.contains("\"udp\"") && json.contains("schema_version"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Messages move through the stack by reference (no copies, per the paper's
 //! modification to Cactus): a `SendDown` effect from layer *i* is re-raised as
-//! [`events::MSG_FROM_ABOVE`] in layer *i−1*; a `SendUp` effect from layer *i*
+//! [`MSG_FROM_ABOVE`] in layer *i−1*; a `SendUp` effect from layer *i*
 //! is re-raised as [`events::MSG_FROM_NET`] in layer *i+1*. Effects falling
 //! off the bottom or the top of the stack are returned to the stack's owner
 //! (the session), which is responsible for the actual network and application

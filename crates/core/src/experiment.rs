@@ -1,13 +1,21 @@
-//! End-to-end experiment driver: run the obstacle application on the
-//! simulated P2PDC runtime for one (scheme, topology, peer count)
-//! configuration and collect the paper's metrics.
+//! End-to-end experiment driver: run the obstacle application for one
+//! (scheme, topology, peer count) configuration on any of the four runtime
+//! backends and collect the paper's metrics.
+//!
+//! [`run_obstacle_experiment`] is the original simulated-runtime entry point
+//! (it additionally yields network statistics); [`run_obstacle_on`] runs the
+//! same experiment on a [`RuntimeKind`] of choice and reports the
+//! measurement / solution / residual shape shared by all backends.
 
 use crate::compute::ComputeModel;
 use crate::metrics::RunMeasurement;
 use crate::obstacle_app::{
     assemble_solution, build_problem, ObstacleInstance, ObstacleParams, ObstacleTask,
 };
+use crate::runtime::loopback::{run_iterative_loopback, LoopbackRunConfig};
 use crate::runtime::sim::{run_iterative, SimRunConfig, SimRunOutcome};
+use crate::runtime::threads::{run_iterative_threads, ThreadRunConfig};
+use crate::runtime::udp::{run_iterative_udp, UdpRunConfig};
 use desim::SimDuration;
 use netsim::{NetStats, Topology};
 use obstacle::fixed_point_residual;
@@ -67,6 +75,148 @@ impl ObstacleExperiment {
         } else {
             "2 clusters"
         }
+    }
+}
+
+/// The runtime backend an experiment executes on. All four drive the same
+/// [`crate::runtime::engine::PeerEngine`]; they differ only in the substrate
+/// carrying the P2PSAP segments and in the clock behind the measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuntimeKind {
+    /// Virtual-time discrete-event simulation over the netsim fabric
+    /// (deterministic, models latency/bandwidth/loss — the evaluation
+    /// harness default).
+    Sim,
+    /// One OS thread per peer, channel-routed segments with scaled link
+    /// latency (wall-clock).
+    Threads,
+    /// Single-threaded in-process round-robin with instant delivery
+    /// (deterministic, fastest).
+    Loopback,
+    /// One OS thread per peer over real localhost UDP sockets with framing,
+    /// bootstrap discovery and an optional loss/reorder shim (wall-clock).
+    Udp,
+}
+
+impl RuntimeKind {
+    /// Every backend, in the order the bench matrix reports them.
+    pub const ALL: [RuntimeKind; 4] = [
+        RuntimeKind::Sim,
+        RuntimeKind::Threads,
+        RuntimeKind::Loopback,
+        RuntimeKind::Udp,
+    ];
+
+    /// Stable lowercase label (JSON artifacts, bench ids).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RuntimeKind::Sim => "sim",
+            RuntimeKind::Threads => "threads",
+            RuntimeKind::Loopback => "loopback",
+            RuntimeKind::Udp => "udp",
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome shape shared by every runtime backend: the measurement, the
+/// assembled solution and its fixed-point residual.
+#[derive(Debug, Clone)]
+pub struct RuntimeExperimentResult {
+    /// The backend that produced this result.
+    pub runtime: RuntimeKind,
+    /// Measurement with the fixed-point residual filled in.
+    pub measurement: RunMeasurement,
+    /// Assembled global solution.
+    pub solution: Vec<f64>,
+}
+
+/// Run one obstacle experiment on the chosen runtime backend.
+///
+/// The experiment's compute model and seed only influence the simulated
+/// backend (the wall-clock backends run the kernel for real); the seed also
+/// feeds the UDP loss shim, which stays disabled here — lossy-delivery runs
+/// go through [`crate::runtime::udp::UdpRunConfig`] directly.
+pub fn run_obstacle_on(exp: &ObstacleExperiment, runtime: RuntimeKind) -> RuntimeExperimentResult {
+    if runtime == RuntimeKind::Sim {
+        let result = run_obstacle_experiment(exp);
+        return RuntimeExperimentResult {
+            runtime,
+            measurement: result.measurement,
+            solution: result.solution,
+        };
+    }
+    let params = ObstacleParams {
+        n: exp.n,
+        peers: exp.peers,
+        scheme: exp.scheme,
+        instance: exp.instance,
+    };
+    let problem = Arc::new(build_problem(&params));
+    let peers = exp.peers;
+    let problem_for_tasks = Arc::clone(&problem);
+    let task_factory = move |rank: usize| -> Box<dyn crate::app::IterativeTask> {
+        Box::new(ObstacleTask::new(
+            Arc::clone(&problem_for_tasks),
+            peers,
+            rank,
+        ))
+    };
+    let max_relaxations = 2_000_000;
+    let (mut measurement, results) = match runtime {
+        RuntimeKind::Sim => unreachable!("handled above"),
+        RuntimeKind::Threads => {
+            let outcome = run_iterative_threads(
+                &ThreadRunConfig {
+                    scheme: exp.scheme,
+                    topology: exp.topology(),
+                    tolerance: exp.tolerance,
+                    max_relaxations,
+                    latency_scale: 0.05,
+                },
+                task_factory,
+            );
+            (outcome.measurement, outcome.results)
+        }
+        RuntimeKind::Loopback => {
+            let outcome = run_iterative_loopback(
+                &LoopbackRunConfig {
+                    scheme: exp.scheme,
+                    topology: exp.topology(),
+                    tolerance: exp.tolerance,
+                    max_relaxations,
+                },
+                task_factory,
+            );
+            (outcome.measurement, outcome.results)
+        }
+        RuntimeKind::Udp => {
+            let outcome = run_iterative_udp(
+                &UdpRunConfig {
+                    scheme: exp.scheme,
+                    topology: exp.topology(),
+                    tolerance: exp.tolerance,
+                    max_relaxations,
+                    seed: exp.seed,
+                    loss_probability: 0.0,
+                    reorder_probability: 0.0,
+                },
+                task_factory,
+            );
+            (outcome.measurement, outcome.results)
+        }
+    };
+    let solution = assemble_solution(exp.n, &results);
+    measurement.residual = fixed_point_residual(&problem, &solution, problem.optimal_delta());
+    RuntimeExperimentResult {
+        runtime,
+        measurement,
+        solution,
     }
 }
 
@@ -211,6 +361,37 @@ mod tests {
             result.measurement.elapsed < sync.measurement.elapsed,
             "asynchronous iterations must finish sooner than synchronous ones across a 100 ms WAN"
         );
+    }
+
+    #[test]
+    fn every_runtime_backend_reports_the_shared_measurement_shape() {
+        let exp = ObstacleExperiment::new(8, Scheme::Synchronous, 2, 1);
+        let reference = solve_sequential(
+            &obstacle::ObstacleProblem::membrane(8),
+            RichardsonConfig {
+                tolerance: exp.tolerance,
+                ..Default::default()
+            },
+        );
+        for runtime in RuntimeKind::ALL {
+            let result = run_obstacle_on(&exp, runtime);
+            assert_eq!(result.runtime, runtime);
+            assert!(result.measurement.converged, "{runtime} did not converge");
+            assert_eq!(result.measurement.peers, 2);
+            // Synchronous relaxation-count invariance holds on every backend.
+            let max = result.measurement.max_relaxations();
+            let expected = reference.iterations as u64;
+            assert!(
+                max >= expected && max <= expected + 1,
+                "{runtime}: {max} vs sequential {expected}"
+            );
+            assert!(
+                result.measurement.residual < exp.tolerance * 2.0,
+                "{runtime}: residual {}",
+                result.measurement.residual
+            );
+            assert_eq!(result.solution.len(), 8 * 8 * 8);
+        }
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub mod topology_manager;
 
 pub use app::{Application, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
 pub use compute::{calibrate_ns_per_point, ComputeModel};
-pub use experiment::{run_obstacle_experiment, ExperimentResult, ObstacleExperiment};
+pub use experiment::{
+    run_obstacle_experiment, run_obstacle_on, ExperimentResult, ObstacleExperiment,
+    RuntimeExperimentResult, RuntimeKind,
+};
 pub use fault::{Checkpoint, FaultManager, RecoveryAction};
 pub use load_balance::{LoadBalancer, PeerLoad};
 pub use metrics::{derive_row, format_table, FigureRow, RunMeasurement};
@@ -46,9 +49,10 @@ pub use obstacle_app::{
     UpdateMsg,
 };
 pub use runtime::{
-    run_iterative, run_iterative_loopback, run_iterative_threads, ConvergenceDetector,
-    LoopbackRunConfig, LoopbackRunOutcome, PeerEngine, PeerTransport, SimRunConfig, SimRunOutcome,
-    ThreadRunConfig, ThreadRunOutcome,
+    run_iterative, run_iterative_loopback, run_iterative_threads, run_iterative_udp,
+    ConvergenceDetector, LoopbackRunConfig, LoopbackRunOutcome, LossShim, PeerEngine,
+    PeerTransport, Reassembler, SimRunConfig, SimRunOutcome, ThreadRunConfig, ThreadRunOutcome,
+    UdpRunConfig, UdpRunOutcome,
 };
 pub use task_manager::{parse_command, Command, Job, JobState, TaskManager};
 pub use topology_manager::{PeerRecord, TopologyManager, MISSED_PINGS_BEFORE_EVICTION};

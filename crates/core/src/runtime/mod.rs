@@ -32,9 +32,16 @@
 //!   clock. The cheapest way to exercise the full peer loop, and the proof
 //!   that the engine abstraction carries to a third backend unchanged.
 //!
+//! * [`udp`] — the real-socket substrate: one OS thread per peer owning a
+//!   `UdpSocket` bound to an ephemeral localhost port, P2PSAP segments
+//!   framed into datagrams (with reassembly), peer discovery over the
+//!   socket itself, and an optional deterministic loss/reorder shim so the
+//!   protocol's reliability machinery is exercised by a genuinely lossy
+//!   network stack.
+//!
 //! Adding a backend means implementing [`engine::PeerTransport`] plus a
 //! small drive loop — candidate future backends are listed in ROADMAP.md
-//! (async/tokio over real sockets, MPI-style process ranks).
+//! (async/tokio sockets, MPI-style process ranks).
 //!
 //! All runtimes assemble their [`crate::metrics::RunMeasurement`] through
 //! [`engine::ConvergenceDetector::finish_run`], so they report identical
@@ -44,8 +51,10 @@ pub mod engine;
 pub mod loopback;
 pub mod sim;
 pub mod threads;
+pub mod udp;
 
 pub use engine::{ConvergenceDetector, PeerEngine, PeerTransport, SharedDetector, TimerKey};
 pub use loopback::{run_iterative_loopback, LoopbackRunConfig, LoopbackRunOutcome};
 pub use sim::{run_iterative, SimRunConfig, SimRunOutcome};
 pub use threads::{run_iterative_threads, ThreadRunConfig, ThreadRunOutcome};
+pub use udp::{run_iterative_udp, LossShim, Reassembler, UdpRunConfig, UdpRunOutcome};

@@ -1,0 +1,927 @@
+//! The real-socket UDP runtime of P2PDC.
+//!
+//! The fourth [`PeerTransport`] implementation, and the first whose segments
+//! leave the process: every peer is an OS thread owning a
+//! [`std::net::UdpSocket`] bound to an ephemeral localhost port, and P2PSAP
+//! wire segments travel as genuine UDP datagrams through the kernel's network
+//! stack. Everything scheme- and protocol-related still lives in the shared
+//! [`PeerEngine`] — this module only provides:
+//!
+//! * **Framing / reassembly** — a P2PSAP segment can exceed a safe datagram
+//!   size (boundary planes grow with the grid), so segments are split into
+//!   fragments of at most [`MAX_FRAGMENT_PAYLOAD`] bytes, each carrying a
+//!   `(sender, message id, fragment index / count)` header, and reassembled
+//!   at the receiver (out-of-order tolerant, stale partials evicted).
+//! * **Bootstrap** — peers discover each other over the socket itself: a
+//!   bootstrap service owned by the run binds its own port, every peer
+//!   announces `HELLO(rank)` from its freshly bound socket (retrying until
+//!   answered), and once all ranks have announced, the service replies with
+//!   the full rank→port table. No addresses are configured up front.
+//! * **Loss / reorder shim** — [`LossShim`] wraps the socket's send path
+//!   with a deterministic [`ChaCha8Rng`] seeded from the experiment seed,
+//!   dropping or swapping datagrams with configured probabilities, so the
+//!   congestion-control and protocol-adaptation paths are exercised over
+//!   genuinely lossy delivery rather than only netsim's model.
+//! * **Drive loop** — nonblocking receive with exponential sleep backoff
+//!   (reset on any event), wall-clock protocol timers through the shared
+//!   [`TimerQueue`], and the same compute-pending turn the thread runtime
+//!   uses.
+//!
+//! Latency is whatever the kernel's loopback path provides (microseconds);
+//! the topology only contributes the cluster split that the hybrid scheme's
+//! wait rule and the Table I controller consume. Runs are therefore *not*
+//! deterministic in elapsed time — but synchronous-scheme relaxation counts
+//! still match the other runtimes, which is what the cross-runtime
+//! agreement tests assert.
+
+use crate::app::IterativeTask;
+use crate::metrics::RunMeasurement;
+use crate::runtime::engine::{
+    ConvergenceDetector, PeerEngine, PeerTransport, TimerKey, TimerQueue,
+};
+use bytes::Bytes;
+use netsim::Topology;
+use p2psap::Scheme;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Magic tag opening every datagram of this runtime (stray traffic on a
+/// reused port is discarded instead of corrupting a run).
+pub const DATAGRAM_MAGIC: u16 = 0x5A7D;
+
+/// Largest fragment payload put into one datagram. Conservative (well under
+/// the loopback MTU) so that realistic boundary planes exercise the
+/// fragmentation path instead of always fitting into one datagram.
+pub const MAX_FRAGMENT_PAYLOAD: usize = 1200;
+
+/// Size of the fragment header:
+/// magic(2) kind(1) from(2) msg_id(4) frag_index(2) frag_count(2) len(2).
+pub const FRAGMENT_HEADER_BYTES: usize = 15;
+
+/// Partial messages kept per receiver before the oldest is evicted. Stale
+/// partials accumulate only when fragments are lost on an unreliable
+/// channel; the reliable channel retransmits under a fresh message id.
+const MAX_PARTIAL_MESSAGES: usize = 256;
+
+const KIND_FRAGMENT: u8 = 0;
+const KIND_STOP: u8 = 1;
+const KIND_HELLO: u8 = 2;
+const KIND_TABLE: u8 = 3;
+
+/// A decoded runtime datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Datagram {
+    /// One fragment of a framed P2PSAP segment.
+    Fragment {
+        /// Sender rank.
+        from: usize,
+        /// Per-sender message counter the fragments reassemble under.
+        msg_id: u32,
+        /// Index of this fragment within the message.
+        frag_index: u16,
+        /// Total fragments of the message.
+        frag_count: u16,
+        /// Fragment payload.
+        payload: Vec<u8>,
+    },
+    /// The termination broadcast.
+    Stop {
+        /// Sender rank.
+        from: usize,
+    },
+    /// Bootstrap: a peer announcing its rank from its bound socket.
+    Hello {
+        /// Announcing rank.
+        rank: usize,
+    },
+    /// Bootstrap: the full rank→port table (ranks are the vector indices).
+    Table {
+        /// UDP port of every rank, in rank order.
+        ports: Vec<u16>,
+    },
+}
+
+impl Datagram {
+    /// Encode to the on-wire byte representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&DATAGRAM_MAGIC.to_be_bytes());
+        match self {
+            Datagram::Fragment {
+                from,
+                msg_id,
+                frag_index,
+                frag_count,
+                payload,
+            } => {
+                out.push(KIND_FRAGMENT);
+                out.extend_from_slice(&(*from as u16).to_be_bytes());
+                out.extend_from_slice(&msg_id.to_be_bytes());
+                out.extend_from_slice(&frag_index.to_be_bytes());
+                out.extend_from_slice(&frag_count.to_be_bytes());
+                out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+                out.extend_from_slice(payload);
+            }
+            Datagram::Stop { from } => {
+                out.push(KIND_STOP);
+                out.extend_from_slice(&(*from as u16).to_be_bytes());
+            }
+            Datagram::Hello { rank } => {
+                out.push(KIND_HELLO);
+                out.extend_from_slice(&(*rank as u16).to_be_bytes());
+            }
+            Datagram::Table { ports } => {
+                out.push(KIND_TABLE);
+                out.extend_from_slice(&(ports.len() as u16).to_be_bytes());
+                for port in ports {
+                    out.extend_from_slice(&port.to_be_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode from bytes received off the socket; `None` for foreign or
+    /// truncated traffic.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let u16_at = |i: usize| -> Option<u16> {
+            Some(u16::from_be_bytes([*bytes.get(i)?, *bytes.get(i + 1)?]))
+        };
+        if u16_at(0)? != DATAGRAM_MAGIC {
+            return None;
+        }
+        match *bytes.get(2)? {
+            KIND_FRAGMENT => {
+                let from = u16_at(3)? as usize;
+                let msg_id = u32::from_be_bytes([
+                    *bytes.get(5)?,
+                    *bytes.get(6)?,
+                    *bytes.get(7)?,
+                    *bytes.get(8)?,
+                ]);
+                let frag_index = u16_at(9)?;
+                let frag_count = u16_at(11)?;
+                let len = u16_at(13)? as usize;
+                let payload = bytes.get(FRAGMENT_HEADER_BYTES..FRAGMENT_HEADER_BYTES + len)?;
+                Some(Datagram::Fragment {
+                    from,
+                    msg_id,
+                    frag_index,
+                    frag_count,
+                    payload: payload.to_vec(),
+                })
+            }
+            KIND_STOP => Some(Datagram::Stop {
+                from: u16_at(3)? as usize,
+            }),
+            KIND_HELLO => Some(Datagram::Hello {
+                rank: u16_at(3)? as usize,
+            }),
+            KIND_TABLE => {
+                let count = u16_at(3)? as usize;
+                let mut ports = Vec::with_capacity(count);
+                for i in 0..count {
+                    ports.push(u16_at(5 + 2 * i)?);
+                }
+                Some(Datagram::Table { ports })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Split one P2PSAP wire segment into fragment datagrams of at most
+/// [`MAX_FRAGMENT_PAYLOAD`] payload bytes each.
+pub fn frame_segment(from: usize, msg_id: u32, segment: &[u8]) -> Vec<Datagram> {
+    let chunks: Vec<&[u8]> = if segment.is_empty() {
+        vec![&[]]
+    } else {
+        segment.chunks(MAX_FRAGMENT_PAYLOAD).collect()
+    };
+    let frag_count = chunks.len() as u16;
+    chunks
+        .into_iter()
+        .enumerate()
+        .map(|(i, chunk)| Datagram::Fragment {
+            from,
+            msg_id,
+            frag_index: i as u16,
+            frag_count,
+            payload: chunk.to_vec(),
+        })
+        .collect()
+}
+
+/// Reassembles framed segments from fragment datagrams, tolerating
+/// out-of-order and duplicate delivery. At most 256 partial messages are
+/// buffered; beyond that the oldest is evicted (stale partials correspond
+/// to fragments lost on an unreliable channel).
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    partial: HashMap<(usize, u32), Partial>,
+    /// Monotone admission counter used for oldest-first eviction.
+    admitted: u64,
+}
+
+#[derive(Debug)]
+struct Partial {
+    fragments: Vec<Option<Vec<u8>>>,
+    received: usize,
+    admitted_at: u64,
+}
+
+impl Reassembler {
+    /// An empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of partially reassembled messages currently buffered.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Feed one fragment; returns the complete segment (with its sender)
+    /// when this fragment finishes a message.
+    pub fn push(&mut self, datagram: Datagram) -> Option<(usize, Bytes)> {
+        let Datagram::Fragment {
+            from,
+            msg_id,
+            frag_index,
+            frag_count,
+            payload,
+        } = datagram
+        else {
+            return None;
+        };
+        if frag_count == 0 || frag_index >= frag_count {
+            return None;
+        }
+        // Single-fragment fast path: nothing to buffer.
+        if frag_count == 1 {
+            return Some((from, Bytes::from(payload)));
+        }
+        let key = (from, msg_id);
+        if !self.partial.contains_key(&key) && self.partial.len() >= MAX_PARTIAL_MESSAGES {
+            if let Some(oldest) = self
+                .partial
+                .iter()
+                .min_by_key(|(_, p)| p.admitted_at)
+                .map(|(k, _)| *k)
+            {
+                self.partial.remove(&oldest);
+            }
+        }
+        self.admitted += 1;
+        let admitted = self.admitted;
+        let entry = self.partial.entry(key).or_insert_with(|| Partial {
+            fragments: vec![None; frag_count as usize],
+            received: 0,
+            admitted_at: admitted,
+        });
+        if entry.fragments.len() != frag_count as usize {
+            // A message id was reused with a different shape: start over.
+            *entry = Partial {
+                fragments: vec![None; frag_count as usize],
+                received: 0,
+                admitted_at: admitted,
+            };
+        }
+        let slot = &mut entry.fragments[frag_index as usize];
+        if slot.is_none() {
+            *slot = Some(payload);
+            entry.received += 1;
+        }
+        if entry.received < entry.fragments.len() {
+            return None;
+        }
+        let complete = self.partial.remove(&key).expect("checked above");
+        let mut segment = Vec::new();
+        for fragment in complete.fragments {
+            segment.extend_from_slice(&fragment.expect("all fragments received"));
+        }
+        Some((from, Bytes::from(segment)))
+    }
+}
+
+/// Deterministic loss / reorder shim on a socket's send path.
+///
+/// Seeded from the experiment RNG, it drops a datagram with probability
+/// `loss` and, with probability `reorder`, holds a datagram back so it is
+/// emitted *after* the next one (a one-slot swap — the classic reordering a
+/// real network produces). Bootstrap and stop datagrams bypass the shim.
+#[derive(Debug)]
+pub struct LossShim {
+    rng: ChaCha8Rng,
+    loss: f64,
+    reorder: f64,
+    held: Option<(Vec<u8>, SocketAddr)>,
+    /// Datagrams dropped so far (observability for tests and benches).
+    pub dropped: u64,
+    /// Datagram pairs swapped so far.
+    pub reordered: u64,
+}
+
+impl LossShim {
+    /// A shim with the given probabilities, seeded deterministically.
+    pub fn new(seed: u64, loss: f64, reorder: f64) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            loss,
+            reorder,
+            held: None,
+            dropped: 0,
+            reordered: 0,
+        }
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && (self.rng.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// Send `buf` to `addr` through the shim.
+    pub fn send_to(&mut self, socket: &UdpSocket, buf: &[u8], addr: SocketAddr) {
+        if self.chance(self.loss) {
+            self.dropped += 1;
+            return;
+        }
+        if self.held.is_none() && self.chance(self.reorder) {
+            self.held = Some((buf.to_vec(), addr));
+            return;
+        }
+        let _ = socket.send_to(buf, addr);
+        if let Some((held_buf, held_addr)) = self.held.take() {
+            self.reordered += 1;
+            let _ = socket.send_to(&held_buf, held_addr);
+        }
+    }
+
+    /// Emit a held-back datagram, if any (end of run, stop broadcast).
+    pub fn flush(&mut self, socket: &UdpSocket) {
+        if let Some((buf, addr)) = self.held.take() {
+            let _ = socket.send_to(&buf, addr);
+        }
+    }
+}
+
+/// Configuration of a UDP-runtime run.
+#[derive(Debug, Clone)]
+pub struct UdpRunConfig {
+    /// Scheme of computation.
+    pub scheme: Scheme,
+    /// Topology (defines peer count and the cluster split driving the
+    /// hybrid wait rule and Table I; link latencies are not emulated — the
+    /// kernel's loopback path provides the real ones).
+    pub topology: Topology,
+    /// Convergence tolerance.
+    pub tolerance: f64,
+    /// Cap on relaxations per peer.
+    pub max_relaxations: u64,
+    /// Seed of the loss/reorder shim.
+    pub seed: u64,
+    /// Probability that the shim drops an outgoing datagram.
+    pub loss_probability: f64,
+    /// Probability that the shim holds a datagram back one slot.
+    pub reorder_probability: f64,
+}
+
+impl UdpRunConfig {
+    /// Quick configuration: `peers` peers, one cluster, clean delivery.
+    pub fn quick(scheme: Scheme, peers: usize) -> Self {
+        Self {
+            scheme,
+            topology: Topology::nicta_single_cluster(peers),
+            tolerance: 1e-4,
+            max_relaxations: 500_000,
+            seed: 42,
+            loss_probability: 0.0,
+            reorder_probability: 0.0,
+        }
+    }
+
+    /// Same, split into two clusters (exercises the hybrid wait rule and
+    /// the unreliable inter-cluster channel choice).
+    pub fn two_clusters(scheme: Scheme, peers: usize) -> Self {
+        Self {
+            topology: Topology::nicta_two_clusters(peers),
+            ..Self::quick(scheme, peers)
+        }
+    }
+
+    /// Enable the loss/reorder shim.
+    pub fn with_impairment(mut self, loss: f64, reorder: f64) -> Self {
+        self.loss_probability = loss;
+        self.reorder_probability = reorder;
+        self
+    }
+}
+
+/// Outcome of a UDP-runtime run.
+#[derive(Debug, Clone)]
+pub struct UdpRunOutcome {
+    /// Timing and relaxation measurements (elapsed is wall-clock).
+    pub measurement: RunMeasurement,
+    /// Per-rank serialized results.
+    pub results: Vec<(usize, Vec<u8>)>,
+    /// The localhost ports the peers bound during bootstrap, in rank order.
+    pub ports: Vec<u16>,
+    /// Datagrams dropped by the loss shim, summed over all peers.
+    pub datagrams_dropped: u64,
+}
+
+/// The [`PeerTransport`] of the UDP runtime.
+struct UdpTransport {
+    rank: usize,
+    start: Instant,
+    socket: UdpSocket,
+    /// Rank → address table obtained from bootstrap.
+    addrs: Vec<SocketAddr>,
+    shim: LossShim,
+    /// Per-sender message counter for framing.
+    next_msg_id: u32,
+    timers: TimerQueue,
+    compute_pending: bool,
+}
+
+impl UdpTransport {
+    fn pop_due_timer(&mut self) -> Option<TimerKey> {
+        let now = self.start.elapsed().as_nanos() as u64;
+        self.timers.pop_due(now)
+    }
+}
+
+impl PeerTransport for UdpTransport {
+    fn now_ns(&mut self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    fn transmit(&mut self, to: usize, segment: Bytes) {
+        let msg_id = self.next_msg_id;
+        self.next_msg_id = self.next_msg_id.wrapping_add(1);
+        for datagram in frame_segment(self.rank, msg_id, &segment) {
+            self.shim
+                .send_to(&self.socket, &datagram.encode(), self.addrs[to]);
+        }
+    }
+
+    fn arm_timer(&mut self, key: TimerKey, delay_ns: u64) {
+        let deadline = self.start.elapsed().as_nanos() as u64 + delay_ns;
+        self.timers.arm(key, deadline);
+    }
+
+    fn cancel_timer(&mut self, key: TimerKey) {
+        self.timers.cancel(key);
+    }
+
+    fn schedule_compute(&mut self, _work_points: u64) {
+        // The relaxation kernel already ran for real on this thread; the
+        // engine is advanced on the next drive-loop turn.
+        self.compute_pending = true;
+    }
+
+    fn broadcast_stop(&mut self) {
+        // In-flight reordered data must not outlive the stop.
+        self.shim.flush(&self.socket);
+        let stop = Datagram::Stop { from: self.rank }.encode();
+        for (rank, addr) in self.addrs.iter().enumerate() {
+            if rank != self.rank {
+                // Stops bypass the shim: termination is the coordinator's
+                // reliable path, and the shared detector backs it up anyway.
+                let _ = self.socket.send_to(&stop, *addr);
+            }
+        }
+    }
+}
+
+fn localhost() -> Ipv4Addr {
+    Ipv4Addr::LOCALHOST
+}
+
+/// Bootstrap service: binds its own port, collects one `HELLO(rank)` from
+/// every peer, then answers every (re-)announcement with the full table.
+/// Runs until `stop` is set.
+fn bootstrap_service(
+    socket: UdpSocket,
+    peers: usize,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        socket
+            .set_read_timeout(Some(Duration::from_millis(20)))
+            .expect("set bootstrap read timeout");
+        let mut ports: Vec<Option<u16>> = vec![None; peers];
+        let mut buf = [0u8; 64];
+        while !stop.load(Ordering::Relaxed) {
+            let Ok((len, from_addr)) = socket.recv_from(&mut buf) else {
+                continue;
+            };
+            let Some(Datagram::Hello { rank }) = Datagram::decode(&buf[..len]) else {
+                continue;
+            };
+            if rank < peers {
+                ports[rank] = Some(from_addr.port());
+            }
+            if ports.iter().all(|p| p.is_some()) {
+                let table = Datagram::Table {
+                    ports: ports.iter().map(|p| p.expect("all known")).collect(),
+                }
+                .encode();
+                // Answer the announcer (and everyone else, so peers whose
+                // earlier table reply was not yet sent make progress).
+                for port in ports.iter().flatten() {
+                    let _ = socket.send_to(
+                        &table,
+                        SocketAddr::V4(SocketAddrV4::new(localhost(), *port)),
+                    );
+                }
+            }
+        }
+    })
+}
+
+/// Announce `rank` to the bootstrap service until the rank→address table
+/// arrives; returns the table.
+fn discover_peers(socket: &UdpSocket, rank: usize, bootstrap: SocketAddr) -> Vec<SocketAddr> {
+    socket
+        .set_read_timeout(Some(Duration::from_millis(10)))
+        .expect("set discovery read timeout");
+    let hello = Datagram::Hello { rank }.encode();
+    let mut buf = vec![0u8; 65536];
+    loop {
+        let _ = socket.send_to(&hello, bootstrap);
+        let deadline = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < deadline {
+            match socket.recv_from(&mut buf) {
+                Ok((len, _)) => {
+                    if let Some(Datagram::Table { ports }) = Datagram::decode(&buf[..len]) {
+                        return ports
+                            .into_iter()
+                            .map(|p| SocketAddr::V4(SocketAddrV4::new(localhost(), p)))
+                            .collect();
+                    }
+                }
+                Err(_) => std::thread::sleep(Duration::from_micros(200)),
+            }
+        }
+    }
+}
+
+/// Run a distributed iterative computation over real localhost UDP sockets,
+/// one OS thread per peer.
+pub fn run_iterative_udp<F>(config: &UdpRunConfig, task_factory: F) -> UdpRunOutcome
+where
+    F: Fn(usize) -> Box<dyn IterativeTask> + Send + Sync,
+{
+    let alpha = config.topology.len();
+    assert!(alpha >= 1);
+    let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
+
+    // Bootstrap: bind the service port first so peers have a rendezvous.
+    let bootstrap_socket = UdpSocket::bind(SocketAddrV4::new(localhost(), 0))
+        .expect("bind bootstrap socket on localhost");
+    let bootstrap_addr = bootstrap_socket.local_addr().expect("bootstrap addr");
+    let bootstrap_stop = Arc::new(AtomicBool::new(false));
+    let bootstrap = bootstrap_service(bootstrap_socket, alpha, Arc::clone(&bootstrap_stop));
+
+    let start = Instant::now();
+    let task_factory = &task_factory;
+    let ports = std::sync::Mutex::new(vec![0u16; alpha]);
+    let dropped = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for rank in 0..alpha {
+            let shared = Arc::clone(&shared);
+            let topology = config.topology.clone();
+            let scheme = config.scheme;
+            let max_relaxations = config.max_relaxations;
+            let seed = config.seed;
+            let loss = config.loss_probability;
+            let reorder = config.reorder_probability;
+            let ports = &ports;
+            let dropped = &dropped;
+            scope.spawn(move || {
+                let socket = UdpSocket::bind(SocketAddrV4::new(localhost(), 0))
+                    .expect("bind peer socket on localhost");
+                ports.lock().unwrap()[rank] = socket.local_addr().expect("peer local addr").port();
+                let addrs = discover_peers(&socket, rank, bootstrap_addr);
+                socket.set_nonblocking(true).expect("set nonblocking");
+                let mut engine = PeerEngine::new(
+                    rank,
+                    scheme,
+                    &topology,
+                    task_factory(rank),
+                    Arc::clone(&shared),
+                    max_relaxations,
+                );
+                let mut transport = UdpTransport {
+                    rank,
+                    start,
+                    socket,
+                    addrs,
+                    // Per-rank stream so peers do not share drop decisions.
+                    shim: LossShim::new(seed.wrapping_add(rank as u64), loss, reorder),
+                    next_msg_id: 0,
+                    timers: TimerQueue::new(),
+                    compute_pending: false,
+                };
+                let mut reassembler = Reassembler::new();
+                let mut buf = vec![0u8; 65536];
+                // Exponential sleep backoff for the idle path; any received
+                // datagram, due timer or pending compute resets it.
+                const BACKOFF_MIN: Duration = Duration::from_micros(20);
+                const BACKOFF_MAX: Duration = Duration::from_millis(2);
+                let mut backoff = BACKOFF_MIN;
+
+                engine.on_start(&mut transport);
+                while !engine.finished() {
+                    // Drain everything the kernel has buffered (asynchronous
+                    // peers relax back-to-back, so fresh ghosts must be
+                    // picked up between sweeps).
+                    let mut received_any = false;
+                    loop {
+                        match transport.socket.recv_from(&mut buf) {
+                            Ok((len, _)) => {
+                                received_any = true;
+                                match Datagram::decode(&buf[..len]) {
+                                    Some(Datagram::Stop { .. }) => {
+                                        engine.on_stop_signal(&mut transport);
+                                    }
+                                    Some(fragment @ Datagram::Fragment { .. }) => {
+                                        if let Some((from, segment)) = reassembler.push(fragment) {
+                                            engine.on_segment(from, segment, &mut transport);
+                                        }
+                                    }
+                                    // Late bootstrap traffic (a re-sent
+                                    // table) or foreign noise: ignore.
+                                    _ => {}
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(_) => break,
+                        }
+                    }
+                    if engine.finished() {
+                        break;
+                    }
+                    if let Some(key) = transport.pop_due_timer() {
+                        engine.on_timer(key, &mut transport);
+                        backoff = BACKOFF_MIN;
+                        continue;
+                    }
+                    if transport.compute_pending {
+                        transport.compute_pending = false;
+                        engine.on_compute_done(&mut transport);
+                        backoff = BACKOFF_MIN;
+                        continue;
+                    }
+                    // Another peer may have stopped the run while this one
+                    // was idling in a scheme wait (or its stop datagram was
+                    // still in flight).
+                    if shared.lock().unwrap().stopped() {
+                        engine.on_stop_signal(&mut transport);
+                        continue;
+                    }
+                    if received_any {
+                        backoff = BACKOFF_MIN;
+                        continue;
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(BACKOFF_MAX);
+                }
+                transport.shim.flush(&transport.socket);
+                dropped.fetch_add(transport.shim.dropped, Ordering::Relaxed);
+            });
+        }
+    });
+    bootstrap_stop.store(true, Ordering::Relaxed);
+    let _ = bootstrap.join();
+
+    let fallback_now = start.elapsed().as_nanos() as u64;
+    let (measurement, results) = shared
+        .lock()
+        .unwrap()
+        .finish_run(fallback_now, config.max_relaxations);
+    UdpRunOutcome {
+        measurement,
+        results,
+        ports: ports.into_inner().unwrap(),
+        datagrams_dropped: dropped.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::engine::testing::RampTask;
+
+    const RAMP: u64 = 10;
+
+    fn run(config: &UdpRunConfig) -> UdpRunOutcome {
+        let peers = config.topology.len();
+        run_iterative_udp(config, |rank| Box::new(RampTask::line(rank, peers, RAMP)))
+    }
+
+    #[test]
+    fn fragment_datagram_round_trip() {
+        let datagram = Datagram::Fragment {
+            from: 3,
+            msg_id: 77,
+            frag_index: 2,
+            frag_count: 5,
+            payload: vec![1, 2, 3, 4],
+        };
+        assert_eq!(Datagram::decode(&datagram.encode()), Some(datagram));
+        let stop = Datagram::Stop { from: 9 };
+        assert_eq!(Datagram::decode(&stop.encode()), Some(stop));
+        let hello = Datagram::Hello { rank: 4 };
+        assert_eq!(Datagram::decode(&hello.encode()), Some(hello));
+        let table = Datagram::Table {
+            ports: vec![4000, 4001, 4002],
+        };
+        assert_eq!(Datagram::decode(&table.encode()), Some(table));
+    }
+
+    #[test]
+    fn foreign_and_truncated_datagrams_rejected() {
+        assert_eq!(Datagram::decode(b"not ours"), None);
+        assert_eq!(Datagram::decode(&[]), None);
+        let encoded = Datagram::Fragment {
+            from: 0,
+            msg_id: 1,
+            frag_index: 0,
+            frag_count: 1,
+            payload: vec![0; 32],
+        }
+        .encode();
+        assert_eq!(Datagram::decode(&encoded[..encoded.len() - 1]), None);
+    }
+
+    #[test]
+    fn framing_reassembly_round_trip_multi_fragment() {
+        // A segment larger than two fragments, reassembled out of order.
+        let segment: Vec<u8> = (0..3 * MAX_FRAGMENT_PAYLOAD + 17)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let mut datagrams = frame_segment(6, 9, &segment);
+        assert_eq!(datagrams.len(), 4);
+        datagrams.reverse();
+        let mut reassembler = Reassembler::new();
+        let mut out = None;
+        for datagram in datagrams {
+            if let Some(done) = reassembler.push(datagram) {
+                assert!(out.is_none(), "exactly one completion");
+                out = Some(done);
+            }
+        }
+        let (from, bytes) = out.expect("reassembled");
+        assert_eq!(from, 6);
+        assert_eq!(bytes.as_ref(), &segment[..]);
+        assert_eq!(reassembler.pending(), 0);
+    }
+
+    #[test]
+    fn reassembly_tolerates_duplicates_and_interleaving() {
+        let seg_a: Vec<u8> = vec![0xAA; MAX_FRAGMENT_PAYLOAD + 1];
+        let seg_b: Vec<u8> = vec![0xBB; MAX_FRAGMENT_PAYLOAD + 2];
+        let frags_a = frame_segment(1, 0, &seg_a);
+        let frags_b = frame_segment(2, 0, &seg_b);
+        let mut reassembler = Reassembler::new();
+        // Interleave senders and duplicate the first fragment of A.
+        assert!(reassembler.push(frags_a[0].clone()).is_none());
+        assert!(reassembler.push(frags_b[0].clone()).is_none());
+        assert!(reassembler.push(frags_a[0].clone()).is_none());
+        let (from_b, bytes_b) = reassembler.push(frags_b[1].clone()).expect("b done");
+        assert_eq!((from_b, bytes_b.len()), (2, seg_b.len()));
+        let (from_a, bytes_a) = reassembler.push(frags_a[1].clone()).expect("a done");
+        assert_eq!((from_a, bytes_a.len()), (1, seg_a.len()));
+    }
+
+    #[test]
+    fn empty_segment_frames_to_one_datagram() {
+        let frags = frame_segment(0, 0, &[]);
+        assert_eq!(frags.len(), 1);
+        let mut reassembler = Reassembler::new();
+        let (_, bytes) = reassembler.push(frags[0].clone()).expect("delivered");
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn loss_shim_is_deterministic_and_drops() {
+        let socket = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addr = sink.local_addr().unwrap();
+        let mut a = LossShim::new(7, 0.5, 0.0);
+        let mut b = LossShim::new(7, 0.5, 0.0);
+        for _ in 0..200 {
+            a.send_to(&socket, &[0u8; 8], addr);
+            b.send_to(&socket, &[0u8; 8], addr);
+        }
+        assert_eq!(a.dropped, b.dropped, "same seed, same drops");
+        assert!(a.dropped > 50 && a.dropped < 150, "dropped {}", a.dropped);
+    }
+
+    #[test]
+    fn loss_shim_reorders_but_loses_nothing() {
+        let tx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let rx = UdpSocket::bind("127.0.0.1:0").unwrap();
+        rx.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        let addr = rx.local_addr().unwrap();
+        let mut shim = LossShim::new(11, 0.0, 0.5);
+        let count = 50u8;
+        for i in 0..count {
+            shim.send_to(&tx, &[i], addr);
+        }
+        shim.flush(&tx);
+        let mut seen = Vec::new();
+        let mut buf = [0u8; 8];
+        for _ in 0..count {
+            let (len, _) = rx.recv_from(&mut buf).expect("all datagrams arrive");
+            assert_eq!(len, 1);
+            seen.push(buf[0]);
+        }
+        assert!(shim.reordered > 0, "the shim swapped at least one pair");
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..count).collect::<Vec<_>>(), "nothing lost");
+        assert_ne!(seen, sorted, "delivery order was perturbed");
+    }
+
+    #[test]
+    fn synchronous_scheme_over_udp_runs_in_lockstep() {
+        let mut config = UdpRunConfig::quick(Scheme::Synchronous, 3);
+        config.tolerance = 0.5;
+        let outcome = run(&config);
+        assert!(outcome.measurement.converged);
+        // Lockstep counts: the convergence iteration is the ramp length;
+        // before the stop lands a wall-clock peer can overshoot it by at
+        // most the topology diameter (it only waits on direct neighbours).
+        for &count in &outcome.measurement.relaxations_per_peer {
+            assert!(
+                (RAMP..RAMP + 3).contains(&count),
+                "lockstep violated: {count} vs ramp {RAMP}"
+            );
+        }
+        assert_eq!(
+            outcome
+                .measurement
+                .relaxations_per_peer
+                .iter()
+                .min()
+                .copied(),
+            Some(RAMP),
+            "the detecting peer stops at exactly the convergence iteration"
+        );
+        assert_eq!(outcome.results.len(), 3);
+        // Bootstrap assigned a distinct real port to every peer.
+        let mut ports = outcome.ports.clone();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 3);
+        assert!(ports.iter().all(|&p| p != 0));
+    }
+
+    #[test]
+    fn asynchronous_scheme_over_udp_converges() {
+        let mut config = UdpRunConfig::quick(Scheme::Asynchronous, 3);
+        config.tolerance = 0.5;
+        let outcome = run(&config);
+        assert!(outcome.measurement.converged);
+        for &count in &outcome.measurement.relaxations_per_peer {
+            assert!(count >= RAMP, "peer finished early: {count} < {RAMP}");
+        }
+    }
+
+    #[test]
+    fn hybrid_scheme_over_udp_converges_across_two_clusters() {
+        let mut config = UdpRunConfig::two_clusters(Scheme::Hybrid, 4);
+        config.tolerance = 0.5;
+        let outcome = run(&config);
+        assert!(outcome.measurement.converged);
+        assert_eq!(outcome.results.len(), 4);
+    }
+
+    #[test]
+    fn synchronous_scheme_survives_a_lossy_link() {
+        // The reliable synchronous channel retransmits dropped segments, so
+        // the run still converges in lockstep over a 10%-loss path.
+        let mut config = UdpRunConfig::quick(Scheme::Synchronous, 2).with_impairment(0.1, 0.1);
+        config.tolerance = 0.5;
+        let outcome = run(&config);
+        assert!(outcome.measurement.converged);
+        for &count in &outcome.measurement.relaxations_per_peer {
+            assert!(
+                (RAMP..=RAMP + 1).contains(&count),
+                "lockstep violated under loss: {count} vs ramp {RAMP}"
+            );
+        }
+        assert!(
+            outcome.datagrams_dropped > 0,
+            "the shim must actually have dropped traffic"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end tests of the UDP runtime: the obstacle application running
+//! over real localhost sockets, checked for agreement with the in-process
+//! backends. These are the tests CI's `udp-e2e` job runs with a hard
+//! timeout (a hung handshake must fail fast, not stall the workflow).
+
+use p2pdc::{
+    run_iterative_udp, run_obstacle_on, ObstacleExperiment, ObstacleTask, RuntimeKind, Scheme,
+    UdpRunConfig,
+};
+use std::sync::Arc;
+
+/// Fixed-seed cross-runtime agreement: the synchronous scheme converges at
+/// a problem-determined iteration, so the loopback and UDP backends must
+/// agree on it. The peer that *detects* convergence stops at exactly that
+/// iteration, making the per-run **minimum** relaxation count the
+/// runtime-independent invariant. Individual wall-clock peers may overshoot
+/// it: a peer only waits on its direct neighbours, so before the stop
+/// broadcast lands it can run ahead of the slowest peer by up to the
+/// topology diameter (observed +2 on a loaded 4-peer line).
+#[test]
+fn udp_and_loopback_agree_on_synchronous_relaxation_counts() {
+    let exp = ObstacleExperiment::new(10, Scheme::Synchronous, 4, 1);
+    let loopback = run_obstacle_on(&exp, RuntimeKind::Loopback);
+    let udp = run_obstacle_on(&exp, RuntimeKind::Udp);
+    assert!(loopback.measurement.converged && udp.measurement.converged);
+    let min = |m: &p2pdc::RunMeasurement| m.relaxations_per_peer.iter().copied().min().unwrap_or(0);
+    assert_eq!(
+        min(&loopback.measurement),
+        min(&udp.measurement),
+        "the convergence iteration differs: loopback {:?} vs udp {:?}",
+        loopback.measurement.relaxations_per_peer,
+        udp.measurement.relaxations_per_peer
+    );
+    // Overshoot past the convergence iteration is bounded by the diameter.
+    let peers = exp.peers as u64;
+    assert!(
+        udp.measurement.max_relaxations() < min(&udp.measurement) + peers,
+        "udp overshoot beyond the topology diameter: {:?}",
+        udp.measurement.relaxations_per_peer
+    );
+    // Both backends assemble a solution satisfying the fixed-point equation.
+    assert!(loopback.measurement.residual < exp.tolerance * 2.0);
+    assert!(
+        udp.measurement.residual < exp.tolerance * 2.0,
+        "udp residual {}",
+        udp.measurement.residual
+    );
+}
+
+/// At n = 16 a boundary plane is 16²·8 + 16 = 2064 bytes — above the
+/// 1200-byte fragment cap — so every P2P_Send crosses the socket as
+/// multiple datagrams and the run exercises reassembly end to end.
+#[test]
+fn multi_fragment_boundary_planes_reassemble_end_to_end() {
+    let exp = ObstacleExperiment::new(16, Scheme::Synchronous, 2, 1);
+    let loopback = run_obstacle_on(&exp, RuntimeKind::Loopback);
+    let udp = run_obstacle_on(&exp, RuntimeKind::Udp);
+    assert!(udp.measurement.converged);
+    assert!(
+        (udp.measurement.max_relaxations() as i64 - loopback.measurement.max_relaxations() as i64)
+            .abs()
+            <= 1,
+        "fragmented run diverged: udp {:?} vs loopback {:?}",
+        udp.measurement.relaxations_per_peer,
+        loopback.measurement.relaxations_per_peer
+    );
+    assert!(udp.measurement.residual < exp.tolerance * 2.0);
+}
+
+/// The asynchronous scheme across two clusters selects the unreliable
+/// inter-cluster channel (Table I), which tolerates genuine datagram loss:
+/// with the shim dropping 5% of traffic the run still converges to an
+/// accurate solution, using the freshest updates that do arrive.
+#[test]
+fn asynchronous_two_cluster_run_tolerates_real_datagram_loss() {
+    let n = 10usize;
+    let peers = 2usize;
+    let problem = Arc::new(obstacle::ObstacleProblem::membrane(n));
+    let config =
+        UdpRunConfig::two_clusters(Scheme::Asynchronous, peers).with_impairment(0.05, 0.05);
+    let outcome = run_iterative_udp(&config, |rank| {
+        Box::new(ObstacleTask::new(Arc::clone(&problem), peers, rank))
+    });
+    assert!(outcome.measurement.converged, "lossy run did not converge");
+    assert!(
+        outcome.datagrams_dropped > 0,
+        "the loss shim never fired — the scenario is not exercising loss"
+    );
+    let solution = p2pdc::assemble_solution(n, &outcome.results);
+    let residual = obstacle::fixed_point_residual(&problem, &solution, problem.optimal_delta());
+    assert!(
+        residual < 1e-2,
+        "residual {residual} beyond the asynchronous staleness bound"
+    );
+}
+
+/// The hybrid scheme over UDP: intra-cluster neighbours stay reliable and
+/// waited-for, the cross-cluster link runs asynchronously — on real sockets.
+#[test]
+fn hybrid_scheme_converges_over_udp_across_two_clusters() {
+    let exp = ObstacleExperiment::new(10, Scheme::Hybrid, 4, 2);
+    let result = run_obstacle_on(&exp, RuntimeKind::Udp);
+    assert!(result.measurement.converged);
+    assert_eq!(result.measurement.peers, 4);
+    assert!(
+        result.measurement.residual < 1e-2,
+        "residual {}",
+        result.measurement.residual
+    );
+}

@@ -154,7 +154,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a half-open range or an exact size.
+    /// Length specification for [`vec()`]: a half-open range or an exact size.
     pub struct SizeRange {
         start: usize,
         end: usize,
