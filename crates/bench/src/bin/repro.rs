@@ -7,7 +7,7 @@
 //! repro fig5 [--full]          # Figure 5: 96³ obstacle problem (default: scaled 32³)
 //! repro fig6 [--full]          # Figure 6: 144³ obstacle problem (default: scaled 48³)
 //! repro ablation               # data-channel design-choice ablation
-//! repro runtimes               # runtime-backend matrix -> BENCH_runtimes.json
+//! repro runtimes               # (workload x scheme x runtime) matrix -> BENCH_runtimes.json
 //! repro all [--full]           # everything above
 //! ```
 //!
@@ -18,7 +18,7 @@
 
 use bench_suite::{
     format_ablation, format_runtime_matrix, format_table1, run_ablation, run_figure,
-    run_runtime_matrix, run_table1, FigureConfig, RuntimeMatrixScenario,
+    run_runtime_matrix, run_table1, FigureConfig,
 };
 use p2pdc::format_table;
 
@@ -56,14 +56,14 @@ fn run_fig(which: u8, full: bool) {
 }
 
 fn run_runtimes() {
-    eprintln!("running the runtime-backend matrix ...");
-    let result = run_runtime_matrix(&RuntimeMatrixScenario::default());
+    eprintln!("running the (workload x scheme x runtime) matrix ...");
+    let result = run_runtime_matrix();
     println!("{}", format_runtime_matrix(&result));
     write_json("runtimes", &result);
     // The perf-trajectory artifact CI uploads on every PR.
     write_json_to("BENCH_runtimes.json", &result);
     if !result.rows.iter().all(|r| r.converged) {
-        eprintln!("WARNING: a runtime backend failed to converge");
+        eprintln!("WARNING: a (workload, runtime) cell failed to converge");
         std::process::exit(1);
     }
 }

@@ -3,8 +3,7 @@
 //! the `repro` binary and the Criterion benches call into this crate.
 
 use p2pdc::{
-    derive_row, run_obstacle_experiment, run_obstacle_on, ComputeModel, FigureRow,
-    ObstacleExperiment, ObstacleInstance, RuntimeKind, Scheme,
+    derive_row, run_on, ComputeModel, FigureRow, RunConfig, RuntimeKind, Scheme, WorkloadKind,
 };
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -12,7 +11,9 @@ use std::time::Instant;
 /// Peer counts used by the paper's experiments.
 pub const PAPER_PEER_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 24];
 
-/// Configuration of a figure sweep.
+/// Configuration of a figure sweep. The paper's figures run the obstacle
+/// workload (membrane instance); the sweep itself goes through the
+/// workload-generic experiment driver.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FigureConfig {
     /// Grid size actually simulated.
@@ -23,8 +24,6 @@ pub struct FigureConfig {
     pub tolerance: f64,
     /// Peer counts to sweep.
     pub peer_counts: Vec<usize>,
-    /// Problem instance.
-    pub instance: ObstacleInstance,
 }
 
 impl FigureConfig {
@@ -36,7 +35,6 @@ impl FigureConfig {
             paper_n: 96,
             tolerance: 1e-4,
             peer_counts: PAPER_PEER_COUNTS.to_vec(),
-            instance: ObstacleInstance::Membrane,
         }
     }
 
@@ -47,7 +45,6 @@ impl FigureConfig {
             paper_n: 144,
             tolerance: 1e-4,
             peer_counts: PAPER_PEER_COUNTS.to_vec(),
-            instance: ObstacleInstance::Membrane,
         }
     }
 
@@ -145,32 +142,29 @@ fn run_single(
     peers: usize,
     clusters: usize,
 ) -> p2pdc::RunMeasurement {
-    let exp = ObstacleExperiment {
-        n: config.n,
-        instance: config.instance,
-        scheme,
-        peers,
-        clusters,
-        tolerance: config.tolerance,
-        compute,
-        seed: 42,
-    };
-    run_obstacle_experiment(&exp).measurement
+    let workload = WorkloadKind::Obstacle.build(config.n, peers);
+    let mut run = RunConfig::clustered(scheme, peers, clusters);
+    run.tolerance = config.tolerance;
+    run.compute = compute;
+    run_on(workload.as_ref(), &run, RuntimeKind::Sim).measurement
 }
 
-/// One row of the runtime-backend matrix: the same obstacle scenario run on
+/// One row of the (workload × scheme × runtime) matrix: one scenario run on
 /// one of the four backends, with the harness wall time alongside the
 /// runtime's own elapsed metric (virtual for the simulated backend,
 /// wall-clock for the others). This is the machine-readable shape CI
 /// uploads as `BENCH_runtimes.json`, seeding the perf trajectory.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RuntimeBenchRow {
+    /// Workload label ("obstacle", "heat", "pagerank").
+    pub workload: String,
     /// Backend label ("sim", "threads", "loopback", "udp").
     pub runtime: String,
     /// Scheme of computation.
     pub scheme: String,
-    /// Grid points per dimension.
-    pub n: usize,
+    /// Problem size (grid points per dimension for the PDE workloads,
+    /// vertices for PageRank).
+    pub size: usize,
     /// Number of peers.
     pub peers: usize,
     /// Real time the whole run took on the bench machine, in seconds.
@@ -183,15 +177,18 @@ pub struct RuntimeBenchRow {
     pub total_relaxations: u64,
     /// Whether the run converged.
     pub converged: bool,
-    /// Fixed-point residual of the assembled solution.
+    /// Residual of the assembled solution under the workload's metric.
     pub residual: f64,
 }
 
-/// The scenario the runtime matrix runs (one JSON artifact per scenario).
+/// One scenario of the runtime matrix: a workload at a fixed size, peer
+/// count, tolerance and seed, shared by every backend.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RuntimeMatrixScenario {
-    /// Grid points per dimension.
-    pub n: usize,
+    /// The workload to run.
+    pub workload: WorkloadKind,
+    /// Problem size (the workload's natural size knob).
+    pub size: usize,
     /// Number of peers.
     pub peers: usize,
     /// Convergence tolerance.
@@ -200,34 +197,84 @@ pub struct RuntimeMatrixScenario {
     pub seed: u64,
 }
 
-/// A complete runtime-backend matrix: scenario plus one row per
-/// (backend, scheme).
+impl RuntimeMatrixScenario {
+    /// The CI bench-smoke scenario of one workload: small enough for
+    /// seconds-scale runs, large enough to be meaningful (the obstacle
+    /// boundary planes at n = 14 span multiple UDP datagrams and exercise
+    /// reassembly; PageRank's tighter tolerance matches its ~1/n rank
+    /// magnitudes). The sizes are bounded by the asynchronous × UDP cells:
+    /// a free-running peer relaxes hundreds of times per real-socket round
+    /// trip, so slowly-converging workloads at tight tolerances burn
+    /// minutes of wall clock there.
+    pub fn for_workload(workload: WorkloadKind) -> Self {
+        let (size, tolerance) = match workload {
+            WorkloadKind::Obstacle => (14, 1e-4),
+            WorkloadKind::Heat => (12, 1e-3),
+            WorkloadKind::PageRank => (240, 1e-6),
+        };
+        Self {
+            workload,
+            size,
+            peers: 4,
+            tolerance,
+            seed: 42,
+        }
+    }
+
+    /// The default CI scenario of every workload.
+    pub fn all_workloads() -> Vec<Self> {
+        WorkloadKind::ALL.map(Self::for_workload).to_vec()
+    }
+
+    /// Smaller-than-CI scenario of one workload, shared by the criterion
+    /// bench and the test suite so both measure the same configuration.
+    pub fn quick(workload: WorkloadKind) -> Self {
+        let (size, tolerance) = match workload {
+            WorkloadKind::Obstacle => (8, 1e-3),
+            WorkloadKind::Heat => (12, 1e-3),
+            WorkloadKind::PageRank => (60, 1e-6),
+        };
+        Self {
+            workload,
+            size,
+            peers: 2,
+            tolerance,
+            seed: 42,
+        }
+    }
+}
+
+/// A complete (workload × scheme × runtime) matrix: the scenarios plus one
+/// row per (workload, backend, scheme).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RuntimeMatrixResult {
     /// Artifact schema version (bump when the row shape changes).
     pub schema_version: u32,
-    /// The scenario all rows ran.
-    pub scenario: RuntimeMatrixScenario,
+    /// The scenarios the rows ran (one per workload).
+    pub scenarios: Vec<RuntimeMatrixScenario>,
     /// All rows.
     pub rows: Vec<RuntimeBenchRow>,
 }
 
-/// Run one obstacle scenario on one backend and measure it.
+/// Run one scenario on one backend and measure it, through the
+/// workload-generic experiment driver.
 pub fn run_runtime_once(
     scenario: &RuntimeMatrixScenario,
     runtime: RuntimeKind,
     scheme: Scheme,
 ) -> RuntimeBenchRow {
-    let mut exp = ObstacleExperiment::new(scenario.n, scheme, scenario.peers, 1);
-    exp.tolerance = scenario.tolerance;
-    exp.seed = scenario.seed;
+    let workload = scenario.workload.build(scenario.size, scenario.peers);
+    let mut config = RunConfig::single_cluster(scheme, scenario.peers);
+    config.tolerance = scenario.tolerance;
+    config.seed = scenario.seed;
     let started = Instant::now();
-    let result = run_obstacle_on(&exp, runtime);
+    let result = run_on(workload.as_ref(), &config, runtime);
     let wall = started.elapsed();
     RuntimeBenchRow {
+        workload: scenario.workload.label().to_string(),
         runtime: runtime.label().to_string(),
         scheme: scheme.to_string(),
-        n: scenario.n,
+        size: scenario.size,
         peers: scenario.peers,
         wall_time_s: wall.as_secs_f64(),
         reported_elapsed_s: result.measurement.elapsed.as_secs_f64(),
@@ -238,50 +285,50 @@ pub fn run_runtime_once(
     }
 }
 
-/// Run the full runtime-backend matrix: every backend × the synchronous and
-/// asynchronous schemes on one fixed-seed obstacle scenario.
-pub fn run_runtime_matrix(scenario: &RuntimeMatrixScenario) -> RuntimeMatrixResult {
+/// Run the full grid over the given scenarios: every workload × every
+/// backend × the synchronous and asynchronous schemes.
+pub fn run_runtime_matrix_for(scenarios: &[RuntimeMatrixScenario]) -> RuntimeMatrixResult {
     let mut rows = Vec::new();
-    for runtime in RuntimeKind::ALL {
-        for scheme in [Scheme::Synchronous, Scheme::Asynchronous] {
-            rows.push(run_runtime_once(scenario, runtime, scheme));
+    for scenario in scenarios {
+        for runtime in RuntimeKind::ALL {
+            for scheme in [Scheme::Synchronous, Scheme::Asynchronous] {
+                rows.push(run_runtime_once(scenario, runtime, scheme));
+            }
         }
     }
     RuntimeMatrixResult {
-        schema_version: 1,
-        scenario: scenario.clone(),
+        schema_version: 2,
+        scenarios: scenarios.to_vec(),
         rows,
     }
 }
 
-impl Default for RuntimeMatrixScenario {
-    /// The CI bench-smoke scenario: small enough for seconds-scale runs,
-    /// large enough that UDP boundary planes (n²·8 bytes) span multiple
-    /// datagrams and exercise reassembly.
-    fn default() -> Self {
-        Self {
-            n: 14,
-            peers: 4,
-            tolerance: 1e-4,
-            seed: 42,
-        }
-    }
+/// Run the default CI grid: all three workloads on all four backends.
+pub fn run_runtime_matrix() -> RuntimeMatrixResult {
+    run_runtime_matrix_for(&RuntimeMatrixScenario::all_workloads())
 }
 
 /// Render the runtime matrix as text.
 pub fn format_runtime_matrix(result: &RuntimeMatrixResult) -> String {
-    let mut out = format!(
-        "== Runtime-backend matrix: obstacle {n}^3, {peers} peers ==\n",
-        n = result.scenario.n,
-        peers = result.scenario.peers
-    );
+    let mut out = String::from("== Workload x runtime matrix ==\n");
+    for s in &result.scenarios {
+        out.push_str(&format!(
+            "scenario: {} size={} peers={} tolerance={:e} seed={}\n",
+            s.workload.label(),
+            s.size,
+            s.peers,
+            s.tolerance,
+            s.seed
+        ));
+    }
     out.push_str(&format!(
-        "{:<10} {:<14} {:>13} {:>15} {:>13} {:>10}\n",
-        "runtime", "scheme", "wall [s]", "reported [s]", "relaxations", "converged"
+        "{:<10} {:<10} {:<14} {:>13} {:>15} {:>13} {:>10}\n",
+        "workload", "runtime", "scheme", "wall [s]", "reported [s]", "relaxations", "converged"
     ));
     for r in &result.rows {
         out.push_str(&format!(
-            "{:<10} {:<14} {:>13.3} {:>15.3} {:>13} {:>10}\n",
+            "{:<10} {:<10} {:<14} {:>13.3} {:>15.3} {:>13} {:>10}\n",
+            r.workload,
             r.runtime,
             r.scheme,
             r.wall_time_s,
@@ -536,33 +583,59 @@ mod tests {
     }
 
     #[test]
-    fn runtime_matrix_covers_all_backends_and_converges() {
-        let scenario = RuntimeMatrixScenario {
-            n: 8,
-            peers: 2,
-            tolerance: 1e-3,
-            seed: 42,
-        };
-        let result = run_runtime_matrix(&scenario);
-        assert_eq!(result.rows.len(), RuntimeKind::ALL.len() * 2);
+    fn runtime_matrix_covers_all_workloads_and_backends() {
+        let scenarios: Vec<RuntimeMatrixScenario> =
+            WorkloadKind::ALL.map(RuntimeMatrixScenario::quick).to_vec();
+        let result = run_runtime_matrix_for(&scenarios);
+        assert_eq!(
+            result.rows.len(),
+            WorkloadKind::ALL.len() * RuntimeKind::ALL.len() * 2
+        );
         for row in &result.rows {
             assert!(
                 row.converged,
-                "{}/{} did not converge",
-                row.runtime, row.scheme
+                "{}/{}/{} did not converge",
+                row.workload, row.runtime, row.scheme
             );
             assert!(row.wall_time_s > 0.0);
             assert_eq!(row.relaxations_per_peer.len(), 2);
+            // Synchronous termination leaves a residual on the order of the
+            // tolerance; asynchronous termination accepts boundary staleness
+            // (see the obstacle staleness-bound test), so its cap is looser.
+            let cap = if row.scheme == "synchronous" {
+                let scenario = scenarios
+                    .iter()
+                    .find(|s| s.workload.label() == row.workload)
+                    .unwrap();
+                scenario.tolerance * 10.0
+            } else {
+                5e-2
+            };
             assert!(
-                row.residual < 1e-2,
-                "{}: residual {}",
+                row.residual < cap,
+                "{}/{}/{}: residual {}",
+                row.workload,
                 row.runtime,
+                row.scheme,
                 row.residual
             );
+        }
+        // Every workload appears on every backend.
+        for workload in WorkloadKind::ALL {
+            for runtime in RuntimeKind::ALL {
+                assert!(
+                    result
+                        .rows
+                        .iter()
+                        .any(|r| r.workload == workload.label() && r.runtime == runtime.label()),
+                    "missing {workload}/{runtime} row"
+                );
+            }
         }
         // The matrix serializes for the BENCH_runtimes.json artifact.
         let json = serde_json::to_string(&result).expect("serializes");
         assert!(json.contains("\"udp\"") && json.contains("schema_version"));
+        assert!(json.contains("\"pagerank\"") && json.contains("\"heat\""));
     }
 
     #[test]
@@ -572,7 +645,6 @@ mod tests {
             paper_n: 8,
             tolerance: 1e-3,
             peer_counts: vec![1, 2, 4],
-            instance: ObstacleInstance::Membrane,
         };
         let result = run_figure_filtered("tiny", &config, |_, clusters, _| clusters == 1);
         assert!(result.rows.len() >= 7);

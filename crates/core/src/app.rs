@@ -81,6 +81,18 @@ pub trait IterativeTask: Send {
     fn relaxations(&self) -> u64;
 }
 
+/// Parse a scheme name as passed on the `run` command line
+/// ("synchronous" / "asynchronous" / "hybrid"); shared by every
+/// application's `Problem_Definition()` override handling.
+pub fn parse_scheme(s: &str) -> Option<Scheme> {
+    match s {
+        "synchronous" => Some(Scheme::Synchronous),
+        "asynchronous" => Some(Scheme::Asynchronous),
+        "hybrid" => Some(Scheme::Hybrid),
+        _ => None,
+    }
+}
+
 /// A P2PDC application: the three functions of the programming model.
 pub trait Application: Send + Sync {
     /// Application name.

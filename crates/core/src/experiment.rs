@@ -1,82 +1,25 @@
-//! End-to-end experiment driver: run the obstacle application for one
-//! (scheme, topology, peer count) configuration on any of the four runtime
-//! backends and collect the paper's metrics.
+//! End-to-end experiment driver: run *any* workload for one (scheme,
+//! topology) configuration on any of the four runtime backends and collect
+//! the paper's metrics.
 //!
-//! [`run_obstacle_experiment`] is the original simulated-runtime entry point
-//! (it additionally yields network statistics); [`run_obstacle_on`] runs the
-//! same experiment on a [`RuntimeKind`] of choice and reports the
-//! measurement / solution / residual shape shared by all backends.
+//! This layer is deliberately workload-agnostic: [`run_on`] takes a
+//! [`Workload`] trait object and a shared [`RunConfig`], dispatches to the
+//! chosen [`RuntimeKind`], assembles the solution and fills in the
+//! workload's residual metric. No application-specific type appears here —
+//! the obstacle wrappers the evaluation harness uses
+//! ([`crate::obstacle_app::run_obstacle_experiment`] /
+//! [`crate::obstacle_app::run_obstacle_on`]) live with the obstacle
+//! application and delegate to this generic path.
 
-use crate::compute::ComputeModel;
 use crate::metrics::RunMeasurement;
-use crate::obstacle_app::{
-    assemble_solution, build_problem, ObstacleInstance, ObstacleParams, ObstacleTask,
-};
-use crate::runtime::loopback::{run_iterative_loopback, LoopbackRunConfig};
+use crate::runtime::loopback::run_iterative_loopback;
 use crate::runtime::sim::{run_iterative, SimRunConfig, SimRunOutcome};
 use crate::runtime::threads::{run_iterative_threads, ThreadRunConfig};
 use crate::runtime::udp::{run_iterative_udp, UdpRunConfig};
-use desim::SimDuration;
-use netsim::{NetStats, Topology};
-use obstacle::fixed_point_residual;
-use p2psap::Scheme;
+use crate::runtime::RunConfig;
+use crate::workload::Workload;
+use netsim::NetStats;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
-
-/// One experiment configuration (one bar of Figures 5/6).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ObstacleExperiment {
-    /// Grid points per dimension.
-    pub n: usize,
-    /// Problem instance.
-    pub instance: ObstacleInstance,
-    /// Scheme of computation.
-    pub scheme: Scheme,
-    /// Number of peers.
-    pub peers: usize,
-    /// Number of clusters (1 or 2; 2 uses the 100 ms netem path).
-    pub clusters: usize,
-    /// Convergence tolerance.
-    pub tolerance: f64,
-    /// Compute model (virtual ns per relaxed point).
-    pub compute: ComputeModel,
-    /// Simulation seed.
-    pub seed: u64,
-}
-
-impl ObstacleExperiment {
-    /// Default experiment: membrane instance, NICTA compute model.
-    pub fn new(n: usize, scheme: Scheme, peers: usize, clusters: usize) -> Self {
-        Self {
-            n,
-            instance: ObstacleInstance::Membrane,
-            scheme,
-            peers,
-            clusters,
-            tolerance: 1e-4,
-            compute: ComputeModel::default(),
-            seed: 42,
-        }
-    }
-
-    /// Topology of the experiment.
-    pub fn topology(&self) -> Topology {
-        match self.clusters {
-            1 => Topology::nicta_single_cluster(self.peers),
-            2 => Topology::nicta_two_clusters(self.peers),
-            other => panic!("unsupported cluster count {other}"),
-        }
-    }
-
-    /// Human-readable topology label.
-    pub fn topology_label(&self) -> &'static str {
-        if self.clusters == 1 {
-            "1 cluster"
-        } else {
-            "2 clusters"
-        }
-    }
-}
 
 /// The runtime backend an experiment executes on. All four drive the same
 /// [`crate::runtime::engine::PeerEngine`]; they differ only in the substrate
@@ -125,147 +68,70 @@ impl std::fmt::Display for RuntimeKind {
 }
 
 /// Outcome shape shared by every runtime backend: the measurement, the
-/// assembled solution and its fixed-point residual.
+/// assembled solution and its residual, plus the network statistics when the
+/// backend models them (the simulated runtime only).
 #[derive(Debug, Clone)]
 pub struct RuntimeExperimentResult {
     /// The backend that produced this result.
     pub runtime: RuntimeKind,
-    /// Measurement with the fixed-point residual filled in.
+    /// Measurement with the workload's residual filled in.
     pub measurement: RunMeasurement,
     /// Assembled global solution.
     pub solution: Vec<f64>,
+    /// Network statistics (`Some` on the simulated backend, which models the
+    /// fabric; wall-clock backends use the real network stack).
+    pub net: Option<NetStats>,
 }
 
-/// Run one obstacle experiment on the chosen runtime backend.
+/// Run one workload on the chosen runtime backend.
 ///
-/// The experiment's compute model and seed only influence the simulated
-/// backend (the wall-clock backends run the kernel for real); the seed also
-/// feeds the UDP loss shim, which stays disabled here — lossy-delivery runs
-/// go through [`crate::runtime::udp::UdpRunConfig`] directly.
-pub fn run_obstacle_on(exp: &ObstacleExperiment, runtime: RuntimeKind) -> RuntimeExperimentResult {
-    if runtime == RuntimeKind::Sim {
-        let result = run_obstacle_experiment(exp);
-        return RuntimeExperimentResult {
-            runtime,
-            measurement: result.measurement,
-            solution: result.solution,
-        };
-    }
-    let params = ObstacleParams {
-        n: exp.n,
-        peers: exp.peers,
-        scheme: exp.scheme,
-        instance: exp.instance,
-    };
-    let problem = Arc::new(build_problem(&params));
-    let peers = exp.peers;
-    let problem_for_tasks = Arc::clone(&problem);
-    let task_factory = move |rank: usize| -> Box<dyn crate::app::IterativeTask> {
-        Box::new(ObstacleTask::new(
-            Arc::clone(&problem_for_tasks),
-            peers,
-            rank,
-        ))
-    };
-    let max_relaxations = 2_000_000;
-    let (mut measurement, results) = match runtime {
-        RuntimeKind::Sim => unreachable!("handled above"),
+/// The config's `seed` drives the deterministic backends (simulated fabric;
+/// the UDP shim stays disabled here — lossy-delivery runs go through
+/// [`UdpRunConfig`] directly) and its `compute` model charges virtual time
+/// on the simulated backend (the wall-clock backends run the kernel for
+/// real).
+pub fn run_on(
+    workload: &dyn Workload,
+    config: &RunConfig,
+    runtime: RuntimeKind,
+) -> RuntimeExperimentResult {
+    assert_eq!(
+        workload.peers(),
+        config.peers(),
+        "workload decomposition and topology disagree on the peer count"
+    );
+    let (mut measurement, results, net) = match runtime {
+        RuntimeKind::Sim => {
+            let SimRunOutcome {
+                measurement,
+                results,
+                net,
+            } = run_iterative(&SimRunConfig::evaluation(config.clone()), |rank| {
+                workload.task(rank)
+            });
+            (measurement, results, Some(net))
+        }
         RuntimeKind::Threads => {
-            let outcome = run_iterative_threads(
-                &ThreadRunConfig {
-                    scheme: exp.scheme,
-                    topology: exp.topology(),
-                    tolerance: exp.tolerance,
-                    max_relaxations,
-                    latency_scale: 0.05,
-                },
-                task_factory,
-            );
-            (outcome.measurement, outcome.results)
+            let outcome = run_iterative_threads(&ThreadRunConfig::scaled(config.clone()), |rank| {
+                workload.task(rank)
+            });
+            (outcome.measurement, outcome.results, None)
         }
         RuntimeKind::Loopback => {
-            let outcome = run_iterative_loopback(
-                &LoopbackRunConfig {
-                    scheme: exp.scheme,
-                    topology: exp.topology(),
-                    tolerance: exp.tolerance,
-                    max_relaxations,
-                },
-                task_factory,
-            );
-            (outcome.measurement, outcome.results)
+            let outcome = run_iterative_loopback(config, |rank| workload.task(rank));
+            (outcome.measurement, outcome.results, None)
         }
         RuntimeKind::Udp => {
-            let outcome = run_iterative_udp(
-                &UdpRunConfig {
-                    scheme: exp.scheme,
-                    topology: exp.topology(),
-                    tolerance: exp.tolerance,
-                    max_relaxations,
-                    seed: exp.seed,
-                    loss_probability: 0.0,
-                    reorder_probability: 0.0,
-                },
-                task_factory,
-            );
-            (outcome.measurement, outcome.results)
+            let outcome = run_iterative_udp(&UdpRunConfig::clean(config.clone()), |rank| {
+                workload.task(rank)
+            });
+            (outcome.measurement, outcome.results, None)
         }
     };
-    let solution = assemble_solution(exp.n, &results);
-    measurement.residual = fixed_point_residual(&problem, &solution, problem.optimal_delta());
+    let solution = workload.assemble(&results);
+    measurement.residual = workload.residual(&solution);
     RuntimeExperimentResult {
         runtime,
-        measurement,
-        solution,
-    }
-}
-
-/// Result of one experiment: measurement (with residual), assembled solution
-/// and network statistics.
-#[derive(Debug, Clone)]
-pub struct ExperimentResult {
-    /// Measurement with the fixed-point residual filled in.
-    pub measurement: RunMeasurement,
-    /// Assembled global solution.
-    pub solution: Vec<f64>,
-    /// Network statistics.
-    pub net: NetStats,
-}
-
-/// Run one obstacle experiment on the simulated runtime.
-pub fn run_obstacle_experiment(exp: &ObstacleExperiment) -> ExperimentResult {
-    let params = ObstacleParams {
-        n: exp.n,
-        peers: exp.peers,
-        scheme: exp.scheme,
-        instance: exp.instance,
-    };
-    let problem = Arc::new(build_problem(&params));
-    let config = SimRunConfig {
-        scheme: exp.scheme,
-        topology: exp.topology(),
-        tolerance: exp.tolerance,
-        max_relaxations: 2_000_000,
-        compute: exp.compute,
-        seed: exp.seed,
-        deadline: SimDuration::from_secs(100_000),
-    };
-    let problem_for_tasks = Arc::clone(&problem);
-    let peers = exp.peers;
-    let SimRunOutcome {
-        mut measurement,
-        results,
-        net,
-    } = run_iterative(&config, move |rank| {
-        Box::new(ObstacleTask::new(
-            Arc::clone(&problem_for_tasks),
-            peers,
-            rank,
-        ))
-    });
-    let solution = assemble_solution(exp.n, &results);
-    measurement.residual = fixed_point_residual(&problem, &solution, problem.optimal_delta());
-    ExperimentResult {
         measurement,
         solution,
         net,
@@ -275,135 +141,53 @@ pub fn run_obstacle_experiment(exp: &ObstacleExperiment) -> ExperimentResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use obstacle::{solve_sequential, RichardsonConfig};
+    use crate::workload::WorkloadKind;
+    use p2psap::Scheme;
 
     #[test]
-    fn single_peer_run_matches_the_sequential_solver() {
-        let exp = ObstacleExperiment::new(8, Scheme::Synchronous, 1, 1);
-        let result = run_obstacle_experiment(&exp);
-        assert!(result.measurement.converged);
-        let reference = solve_sequential(
-            &obstacle::ObstacleProblem::membrane(8),
-            RichardsonConfig {
-                tolerance: exp.tolerance,
-                ..Default::default()
-            },
-        );
-        assert_eq!(
-            result.measurement.relaxations_per_peer[0],
-            reference.iterations as u64
-        );
-        assert!(result.measurement.residual < exp.tolerance * 2.0);
-    }
-
-    #[test]
-    fn synchronous_distributed_run_keeps_the_relaxation_count() {
-        let reference =
-            run_obstacle_experiment(&ObstacleExperiment::new(8, Scheme::Synchronous, 1, 1));
-        for peers in [2usize, 4] {
-            let exp = ObstacleExperiment::new(8, Scheme::Synchronous, peers, 1);
-            let result = run_obstacle_experiment(&exp);
-            assert!(result.measurement.converged);
-            // Paper: "the number of relaxations performed by synchronous schemes
-            // remains constant"; allow the +1 sweep peers may start before the
-            // stop signal reaches them.
-            let max = result.measurement.max_relaxations();
-            let reference_count = reference.measurement.relaxations_per_peer[0];
-            assert!(
-                max >= reference_count && max <= reference_count + 1,
-                "peers={peers}: {max} vs reference {reference_count}"
+    fn every_workload_runs_on_the_deterministic_backends() {
+        // The full (workload × backend) grid including the wall-clock
+        // runtimes is covered by the bench crate and the e2e tests; here the
+        // dispatch layer itself is exercised on the two in-process backends.
+        for kind in WorkloadKind::ALL {
+            let (size, tolerance) = match kind {
+                WorkloadKind::Obstacle => (8, 1e-3),
+                WorkloadKind::Heat => (10, 1e-3),
+                WorkloadKind::PageRank => (24, 1e-8),
+            };
+            let workload = kind.build(size, 2);
+            let mut config = RunConfig::single_cluster(Scheme::Synchronous, 2);
+            config.tolerance = tolerance;
+            let sim = run_on(workload.as_ref(), &config, RuntimeKind::Sim);
+            let loopback = run_on(workload.as_ref(), &config, RuntimeKind::Loopback);
+            for result in [&sim, &loopback] {
+                assert!(result.measurement.converged, "{kind}/{}", result.runtime);
+                assert!(
+                    result.measurement.residual < tolerance * 2.0,
+                    "{kind}/{}: residual {}",
+                    result.runtime,
+                    result.measurement.residual
+                );
+            }
+            assert!(sim.net.is_some() && loopback.net.is_none());
+            // Synchronous relaxation counts are problem-determined, so the
+            // backends agree on the convergence iteration.
+            let min = |m: &RunMeasurement| m.relaxations_per_peer.iter().min().copied().unwrap();
+            assert_eq!(
+                min(&sim.measurement),
+                min(&loopback.measurement),
+                "{kind}: sim {:?} vs loopback {:?}",
+                sim.measurement.relaxations_per_peer,
+                loopback.measurement.relaxations_per_peer
             );
-            assert!(result.measurement.residual < exp.tolerance * 2.0);
         }
     }
 
     #[test]
-    fn asynchronous_single_cluster_solution_is_accurate() {
-        // Inside one cluster the boundary staleness is a couple of sweeps, so
-        // the asynchronously terminated solution must satisfy the fixed-point
-        // equation to a small multiple of the tolerance.
-        let exp = ObstacleExperiment::new(16, Scheme::Asynchronous, 4, 1);
-        let result = run_obstacle_experiment(&exp);
-        assert!(result.measurement.converged);
-        assert!(
-            result.measurement.residual < exp.tolerance * 10.0,
-            "residual {} too large",
-            result.measurement.residual
-        );
-    }
-
-    #[test]
-    fn asynchronous_two_cluster_run_converges_and_uses_the_wan() {
-        // Across the 100 ms WAN the accuracy floor of an asynchronously
-        // terminated run is tolerance × (WAN latency / compute per sweep) —
-        // the boundary planes lag by that many relaxations (see
-        // EXPERIMENTS.md). The run must converge, exchange inter-cluster
-        // traffic, perform more relaxations than the synchronous scheme, and
-        // stay within that staleness bound.
-        let exp = ObstacleExperiment::new(16, Scheme::Asynchronous, 4, 2);
-        let result = run_obstacle_experiment(&exp);
-        assert!(result.measurement.converged);
-        assert!(
-            result.net.inter.packets_delivered > 0,
-            "inter-cluster traffic expected"
-        );
-        assert!(
-            result.measurement.residual < 2e-2,
-            "residual {} beyond the staleness bound",
-            result.measurement.residual
-        );
-        let sync = run_obstacle_experiment(&ObstacleExperiment::new(16, Scheme::Synchronous, 4, 2));
-        assert!(
-            result.measurement.avg_relaxations() >= sync.measurement.avg_relaxations(),
-            "asynchronous runs perform at least as many relaxations"
-        );
-        assert!(
-            result.measurement.elapsed < sync.measurement.elapsed,
-            "asynchronous iterations must finish sooner than synchronous ones across a 100 ms WAN"
-        );
-    }
-
-    #[test]
-    fn every_runtime_backend_reports_the_shared_measurement_shape() {
-        let exp = ObstacleExperiment::new(8, Scheme::Synchronous, 2, 1);
-        let reference = solve_sequential(
-            &obstacle::ObstacleProblem::membrane(8),
-            RichardsonConfig {
-                tolerance: exp.tolerance,
-                ..Default::default()
-            },
-        );
-        for runtime in RuntimeKind::ALL {
-            let result = run_obstacle_on(&exp, runtime);
-            assert_eq!(result.runtime, runtime);
-            assert!(result.measurement.converged, "{runtime} did not converge");
-            assert_eq!(result.measurement.peers, 2);
-            // Synchronous relaxation-count invariance holds on every backend.
-            let max = result.measurement.max_relaxations();
-            let expected = reference.iterations as u64;
-            assert!(
-                max >= expected && max <= expected + 1,
-                "{runtime}: {max} vs sequential {expected}"
-            );
-            assert!(
-                result.measurement.residual < exp.tolerance * 2.0,
-                "{runtime}: residual {}",
-                result.measurement.residual
-            );
-            assert_eq!(result.solution.len(), 8 * 8 * 8);
-        }
-    }
-
-    #[test]
-    fn hybrid_run_converges_faster_than_sync_on_two_clusters() {
-        let sync = run_obstacle_experiment(&ObstacleExperiment::new(8, Scheme::Synchronous, 4, 2));
-        let hybrid = run_obstacle_experiment(&ObstacleExperiment::new(8, Scheme::Hybrid, 4, 2));
-        assert!(sync.measurement.converged && hybrid.measurement.converged);
-        assert!(
-            hybrid.measurement.elapsed < sync.measurement.elapsed,
-            "hybrid {:?} should beat synchronous {:?} across a 100 ms WAN",
-            hybrid.measurement.elapsed,
-            sync.measurement.elapsed
-        );
+    #[should_panic(expected = "disagree on the peer count")]
+    fn mismatched_peer_counts_are_rejected() {
+        let workload = WorkloadKind::Heat.build(10, 2);
+        let config = RunConfig::single_cluster(Scheme::Synchronous, 3);
+        run_on(workload.as_ref(), &config, RuntimeKind::Loopback);
     }
 }

@@ -1,0 +1,472 @@
+//! The 2-D heat-equation application written against the P2PDC programming
+//! model: the second PDE workload of the experiment layer.
+//!
+//! The steady-state temperature of an `n × n` plate is computed by Jacobi
+//! relaxation of the Laplace equation: the top edge is held at temperature
+//! 1, the other three edges at 0, and every interior point iterates to the
+//! average of its four neighbours. Peer `k` owns a contiguous band of
+//! interior rows; after every relaxation it sends its first row to peer
+//! `k−1` and its last row to peer `k+1`, and incoming rows become ghost
+//! boundaries for the next relaxation — the same ghost-exchange structure as
+//! the obstacle problem, with a different stencil (2-D, unconstrained) and a
+//! much slower convergence rate (plain Jacobi has no obstacle projection to
+//! damp the error).
+
+use crate::app::{Application, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
+use crate::obstacle_app::UpdateMsg;
+use crate::workload::{balanced_partition, Workload};
+use obstacle::sup_norm_diff;
+use p2psap::Scheme;
+use serde::{Deserialize, Serialize};
+
+/// Temperature of the heated (top) edge.
+pub const HOT_EDGE: f64 = 1.0;
+
+/// Parameters of the heat application (the `run` command-line parameters).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeatParams {
+    /// Grid points per dimension (the plate is `n × n`).
+    pub n: usize,
+    /// Number of peers.
+    pub peers: usize,
+    /// Scheme of computation.
+    pub scheme: Scheme,
+}
+
+/// The per-peer computation: a band of interior rows relaxed by the Jacobi
+/// stencil, speaking the [`IterativeTask`] interface.
+pub struct HeatTask {
+    n: usize,
+    rank: usize,
+    peers: usize,
+    /// First owned row (absolute grid index; interior rows are `1..=n-2`).
+    row_start: usize,
+    /// Number of owned rows.
+    rows: usize,
+    /// Owned values, `rows × n` row-major (side columns stay at 0).
+    local: Vec<f64>,
+    /// Scratch buffer for the Jacobi sweep.
+    next: Vec<f64>,
+    /// Ghost row above the band (row `row_start − 1`).
+    ghost_lo: Vec<f64>,
+    /// Ghost row below the band (row `row_start + rows`).
+    ghost_hi: Vec<f64>,
+    relaxations: u64,
+}
+
+impl HeatTask {
+    /// Create the task of peer `rank` among `peers` peers on an `n × n`
+    /// plate. Requires `peers ≤ n − 2` so every peer owns at least one row.
+    pub fn new(n: usize, peers: usize, rank: usize) -> Self {
+        assert!(n >= 3, "a {n}x{n} plate has no interior");
+        assert!(
+            (1..=n - 2).contains(&peers),
+            "{peers} peers cannot split {} interior rows",
+            n - 2
+        );
+        let (offset, rows) = balanced_partition(n - 2, peers, rank);
+        let row_start = 1 + offset;
+        // Initial iterate: interior at 0; ghost rows seeded from the same
+        // initial iterate (the heated edge for the first band, 0 elsewhere),
+        // so the first distributed sweep equals the first sequential one.
+        let boundary_row = |row: usize| -> Vec<f64> {
+            if row == 0 {
+                vec![HOT_EDGE; n]
+            } else {
+                vec![0.0; n]
+            }
+        };
+        Self {
+            n,
+            rank,
+            peers,
+            row_start,
+            rows,
+            local: vec![0.0; rows * n],
+            next: vec![0.0; rows * n],
+            ghost_lo: boundary_row(row_start - 1),
+            ghost_hi: boundary_row(row_start + rows),
+            relaxations: 0,
+        }
+    }
+
+    /// The absolute grid rows owned by this task, as `(first, count)`.
+    pub fn row_range(&self) -> (usize, usize) {
+        (self.row_start, self.rows)
+    }
+
+    /// The row sent up to peer `rank − 1`.
+    fn first_row(&self) -> Vec<f64> {
+        self.local[..self.n].to_vec()
+    }
+
+    /// The row sent down to peer `rank + 1`.
+    fn last_row(&self) -> Vec<f64> {
+        self.local[(self.rows - 1) * self.n..].to_vec()
+    }
+}
+
+impl IterativeTask for HeatTask {
+    fn relax(&mut self) -> LocalRelax {
+        let n = self.n;
+        let mut diff: f64 = 0.0;
+        for r in 0..self.rows {
+            let row = &self.local[r * n..(r + 1) * n];
+            let above: &[f64] = if r == 0 {
+                &self.ghost_lo
+            } else {
+                &self.local[(r - 1) * n..r * n]
+            };
+            let below: &[f64] = if r + 1 == self.rows {
+                &self.ghost_hi
+            } else {
+                &self.local[(r + 1) * n..(r + 2) * n]
+            };
+            for j in 1..n - 1 {
+                let new = 0.25 * (above[j] + below[j] + row[j - 1] + row[j + 1]);
+                diff = diff.max((new - row[j]).abs());
+                self.next[r * n + j] = new;
+            }
+            // Side columns are Dirichlet boundary: copied unchanged.
+            self.next[r * n] = row[0];
+            self.next[r * n + n - 1] = row[n - 1];
+        }
+        std::mem::swap(&mut self.local, &mut self.next);
+        self.relaxations += 1;
+        LocalRelax {
+            local_diff: diff,
+            work_points: (self.rows * (n - 2)) as u64,
+        }
+    }
+
+    fn outgoing(&mut self) -> Vec<(usize, Vec<u8>)> {
+        let mut out = Vec::new();
+        let iteration = self.relaxations;
+        if self.rank > 0 {
+            let msg = UpdateMsg {
+                from: self.rank as u32,
+                iteration,
+                plane: self.first_row(),
+            };
+            out.push((self.rank - 1, msg.encode()));
+        }
+        if self.rank + 1 < self.peers {
+            let msg = UpdateMsg {
+                from: self.rank as u32,
+                iteration,
+                plane: self.last_row(),
+            };
+            out.push((self.rank + 1, msg.encode()));
+        }
+        out
+    }
+
+    fn incorporate(&mut self, from: usize, payload: &[u8]) -> f64 {
+        let Some(msg) = UpdateMsg::decode(payload) else {
+            return 0.0;
+        };
+        if msg.plane.len() != self.n {
+            return 0.0;
+        }
+        if from + 1 == self.rank {
+            let change = sup_norm_diff(&msg.plane, &self.ghost_lo);
+            self.ghost_lo = msg.plane;
+            change
+        } else if from == self.rank + 1 {
+            let change = sup_norm_diff(&msg.plane, &self.ghost_hi);
+            self.ghost_hi = msg.plane;
+            change
+        } else {
+            0.0
+        }
+    }
+
+    fn neighbors(&self) -> Vec<usize> {
+        let mut v = Vec::new();
+        if self.rank > 0 {
+            v.push(self.rank - 1);
+        }
+        if self.rank + 1 < self.peers {
+            v.push(self.rank + 1);
+        }
+        v
+    }
+
+    fn result(&self) -> Vec<u8> {
+        // Header: row_start (u32), row count (u32), then the owned values.
+        let mut out = Vec::with_capacity(8 + self.local.len() * 8);
+        out.extend_from_slice(&(self.row_start as u32).to_le_bytes());
+        out.extend_from_slice(&(self.rows as u32).to_le_bytes());
+        for v in &self.local {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn relaxations(&self) -> u64 {
+        self.relaxations
+    }
+}
+
+/// A full `n × n` grid with the boundary conditions applied and the interior
+/// at the initial iterate (0).
+pub fn initial_grid(n: usize) -> Vec<f64> {
+    let mut grid = vec![0.0; n * n];
+    grid[..n].fill(HOT_EDGE);
+    grid
+}
+
+/// Reassemble a global temperature grid from the per-peer results produced
+/// by [`HeatTask::result`].
+pub fn assemble_heat_solution(n: usize, results: &[(usize, Vec<u8>)]) -> Vec<f64> {
+    let mut grid = initial_grid(n);
+    for (_, bytes) in results {
+        if bytes.len() < 8 {
+            continue;
+        }
+        let row_start = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let rows = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        for i in 0..rows * n {
+            let at = 8 + i * 8;
+            if at + 8 > bytes.len() || row_start * n + i >= grid.len() {
+                break;
+            }
+            grid[row_start * n + i] = f64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        }
+    }
+    grid
+}
+
+/// Sup-norm fixed-point residual of a temperature grid: how far the interior
+/// is from satisfying the five-point Laplace stencil.
+pub fn heat_residual(n: usize, grid: &[f64]) -> f64 {
+    let mut res: f64 = 0.0;
+    for i in 1..n - 1 {
+        for j in 1..n - 1 {
+            let avg = 0.25
+                * (grid[(i - 1) * n + j]
+                    + grid[(i + 1) * n + j]
+                    + grid[i * n + j - 1]
+                    + grid[i * n + j + 1]);
+            res = res.max((grid[i * n + j] - avg).abs());
+        }
+    }
+    res
+}
+
+/// Solve the plate sequentially by full-grid Jacobi sweeps; returns the
+/// converged grid and the number of sweeps. The distributed synchronous
+/// scheme reproduces exactly these iterates, so the sweep count is the
+/// cross-runtime invariant the agreement tests check.
+pub fn solve_heat_sequential(n: usize, tolerance: f64, max_iterations: u64) -> (Vec<f64>, u64) {
+    let mut grid = initial_grid(n);
+    let mut next = grid.clone();
+    for iteration in 1..=max_iterations {
+        let mut diff: f64 = 0.0;
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let new = 0.25
+                    * (grid[(i - 1) * n + j]
+                        + grid[(i + 1) * n + j]
+                        + grid[i * n + j - 1]
+                        + grid[i * n + j + 1]);
+                diff = diff.max((new - grid[i * n + j]).abs());
+                next[i * n + j] = new;
+            }
+        }
+        std::mem::swap(&mut grid, &mut next);
+        if diff <= tolerance {
+            return (grid, iteration);
+        }
+    }
+    (grid, max_iterations)
+}
+
+/// The heat workload: problem construction, task factory, assembly and
+/// residual for the workload-generic experiment driver.
+pub struct HeatWorkload {
+    n: usize,
+    peers: usize,
+}
+
+impl HeatWorkload {
+    /// Create the workload for an `n × n` plate split across `peers` peers.
+    pub fn new(n: usize, peers: usize) -> Self {
+        assert!(n >= 3 && (1..=n - 2).contains(&peers));
+        Self { n, peers }
+    }
+}
+
+impl Workload for HeatWorkload {
+    fn name(&self) -> &'static str {
+        "heat"
+    }
+
+    fn peers(&self) -> usize {
+        self.peers
+    }
+
+    fn task(&self, rank: usize) -> Box<dyn IterativeTask> {
+        Box::new(HeatTask::new(self.n, self.peers, rank))
+    }
+
+    fn assemble(&self, results: &[(usize, Vec<u8>)]) -> Vec<f64> {
+        assemble_heat_solution(self.n, results)
+    }
+
+    fn residual(&self, solution: &[f64]) -> f64 {
+        heat_residual(self.n, solution)
+    }
+}
+
+/// The heat application registered with the P2PDC environment.
+pub struct HeatApp {
+    params: HeatParams,
+}
+
+impl HeatApp {
+    /// Create the application for a parameter set.
+    pub fn new(params: HeatParams) -> Self {
+        Self { params }
+    }
+}
+
+impl Application for HeatApp {
+    fn name(&self) -> &str {
+        "heat"
+    }
+
+    fn problem_definition(&self, params: &serde_json::Value) -> ProblemDefinition {
+        let peers = params
+            .get("peers")
+            .and_then(|v| v.as_u64())
+            .map(|v| v as usize)
+            .unwrap_or(self.params.peers);
+        let scheme = params
+            .get("scheme")
+            .and_then(|v| v.as_str())
+            .and_then(crate::app::parse_scheme)
+            .unwrap_or(self.params.scheme);
+        let n = self.params.n;
+        let subtasks = (0..peers)
+            .map(|rank| {
+                let (offset, rows) = balanced_partition(n - 2, peers, rank);
+                SubTask {
+                    rank,
+                    data: serde_json::to_vec(&serde_json::json!({
+                        "row_start": 1 + offset,
+                        "rows": rows,
+                        "n": n,
+                    }))
+                    .expect("subtask serialization"),
+                }
+            })
+            .collect();
+        ProblemDefinition {
+            app_name: self.name().to_string(),
+            scheme,
+            peers_needed: peers,
+            subtasks,
+        }
+    }
+
+    fn calculate(&self, definition: &ProblemDefinition, rank: usize) -> Box<dyn IterativeTask> {
+        Box::new(HeatTask::new(self.params.n, definition.peers_needed, rank))
+    }
+
+    fn results_aggregation(&self, results: &[(usize, Vec<u8>)]) -> Vec<u8> {
+        let solution = assemble_heat_solution(self.params.n, results);
+        let mut out = Vec::with_capacity(solution.len() * 8);
+        for v in &solution {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_solution_is_physical() {
+        let (grid, iterations) = solve_heat_sequential(12, 1e-5, 100_000);
+        assert!(iterations < 100_000, "Jacobi did not converge");
+        // Temperature decreases monotonically away from the hot edge along
+        // the centre column, and stays within the boundary values.
+        let n = 12;
+        let mid = n / 2;
+        for i in 1..n - 1 {
+            let above = grid[(i - 1) * n + mid];
+            let here = grid[i * n + mid];
+            assert!(here <= above + 1e-9, "row {i}: {here} > {above}");
+            assert!((0.0..=HOT_EDGE).contains(&here));
+        }
+        assert!(heat_residual(n, &grid) <= 1e-5 * 1.01);
+    }
+
+    #[test]
+    fn tasks_with_exchange_reproduce_the_sequential_solution() {
+        // Drive two heat tasks by hand with synchronous exchanges and check
+        // both the iterate count and the assembled grid match the sequential
+        // solver exactly.
+        let n = 10;
+        let tolerance = 1e-4;
+        let (reference, ref_iterations) = solve_heat_sequential(n, tolerance, 100_000);
+        let mut t0 = HeatTask::new(n, 2, 0);
+        let mut t1 = HeatTask::new(n, 2, 1);
+        let mut iterations = 0u64;
+        loop {
+            let d0 = t0.relax();
+            let d1 = t1.relax();
+            iterations += 1;
+            for (dst, payload) in t0.outgoing() {
+                assert_eq!(dst, 1);
+                t1.incorporate(0, &payload);
+            }
+            for (dst, payload) in t1.outgoing() {
+                assert_eq!(dst, 0);
+                t0.incorporate(1, &payload);
+            }
+            if d0.local_diff.max(d1.local_diff) <= tolerance {
+                break;
+            }
+            assert!(iterations < 100_000, "did not converge");
+        }
+        assert_eq!(iterations, ref_iterations);
+        let solution = assemble_heat_solution(n, &[(0, t0.result()), (1, t1.result())]);
+        assert!(sup_norm_diff(&solution, &reference) < 1e-12);
+    }
+
+    #[test]
+    fn row_bands_tile_the_interior() {
+        let n = 11;
+        for peers in [1usize, 2, 3, 4] {
+            let mut next = 1;
+            for rank in 0..peers {
+                let task = HeatTask::new(n, peers, rank);
+                let (start, rows) = task.row_range();
+                assert_eq!(start, next);
+                assert!(rows >= 1);
+                next = start + rows;
+            }
+            assert_eq!(next, n - 1);
+        }
+    }
+
+    #[test]
+    fn problem_definition_honours_command_line_overrides() {
+        let app = HeatApp::new(HeatParams {
+            n: 12,
+            peers: 2,
+            scheme: Scheme::Synchronous,
+        });
+        let def = app.problem_definition(&serde_json::json!({
+            "peers": 4,
+            "scheme": "asynchronous",
+        }));
+        assert_eq!(def.peers_needed, 4);
+        assert_eq!(def.scheme, Scheme::Asynchronous);
+        assert_eq!(def.subtasks.len(), 4);
+    }
+}

@@ -28,34 +28,44 @@ pub mod app;
 pub mod compute;
 pub mod experiment;
 pub mod fault;
+pub mod heat_app;
 pub mod load_balance;
 pub mod metrics;
 pub mod obstacle_app;
+pub mod pagerank_app;
 pub mod runtime;
 pub mod task_manager;
 pub mod topology_manager;
+pub mod workload;
 
 pub use app::{Application, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
 pub use compute::{calibrate_ns_per_point, ComputeModel};
-pub use experiment::{
-    run_obstacle_experiment, run_obstacle_on, ExperimentResult, ObstacleExperiment,
-    RuntimeExperimentResult, RuntimeKind,
-};
+pub use experiment::{run_on, RuntimeExperimentResult, RuntimeKind};
 pub use fault::{Checkpoint, FaultManager, RecoveryAction};
+pub use heat_app::{
+    assemble_heat_solution, heat_residual, solve_heat_sequential, HeatApp, HeatParams, HeatTask,
+    HeatWorkload,
+};
 pub use load_balance::{LoadBalancer, PeerLoad};
 pub use metrics::{derive_row, format_table, FigureRow, RunMeasurement};
 pub use obstacle_app::{
-    assemble_solution, build_problem, ObstacleApp, ObstacleInstance, ObstacleParams, ObstacleTask,
-    UpdateMsg,
+    assemble_solution, build_problem, run_obstacle_experiment, run_obstacle_on, ExperimentResult,
+    ObstacleApp, ObstacleExperiment, ObstacleInstance, ObstacleParams, ObstacleTask,
+    ObstacleWorkload, UpdateMsg,
+};
+pub use pagerank_app::{
+    assemble_pagerank_solution, pagerank_reference, pagerank_step, PageRankApp, PageRankGraph,
+    PageRankParams, PageRankTask, PageRankWorkload,
 };
 pub use runtime::{
     run_iterative, run_iterative_loopback, run_iterative_threads, run_iterative_udp,
     ConvergenceDetector, LoopbackRunConfig, LoopbackRunOutcome, LossShim, PeerEngine,
-    PeerTransport, Reassembler, SimRunConfig, SimRunOutcome, ThreadRunConfig, ThreadRunOutcome,
-    UdpRunConfig, UdpRunOutcome,
+    PeerTransport, Reassembler, RunConfig, SimRunConfig, SimRunOutcome, ThreadRunConfig,
+    ThreadRunOutcome, UdpRunConfig, UdpRunOutcome,
 };
 pub use task_manager::{parse_command, Command, Job, JobState, TaskManager};
 pub use topology_manager::{PeerRecord, TopologyManager, MISSED_PINGS_BEFORE_EVICTION};
+pub use workload::{balanced_partition, Workload, WorkloadKind};
 
 // Re-export the protocol types applications interact with.
 pub use p2psap::{ChannelConfig, CommunicationMode, Scheme};

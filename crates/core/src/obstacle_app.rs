@@ -7,7 +7,13 @@
 //! relaxation.
 
 use crate::app::{Application, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
-use obstacle::{BlockDecomposition, NodeState, ObstacleProblem};
+use crate::compute::ComputeModel;
+use crate::experiment::{run_on, RuntimeExperimentResult, RuntimeKind};
+use crate::metrics::RunMeasurement;
+use crate::runtime::RunConfig;
+use crate::workload::Workload;
+use netsim::{NetStats, Topology};
+use obstacle::{fixed_point_residual, BlockDecomposition, NodeState, ObstacleProblem};
 use p2psap::Scheme;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -254,12 +260,7 @@ impl Application for ObstacleApp {
         let scheme = params
             .get("scheme")
             .and_then(|v| v.as_str())
-            .and_then(|s| match s {
-                "synchronous" => Some(Scheme::Synchronous),
-                "asynchronous" => Some(Scheme::Asynchronous),
-                "hybrid" => Some(Scheme::Hybrid),
-                _ => None,
-            })
+            .and_then(crate::app::parse_scheme)
             .unwrap_or(self.params.scheme);
         let decomp = BlockDecomposition::balanced(self.params.n, peers);
         let subtasks = (0..peers)
@@ -299,10 +300,158 @@ impl Application for ObstacleApp {
     }
 }
 
+/// The obstacle workload: problem construction, task factory, assembly and
+/// residual for the workload-generic experiment driver.
+pub struct ObstacleWorkload {
+    problem: Arc<ObstacleProblem>,
+    n: usize,
+    peers: usize,
+}
+
+impl ObstacleWorkload {
+    /// Build the workload for a parameter set (the problem is constructed
+    /// once and shared read-only between the per-rank tasks).
+    pub fn new(params: ObstacleParams) -> Self {
+        Self {
+            problem: Arc::new(build_problem(&params)),
+            n: params.n,
+            peers: params.peers,
+        }
+    }
+
+    /// Access the underlying problem.
+    pub fn problem(&self) -> Arc<ObstacleProblem> {
+        Arc::clone(&self.problem)
+    }
+}
+
+impl Workload for ObstacleWorkload {
+    fn name(&self) -> &'static str {
+        "obstacle"
+    }
+
+    fn peers(&self) -> usize {
+        self.peers
+    }
+
+    fn task(&self, rank: usize) -> Box<dyn IterativeTask> {
+        Box::new(ObstacleTask::new(
+            Arc::clone(&self.problem),
+            self.peers,
+            rank,
+        ))
+    }
+
+    fn assemble(&self, results: &[(usize, Vec<u8>)]) -> Vec<f64> {
+        assemble_solution(self.n, results)
+    }
+
+    fn residual(&self, solution: &[f64]) -> f64 {
+        fixed_point_residual(&self.problem, solution, self.problem.optimal_delta())
+    }
+}
+
+/// One obstacle experiment configuration (one bar of Figures 5/6).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObstacleExperiment {
+    /// Grid points per dimension.
+    pub n: usize,
+    /// Problem instance.
+    pub instance: ObstacleInstance,
+    /// Scheme of computation.
+    pub scheme: Scheme,
+    /// Number of peers.
+    pub peers: usize,
+    /// Number of clusters (1 or 2; 2 uses the 100 ms netem path).
+    pub clusters: usize,
+    /// Convergence tolerance.
+    pub tolerance: f64,
+    /// Compute model (virtual ns per relaxed point).
+    pub compute: ComputeModel,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl ObstacleExperiment {
+    /// Default experiment: membrane instance, NICTA compute model.
+    pub fn new(n: usize, scheme: Scheme, peers: usize, clusters: usize) -> Self {
+        Self {
+            n,
+            instance: ObstacleInstance::Membrane,
+            scheme,
+            peers,
+            clusters,
+            tolerance: RunConfig::DEFAULT_TOLERANCE,
+            compute: ComputeModel::default(),
+            seed: RunConfig::DEFAULT_SEED,
+        }
+    }
+
+    /// Topology of the experiment.
+    pub fn topology(&self) -> Topology {
+        RunConfig::clustered(self.scheme, self.peers, self.clusters).topology
+    }
+
+    /// Human-readable topology label.
+    pub fn topology_label(&self) -> &'static str {
+        if self.clusters == 1 {
+            "1 cluster"
+        } else {
+            "2 clusters"
+        }
+    }
+
+    /// The workload-generic form of this experiment: the workload plus the
+    /// shared run configuration every backend consumes.
+    pub fn workload_and_config(&self) -> (ObstacleWorkload, RunConfig) {
+        let workload = ObstacleWorkload::new(ObstacleParams {
+            n: self.n,
+            peers: self.peers,
+            scheme: self.scheme,
+            instance: self.instance,
+        });
+        let mut config = RunConfig::clustered(self.scheme, self.peers, self.clusters);
+        config.tolerance = self.tolerance;
+        config.compute = self.compute;
+        config.seed = self.seed;
+        (workload, config)
+    }
+}
+
+/// Run one obstacle experiment on the chosen runtime backend, through the
+/// workload-generic [`run_on`] path.
+pub fn run_obstacle_on(exp: &ObstacleExperiment, runtime: RuntimeKind) -> RuntimeExperimentResult {
+    let (workload, config) = exp.workload_and_config();
+    run_on(&workload, &config, runtime)
+}
+
+/// Result of one simulated obstacle experiment: measurement (with residual),
+/// assembled solution and network statistics.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Measurement with the fixed-point residual filled in.
+    pub measurement: RunMeasurement,
+    /// Assembled global solution.
+    pub solution: Vec<f64>,
+    /// Network statistics.
+    pub net: NetStats,
+}
+
+/// Run one obstacle experiment on the simulated runtime.
+pub fn run_obstacle_experiment(exp: &ObstacleExperiment) -> ExperimentResult {
+    let result = run_obstacle_on(exp, RuntimeKind::Sim);
+    ExperimentResult {
+        measurement: result.measurement,
+        solution: result.solution,
+        net: result.net.expect("the simulated backend reports net stats"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use obstacle::{solve_sequential, sup_norm_diff, RichardsonConfig};
+    use proptest::prelude::*;
 
     #[test]
     fn update_msg_round_trips() {
@@ -387,5 +536,172 @@ mod tests {
         assert_eq!(t2.neighbors(), vec![1]);
         assert_eq!(t0.plane_range().0, 0);
         assert_eq!(t2.plane_range().1, 9);
+    }
+
+    proptest! {
+        /// Round trip: any message survives encode → decode bit-exactly, and
+        /// every strict prefix of the encoding is rejected (the length field
+        /// pins the exact size, so truncation anywhere must fail).
+        #[test]
+        fn update_msg_encode_decode_round_trips(
+            sender in 0u32..1024,
+            iteration in proptest::any::<u64>(),
+            plane in proptest::collection::vec(-1e12f64..1e12, 0..48),
+        ) {
+            let msg = UpdateMsg { from: sender, iteration, plane };
+            let bytes = msg.encode();
+            prop_assert_eq!(bytes.len(), 16 + msg.plane.len() * 8);
+            prop_assert_eq!(UpdateMsg::decode(&bytes), Some(msg));
+            for cut in 0..bytes.len() {
+                prop_assert_eq!(UpdateMsg::decode(&bytes[..cut]), None);
+            }
+        }
+
+        /// Length-mismatch rejection: a header advertising more plane values
+        /// than the buffer carries must not decode (no partial reads).
+        #[test]
+        fn update_msg_rejects_length_mismatch(
+            sender in 0u32..1024,
+            iteration in proptest::any::<u64>(),
+            plane in proptest::collection::vec(-1e12f64..1e12, 0..16),
+            extra in 1u32..64,
+        ) {
+            let msg = UpdateMsg { from: sender, iteration, plane };
+            let mut bytes = msg.encode();
+            // Inflate the advertised plane length beyond the actual payload.
+            let advertised = (msg.plane.len() as u32).saturating_add(extra);
+            bytes[4..8].copy_from_slice(&advertised.to_le_bytes());
+            prop_assert_eq!(UpdateMsg::decode(&bytes), None);
+        }
+    }
+
+    #[test]
+    fn single_peer_run_matches_the_sequential_solver() {
+        let exp = ObstacleExperiment::new(8, Scheme::Synchronous, 1, 1);
+        let result = run_obstacle_experiment(&exp);
+        assert!(result.measurement.converged);
+        let reference = solve_sequential(
+            &obstacle::ObstacleProblem::membrane(8),
+            RichardsonConfig {
+                tolerance: exp.tolerance,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            result.measurement.relaxations_per_peer[0],
+            reference.iterations as u64
+        );
+        assert!(result.measurement.residual < exp.tolerance * 2.0);
+    }
+
+    #[test]
+    fn synchronous_distributed_run_keeps_the_relaxation_count() {
+        let reference =
+            run_obstacle_experiment(&ObstacleExperiment::new(8, Scheme::Synchronous, 1, 1));
+        for peers in [2usize, 4] {
+            let exp = ObstacleExperiment::new(8, Scheme::Synchronous, peers, 1);
+            let result = run_obstacle_experiment(&exp);
+            assert!(result.measurement.converged);
+            // Paper: "the number of relaxations performed by synchronous schemes
+            // remains constant"; allow the +1 sweep peers may start before the
+            // stop signal reaches them.
+            let max = result.measurement.max_relaxations();
+            let reference_count = reference.measurement.relaxations_per_peer[0];
+            assert!(
+                max >= reference_count && max <= reference_count + 1,
+                "peers={peers}: {max} vs reference {reference_count}"
+            );
+            assert!(result.measurement.residual < exp.tolerance * 2.0);
+        }
+    }
+
+    #[test]
+    fn asynchronous_single_cluster_solution_is_accurate() {
+        // Inside one cluster the boundary staleness is a couple of sweeps, so
+        // the asynchronously terminated solution must satisfy the fixed-point
+        // equation to a small multiple of the tolerance.
+        let exp = ObstacleExperiment::new(16, Scheme::Asynchronous, 4, 1);
+        let result = run_obstacle_experiment(&exp);
+        assert!(result.measurement.converged);
+        assert!(
+            result.measurement.residual < exp.tolerance * 10.0,
+            "residual {} too large",
+            result.measurement.residual
+        );
+    }
+
+    #[test]
+    fn asynchronous_two_cluster_run_converges_and_uses_the_wan() {
+        // Across the 100 ms WAN the accuracy floor of an asynchronously
+        // terminated run is tolerance × (WAN latency / compute per sweep) —
+        // the boundary planes lag by that many relaxations (see
+        // EXPERIMENTS.md). The run must converge, exchange inter-cluster
+        // traffic, perform more relaxations than the synchronous scheme, and
+        // stay within that staleness bound.
+        let exp = ObstacleExperiment::new(16, Scheme::Asynchronous, 4, 2);
+        let result = run_obstacle_experiment(&exp);
+        assert!(result.measurement.converged);
+        assert!(
+            result.net.inter.packets_delivered > 0,
+            "inter-cluster traffic expected"
+        );
+        assert!(
+            result.measurement.residual < 2e-2,
+            "residual {} beyond the staleness bound",
+            result.measurement.residual
+        );
+        let sync = run_obstacle_experiment(&ObstacleExperiment::new(16, Scheme::Synchronous, 4, 2));
+        assert!(
+            result.measurement.avg_relaxations() >= sync.measurement.avg_relaxations(),
+            "asynchronous runs perform at least as many relaxations"
+        );
+        assert!(
+            result.measurement.elapsed < sync.measurement.elapsed,
+            "asynchronous iterations must finish sooner than synchronous ones across a 100 ms WAN"
+        );
+    }
+
+    #[test]
+    fn every_runtime_backend_reports_the_shared_measurement_shape() {
+        let exp = ObstacleExperiment::new(8, Scheme::Synchronous, 2, 1);
+        let reference = solve_sequential(
+            &obstacle::ObstacleProblem::membrane(8),
+            RichardsonConfig {
+                tolerance: exp.tolerance,
+                ..Default::default()
+            },
+        );
+        for runtime in RuntimeKind::ALL {
+            let result = run_obstacle_on(&exp, runtime);
+            assert_eq!(result.runtime, runtime);
+            assert!(result.measurement.converged, "{runtime} did not converge");
+            assert_eq!(result.measurement.peers, 2);
+            // Synchronous relaxation-count invariance holds on every backend.
+            let max = result.measurement.max_relaxations();
+            let expected = reference.iterations as u64;
+            assert!(
+                max >= expected && max <= expected + 1,
+                "{runtime}: {max} vs sequential {expected}"
+            );
+            assert!(
+                result.measurement.residual < exp.tolerance * 2.0,
+                "{runtime}: residual {}",
+                result.measurement.residual
+            );
+            assert_eq!(result.solution.len(), 8 * 8 * 8);
+        }
+    }
+
+    #[test]
+    fn hybrid_run_converges_faster_than_sync_on_two_clusters() {
+        let sync = run_obstacle_experiment(&ObstacleExperiment::new(8, Scheme::Synchronous, 4, 2));
+        let hybrid = run_obstacle_experiment(&ObstacleExperiment::new(8, Scheme::Hybrid, 4, 2));
+        assert!(sync.measurement.converged && hybrid.measurement.converged);
+        assert!(
+            hybrid.measurement.elapsed < sync.measurement.elapsed,
+            "hybrid {:?} should beat synchronous {:?} across a 100 ms WAN",
+            hybrid.measurement.elapsed,
+            sync.measurement.elapsed
+        );
     }
 }

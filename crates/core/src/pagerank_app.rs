@@ -1,0 +1,607 @@
+//! An asynchronous-iteration PageRank application: the first non-grid
+//! workload of the experiment layer.
+//!
+//! Vertices form a ring with long chords (`v ~ v±1` and `v ~ v±stride`), so
+//! contiguous vertex partitions are coupled not only to adjacent partitions
+//! but also to partitions a third of the ring away — each peer exchanges
+//! rank mass with *arbitrary* neighbour peers, exercising the engine beyond
+//! the nearest-neighbour line topology of the PDE workloads.
+//!
+//! Peer `k` owns a contiguous vertex range and keeps the current rank of its
+//! vertices. One relaxation recomputes every owned rank from the damped
+//! PageRank update `r(v) = (1−d)/N + d·Σ_{u~v} r(u)/deg(u)`, where the
+//! contributions of remote vertices come from the freshest *contribution
+//! vector* each neighbour peer has sent (one `f64` per receiver-owned
+//! vertex: the rank mass the sender's vertices push into it). Under the
+//! synchronous scheme this is exactly the classic power iteration; under the
+//! asynchronous scheme peers free-run on the freshest received mass — the
+//! totally asynchronous iteration the paper's schemes of computation target.
+
+use crate::app::{Application, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
+use crate::obstacle_app::UpdateMsg;
+use crate::workload::{balanced_partition, Workload};
+use obstacle::sup_norm_diff;
+use p2psap::Scheme;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The damping factor of the PageRank iteration.
+pub const DAMPING: f64 = 0.85;
+
+/// Parameters of the PageRank application (the `run` command-line
+/// parameters).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PageRankParams {
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of peers.
+    pub peers: usize,
+    /// Scheme of computation.
+    pub scheme: Scheme,
+}
+
+/// An undirected graph in adjacency-list form (every undirected edge counts
+/// as two directed edges, so a vertex's out-degree equals its degree).
+#[derive(Debug, Clone)]
+pub struct PageRankGraph {
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl PageRankGraph {
+    /// The built-in instance: a ring of `n` vertices where every third
+    /// vertex additionally owns a chord of stride `max(2, n/3)`. The chords
+    /// couple vertex partitions far beyond their ring-adjacent partitions,
+    /// and their sparsity makes the degrees (and thus the stationary ranks)
+    /// non-uniform — a fully regular circulant would already be stationary
+    /// at the uniform starting vector and converge in one step.
+    pub fn ring_with_chords(n: usize) -> Self {
+        assert!(n >= 4, "a {n}-vertex ring is degenerate");
+        let stride = (n / 3).max(2);
+        let mut adjacency: Vec<std::collections::BTreeSet<u32>> =
+            vec![std::collections::BTreeSet::new(); n];
+        let mut connect = |a: usize, b: usize| {
+            if a != b {
+                adjacency[a].insert(b as u32);
+                adjacency[b].insert(a as u32);
+            }
+        };
+        for v in 0..n {
+            connect(v, (v + 1) % n);
+            if v % 3 == 0 {
+                connect(v, (v + stride) % n);
+            }
+        }
+        Self {
+            adjacency: adjacency
+                .into_iter()
+                .map(|set| set.into_iter().collect())
+                .collect(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Neighbours of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adjacency[v]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+}
+
+/// One damped PageRank step over the full graph (the reference iteration the
+/// distributed synchronous scheme reproduces).
+pub fn pagerank_step(graph: &PageRankGraph, ranks: &[f64]) -> Vec<f64> {
+    let n = graph.len();
+    let mut next = vec![(1.0 - DAMPING) / n as f64; n];
+    for (v, rank) in ranks.iter().enumerate() {
+        let share = DAMPING * rank / graph.degree(v) as f64;
+        for &u in graph.neighbors(v) {
+            next[u as usize] += share;
+        }
+    }
+    next
+}
+
+/// Iterate [`pagerank_step`] from the uniform vector until the sup-norm
+/// successive difference drops to `tolerance`; returns the ranks and the
+/// iteration count.
+pub fn pagerank_reference(
+    graph: &PageRankGraph,
+    tolerance: f64,
+    max_iterations: u64,
+) -> (Vec<f64>, u64) {
+    let n = graph.len();
+    let mut ranks = vec![1.0 / n as f64; n];
+    for iteration in 1..=max_iterations {
+        let next = pagerank_step(graph, &ranks);
+        let diff = sup_norm_diff(&ranks, &next);
+        ranks = next;
+        if diff <= tolerance {
+            return (ranks, iteration);
+        }
+    }
+    (ranks, max_iterations)
+}
+
+/// Owner peer of vertex `v` under the balanced contiguous partition:
+/// the first `n % peers` chunks hold `n / peers + 1` vertices, the rest
+/// `n / peers` (the exact inverse of [`balanced_partition`]).
+fn owner_of(n: usize, peers: usize, v: usize) -> usize {
+    debug_assert!(v < n && peers >= 1 && peers <= n);
+    let base = n / peers;
+    let extra = n % peers;
+    let big_span = extra * (base + 1);
+    if v < big_span {
+        v / (base + 1)
+    } else {
+        extra + (v - big_span) / base
+    }
+}
+
+/// The per-peer computation: a vertex partition's rank vector iterated on
+/// local plus freshest-received rank mass, speaking the [`IterativeTask`]
+/// interface.
+pub struct PageRankTask {
+    graph: Arc<PageRankGraph>,
+    peers: usize,
+    rank: usize,
+    v_start: usize,
+    /// Current ranks of the owned vertices.
+    ranks: Vec<f64>,
+    /// Freshest contribution vector received from each neighbour peer (rank
+    /// mass pushed into this peer's vertices, damping not yet applied).
+    external: BTreeMap<usize, Vec<f64>>,
+    /// Peers owning at least one vertex adjacent to this partition (fixed
+    /// once the partition is, so computed at construction).
+    neighbor_peers: Vec<usize>,
+    /// Owned work per sweep (sum of owned degrees).
+    work_points: u64,
+    relaxations: u64,
+}
+
+impl PageRankTask {
+    /// Create the task of peer `rank` among `peers` peers.
+    pub fn new(graph: Arc<PageRankGraph>, peers: usize, rank: usize) -> Self {
+        let n = graph.len();
+        assert!(peers <= n, "{peers} peers cannot split {n} vertices");
+        let (v_start, v_len) = balanced_partition(n, peers, rank);
+        let work_points = (v_start..v_start + v_len)
+            .map(|v| graph.degree(v) as u64)
+            .sum();
+        let neighbor_peers: Vec<usize> = {
+            let mut set = std::collections::BTreeSet::new();
+            for v in v_start..v_start + v_len {
+                for &u in graph.neighbors(v) {
+                    let owner = owner_of(n, peers, u as usize);
+                    if owner != rank {
+                        set.insert(owner);
+                    }
+                }
+            }
+            set.into_iter().collect()
+        };
+        let mut task = Self {
+            graph,
+            peers,
+            rank,
+            v_start,
+            ranks: vec![1.0 / n as f64; v_len],
+            external: BTreeMap::new(),
+            neighbor_peers,
+            work_points,
+            relaxations: 0,
+        };
+        // Seed the external contributions with what every neighbour peer
+        // would send from the shared uniform initial ranks, so the first
+        // distributed sweep equals the first reference power step.
+        for peer in task.neighbor_peers.clone() {
+            let uniform = vec![1.0 / n as f64; balanced_partition(n, peers, peer).1];
+            let seeded = task.contribution_from(peer, &uniform);
+            task.external.insert(peer, seeded);
+        }
+        task
+    }
+
+    /// The vertex range owned by this task, as `(first, count)`.
+    pub fn vertex_range(&self) -> (usize, usize) {
+        (self.v_start, self.ranks.len())
+    }
+
+    /// The contribution vector peer `peer` pushes into this partition, given
+    /// that peer's rank vector. Used only to seed [`PageRankTask::external`]
+    /// at the shared initial iterate (afterwards the real vectors arrive by
+    /// message).
+    fn contribution_from(&self, peer: usize, peer_ranks: &[f64]) -> Vec<f64> {
+        let n = self.graph.len();
+        let (peer_start, _) = balanced_partition(n, self.peers, peer);
+        let mut contribution = vec![0.0; self.ranks.len()];
+        for (i, r) in peer_ranks.iter().enumerate() {
+            let v = peer_start + i;
+            let share = r / self.graph.degree(v) as f64;
+            for &u in self.graph.neighbors(v) {
+                let u = u as usize;
+                if (self.v_start..self.v_start + self.ranks.len()).contains(&u) {
+                    contribution[u - self.v_start] += share;
+                }
+            }
+        }
+        contribution
+    }
+
+    /// The contribution vector this peer currently pushes into `peer`.
+    fn contribution_to(&self, peer: usize) -> Vec<f64> {
+        let n = self.graph.len();
+        let (peer_start, peer_len) = balanced_partition(n, self.peers, peer);
+        let mut contribution = vec![0.0; peer_len];
+        for (i, r) in self.ranks.iter().enumerate() {
+            let v = self.v_start + i;
+            let share = r / self.graph.degree(v) as f64;
+            for &u in self.graph.neighbors(v) {
+                let u = u as usize;
+                if (peer_start..peer_start + peer_len).contains(&u) {
+                    contribution[u - peer_start] += share;
+                }
+            }
+        }
+        contribution
+    }
+}
+
+impl IterativeTask for PageRankTask {
+    fn relax(&mut self) -> LocalRelax {
+        let n = self.graph.len();
+        let v_len = self.ranks.len();
+        let mut next = vec![(1.0 - DAMPING) / n as f64; v_len];
+        // Mass from owned vertices.
+        for (i, r) in self.ranks.iter().enumerate() {
+            let v = self.v_start + i;
+            let share = DAMPING * r / self.graph.degree(v) as f64;
+            for &u in self.graph.neighbors(v) {
+                let u = u as usize;
+                if (self.v_start..self.v_start + v_len).contains(&u) {
+                    next[u - self.v_start] += share;
+                }
+            }
+        }
+        // Freshest mass from every neighbour peer.
+        for contribution in self.external.values() {
+            for (i, c) in contribution.iter().enumerate() {
+                next[i] += DAMPING * c;
+            }
+        }
+        let diff = sup_norm_diff(&self.ranks, &next);
+        self.ranks = next;
+        self.relaxations += 1;
+        LocalRelax {
+            local_diff: diff,
+            work_points: self.work_points,
+        }
+    }
+
+    fn outgoing(&mut self) -> Vec<(usize, Vec<u8>)> {
+        let iteration = self.relaxations;
+        self.neighbor_peers
+            .clone()
+            .into_iter()
+            .map(|peer| {
+                let msg = UpdateMsg {
+                    from: self.rank as u32,
+                    iteration,
+                    plane: self.contribution_to(peer),
+                };
+                (peer, msg.encode())
+            })
+            .collect()
+    }
+
+    fn incorporate(&mut self, from: usize, payload: &[u8]) -> f64 {
+        let Some(msg) = UpdateMsg::decode(payload) else {
+            return 0.0;
+        };
+        if msg.plane.len() != self.ranks.len() {
+            return 0.0;
+        }
+        let change = match self.external.get(&from) {
+            Some(old) => sup_norm_diff(old, &msg.plane),
+            None => return 0.0,
+        };
+        self.external.insert(from, msg.plane);
+        change
+    }
+
+    fn neighbors(&self) -> Vec<usize> {
+        self.neighbor_peers.clone()
+    }
+
+    fn result(&self) -> Vec<u8> {
+        // Header: v_start (u32), vertex count (u32), then the owned ranks.
+        let mut out = Vec::with_capacity(8 + self.ranks.len() * 8);
+        out.extend_from_slice(&(self.v_start as u32).to_le_bytes());
+        out.extend_from_slice(&(self.ranks.len() as u32).to_le_bytes());
+        for v in &self.ranks {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn relaxations(&self) -> u64 {
+        self.relaxations
+    }
+}
+
+/// Reassemble the global rank vector from the per-peer results produced by
+/// [`PageRankTask::result`].
+pub fn assemble_pagerank_solution(n: usize, results: &[(usize, Vec<u8>)]) -> Vec<f64> {
+    let mut ranks = vec![0.0; n];
+    for (_, bytes) in results {
+        if bytes.len() < 8 {
+            continue;
+        }
+        let v_start = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        for i in 0..count {
+            let at = 8 + i * 8;
+            if at + 8 > bytes.len() || v_start + i >= n {
+                break;
+            }
+            ranks[v_start + i] = f64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        }
+    }
+    ranks
+}
+
+/// The PageRank workload: graph construction, task factory, assembly and
+/// residual for the workload-generic experiment driver.
+pub struct PageRankWorkload {
+    graph: Arc<PageRankGraph>,
+    peers: usize,
+}
+
+impl PageRankWorkload {
+    /// The built-in ring-with-chords instance on `vertices` vertices.
+    pub fn ring_with_chords(vertices: usize, peers: usize) -> Self {
+        Self {
+            graph: Arc::new(PageRankGraph::ring_with_chords(vertices)),
+            peers,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> Arc<PageRankGraph> {
+        Arc::clone(&self.graph)
+    }
+}
+
+impl Workload for PageRankWorkload {
+    fn name(&self) -> &'static str {
+        "pagerank"
+    }
+
+    fn peers(&self) -> usize {
+        self.peers
+    }
+
+    fn task(&self, rank: usize) -> Box<dyn IterativeTask> {
+        Box::new(PageRankTask::new(Arc::clone(&self.graph), self.peers, rank))
+    }
+
+    fn assemble(&self, results: &[(usize, Vec<u8>)]) -> Vec<f64> {
+        assemble_pagerank_solution(self.graph.len(), results)
+    }
+
+    fn residual(&self, solution: &[f64]) -> f64 {
+        pagerank_step(&self.graph, solution)
+            .iter()
+            .zip(solution)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The PageRank application registered with the P2PDC environment.
+pub struct PageRankApp {
+    graph: Arc<PageRankGraph>,
+    params: PageRankParams,
+}
+
+impl PageRankApp {
+    /// Create the application for a parameter set (the graph is built once
+    /// and shared read-only between the peers).
+    pub fn new(params: PageRankParams) -> Self {
+        Self {
+            graph: Arc::new(PageRankGraph::ring_with_chords(params.vertices)),
+            params,
+        }
+    }
+}
+
+impl Application for PageRankApp {
+    fn name(&self) -> &str {
+        "pagerank"
+    }
+
+    fn problem_definition(&self, params: &serde_json::Value) -> ProblemDefinition {
+        let peers = params
+            .get("peers")
+            .and_then(|v| v.as_u64())
+            .map(|v| v as usize)
+            .unwrap_or(self.params.peers);
+        let scheme = params
+            .get("scheme")
+            .and_then(|v| v.as_str())
+            .and_then(crate::app::parse_scheme)
+            .unwrap_or(self.params.scheme);
+        let n = self.params.vertices;
+        let subtasks = (0..peers)
+            .map(|rank| {
+                let (v_start, count) = balanced_partition(n, peers, rank);
+                SubTask {
+                    rank,
+                    data: serde_json::to_vec(&serde_json::json!({
+                        "v_start": v_start,
+                        "count": count,
+                        "vertices": n,
+                    }))
+                    .expect("subtask serialization"),
+                }
+            })
+            .collect();
+        ProblemDefinition {
+            app_name: self.name().to_string(),
+            scheme,
+            peers_needed: peers,
+            subtasks,
+        }
+    }
+
+    fn calculate(&self, definition: &ProblemDefinition, rank: usize) -> Box<dyn IterativeTask> {
+        Box::new(PageRankTask::new(
+            Arc::clone(&self.graph),
+            definition.peers_needed,
+            rank,
+        ))
+    }
+
+    fn results_aggregation(&self, results: &[(usize, Vec<u8>)]) -> Vec<u8> {
+        let solution = assemble_pagerank_solution(self.params.vertices, results);
+        let mut out = Vec::with_capacity(solution.len() * 8);
+        for v in &solution {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_ranks_form_a_distribution() {
+        let graph = PageRankGraph::ring_with_chords(60);
+        let (ranks, iterations) = pagerank_reference(&graph, 1e-10, 10_000);
+        assert!((2..10_000).contains(&iterations), "trivial instance");
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "ranks must sum to 1, got {sum}");
+        // The sparse chords make the degrees non-uniform, so the stationary
+        // distribution is a genuine (non-uniform, positive) ranking.
+        let min = ranks.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = ranks.iter().copied().fold(0.0f64, f64::max);
+        assert!(min > 0.0);
+        assert!(max - min > 1e-4, "ranks unexpectedly uniform");
+    }
+
+    #[test]
+    fn tasks_with_exchange_reproduce_the_reference_iteration() {
+        let n = 30;
+        let peers = 3;
+        let tolerance = 1e-8;
+        let graph = Arc::new(PageRankGraph::ring_with_chords(n));
+        let (reference, ref_iterations) = pagerank_reference(&graph, tolerance, 10_000);
+        let mut tasks: Vec<PageRankTask> = (0..peers)
+            .map(|rank| PageRankTask::new(Arc::clone(&graph), peers, rank))
+            .collect();
+        let mut iterations = 0u64;
+        loop {
+            let mut max_diff: f64 = 0.0;
+            for task in tasks.iter_mut() {
+                max_diff = max_diff.max(task.relax().local_diff);
+            }
+            iterations += 1;
+            type Outbox = Vec<(usize, Vec<(usize, Vec<u8>)>)>;
+            let outgoing: Outbox = tasks
+                .iter_mut()
+                .enumerate()
+                .map(|(rank, task)| (rank, task.outgoing()))
+                .collect();
+            for (from, messages) in outgoing {
+                for (dst, payload) in messages {
+                    assert_ne!(dst, from);
+                    tasks[dst].incorporate(from, &payload);
+                }
+            }
+            if max_diff <= tolerance {
+                break;
+            }
+            assert!(iterations < 10_000, "did not converge");
+        }
+        assert_eq!(iterations, ref_iterations);
+        let results: Vec<(usize, Vec<u8>)> = tasks
+            .iter()
+            .enumerate()
+            .map(|(rank, t)| (rank, t.result()))
+            .collect();
+        let solution = assemble_pagerank_solution(n, &results);
+        let err = solution
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-12, "distributed ranks deviate by {err}");
+    }
+
+    #[test]
+    fn owner_of_inverts_the_partition_for_uneven_splits() {
+        // Regression: the former guess-based owner lookup panicked for
+        // (vertices, peers) pairs whose remainder drifts the guess by more
+        // than one chunk, e.g. (34, 14) and (62, 18).
+        for (n, peers) in [(34usize, 14usize), (62, 18), (100, 60), (7, 3), (240, 7)] {
+            for k in 0..peers {
+                let (start, len) = balanced_partition(n, peers, k);
+                for v in start..start + len {
+                    assert_eq!(owner_of(n, peers, v), k, "n={n} peers={peers} v={v}");
+                }
+            }
+            // Every rank's task constructs without panicking.
+            if n >= 4 {
+                let graph = Arc::new(PageRankGraph::ring_with_chords(n));
+                for rank in 0..peers {
+                    let _ = PageRankTask::new(Arc::clone(&graph), peers, rank).neighbors();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chords_create_non_adjacent_peer_neighbours() {
+        // 6 peers on a 60-ring with stride-20 chords: peer 0 must exchange
+        // with a peer that is not rank-adjacent (the chord target), proving
+        // the communication pattern leaves the line topology.
+        let graph = Arc::new(PageRankGraph::ring_with_chords(60));
+        let task = PageRankTask::new(Arc::clone(&graph), 6, 0);
+        let neighbors = task.neighbors();
+        assert!(
+            neighbors.iter().any(|&p| p != 1 && p != 5),
+            "expected a chord neighbour beyond ranks 1 and 5, got {neighbors:?}"
+        );
+    }
+
+    #[test]
+    fn problem_definition_honours_command_line_overrides() {
+        let app = PageRankApp::new(PageRankParams {
+            vertices: 40,
+            peers: 2,
+            scheme: Scheme::Asynchronous,
+        });
+        let def = app.problem_definition(&serde_json::json!({
+            "peers": 4,
+            "scheme": "synchronous",
+        }));
+        assert_eq!(def.peers_needed, 4);
+        assert_eq!(def.scheme, Scheme::Synchronous);
+        assert_eq!(def.subtasks.len(), 4);
+    }
+}

@@ -20,45 +20,15 @@ use crate::metrics::RunMeasurement;
 use crate::runtime::engine::{
     ConvergenceDetector, PeerEngine, PeerTransport, TimerKey, TimerQueue,
 };
+use crate::runtime::RunConfig;
 use bytes::Bytes;
-use netsim::Topology;
-use p2psap::Scheme;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-/// Configuration of a loopback run.
-#[derive(Debug, Clone)]
-pub struct LoopbackRunConfig {
-    /// Scheme of computation.
-    pub scheme: Scheme,
-    /// Topology (defines peer count and the cluster split used by the
-    /// hybrid scheme's wait rule; latencies are ignored).
-    pub topology: Topology,
-    /// Convergence tolerance.
-    pub tolerance: f64,
-    /// Cap on relaxations per peer.
-    pub max_relaxations: u64,
-}
-
-impl LoopbackRunConfig {
-    /// Quick configuration: `peers` peers in a single cluster.
-    pub fn quick(scheme: Scheme, peers: usize) -> Self {
-        Self {
-            scheme,
-            topology: Topology::nicta_single_cluster(peers),
-            tolerance: 1e-4,
-            max_relaxations: 500_000,
-        }
-    }
-
-    /// Same, split into two clusters (exercises the hybrid wait rule).
-    pub fn two_clusters(scheme: Scheme, peers: usize) -> Self {
-        Self {
-            topology: Topology::nicta_two_clusters(peers),
-            ..Self::quick(scheme, peers)
-        }
-    }
-}
+/// Configuration of a loopback run. The loopback substrate needs nothing
+/// beyond the shared [`RunConfig`] (latencies are ignored; the topology only
+/// drives the peer count and the hybrid scheme's cluster-split wait rule).
+pub type LoopbackRunConfig = RunConfig;
 
 /// Outcome of a loopback run.
 #[derive(Debug, Clone)]
@@ -263,6 +233,7 @@ where
 mod tests {
     use super::*;
     use crate::runtime::engine::testing::RampTask;
+    use p2psap::Scheme;
 
     const RAMP: u64 = 10;
 

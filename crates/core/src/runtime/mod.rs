@@ -58,3 +58,113 @@ pub use loopback::{run_iterative_loopback, LoopbackRunConfig, LoopbackRunOutcome
 pub use sim::{run_iterative, SimRunConfig, SimRunOutcome};
 pub use threads::{run_iterative_threads, ThreadRunConfig, ThreadRunOutcome};
 pub use udp::{run_iterative_udp, LossShim, Reassembler, UdpRunConfig, UdpRunOutcome};
+
+use crate::compute::ComputeModel;
+use netsim::Topology;
+use p2psap::Scheme;
+
+/// The configuration every runtime backend shares: the scheme of
+/// computation, the topology (peer count, cluster split, link model), the
+/// convergence tolerance and the relaxation cap. Backend-specific knobs live
+/// in thin wrapper structs ([`SimRunConfig`], [`ThreadRunConfig`],
+/// [`UdpRunConfig`]) that deref to this shared core; the loopback runtime
+/// needs nothing beyond it ([`LoopbackRunConfig`] is an alias).
+///
+/// `seed` and `compute` are shared here rather than duplicated per backend:
+/// the seed drives every deterministic random source (the simulated fabric,
+/// the UDP loss/reorder shim) and the compute model charges virtual time on
+/// the simulated runtime (wall-clock backends run the kernel for real and
+/// ignore it).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Scheme of computation selected by the programmer.
+    pub scheme: Scheme,
+    /// Network topology (defines the peer count and cluster split).
+    pub topology: Topology,
+    /// Convergence tolerance on the local successive differences.
+    pub tolerance: f64,
+    /// Hard cap on relaxations per peer (guards non-convergent runs).
+    pub max_relaxations: u64,
+    /// Master seed of the run's deterministic random sources (simulated
+    /// fabric, UDP loss/reorder shim).
+    pub seed: u64,
+    /// Compute-cost model (virtual time per relaxed point; simulated
+    /// runtime only).
+    pub compute: ComputeModel,
+}
+
+impl RunConfig {
+    /// Default relaxation cap of full experiment runs (previously inlined as
+    /// a magic `2_000_000` at every dispatch site).
+    pub const DEFAULT_MAX_RELAXATIONS: u64 = 2_000_000;
+
+    /// Relaxation cap of the `quick` configurations used by tests and
+    /// examples.
+    pub const QUICK_MAX_RELAXATIONS: u64 = 500_000;
+
+    /// Default link-latency scale factor of the thread runtime (previously
+    /// inlined as a magic `0.05` at the dispatch site).
+    pub const DEFAULT_LATENCY_SCALE: f64 = 0.05;
+
+    /// Default convergence tolerance.
+    pub const DEFAULT_TOLERANCE: f64 = 1e-4;
+
+    /// Default master seed.
+    pub const DEFAULT_SEED: u64 = 42;
+
+    /// A configuration with the experiment defaults: tolerance `1e-4`, the
+    /// full relaxation cap, seed 42 and the paper's compute model.
+    pub fn new(scheme: Scheme, topology: Topology) -> Self {
+        Self {
+            scheme,
+            topology,
+            tolerance: Self::DEFAULT_TOLERANCE,
+            max_relaxations: Self::DEFAULT_MAX_RELAXATIONS,
+            seed: Self::DEFAULT_SEED,
+            compute: ComputeModel::default(),
+        }
+    }
+
+    /// Experiment defaults for `peers` peers in a single NICTA-style cluster.
+    pub fn single_cluster(scheme: Scheme, peers: usize) -> Self {
+        Self::new(scheme, Topology::nicta_single_cluster(peers))
+    }
+
+    /// Experiment defaults for `peers` peers split into two clusters joined
+    /// by a 100 ms path.
+    pub fn two_clusters(scheme: Scheme, peers: usize) -> Self {
+        Self::new(scheme, Topology::nicta_two_clusters(peers))
+    }
+
+    /// Experiment defaults for `peers` peers in `clusters` clusters (1 or 2,
+    /// the two configurations of the paper's evaluation).
+    pub fn clustered(scheme: Scheme, peers: usize, clusters: usize) -> Self {
+        match clusters {
+            1 => Self::single_cluster(scheme, peers),
+            2 => Self::two_clusters(scheme, peers),
+            other => panic!("unsupported cluster count {other}"),
+        }
+    }
+
+    /// Quick configuration for tests and examples: `peers` peers in a single
+    /// cluster with a reduced relaxation cap.
+    pub fn quick(scheme: Scheme, peers: usize) -> Self {
+        Self {
+            max_relaxations: Self::QUICK_MAX_RELAXATIONS,
+            ..Self::single_cluster(scheme, peers)
+        }
+    }
+
+    /// Quick two-cluster configuration (exercises the hybrid wait rule).
+    pub fn quick_two_clusters(scheme: Scheme, peers: usize) -> Self {
+        Self {
+            topology: Topology::nicta_two_clusters(peers),
+            ..Self::quick(scheme, peers)
+        }
+    }
+
+    /// Number of peers in the run.
+    pub fn peers(&self) -> usize {
+        self.topology.len()
+    }
+}

@@ -18,6 +18,7 @@ use crate::app::IterativeTask;
 use crate::compute::ComputeModel;
 use crate::metrics::RunMeasurement;
 use crate::runtime::engine::{ConvergenceDetector, PeerEngine, PeerTransport, TimerKey};
+use crate::runtime::RunConfig;
 use bytes::Bytes;
 use desim::{Context, Payload, Process, ProcessId, SimDuration, SimTime, Simulator, TimerId};
 use netsim::{shared_stats, Deliver, NetStats, NetworkFabric, NodeId, Packet, Topology, Transmit};
@@ -28,35 +29,34 @@ use std::sync::Arc;
 /// Timer tag used for "local relaxation finished".
 const COMPUTE_TIMER_TAG: u64 = u64::MAX;
 
-/// Configuration of one simulated distributed run.
+/// Configuration of one simulated distributed run: the shared [`RunConfig`]
+/// plus the virtual-time deadline only this backend has.
 #[derive(Debug, Clone)]
 pub struct SimRunConfig {
-    /// Scheme of computation selected by the programmer.
-    pub scheme: Scheme,
-    /// Network topology (defines the peer count and cluster split).
-    pub topology: Topology,
-    /// Convergence tolerance on the local successive differences.
-    pub tolerance: f64,
-    /// Hard cap on relaxations per peer (guards non-convergent runs).
-    pub max_relaxations: u64,
-    /// Compute-cost model.
-    pub compute: ComputeModel,
-    /// Master seed of the simulation.
-    pub seed: u64,
+    /// The runtime-agnostic part (scheme, topology, tolerance, caps, seed,
+    /// compute model).
+    pub common: RunConfig,
     /// Virtual-time cap.
     pub deadline: SimDuration,
 }
 
 impl SimRunConfig {
+    /// Deadline of the evaluation harness: long enough that every paper
+    /// experiment converges well before it.
+    pub const EVALUATION_DEADLINE: SimDuration = SimDuration::from_secs(100_000);
+
+    /// Wrap a shared configuration with the evaluation-harness deadline.
+    pub fn evaluation(common: RunConfig) -> Self {
+        Self {
+            common,
+            deadline: Self::EVALUATION_DEADLINE,
+        }
+    }
+
     /// A configuration for `peers` peers in a single NICTA-style cluster.
     pub fn single_cluster(scheme: Scheme, peers: usize) -> Self {
         Self {
-            scheme,
-            topology: Topology::nicta_single_cluster(peers),
-            tolerance: 1e-4,
-            max_relaxations: 2_000_000,
-            compute: ComputeModel::default(),
-            seed: 42,
+            common: RunConfig::single_cluster(scheme, peers),
             deadline: SimDuration::from_secs(3_600),
         }
     }
@@ -65,14 +65,22 @@ impl SimRunConfig {
     /// 100 ms path.
     pub fn two_clusters(scheme: Scheme, peers: usize) -> Self {
         Self {
-            topology: Topology::nicta_two_clusters(peers),
-            ..Self::single_cluster(scheme, peers)
+            common: RunConfig::two_clusters(scheme, peers),
+            deadline: SimDuration::from_secs(3_600),
         }
     }
+}
 
-    /// Number of peers in the run.
-    pub fn peers(&self) -> usize {
-        self.topology.len()
+impl std::ops::Deref for SimRunConfig {
+    type Target = RunConfig;
+    fn deref(&self) -> &RunConfig {
+        &self.common
+    }
+}
+
+impl std::ops::DerefMut for SimRunConfig {
+    fn deref_mut(&mut self) -> &mut RunConfig {
+        &mut self.common
     }
 }
 

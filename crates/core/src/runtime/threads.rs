@@ -19,6 +19,7 @@ use crate::metrics::RunMeasurement;
 use crate::runtime::engine::{
     ConvergenceDetector, PeerEngine, PeerTransport, TimerKey, TimerQueue,
 };
+use crate::runtime::RunConfig;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use netsim::{NodeId, Topology};
@@ -27,31 +28,41 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Configuration of a thread-runtime run.
+/// Configuration of a thread-runtime run: the shared [`RunConfig`] plus the
+/// latency scale only this backend has.
 #[derive(Debug, Clone)]
 pub struct ThreadRunConfig {
-    /// Scheme of computation.
-    pub scheme: Scheme,
-    /// Topology (defines peer count, clusters and link latencies).
-    pub topology: Topology,
-    /// Convergence tolerance.
-    pub tolerance: f64,
-    /// Cap on relaxations per peer.
-    pub max_relaxations: u64,
+    /// The runtime-agnostic part (scheme, topology, tolerance, caps).
+    pub common: RunConfig,
     /// Scale factor applied to link latencies (1.0 = real latencies).
     pub latency_scale: f64,
 }
 
 impl ThreadRunConfig {
+    /// Wrap a shared configuration with the default scaled-down latencies.
+    pub fn scaled(common: RunConfig) -> Self {
+        Self {
+            common,
+            latency_scale: RunConfig::DEFAULT_LATENCY_SCALE,
+        }
+    }
+
     /// Quick configuration: `peers` peers, one cluster, scaled-down latencies.
     pub fn quick(scheme: Scheme, peers: usize) -> Self {
-        Self {
-            scheme,
-            topology: Topology::nicta_single_cluster(peers),
-            tolerance: 1e-4,
-            max_relaxations: 500_000,
-            latency_scale: 0.05,
-        }
+        Self::scaled(RunConfig::quick(scheme, peers))
+    }
+}
+
+impl std::ops::Deref for ThreadRunConfig {
+    type Target = RunConfig;
+    fn deref(&self) -> &RunConfig {
+        &self.common
+    }
+}
+
+impl std::ops::DerefMut for ThreadRunConfig {
+    fn deref_mut(&mut self) -> &mut RunConfig {
+        &mut self.common
     }
 }
 

@@ -39,6 +39,7 @@ use crate::metrics::RunMeasurement;
 use crate::runtime::engine::{
     ConvergenceDetector, PeerEngine, PeerTransport, TimerKey, TimerQueue,
 };
+use crate::runtime::RunConfig;
 use bytes::Bytes;
 use netsim::Topology;
 use p2psap::Scheme;
@@ -369,21 +370,15 @@ impl LossShim {
     }
 }
 
-/// Configuration of a UDP-runtime run.
+/// Configuration of a UDP-runtime run: the shared [`RunConfig`] plus the
+/// loss/reorder shim probabilities only this backend has. Link latencies are
+/// not emulated — the kernel's loopback path provides the real ones; the
+/// topology still drives the peer count, the hybrid wait rule and Table I.
+/// The shim draws its randomness from the shared `seed`.
 #[derive(Debug, Clone)]
 pub struct UdpRunConfig {
-    /// Scheme of computation.
-    pub scheme: Scheme,
-    /// Topology (defines peer count and the cluster split driving the
-    /// hybrid wait rule and Table I; link latencies are not emulated — the
-    /// kernel's loopback path provides the real ones).
-    pub topology: Topology,
-    /// Convergence tolerance.
-    pub tolerance: f64,
-    /// Cap on relaxations per peer.
-    pub max_relaxations: u64,
-    /// Seed of the loss/reorder shim.
-    pub seed: u64,
+    /// The runtime-agnostic part (scheme, topology, tolerance, caps, seed).
+    pub common: RunConfig,
     /// Probability that the shim drops an outgoing datagram.
     pub loss_probability: f64,
     /// Probability that the shim holds a datagram back one slot.
@@ -391,26 +386,24 @@ pub struct UdpRunConfig {
 }
 
 impl UdpRunConfig {
-    /// Quick configuration: `peers` peers, one cluster, clean delivery.
-    pub fn quick(scheme: Scheme, peers: usize) -> Self {
+    /// Wrap a shared configuration with clean (unimpaired) delivery.
+    pub fn clean(common: RunConfig) -> Self {
         Self {
-            scheme,
-            topology: Topology::nicta_single_cluster(peers),
-            tolerance: 1e-4,
-            max_relaxations: 500_000,
-            seed: 42,
+            common,
             loss_probability: 0.0,
             reorder_probability: 0.0,
         }
     }
 
+    /// Quick configuration: `peers` peers, one cluster, clean delivery.
+    pub fn quick(scheme: Scheme, peers: usize) -> Self {
+        Self::clean(RunConfig::quick(scheme, peers))
+    }
+
     /// Same, split into two clusters (exercises the hybrid wait rule and
     /// the unreliable inter-cluster channel choice).
     pub fn two_clusters(scheme: Scheme, peers: usize) -> Self {
-        Self {
-            topology: Topology::nicta_two_clusters(peers),
-            ..Self::quick(scheme, peers)
-        }
+        Self::clean(RunConfig::quick_two_clusters(scheme, peers))
     }
 
     /// Enable the loss/reorder shim.
@@ -418,6 +411,19 @@ impl UdpRunConfig {
         self.loss_probability = loss;
         self.reorder_probability = reorder;
         self
+    }
+}
+
+impl std::ops::Deref for UdpRunConfig {
+    type Target = RunConfig;
+    fn deref(&self) -> &RunConfig {
+        &self.common
+    }
+}
+
+impl std::ops::DerefMut for UdpRunConfig {
+    fn deref_mut(&mut self) -> &mut RunConfig {
+        &mut self.common
     }
 }
 
@@ -446,6 +452,11 @@ struct UdpTransport {
     next_msg_id: u32,
     timers: TimerQueue,
     compute_pending: bool,
+    /// Topology (for the asynchronous pacing gate's serialization rate).
+    topology: Topology,
+    /// Earliest wall-clock ns the next update may be sent to each
+    /// asynchronous neighbour (see [`PeerTransport::pacing_gate`]).
+    next_send_ok: HashMap<usize, u64>,
 }
 
 impl UdpTransport {
@@ -495,6 +506,27 @@ impl PeerTransport for UdpTransport {
                 let _ = self.socket.send_to(&stop, *addr);
             }
         }
+    }
+
+    fn pacing_gate(&mut self, to: usize, wire_bytes: usize) -> bool {
+        // Same sender-side pacing the simulated runtime applies: an update
+        // that would only queue behind the previous one at the link's
+        // serialization rate is skipped (the next relaxation's update
+        // supersedes it anyway). Without this gate a free-running
+        // asynchronous peer floods the kernel loopback path faster than the
+        // receiver drains it, and the reliable channel's retransmissions
+        // amplify the overload.
+        let now = self.start.elapsed().as_nanos() as u64;
+        let gate = self.next_send_ok.get(&to).copied().unwrap_or(0);
+        if now < gate {
+            return false;
+        }
+        let link = self
+            .topology
+            .link_between(netsim::NodeId(self.rank), netsim::NodeId(to));
+        self.next_send_ok
+            .insert(to, now + link.serialization_delay(wire_bytes).as_nanos());
+        true
     }
 }
 
@@ -627,6 +659,8 @@ where
                     next_msg_id: 0,
                     timers: TimerQueue::new(),
                     compute_pending: false,
+                    topology: topology.clone(),
+                    next_send_ok: HashMap::new(),
                 };
                 let mut reassembler = Reassembler::new();
                 let mut buf = vec![0u8; 65536];

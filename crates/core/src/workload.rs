@@ -1,0 +1,171 @@
+//! The workload abstraction of the experiment layer.
+//!
+//! The paper's programming model is application-agnostic; this module makes
+//! the *experiment* layer agnostic too. A [`Workload`] owns everything
+//! [`crate::experiment::run_on`] needs to execute one distributed
+//! application on any runtime backend: the per-rank task factory (the
+//! application's `Calculate()`), the solution assembly
+//! (`Results_Aggregation()` in numeric form) and the residual metric that
+//! judges the assembled solution's quality. The dispatch, bench and CLI
+//! layers only ever see `&dyn Workload` and [`WorkloadKind`] — no
+//! application-specific types.
+//!
+//! Three workloads ship today, each exercising a different communication
+//! structure:
+//!
+//! * `obstacle` ([`crate::obstacle_app::ObstacleWorkload`]) — the paper's
+//!   3-D obstacle problem; nearest-neighbour ghost-plane exchange along a
+//!   line of peers.
+//! * `heat` ([`crate::heat_app::HeatWorkload`]) — a 2-D steady-state heat
+//!   equation solved by Jacobi relaxation; same line-of-peers ghost-row
+//!   exchange, different stencil and convergence behaviour.
+//! * `pagerank` ([`crate::pagerank_app::PageRankWorkload`]) — an
+//!   asynchronous-iteration-friendly PageRank over a ring-with-chords
+//!   graph; peers own vertex partitions and exchange rank mass with
+//!   *arbitrary* neighbour peers, not just adjacent ranks.
+
+use crate::app::IterativeTask;
+use crate::heat_app::HeatWorkload;
+use crate::obstacle_app::{ObstacleInstance, ObstacleParams, ObstacleWorkload};
+use crate::pagerank_app::PageRankWorkload;
+use p2psap::Scheme;
+use serde::{Deserialize, Serialize};
+
+/// One distributed application, packaged for the workload-generic experiment
+/// driver: problem construction happens when the workload is built, task
+/// construction per rank on demand, and assembly/quality evaluation once the
+/// per-rank results are in.
+pub trait Workload: Send + Sync {
+    /// Stable lowercase name ("obstacle", "heat", "pagerank").
+    fn name(&self) -> &'static str;
+
+    /// Number of peers the problem was decomposed for.
+    fn peers(&self) -> usize;
+
+    /// Build the task of peer `rank` (the application's `Calculate()`).
+    fn task(&self, rank: usize) -> Box<dyn IterativeTask>;
+
+    /// Assemble the global solution vector from the per-rank serialized
+    /// results.
+    fn assemble(&self, results: &[(usize, Vec<u8>)]) -> Vec<f64>;
+
+    /// Quality metric of an assembled solution: the sup-norm fixed-point
+    /// residual (how far the solution is from being invariant under one more
+    /// global iteration). Converged runs report residuals on the order of
+    /// the tolerance.
+    fn residual(&self, solution: &[f64]) -> f64;
+}
+
+/// The built-in workloads, enumerable by the bench matrix and the `repro`
+/// CLI without naming any application-specific type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// The paper's 3-D obstacle problem (membrane instance).
+    Obstacle,
+    /// 2-D steady-state heat equation (Jacobi).
+    Heat,
+    /// PageRank on a ring-with-chords graph.
+    PageRank,
+}
+
+impl WorkloadKind {
+    /// Every workload, in the order the bench matrix reports them.
+    pub const ALL: [WorkloadKind; 3] = [
+        WorkloadKind::Obstacle,
+        WorkloadKind::Heat,
+        WorkloadKind::PageRank,
+    ];
+
+    /// Stable lowercase label (JSON artifacts, bench ids).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::Obstacle => "obstacle",
+            WorkloadKind::Heat => "heat",
+            WorkloadKind::PageRank => "pagerank",
+        }
+    }
+
+    /// Build the workload at the given problem size for `peers` peers.
+    ///
+    /// `size` is the workload's natural size knob: grid points per dimension
+    /// for the PDE workloads (obstacle is 3-D, heat 2-D), vertex count for
+    /// PageRank.
+    pub fn build(&self, size: usize, peers: usize) -> Box<dyn Workload> {
+        match self {
+            WorkloadKind::Obstacle => Box::new(ObstacleWorkload::new(ObstacleParams {
+                n: size,
+                peers,
+                scheme: Scheme::Synchronous,
+                instance: ObstacleInstance::Membrane,
+            })),
+            WorkloadKind::Heat => Box::new(HeatWorkload::new(size, peers)),
+            WorkloadKind::PageRank => Box::new(PageRankWorkload::ring_with_chords(size, peers)),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Split `total` items into `parts` contiguous chunks as evenly as possible;
+/// returns the `(start, len)` of chunk `k`. The first `total % parts` chunks
+/// get one extra item — the same balancing rule the obstacle decomposition
+/// uses, shared here by the heat row bands and the PageRank vertex
+/// partitions.
+pub fn balanced_partition(total: usize, parts: usize, k: usize) -> (usize, usize) {
+    assert!(parts >= 1 && k < parts, "partition {k} of {parts}");
+    let base = total / parts;
+    let extra = total % parts;
+    let len = base + usize::from(k < extra);
+    let start = k * base + k.min(extra);
+    (start, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_partition_covers_the_range_without_overlap() {
+        for total in [1usize, 5, 7, 24, 100] {
+            for parts in 1..=total.min(9) {
+                let mut next = 0;
+                for k in 0..parts {
+                    let (start, len) = balanced_partition(total, parts, k);
+                    assert_eq!(start, next, "total={total} parts={parts} k={k}");
+                    assert!(len >= total / parts);
+                    next = start + len;
+                }
+                assert_eq!(next, total);
+            }
+        }
+    }
+
+    #[test]
+    fn every_kind_builds_a_consistent_workload() {
+        for kind in WorkloadKind::ALL {
+            let size = match kind {
+                WorkloadKind::Obstacle => 6,
+                WorkloadKind::Heat => 8,
+                WorkloadKind::PageRank => 12,
+            };
+            let workload = kind.build(size, 2);
+            assert_eq!(workload.name(), kind.label());
+            assert_eq!(workload.peers(), 2);
+            // Each rank produces a task that reports symmetric neighbours.
+            let neighbors: Vec<Vec<usize>> =
+                (0..2).map(|rank| workload.task(rank).neighbors()).collect();
+            for (rank, nbs) in neighbors.iter().enumerate() {
+                for &nb in nbs {
+                    assert!(
+                        neighbors[nb].contains(&rank),
+                        "{kind}: neighbour sets must be symmetric"
+                    );
+                }
+            }
+        }
+    }
+}

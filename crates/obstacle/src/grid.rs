@@ -32,9 +32,10 @@ impl Grid3 {
         self.n * self.n * self.n
     }
 
-    /// Always false (kept for API completeness).
+    /// Whether the grid has no unknowns, consistently with
+    /// [`Grid3::len`] (only possible for the degenerate `n = 0` grid).
     pub fn is_empty(&self) -> bool {
-        false
+        self.len() == 0
     }
 
     /// Number of points in one z-plane (`n²`), i.e. the sub-block size of the

@@ -47,9 +47,10 @@ impl ObstacleProblem {
         self.grid.len()
     }
 
-    /// Always false.
+    /// Whether the problem has no unknowns, consistently with
+    /// [`ObstacleProblem::len`].
     pub fn is_empty(&self) -> bool {
-        false
+        self.len() == 0
     }
 
     /// The Poisson validation problem without an obstacle:
