@@ -8,6 +8,7 @@
 //! repro fig6 [--full]          # Figure 6: 144³ obstacle problem (default: scaled 48³)
 //! repro ablation               # data-channel design-choice ablation
 //! repro runtimes               # (workload x scheme x runtime) matrix -> BENCH_runtimes.json
+//! repro churn                  # churn grid (crash + recovery per cell) -> BENCH_churn.json
 //! repro all [--full]           # everything above
 //! ```
 //!
@@ -17,8 +18,8 @@
 //! uploads it as a workflow artifact on every PR (the perf trajectory).
 
 use bench_suite::{
-    format_ablation, format_runtime_matrix, format_table1, run_ablation, run_figure,
-    run_runtime_matrix, run_table1, FigureConfig,
+    format_ablation, format_churn_grid, format_runtime_matrix, format_table1, run_ablation,
+    run_churn_grid, run_figure, run_runtime_matrix, run_table1, FigureConfig,
 };
 use p2pdc::format_table;
 
@@ -68,6 +69,19 @@ fn run_runtimes() {
     }
 }
 
+fn run_churn() {
+    eprintln!("running the churn grid (workload x scheme x runtime x churn level) ...");
+    let result = run_churn_grid();
+    println!("{}", format_churn_grid(&result));
+    write_json("churn", &result);
+    // Uploaded alongside BENCH_runtimes.json as a perf-trajectory artifact.
+    write_json_to("BENCH_churn.json", &result);
+    if !result.rows.iter().all(|r| r.converged) {
+        eprintln!("WARNING: a churn cell failed to converge");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(|s| s.as_str()).unwrap_or("all");
@@ -91,6 +105,7 @@ fn main() {
             write_json("ablation", &rows);
         }
         "runtimes" => run_runtimes(),
+        "churn" => run_churn(),
         "all" => {
             let rows = run_table1();
             println!("{}", format_table1(&rows));
@@ -101,10 +116,11 @@ fn main() {
             println!("{}", format_ablation(&ablation));
             write_json("ablation", &ablation);
             run_runtimes();
+            run_churn();
         }
         other => {
             eprintln!(
-                "unknown command '{other}'; expected table1 | fig5 | fig6 | ablation | runtimes | all"
+                "unknown command '{other}'; expected table1 | fig5 | fig6 | ablation | runtimes | churn | all"
             );
             std::process::exit(2);
         }

@@ -3,7 +3,8 @@
 //! the `repro` binary and the Criterion benches call into this crate.
 
 use p2pdc::{
-    derive_row, run_on, ComputeModel, FigureRow, RunConfig, RuntimeKind, Scheme, WorkloadKind,
+    derive_row, run_on, ChurnPlan, ComputeModel, FigureRow, RunConfig, RuntimeKind, Scheme,
+    WorkloadKind,
 };
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -340,6 +341,192 @@ pub fn format_runtime_matrix(result: &RuntimeMatrixResult) -> String {
     out
 }
 
+/// One row of the churn grid: one (workload, scheme, runtime, churn level)
+/// cell, with the volatility counters and the overhead against the
+/// fault-free baseline of the same cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnBenchRow {
+    /// Workload label ("obstacle", "heat", "pagerank").
+    pub workload: String,
+    /// Scheme of computation.
+    pub scheme: String,
+    /// Backend label ("sim", "threads", "loopback", "udp").
+    pub runtime: String,
+    /// Churn level ("none" = fault-free baseline, "crash1" = one seeded
+    /// mid-run crash).
+    pub churn: String,
+    /// Problem size.
+    pub size: usize,
+    /// Number of peers.
+    pub peers: usize,
+    /// Whether the run converged.
+    pub converged: bool,
+    /// Crash events injected.
+    pub crashes: u64,
+    /// Completed recoveries.
+    pub recoveries: u64,
+    /// Synchronous rollback broadcasts.
+    pub rollbacks: u64,
+    /// Total peer downtime in seconds of the backend's clock.
+    pub downtime_s: f64,
+    /// Real time the whole run took on the bench machine, in seconds.
+    pub wall_time_s: f64,
+    /// Total relaxations across all peers (final task counters — a
+    /// checkpoint restore rewinds them, so this understates faulty work).
+    pub total_relaxations: u64,
+    /// Total grid points actually relaxed across all peers — every executed
+    /// sweep counts, including the ones a restore or rollback redid.
+    pub total_points: u64,
+    /// Residual of the assembled solution under the workload's metric.
+    pub residual: f64,
+    /// Work overhead vs the fault-free baseline of the same cell, in
+    /// percent of total points relaxed (0 for the baseline rows themselves).
+    pub overhead_work_pct: f64,
+}
+
+/// The full churn grid: (workload × scheme × runtime × churn level).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChurnGridResult {
+    /// Artifact schema version (bump when the row shape changes).
+    pub schema_version: u32,
+    /// The churn plan template applied to the crash cells, per workload
+    /// label (crash iterations depend on each cell's baseline progress).
+    pub plans: Vec<(String, ChurnPlan)>,
+    /// All rows.
+    pub rows: Vec<ChurnBenchRow>,
+}
+
+fn churn_row(
+    scenario: &RuntimeMatrixScenario,
+    runtime: RuntimeKind,
+    scheme: Scheme,
+    churn: &str,
+    config: &RunConfig,
+    baseline_points: Option<u64>,
+) -> ChurnBenchRow {
+    let workload = scenario.workload.build(scenario.size, scenario.peers);
+    let started = Instant::now();
+    let result = run_on(workload.as_ref(), config, runtime);
+    let wall = started.elapsed();
+    let total_points = result.measurement.total_points_relaxed();
+    let overhead = baseline_points
+        .filter(|&b| b > 0)
+        .map(|b| (total_points as f64 / b as f64 - 1.0) * 100.0)
+        .unwrap_or(0.0);
+    ChurnBenchRow {
+        workload: scenario.workload.label().to_string(),
+        scheme: scheme.to_string(),
+        runtime: runtime.label().to_string(),
+        churn: churn.to_string(),
+        size: scenario.size,
+        peers: scenario.peers,
+        converged: result.measurement.converged,
+        crashes: result.measurement.crashes,
+        recoveries: result.measurement.recoveries,
+        rollbacks: result.measurement.rollbacks,
+        downtime_s: result.measurement.downtime_s,
+        wall_time_s: wall.as_secs_f64(),
+        total_relaxations: result.measurement.total_relaxations(),
+        total_points,
+        residual: result.measurement.residual,
+        overhead_work_pct: overhead,
+    }
+}
+
+/// Run the churn grid over the given scenarios and runtimes: for every
+/// (workload, scheme, runtime) cell, a fault-free baseline plus a run with
+/// one seeded crash at ~30% of the baseline's convergence iteration —
+/// recovery counts and overhead land in the rows.
+pub fn run_churn_grid_for(
+    scenarios: &[RuntimeMatrixScenario],
+    runtimes: &[RuntimeKind],
+) -> ChurnGridResult {
+    let mut rows = Vec::new();
+    let mut plans = Vec::new();
+    for scenario in scenarios {
+        for &runtime in runtimes {
+            for scheme in [Scheme::Synchronous, Scheme::Asynchronous] {
+                let mut config = RunConfig::single_cluster(scheme, scenario.peers);
+                config.tolerance = scenario.tolerance;
+                config.seed = scenario.seed;
+                let baseline = churn_row(scenario, runtime, scheme, "none", &config, None);
+                let baseline_points = baseline.total_points;
+                // Crash the middle rank at ~30% of the baseline's per-peer
+                // progress, checkpointing twice before the crash point.
+                let per_peer = baseline.total_relaxations / scenario.peers as u64;
+                let crash_at = (per_peer * 3 / 10).max(2);
+                let plan = ChurnPlan::kill(scenario.peers / 2, crash_at)
+                    .with_checkpoint_interval((crash_at / 2).max(1));
+                let faulty_config = config.clone().with_churn(plan.clone());
+                rows.push(baseline);
+                rows.push(churn_row(
+                    scenario,
+                    runtime,
+                    scheme,
+                    "crash1",
+                    &faulty_config,
+                    Some(baseline_points),
+                ));
+                if runtime == runtimes[0] && scheme == Scheme::Synchronous {
+                    plans.push((scenario.workload.label().to_string(), plan));
+                }
+            }
+        }
+    }
+    ChurnGridResult {
+        schema_version: 1,
+        plans,
+        rows,
+    }
+}
+
+/// Run the default CI churn grid: all three workloads on all four backends.
+pub fn run_churn_grid() -> ChurnGridResult {
+    run_churn_grid_for(
+        &RuntimeMatrixScenario::all_workloads()
+            .iter()
+            .map(|s| RuntimeMatrixScenario::quick(s.workload))
+            .collect::<Vec<_>>(),
+        &RuntimeKind::ALL,
+    )
+}
+
+/// Render the churn grid as text.
+pub fn format_churn_grid(result: &ChurnGridResult) -> String {
+    let mut out = String::from("== Churn grid: volatility x scheme x runtime ==\n");
+    out.push_str(&format!(
+        "{:<10} {:<14} {:<10} {:<8} {:>9} {:>6} {:>6} {:>6} {:>12} {:>13} {:>12}\n",
+        "workload",
+        "scheme",
+        "runtime",
+        "churn",
+        "converged",
+        "crash",
+        "recov",
+        "rollbk",
+        "downtime[s]",
+        "relaxations",
+        "overhead[%]"
+    ));
+    for r in &result.rows {
+        out.push_str(&format!(
+            "{:<10} {:<14} {:<10} {:<8} {:>9} {:>6} {:>6} {:>6} {:>12.4} {:>13} {:>12.1}\n",
+            r.workload,
+            r.scheme,
+            r.runtime,
+            r.churn,
+            r.converged,
+            r.crashes,
+            r.recoveries,
+            r.rollbacks,
+            r.downtime_s,
+            r.total_relaxations,
+            r.overhead_work_pct
+        ));
+    }
+    out
+}
+
 /// The Table I verification: for every (scheme, connection) cell, the
 /// controller's decision compared to the paper's table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -636,6 +823,63 @@ mod tests {
         let json = serde_json::to_string(&result).expect("serializes");
         assert!(json.contains("\"udp\"") && json.contains("schema_version"));
         assert!(json.contains("\"pagerank\"") && json.contains("\"heat\""));
+    }
+
+    #[test]
+    fn churn_grid_reports_recoveries_and_overhead() {
+        // Loopback-only keeps the test fast; the full four-runtime grid is
+        // exercised by `repro churn` in the bench-smoke CI job.
+        let scenarios: Vec<RuntimeMatrixScenario> =
+            WorkloadKind::ALL.map(RuntimeMatrixScenario::quick).to_vec();
+        let result = run_churn_grid_for(&scenarios, &[RuntimeKind::Loopback]);
+        // One baseline + one crash row per (workload, scheme).
+        assert_eq!(result.rows.len(), WorkloadKind::ALL.len() * 2 * 2);
+        for row in &result.rows {
+            assert!(
+                row.converged,
+                "{}/{}/{}/{} did not converge",
+                row.workload, row.scheme, row.runtime, row.churn
+            );
+            match row.churn.as_str() {
+                "none" => {
+                    assert_eq!(row.crashes, 0);
+                    assert_eq!(row.recoveries, 0);
+                    assert_eq!(row.overhead_work_pct, 0.0);
+                }
+                "crash1" => {
+                    assert_eq!(row.crashes, 1, "{}/{}", row.workload, row.scheme);
+                    assert_eq!(row.recoveries, 1);
+                    assert!(row.total_points > 0);
+                    // Asynchronous survivors free-run during the downtime,
+                    // so the points-based overhead must register the crash
+                    // as extra executed work. (Synchronous cells stall
+                    // instead, and with a tight checkpoint interval the
+                    // redone work can vanish inside the ±1 stop-race sweep.)
+                    if row.scheme == "asynchronous" {
+                        assert!(
+                            row.overhead_work_pct > 0.0,
+                            "{}/{}: overhead {}",
+                            row.workload,
+                            row.scheme,
+                            row.overhead_work_pct
+                        );
+                    }
+                    if row.scheme == "synchronous" {
+                        assert_eq!(
+                            row.rollbacks, 1,
+                            "{}: synchronous recovery must roll back",
+                            row.workload
+                        );
+                    } else {
+                        assert_eq!(row.rollbacks, 0);
+                    }
+                }
+                other => panic!("unexpected churn level {other}"),
+            }
+        }
+        // The artifact serializes with its plans.
+        let json = serde_json::to_string(&result).expect("serializes");
+        assert!(json.contains("crash1") && json.contains("checkpoint_interval"));
     }
 
     #[test]

@@ -79,6 +79,22 @@ pub trait IterativeTask: Send {
 
     /// Number of relaxations performed so far.
     fn relaxations(&self) -> u64;
+
+    /// Serialized checkpoint of the task's live state, deposited with the
+    /// run's fault manager by the volatility subsystem. Defaults to
+    /// [`IterativeTask::result`], which already captures the local iterate.
+    fn checkpoint_state(&self) -> Vec<u8> {
+        self.result()
+    }
+
+    /// Restore the task from a checkpoint produced by
+    /// [`IterativeTask::checkpoint_state`], resetting the relaxation counter
+    /// to `iteration`. Returns `false` when the task does not support
+    /// restoration (the default) — recovery then resumes from the live
+    /// state instead of the checkpoint.
+    fn restore(&mut self, _state: &[u8], _iteration: u64) -> bool {
+        false
+    }
 }
 
 /// Parse a scheme name as passed on the `run` command line

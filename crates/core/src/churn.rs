@@ -1,0 +1,642 @@
+//! Peer volatility: deterministic failure injection, live checkpointing and
+//! recovery coordination.
+//!
+//! The paper targets desktop grids, where peers join and leave while an
+//! application runs, and argues that *asynchronous* iterative schemes
+//! tolerate this volatility where synchronous ones cannot. This module is
+//! the subsystem that lets the reproduction run that experiment on every
+//! runtime backend:
+//!
+//! * [`ChurnPlan`] — a seeded, serializable schedule of peer events (crash
+//!   at relaxation `X`, slow down by a factor), expressed against each
+//!   peer's own relaxation count so the *same* plan is meaningful on the
+//!   virtual-time, event-count and wall-clock substrates alike.
+//! * [`FaultInjector`] — the runtime consumer of a plan: each peer's engine
+//!   asks it after every completed relaxation whether that relaxation was
+//!   the peer's last.
+//! * [`VolatilityState`] — the per-run shared coordinator: it owns the
+//!   [`FaultManager`] checkpoint store the engines deposit into, decides
+//!   recovery (spare peer if one is left, otherwise the strongest survivor
+//!   by *live* [`crate::load_balance`] throughput estimates), computes the
+//!   synchronous rollback target, and accumulates the recovery counters
+//!   reported in [`crate::metrics::RunMeasurement`].
+//!
+//! # Crash / recovery lifecycle
+//!
+//! 1. The engine completes relaxation `X` and the injector fires: the sweep's
+//!    updates are never published, the peer marks itself crashed and goes
+//!    silent. The substrate makes the crash real to the degree it can — the
+//!    UDP runtime drops the peer's socket (in-flight datagrams are lost for
+//!    real), the thread runtime discards its inbox, the deterministic
+//!    runtimes stop driving the peer.
+//! 2. Detection: on the wall-clock backends the dead peer stops pinging the
+//!    [`crate::topology_manager::TopologyManager`] and is evicted after
+//!    three missed ping periods
+//!    ([`crate::topology_manager::TopologyManager::evictions_since`] feeds
+//!    the recovery path); the deterministic backends model the same latency
+//!    with the plan's [`ChurnPlan::detection_delay_ns`].
+//! 3. Recovery: [`VolatilityState::grant`] consumes
+//!    [`FaultManager::on_failure`] — a spare peer adopts the rank, or, with
+//!    no spares left, the surviving peer with the highest measured
+//!    throughput does. The engine restores its task from the latest
+//!    checkpoint and resumes.
+//! 4. Scheme semantics: asynchronous and hybrid runs simply absorb the stale
+//!    restart (neighbours keep iterating on old boundary data — exactly the
+//!    staleness those schemes are built for). A synchronous run cannot: the
+//!    recovering peer computes the newest checkpoint iteration *every* rank
+//!    has, broadcasts a rollback message, and all peers restart from that
+//!    common iteration under a new report generation (stale in-flight
+//!    convergence reports are discarded by generation).
+//!
+//! Applying the re-decomposition mid-run (shrinking the dead rank's block
+//! onto survivors) would need repartition support in every workload;
+//! [`VolatilityState`] computes the capacity-weighted assignment
+//! ([`obstacle::BlockDecomposition::weighted`] over live throughputs) and
+//! records it in the [`RecoveryRecord`], but the restart keeps the original
+//! blocks. ROADMAP.md lists live repartitioning as an open item.
+
+use crate::fault::{Checkpoint, FaultManager, RecoveryAction};
+use crate::load_balance::{LoadBalancer, PeerLoad};
+use crate::metrics::RunMeasurement;
+use netsim::NodeId;
+use p2psap::Scheme;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// What happens to a peer at a scheduled point of a [`ChurnPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChurnEventKind {
+    /// The peer dies: its un-published sweep and in-flight traffic are lost,
+    /// and it stays silent until the recovery path revives the rank.
+    Crash,
+    /// The peer's compute slows down permanently by `factor` (≥ 1.0). On the
+    /// simulated backend this scales the virtual compute cost; the
+    /// wall-clock backends run the kernel for real and ignore it.
+    Slowdown {
+        /// Multiplier applied to the peer's per-sweep compute cost.
+        factor: f64,
+    },
+}
+
+/// One scheduled peer event. The trigger is the *victim's own relaxation
+/// count* — the only clock all four runtime backends share — so a plan
+/// replays identically on the deterministic substrates and meaningfully on
+/// the wall-clock ones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Rank the event strikes.
+    pub rank: usize,
+    /// The event fires once the rank completes this many relaxations.
+    pub at_iteration: u64,
+    /// What happens.
+    pub kind: ChurnEventKind,
+}
+
+/// A deterministic, seeded schedule of peer volatility, consumable by every
+/// runtime backend via [`crate::runtime::RunConfig::churn`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPlan {
+    /// The scheduled events.
+    pub events: Vec<ChurnEvent>,
+    /// Engines deposit a checkpoint every this many relaxations (and once at
+    /// iteration 0, so a rollback target always exists).
+    pub checkpoint_interval: u64,
+    /// Failure-detection latency modelled by the simulated backend
+    /// (nanoseconds of virtual time). The wall-clock backends detect for
+    /// real, through three missed ping periods of the topology manager.
+    pub detection_delay_ns: u64,
+    /// Failure-detection latency on the loopback backend, whose clock ticks
+    /// one unit per engine event rather than per nanosecond.
+    pub detection_delay_events: u64,
+    /// Spare peers available to adopt a dead rank before the recovery path
+    /// falls back to the strongest survivor.
+    pub spares: usize,
+}
+
+impl ChurnPlan {
+    /// Default checkpoint interval (relaxations).
+    pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 20;
+
+    /// Default modelled detection latency: 30 ms, three periods of a 10 ms
+    /// ping — the same rule the wall-clock topology manager applies.
+    pub const DEFAULT_DETECTION_DELAY_NS: u64 = 30_000_000;
+
+    /// Default modelled detection latency in loopback engine events (a few
+    /// sweeps' worth of downtime for the surviving peers).
+    pub const DEFAULT_DETECTION_DELAY_EVENTS: u64 = 64;
+
+    /// A plan with the given events and the default knobs.
+    pub fn new(events: Vec<ChurnEvent>) -> Self {
+        Self {
+            events,
+            checkpoint_interval: Self::DEFAULT_CHECKPOINT_INTERVAL,
+            detection_delay_ns: Self::DEFAULT_DETECTION_DELAY_NS,
+            detection_delay_events: Self::DEFAULT_DETECTION_DELAY_EVENTS,
+            spares: 1,
+        }
+    }
+
+    /// The canonical fault-tolerance experiment: kill one peer once it
+    /// completes `at_iteration` relaxations.
+    pub fn kill(rank: usize, at_iteration: u64) -> Self {
+        Self::new(vec![ChurnEvent {
+            rank,
+            at_iteration,
+            kind: ChurnEventKind::Crash,
+        }])
+    }
+
+    /// A seeded random plan: `crashes` distinct ranks (of `peers`) crash at
+    /// iterations drawn from the middle half of `[1, horizon]`. The same
+    /// seed always yields the same plan.
+    pub fn seeded(seed: u64, peers: usize, crashes: usize, horizon: u64) -> Self {
+        assert!(peers >= 1);
+        let crashes = crashes.min(peers);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ranks: Vec<usize> = (0..peers).collect();
+        // Fisher-Yates over the rank vector, then take the prefix.
+        for i in (1..peers).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            ranks.swap(i, j);
+        }
+        let lo = (horizon / 4).max(1);
+        let span = (horizon / 2).max(1);
+        let events = ranks
+            .into_iter()
+            .take(crashes)
+            .map(|rank| ChurnEvent {
+                rank,
+                at_iteration: lo + rng.next_u64() % span,
+                kind: ChurnEventKind::Crash,
+            })
+            .collect();
+        Self::new(events)
+    }
+
+    /// Replace the checkpoint interval.
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        assert!(interval >= 1, "checkpoint interval must be at least 1");
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Replace the modelled detection latency of the simulated backend.
+    pub fn with_detection_delay_ns(mut self, delay_ns: u64) -> Self {
+        self.detection_delay_ns = delay_ns;
+        self
+    }
+
+    /// Replace the modelled detection latency of the loopback backend.
+    pub fn with_detection_delay_events(mut self, events: u64) -> Self {
+        self.detection_delay_events = events;
+        self
+    }
+
+    /// Replace the spare-peer pool size.
+    pub fn with_spares(mut self, spares: usize) -> Self {
+        self.spares = spares;
+        self
+    }
+
+    /// Number of crash events in the plan.
+    pub fn crash_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == ChurnEventKind::Crash)
+            .count()
+    }
+}
+
+/// Runtime consumer of a [`ChurnPlan`]: tracks which events have fired.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Pending events per rank, sorted by trigger iteration descending so
+    /// the next one to fire sits at the back.
+    pending: HashMap<usize, Vec<ChurnEvent>>,
+    /// Accumulated slowdown factor per rank (product of fired events).
+    slowdown: HashMap<usize, f64>,
+}
+
+impl FaultInjector {
+    /// Arm the injector with a plan.
+    pub fn new(plan: &ChurnPlan) -> Self {
+        let mut pending: HashMap<usize, Vec<ChurnEvent>> = HashMap::new();
+        for event in &plan.events {
+            pending.entry(event.rank).or_default().push(*event);
+        }
+        for events in pending.values_mut() {
+            events.sort_by_key(|e| std::cmp::Reverse(e.at_iteration));
+        }
+        Self {
+            pending,
+            slowdown: HashMap::new(),
+        }
+    }
+
+    /// `rank` just completed relaxation `iteration`: does it crash now? The
+    /// trigger is `at_iteration <= iteration`, so a crash scheduled inside a
+    /// checkpoint interval cannot be skipped over. Consumes the event.
+    pub fn should_crash(&mut self, rank: usize, iteration: u64) -> bool {
+        let Some(events) = self.pending.get_mut(&rank) else {
+            return false;
+        };
+        let due = events
+            .last()
+            .is_some_and(|e| e.kind == ChurnEventKind::Crash && e.at_iteration <= iteration);
+        if due {
+            events.pop();
+        }
+        due
+    }
+
+    /// The compute-slowdown factor of `rank` as of relaxation `iteration`
+    /// (1.0 = full speed). Fired slowdown events accumulate multiplicatively
+    /// and persist.
+    pub fn slowdown_factor(&mut self, rank: usize, iteration: u64) -> f64 {
+        if let Some(events) = self.pending.get_mut(&rank) {
+            while let Some(event) = events.last().copied() {
+                match event.kind {
+                    ChurnEventKind::Slowdown { factor } if event.at_iteration <= iteration => {
+                        events.pop();
+                        *self.slowdown.entry(rank).or_insert(1.0) *= factor;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.slowdown.get(&rank).copied().unwrap_or(1.0)
+    }
+}
+
+/// One completed recovery, for observability (surfaced by the churn bench).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// The rank that died and was revived.
+    pub rank: usize,
+    /// The peer that adopted the rank (a spare, or the strongest survivor).
+    pub replacement: NodeId,
+    /// Checkpoint iteration the rank restarted from.
+    pub from_iteration: u64,
+    /// The common iteration a synchronous run rolled back to (`None` for
+    /// asynchronous/hybrid recoveries, which absorb the stale restart).
+    pub rollback_to: Option<u64>,
+    /// The capacity-weighted block shares the load balancer proposes from
+    /// the live throughput estimates (advisory; see the module docs).
+    pub proposed_shares: Vec<usize>,
+}
+
+/// Notional block count the advisory weighted re-decomposition is expressed
+/// over (shares out of 100).
+const REBALANCE_SHARE_UNITS: usize = 100;
+
+/// Per-run shared coordinator of the volatility subsystem. One per run, like
+/// the [`crate::runtime::engine::ConvergenceDetector`]; engines and drivers
+/// reach it through [`SharedVolatility`].
+#[derive(Debug)]
+pub struct VolatilityState {
+    scheme: Scheme,
+    peers: usize,
+    checkpoint_interval: u64,
+    detection_delay_ns: u64,
+    detection_delay_events: u64,
+    injector: FaultInjector,
+    fault: FaultManager,
+    /// Rollback generation; bumped on every synchronous recovery.
+    generation: u32,
+    crashes: u64,
+    recoveries: u64,
+    rollbacks: u64,
+    downtime_ns: u64,
+    /// Clock value at each un-recovered crash.
+    crash_time_ns: HashMap<usize, u64>,
+    /// Recovery decisions taken but not yet consumed by the reviving engine.
+    granted: HashMap<usize, RecoveryAction>,
+    /// Completed recoveries, in order.
+    recovery_log: Vec<RecoveryRecord>,
+}
+
+/// A [`VolatilityState`] shared between the peers and driver of one run.
+pub type SharedVolatility = Arc<Mutex<VolatilityState>>;
+
+impl VolatilityState {
+    /// Create the coordinator for a run of `peers` peers under `plan`.
+    pub fn new(plan: &ChurnPlan, peers: usize, scheme: Scheme) -> Self {
+        Self {
+            scheme,
+            peers,
+            checkpoint_interval: plan.checkpoint_interval.max(1),
+            detection_delay_ns: plan.detection_delay_ns,
+            detection_delay_events: plan.detection_delay_events,
+            injector: FaultInjector::new(plan),
+            fault: FaultManager::new((0..plan.spares).map(|i| NodeId(peers + i)).collect()),
+            generation: 0,
+            crashes: 0,
+            recoveries: 0,
+            rollbacks: 0,
+            downtime_ns: 0,
+            crash_time_ns: HashMap::new(),
+            granted: HashMap::new(),
+            recovery_log: Vec::new(),
+        }
+    }
+
+    /// Create a shared coordinator handle.
+    pub fn shared(plan: &ChurnPlan, peers: usize, scheme: Scheme) -> SharedVolatility {
+        Arc::new(Mutex::new(Self::new(plan, peers, scheme)))
+    }
+
+    /// Relaxations between checkpoints.
+    pub fn checkpoint_interval(&self) -> u64 {
+        self.checkpoint_interval
+    }
+
+    /// Modelled failure-detection latency of the simulated backend.
+    pub fn detection_delay_ns(&self) -> u64 {
+        self.detection_delay_ns
+    }
+
+    /// Modelled failure-detection latency of the loopback backend (events).
+    pub fn detection_delay_events(&self) -> u64 {
+        self.detection_delay_events
+    }
+
+    /// Deposit a checkpoint into the store.
+    pub fn store_checkpoint(&mut self, checkpoint: Checkpoint) {
+        self.fault.store_checkpoint(checkpoint);
+    }
+
+    /// Injector query: does `rank` crash after completing `iteration`?
+    pub fn should_crash(&mut self, rank: usize, iteration: u64) -> bool {
+        self.injector.should_crash(rank, iteration)
+    }
+
+    /// Injector query: the rank's current compute-slowdown factor.
+    pub fn slowdown_factor(&mut self, rank: usize, iteration: u64) -> f64 {
+        self.injector.slowdown_factor(rank, iteration)
+    }
+
+    /// A peer crashed at clock value `now_ns`.
+    pub fn on_crash(&mut self, rank: usize, now_ns: u64) {
+        self.crashes += 1;
+        self.crash_time_ns.insert(rank, now_ns);
+    }
+
+    /// Crash events injected so far.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// The failure of `rank` has been detected: decide and record the
+    /// recovery. A spare adopts the rank if one is left; otherwise the
+    /// surviving peer with the highest live throughput estimate does
+    /// (declared speeds 1.0, measurements from the engines' `PeerLoad`
+    /// accounting). Idempotent until the grant is consumed.
+    pub fn grant(&mut self, rank: usize, loads: &[PeerLoad]) {
+        if self.granted.contains_key(&rank) || !self.crash_time_ns.contains_key(&rank) {
+            return;
+        }
+        let from_iteration = self
+            .fault
+            .checkpoint(rank)
+            .map(|c| c.iteration)
+            .unwrap_or(0);
+        let action = match self.fault.on_failure(rank) {
+            reassign @ RecoveryAction::Reassign { .. } => reassign,
+            RecoveryAction::Pause { rank } => {
+                let capacities = self.live_balancer(loads).capacities();
+                let host = (0..self.peers)
+                    .filter(|r| *r != rank)
+                    .max_by(|a, b| capacities[*a].total_cmp(&capacities[*b]))
+                    .unwrap_or(rank);
+                RecoveryAction::Reassign {
+                    rank,
+                    replacement: NodeId(host),
+                    from_iteration,
+                }
+            }
+        };
+        self.granted.insert(rank, action);
+    }
+
+    /// Whether a recovery has been granted for `rank` and not yet consumed.
+    pub fn is_granted(&self, rank: usize) -> bool {
+        self.granted.contains_key(&rank)
+    }
+
+    /// A live load balancer over the current throughput estimates.
+    fn live_balancer(&self, loads: &[PeerLoad]) -> LoadBalancer {
+        let mut balancer = LoadBalancer::new(vec![1.0; self.peers]);
+        for (rank, load) in loads.iter().enumerate().take(self.peers) {
+            if load.points > 0 && load.busy_seconds > 0.0 {
+                balancer.record(rank, load.points, load.busy_seconds);
+            }
+        }
+        balancer
+    }
+
+    /// The reviving engine consumes its recovery at clock value `now_ns`.
+    /// Returns the checkpoint to restore from and, for synchronous runs, the
+    /// `(rollback iteration, new generation)` to broadcast: the newest
+    /// checkpoint iteration every rank has, so all peers can realign.
+    pub fn take_recovery(
+        &mut self,
+        rank: usize,
+        now_ns: u64,
+        loads: &[PeerLoad],
+    ) -> (Option<Checkpoint>, Option<(u64, u32)>) {
+        if let Some(crashed_at) = self.crash_time_ns.remove(&rank) {
+            self.downtime_ns += now_ns.saturating_sub(crashed_at);
+        }
+        self.recoveries += 1;
+        let (checkpoint, rollback) = if self.scheme == Scheme::Synchronous {
+            self.rollbacks += 1;
+            self.generation += 1;
+            let target = (0..self.peers)
+                .map(|r| self.fault.checkpoint(r).map(|c| c.iteration).unwrap_or(0))
+                .min()
+                .unwrap_or(0);
+            (
+                self.fault.checkpoint_at_or_before(rank, target).cloned(),
+                Some((target, self.generation)),
+            )
+        } else {
+            (self.fault.checkpoint(rank).cloned(), None)
+        };
+        let action = self.granted.remove(&rank);
+        let proposed = self
+            .live_balancer(loads)
+            .propose_assignment(REBALANCE_SHARE_UNITS);
+        self.recovery_log.push(RecoveryRecord {
+            rank,
+            replacement: match action {
+                Some(RecoveryAction::Reassign { replacement, .. }) => replacement,
+                _ => NodeId(rank),
+            },
+            from_iteration: checkpoint.as_ref().map(|c| c.iteration).unwrap_or(0),
+            rollback_to: rollback.map(|(target, _)| target),
+            proposed_shares: (0..self.peers).map(|r| proposed.count(r)).collect(),
+        });
+        (checkpoint, rollback)
+    }
+
+    /// Checkpoint a surviving peer restores on a rollback broadcast: its own
+    /// newest checkpoint at or before the broadcast target.
+    pub fn checkpoint_for_rollback(&self, rank: usize, to_iteration: u64) -> Option<Checkpoint> {
+        self.fault
+            .checkpoint_at_or_before(rank, to_iteration)
+            .cloned()
+    }
+
+    /// Completed recoveries, in order.
+    pub fn recovery_log(&self) -> &[RecoveryRecord] {
+        &self.recovery_log
+    }
+
+    /// Fill a run measurement's volatility counters. Every runtime calls
+    /// this after `ConvergenceDetector::finish_run`, so faulty runs report
+    /// identical metric shapes on all backends.
+    pub fn annotate(&self, measurement: &mut RunMeasurement) {
+        measurement.crashes = self.crashes;
+        measurement.recoveries = self.recoveries;
+        measurement.rollbacks = self.rollbacks;
+        measurement.downtime_s = self.downtime_ns as f64 / 1e9;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_fires_each_crash_exactly_once_and_not_early() {
+        let plan = ChurnPlan::kill(1, 30);
+        let mut injector = FaultInjector::new(&plan);
+        assert!(!injector.should_crash(1, 29));
+        assert!(!injector.should_crash(0, 30), "other ranks unaffected");
+        assert!(injector.should_crash(1, 30));
+        assert!(!injector.should_crash(1, 31), "the event is consumed");
+    }
+
+    #[test]
+    fn injector_cannot_skip_a_crash_scheduled_between_queries() {
+        // The engine queries once per completed relaxation; a trigger inside
+        // a gap (e.g. after a restore jumped the counter) still fires.
+        let mut injector = FaultInjector::new(&ChurnPlan::kill(0, 10));
+        assert!(injector.should_crash(0, 25));
+    }
+
+    #[test]
+    fn slowdown_factors_accumulate_and_persist() {
+        let plan = ChurnPlan::new(vec![
+            ChurnEvent {
+                rank: 2,
+                at_iteration: 5,
+                kind: ChurnEventKind::Slowdown { factor: 2.0 },
+            },
+            ChurnEvent {
+                rank: 2,
+                at_iteration: 10,
+                kind: ChurnEventKind::Slowdown { factor: 3.0 },
+            },
+        ]);
+        let mut injector = FaultInjector::new(&plan);
+        assert_eq!(injector.slowdown_factor(2, 4), 1.0);
+        assert_eq!(injector.slowdown_factor(2, 5), 2.0);
+        assert_eq!(injector.slowdown_factor(2, 7), 2.0);
+        assert_eq!(injector.slowdown_factor(2, 12), 6.0);
+        assert_eq!(injector.slowdown_factor(0, 12), 1.0);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_hit_distinct_ranks() {
+        let a = ChurnPlan::seeded(7, 8, 3, 100);
+        let b = ChurnPlan::seeded(7, 8, 3, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.crash_count(), 3);
+        let mut ranks: Vec<usize> = a.events.iter().map(|e| e.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        assert_eq!(ranks.len(), 3, "crashes strike distinct ranks");
+        for event in &a.events {
+            assert!((25..=75).contains(&event.at_iteration));
+        }
+        assert_ne!(ChurnPlan::seeded(8, 8, 3, 100), a, "different seeds differ");
+    }
+
+    #[test]
+    fn plans_serialize_for_the_bench_artifacts() {
+        let plan = ChurnPlan::seeded(42, 4, 1, 200).with_spares(2);
+        let json = serde_json::to_string(&plan).expect("serializes");
+        assert!(json.contains("at_iteration"));
+    }
+
+    #[test]
+    fn recovery_prefers_a_spare_then_the_strongest_survivor() {
+        let plan = ChurnPlan::kill(0, 10).with_spares(1);
+        let mut vol = VolatilityState::new(&plan, 3, Scheme::Asynchronous);
+        vol.store_checkpoint(Checkpoint {
+            rank: 0,
+            iteration: 8,
+            state: vec![1],
+        });
+        let loads = vec![
+            PeerLoad::default(),
+            PeerLoad {
+                points: 1_000,
+                busy_seconds: 1.0,
+            },
+            PeerLoad {
+                points: 4_000,
+                busy_seconds: 1.0,
+            },
+        ];
+        // First crash: the spare (NodeId 3 = peers + 0) adopts the rank.
+        vol.on_crash(0, 100);
+        vol.grant(0, &loads);
+        assert!(vol.is_granted(0));
+        let (checkpoint, rollback) = vol.take_recovery(0, 200, &loads);
+        assert_eq!(checkpoint.unwrap().iteration, 8);
+        assert!(rollback.is_none(), "asynchronous recovery never rolls back");
+        assert_eq!(vol.recovery_log()[0].replacement, NodeId(3));
+        // Second crash: no spares left — the fastest survivor (rank 2) hosts.
+        vol.on_crash(0, 300);
+        vol.grant(0, &loads);
+        let _ = vol.take_recovery(0, 400, &loads);
+        assert_eq!(vol.recovery_log()[1].replacement, NodeId(2));
+        assert_eq!(vol.recoveries, 2);
+        assert_eq!(vol.rollbacks, 0);
+        assert_eq!(vol.downtime_ns, 200);
+    }
+
+    #[test]
+    fn synchronous_recovery_computes_a_common_rollback_target() {
+        let plan = ChurnPlan::kill(1, 50).with_checkpoint_interval(20);
+        let mut vol = VolatilityState::new(&plan, 2, Scheme::Synchronous);
+        // Both ranks checkpointed at 0, 20 and 40; the victim also at 40.
+        for rank in 0..2 {
+            for iteration in [0, 20, 40] {
+                vol.store_checkpoint(Checkpoint {
+                    rank,
+                    iteration,
+                    state: vec![rank as u8, iteration as u8],
+                });
+            }
+        }
+        vol.on_crash(1, 1_000);
+        vol.grant(1, &[PeerLoad::default(); 2]);
+        let (checkpoint, rollback) = vol.take_recovery(1, 2_000, &[PeerLoad::default(); 2]);
+        let (target, generation) = rollback.expect("synchronous runs roll back");
+        assert_eq!(target, 40, "newest iteration every rank has checkpointed");
+        assert_eq!(generation, 1);
+        assert_eq!(checkpoint.unwrap().iteration, 40);
+        // The survivor's rollback lookup lands on the same iteration.
+        assert_eq!(
+            vol.checkpoint_for_rollback(0, target).unwrap().iteration,
+            40
+        );
+        assert_eq!(vol.rollbacks, 1);
+    }
+}

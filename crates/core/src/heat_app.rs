@@ -206,6 +206,26 @@ impl IterativeTask for HeatTask {
     fn relaxations(&self) -> u64 {
         self.relaxations
     }
+
+    fn restore(&mut self, state: &[u8], iteration: u64) -> bool {
+        // The checkpoint format is the result format: row_start (u32), row
+        // count (u32), then the owned values. The ghost rows are left as
+        // they are (a restored peer refreshes them from its neighbours'
+        // next updates).
+        if state.len() != 8 + self.local.len() * 8 {
+            return false;
+        }
+        let row_start = u32::from_le_bytes(state[0..4].try_into().unwrap()) as usize;
+        let rows = u32::from_le_bytes(state[4..8].try_into().unwrap()) as usize;
+        if row_start != self.row_start || rows != self.rows {
+            return false;
+        }
+        for (slot, bytes) in self.local.iter_mut().zip(state[8..].chunks_exact(8)) {
+            *slot = f64::from_le_bytes(bytes.try_into().unwrap());
+        }
+        self.relaxations = iteration;
+        true
+    }
 }
 
 /// A full `n × n` grid with the boundary conditions applied and the interior

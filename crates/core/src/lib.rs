@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod app;
+pub mod churn;
 pub mod compute;
 pub mod experiment;
 pub mod fault;
@@ -39,6 +40,10 @@ pub mod topology_manager;
 pub mod workload;
 
 pub use app::{Application, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
+pub use churn::{
+    ChurnEvent, ChurnEventKind, ChurnPlan, FaultInjector, RecoveryRecord, SharedVolatility,
+    VolatilityState,
+};
 pub use compute::{calibrate_ns_per_point, ComputeModel};
 pub use experiment::{run_on, RuntimeExperimentResult, RuntimeKind};
 pub use fault::{Checkpoint, FaultManager, RecoveryAction};

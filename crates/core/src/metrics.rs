@@ -21,6 +21,26 @@ pub struct RunMeasurement {
     pub converged: bool,
     /// Fixed-point residual of the assembled solution (quality check).
     pub residual: f64,
+    /// Crash events injected into the run (0 for fault-free runs).
+    pub crashes: u64,
+    /// Completed recoveries (checkpoint restarts of a dead rank).
+    pub recoveries: u64,
+    /// Synchronous rollback broadcasts performed during the run.
+    pub rollbacks: u64,
+    /// Total peer downtime (crash until recovery), in seconds of the
+    /// backend's clock (virtual for sim, event counts for loopback,
+    /// wall-clock otherwise).
+    pub downtime_s: f64,
+    /// Live per-peer throughput estimate in relaxed points per second of the
+    /// backend's clock (0 where no measurement exists), from the engines'
+    /// [`crate::load_balance::PeerLoad`] accounting.
+    pub points_per_sec: Vec<f64>,
+    /// Grid points actually relaxed by each peer, from the same accounting.
+    /// Unlike `relaxations_per_peer` (the tasks' iteration counters, which a
+    /// checkpoint restore rewinds), this counts every executed sweep — the
+    /// honest "work done" metric for faulty runs, where redone iterations
+    /// are real cost.
+    pub points_relaxed_per_peer: Vec<u64>,
 }
 
 impl RunMeasurement {
@@ -46,7 +66,19 @@ impl RunMeasurement {
             relaxations_per_peer,
             converged,
             residual: f64::NAN,
+            crashes: 0,
+            recoveries: 0,
+            rollbacks: 0,
+            downtime_s: 0.0,
+            points_per_sec: Vec::new(),
+            points_relaxed_per_peer: Vec::new(),
         }
+    }
+
+    /// Total grid points relaxed across all peers (execution work, immune to
+    /// the iteration-counter rewind a checkpoint restore performs).
+    pub fn total_points_relaxed(&self) -> u64 {
+        self.points_relaxed_per_peer.iter().sum()
     }
 
     /// Total number of relaxations across all peers.
@@ -158,13 +190,14 @@ mod tests {
     use super::*;
 
     fn measurement(peers: usize, secs: f64, relax: u64) -> RunMeasurement {
-        RunMeasurement {
+        let mut m = RunMeasurement::from_run(
             peers,
-            elapsed: SimDuration::from_secs_f64(secs),
-            relaxations_per_peer: vec![relax; peers],
-            converged: true,
-            residual: 1e-7,
-        }
+            SimDuration::from_secs_f64(secs),
+            vec![relax; peers],
+            true,
+        );
+        m.residual = 1e-7;
+        m
     }
 
     #[test]

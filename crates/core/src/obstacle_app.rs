@@ -201,6 +201,27 @@ impl IterativeTask for ObstacleTask {
     fn relaxations(&self) -> u64 {
         self.state.relaxations()
     }
+
+    fn restore(&mut self, state: &[u8], iteration: u64) -> bool {
+        // The checkpoint format is the result format: z_start (u32), plane
+        // count (u32), then the owned values.
+        if state.len() < 8 {
+            return false;
+        }
+        let z_start = u32::from_le_bytes(state[0..4].try_into().unwrap()) as usize;
+        let count = u32::from_le_bytes(state[4..8].try_into().unwrap()) as usize;
+        if z_start != self.state.z_start()
+            || count != self.state.plane_count()
+            || state.len() != 8 + self.state.local_len() * 8
+        {
+            return false;
+        }
+        let values: Vec<f64> = state[8..]
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+            .collect();
+        self.state.restore(&values, iteration)
+    }
 }
 
 /// Reassemble a global solution vector from the per-peer results produced by

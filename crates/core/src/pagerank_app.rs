@@ -340,6 +340,26 @@ impl IterativeTask for PageRankTask {
     fn relaxations(&self) -> u64 {
         self.relaxations
     }
+
+    fn restore(&mut self, state: &[u8], iteration: u64) -> bool {
+        // The checkpoint format is the result format: v_start (u32), vertex
+        // count (u32), then the owned ranks. The freshest received external
+        // contributions are kept (they are at least as fresh as what the
+        // checkpoint saw).
+        if state.len() != 8 + self.ranks.len() * 8 {
+            return false;
+        }
+        let v_start = u32::from_le_bytes(state[0..4].try_into().unwrap()) as usize;
+        let count = u32::from_le_bytes(state[4..8].try_into().unwrap()) as usize;
+        if v_start != self.v_start || count != self.ranks.len() {
+            return false;
+        }
+        for (slot, bytes) in self.ranks.iter_mut().zip(state[8..].chunks_exact(8)) {
+            *slot = f64::from_le_bytes(bytes.try_into().unwrap());
+        }
+        self.relaxations = iteration;
+        true
+    }
 }
 
 /// Reassemble the global rank vector from the per-peer results produced by

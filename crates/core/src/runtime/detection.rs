@@ -1,0 +1,156 @@
+//! Wall-clock failure detection shared by the thread and UDP runtimes.
+//!
+//! Both real-time backends detect peer death the way the paper's
+//! centralized topology manager does: every peer pings a run-local
+//! [`TopologyManager`] server on a fixed cadence, a peer missing three
+//! consecutive periods is evicted, and a monitor thread sweeping
+//! [`TopologyManager::evictions_since`] feeds each eviction into the
+//! volatility coordinator's recovery grant. This module keeps the two
+//! backends on one implementation of that rule — the cadence, the
+//! registration bookkeeping, the re-register-on-spurious-eviction
+//! behaviour and the monitor loop live here, not in each drive loop.
+
+use crate::churn::SharedVolatility;
+use crate::runtime::engine::SharedDetector;
+use crate::topology_manager::TopologyManager;
+use desim::{SimDuration, SimTime};
+use netsim::{ClusterId, NodeId, Topology};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Ping period of the failure detector: peers ping on this cadence and a
+/// peer missing three periods is evicted.
+pub(crate) const PING_PERIOD: Duration = Duration::from_millis(10);
+
+/// How often the failure monitor sweeps for missed pings.
+const MONITOR_SWEEP: Duration = Duration::from_millis(5);
+
+/// The run-local topology-manager server, shared by peers and monitor.
+pub(crate) type SharedTopologyManager = Arc<Mutex<TopologyManager>>;
+
+/// Wall-clock time as the topology manager's `SimTime`, measured from the
+/// run's start instant.
+fn now_since(start: Instant) -> SimTime {
+    SimTime::from_secs_f64(start.elapsed().as_secs_f64())
+}
+
+/// Create the run's failure-detector server with every rank registered (at
+/// time zero, before any peer thread spawns — a slow spawn must not read as
+/// missed pings).
+pub(crate) fn server_with_all_ranks(topology: &Topology) -> SharedTopologyManager {
+    let mut server = TopologyManager::new(SimDuration::from_nanos(PING_PERIOD.as_nanos() as u64));
+    for rank in 0..topology.len() {
+        let node = NodeId(rank);
+        server.register(
+            node,
+            topology.cluster_of(node),
+            topology.node(node).cpu_speed,
+            SimTime::ZERO,
+        );
+    }
+    Arc::new(Mutex::new(server))
+}
+
+/// The failure monitor's loop: sweep the server for missed-ping evictions,
+/// grant recovery for every evicted rank, exit once the run stops. Run this
+/// inside a thread of the backend's scope.
+pub(crate) fn run_monitor(
+    volatility: &SharedVolatility,
+    topo: &SharedTopologyManager,
+    shared: &SharedDetector,
+    alpha: usize,
+    start: Instant,
+) {
+    let mut watermark = SimTime::ZERO;
+    loop {
+        std::thread::sleep(MONITOR_SWEEP);
+        let now = now_since(start);
+        let evicted = topo.lock().unwrap().evictions_since(watermark, now);
+        watermark = now;
+        if !evicted.is_empty() {
+            let loads = shared.lock().unwrap().loads().to_vec();
+            let mut volatility = volatility.lock().unwrap();
+            for node in evicted {
+                if node.0 < alpha {
+                    volatility.grant(node.0, &loads);
+                }
+            }
+        }
+        if shared.lock().unwrap().stopped() {
+            break;
+        }
+    }
+}
+
+/// A crashed peer's wait for the run's verdict: block (cheaply) until the
+/// monitor grants this rank's recovery, or until the run stops (relaxation
+/// cap reached elsewhere while the peer was down). Returns `true` on a
+/// grant, `false` on a stop. `while_waiting` runs each poll round so the
+/// backend can keep losing traffic addressed to the dead incarnation (the
+/// thread runtime drains its channel; the UDP runtime's dead socket needs
+/// nothing).
+pub(crate) fn await_recovery_grant(
+    volatility: &Option<SharedVolatility>,
+    shared: &SharedDetector,
+    rank: usize,
+    mut while_waiting: impl FnMut(),
+) -> bool {
+    loop {
+        if shared.lock().unwrap().stopped() {
+            return false;
+        }
+        let granted = volatility
+            .as_ref()
+            .is_some_and(|vol| vol.lock().unwrap().is_granted(rank));
+        if granted {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        while_waiting();
+    }
+}
+
+/// One peer's heartbeat towards the failure detector.
+pub(crate) struct Heartbeat {
+    rank: usize,
+    cluster: ClusterId,
+    cpu_speed: f64,
+    last_ping: Instant,
+}
+
+impl Heartbeat {
+    /// The heartbeat of `rank` (topology supplies its cluster and speed).
+    pub(crate) fn new(topology: &Topology, rank: usize) -> Self {
+        let node = NodeId(rank);
+        Self {
+            rank,
+            cluster: topology.cluster_of(node),
+            cpu_speed: topology.node(node).cpu_speed,
+            last_ping: Instant::now(),
+        }
+    }
+
+    /// Ping the server if a period has elapsed. A peer the server no longer
+    /// knows (evicted spuriously, e.g. after a scheduling hiccup)
+    /// re-registers, as the paper's protocol demands of evicted peers.
+    pub(crate) fn beat(&mut self, topo: &SharedTopologyManager, start: Instant) {
+        if self.last_ping.elapsed() < PING_PERIOD {
+            return;
+        }
+        let now = now_since(start);
+        let mut topo = topo.lock().unwrap();
+        if !topo.ping(NodeId(self.rank), now) {
+            topo.register(NodeId(self.rank), self.cluster, self.cpu_speed, now);
+        }
+        self.last_ping = Instant::now();
+    }
+
+    /// A revived rank rejoins: register afresh and restart the cadence.
+    pub(crate) fn rejoin(&mut self, topo: &SharedTopologyManager, start: Instant) {
+        let now = now_since(start);
+        topo.lock()
+            .unwrap()
+            .register(NodeId(self.rank), self.cluster, self.cpu_speed, now);
+        self.last_ping = Instant::now();
+    }
+}

@@ -28,6 +28,9 @@
 //! would use.
 
 use crate::app::{IterativeTask, LocalRelax};
+use crate::churn::SharedVolatility;
+use crate::fault::Checkpoint;
+use crate::load_balance::PeerLoad;
 use crate::metrics::RunMeasurement;
 use bytes::Bytes;
 use desim::SimDuration;
@@ -85,6 +88,13 @@ pub trait PeerTransport {
     /// Record a named statistic (the simulated runtime forwards these to
     /// its tracer; other transports ignore them).
     fn note(&mut self, _counter: &'static str) {}
+
+    /// Broadcast a synchronous rollback to every other peer of the run: a
+    /// recovered peer restarted from iteration `to_iteration` and the
+    /// synchronous scheme must realign there. The driver delivers this as
+    /// [`PeerEngine::on_rollback`]. Defaults to a no-op (fault-free runs
+    /// never roll back).
+    fn broadcast_rollback(&mut self, _to_iteration: u64, _generation: u32) {}
 }
 
 /// Deadline queue for protocol timers, shared by the transports that keep
@@ -158,6 +168,21 @@ pub struct ConvergenceDetector {
     stop_broadcast: bool,
     /// Peers that have acknowledged the stop and deposited their result.
     results: Vec<Option<(u64, Vec<u8>)>>,
+    /// Rollback generation: bumped by a synchronous recovery; reports
+    /// carrying an older generation are stale and discarded.
+    generation: u32,
+    /// The common restart iteration of the current generation (meaningful
+    /// when `generation > 0`). Published here so drivers whose rollback
+    /// broadcast can be lost (a UDP datagram) have a polling fallback — the
+    /// same safety net the stop signal has.
+    rollback_target: u64,
+    /// Highest iteration each peer has reported in the current generation:
+    /// a recovered peer re-executing checkpointed iterations must not count
+    /// twice towards iteration completeness.
+    last_reported: Vec<u64>,
+    /// Live per-peer load accounting (points relaxed, busy time) — the
+    /// throughput estimates the load balancer and recovery path consume.
+    loads: Vec<PeerLoad>,
 }
 
 /// A [`ConvergenceDetector`] shared between the peers of one run.
@@ -178,6 +203,10 @@ impl ConvergenceDetector {
             stop_time_ns: None,
             stop_broadcast: false,
             results: vec![None; peers],
+            generation: 0,
+            rollback_target: 0,
+            last_reported: vec![0; peers],
+            loads: vec![PeerLoad::default(); peers],
         }
     }
 
@@ -194,7 +223,9 @@ impl ConvergenceDetector {
     /// Record the completion of relaxation number `iteration` (1-based) by
     /// peer `rank` with local difference `diff`; returns true when this
     /// report establishes global convergence. `stable` is computed by the
-    /// peer (see [`ConvergenceDetector::latest_stable`]).
+    /// peer (see [`ConvergenceDetector::latest_stable`]); `generation` is
+    /// the peer's rollback generation — reports predating a synchronous
+    /// rollback are stale and discarded.
     fn report(
         &mut self,
         rank: usize,
@@ -202,15 +233,28 @@ impl ConvergenceDetector {
         diff: f64,
         stable: bool,
         now_ns: u64,
+        generation: u32,
     ) -> bool {
         if self.stop {
             return true;
+        }
+        if generation != self.generation {
+            return self.stop;
         }
         self.latest_stable[rank] = stable;
         if stable {
             self.streaks[rank] = self.streaks[rank].saturating_add(1);
         } else {
             self.streaks[rank] = 0;
+        }
+        // A peer restored from a checkpoint (without a rollback broadcast —
+        // an asynchronous or hybrid recovery) re-executes iterations it
+        // already reported; counting them again would let an iteration
+        // entry reach completeness with another peer's report missing.
+        // Only a peer's *first* report of an iteration counts.
+        let counted = iteration > self.last_reported[rank];
+        if counted {
+            self.last_reported[rank] = iteration;
         }
         let converged = match self.scheme {
             // Synchronous and hybrid schemes progress iteration by iteration:
@@ -219,16 +263,17 @@ impl ConvergenceDetector {
             // hybrid runs, peers with asynchronous (cross-cluster) neighbours
             // must additionally be stable, so stale inter-cluster boundaries
             // cannot fake convergence.
-            Scheme::Synchronous | Scheme::Hybrid => {
+            Scheme::Synchronous | Scheme::Hybrid if counted => {
                 let entry = self.iteration_reports.entry(iteration).or_insert((0, 0.0));
                 entry.0 += 1;
                 entry.1 = entry.1.max(diff);
                 let complete = entry.0 == self.peers;
                 let max_diff = entry.1;
                 if complete {
-                    // Each peer reports an iteration exactly once, so a
-                    // complete entry can never be touched again — drop it to
-                    // keep the map bounded by the in-flight iterations.
+                    // Each peer's first report of an iteration counts exactly
+                    // once, so a complete entry can never be touched again —
+                    // drop it to keep the map bounded by the in-flight
+                    // iterations.
                     self.iteration_reports.remove(&iteration);
                 }
                 complete
@@ -239,6 +284,8 @@ impl ConvergenceDetector {
                         .zip(self.latest_stable.iter())
                         .all(|(async_nb, stable)| !async_nb || *stable)
             }
+            // A re-reported iteration can never complete an entry.
+            Scheme::Synchronous | Scheme::Hybrid => false,
             // Asynchronous scheme: every peer must have reported two
             // consecutive stable sweeps.
             Scheme::Asynchronous => self.streaks.iter().all(|s| *s >= 2),
@@ -248,6 +295,54 @@ impl ConvergenceDetector {
             self.stop_time_ns = Some(now_ns);
         }
         self.stop
+    }
+
+    /// Account `points` relaxed over `busy_ns` of the backend's clock by
+    /// peer `rank` (live throughput estimation).
+    fn record_load(&mut self, rank: usize, points: u64, busy_ns: u64) {
+        self.loads[rank].points += points;
+        self.loads[rank].busy_seconds += busy_ns as f64 / 1e9;
+    }
+
+    /// Live per-peer load estimates.
+    pub fn loads(&self) -> &[PeerLoad] {
+        &self.loads
+    }
+
+    /// A peer crashed: its convergence evidence is void until it reports
+    /// again after recovery, so a run can never be declared converged on a
+    /// dead peer's stale stability.
+    pub fn mark_crashed(&mut self, rank: usize) {
+        self.streaks[rank] = 0;
+        self.latest_stable[rank] = false;
+    }
+
+    /// Start a new rollback generation: every peer restarts from the common
+    /// checkpointed iteration `from_iteration`, so in-flight convergence
+    /// evidence (pending iteration reports, stability streaks, report
+    /// watermarks) is void. Reports from older generations are discarded
+    /// when peers report them.
+    pub fn begin_generation(&mut self, generation: u32, from_iteration: u64) {
+        self.generation = generation;
+        self.rollback_target = from_iteration;
+        self.iteration_reports.clear();
+        for watermark in &mut self.last_reported {
+            *watermark = from_iteration;
+        }
+        for streak in &mut self.streaks {
+            *streak = 0;
+        }
+        for stable in &mut self.latest_stable {
+            *stable = false;
+        }
+    }
+
+    /// The run's current rollback, if a synchronous recovery has started
+    /// one: `(restart iteration, generation)`. Drivers poll this as a
+    /// fallback for a lost rollback broadcast (see
+    /// [`PeerEngine::poll_rollback`]).
+    pub fn current_rollback(&self) -> Option<(u64, u32)> {
+        (self.generation > 0).then_some((self.rollback_target, self.generation))
     }
 
     /// Assemble the run's [`RunMeasurement`] and the per-rank results. Used
@@ -277,10 +372,14 @@ impl ConvergenceDetector {
         }
         let converged =
             self.stop && all_reported && relaxations.iter().all(|&r| r < max_relaxations);
-        (
-            RunMeasurement::from_run(self.peers, elapsed, relaxations, converged),
-            results,
-        )
+        let mut measurement = RunMeasurement::from_run(self.peers, elapsed, relaxations, converged);
+        measurement.points_per_sec = self
+            .loads
+            .iter()
+            .map(|l| l.throughput().unwrap_or(0.0))
+            .collect();
+        measurement.points_relaxed_per_peer = self.loads.iter().map(|l| l.points).collect();
+        (measurement, results)
     }
 }
 
@@ -321,6 +420,19 @@ pub struct PeerEngine {
     /// Whether a relaxation is currently "executing" (compute pending).
     computing: bool,
     finished: bool,
+    /// The run's volatility coordinator, when failure injection is active
+    /// (see [`crate::churn`]). `None` = fault-free run, zero overhead.
+    volatility: Option<SharedVolatility>,
+    /// Set when the fault injector killed this peer; the engine goes silent
+    /// until the driver calls [`PeerEngine::recover`].
+    crashed: bool,
+    /// This peer's rollback generation (see
+    /// [`ConvergenceDetector::begin_generation`]).
+    generation: u32,
+    /// A rollback that arrived mid-sweep, applied at compute completion.
+    pending_rollback: Option<(u64, u32)>,
+    /// Clock value when the pending sweep started (busy-time accounting).
+    compute_started_ns: u64,
 }
 
 impl PeerEngine {
@@ -379,7 +491,19 @@ impl PeerEngine {
             pending_sync,
             computing: false,
             finished: false,
+            volatility: None,
+            crashed: false,
+            generation: 0,
+            pending_rollback: None,
+            compute_started_ns: 0,
         }
+    }
+
+    /// Attach the run's volatility coordinator: the engine will deposit
+    /// periodic checkpoints, consult the fault injector after every sweep
+    /// and support [`PeerEngine::recover`] / [`PeerEngine::on_rollback`].
+    pub fn attach_volatility(&mut self, volatility: SharedVolatility) {
+        self.volatility = Some(volatility);
     }
 
     /// This peer's rank.
@@ -397,14 +521,28 @@ impl PeerEngine {
         self.computing
     }
 
+    /// Whether the fault injector killed this peer (awaiting recovery).
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
     /// Relaxations performed so far by the task.
     pub fn relaxations(&self) -> u64 {
         self.task.relaxations()
     }
 
-    /// Start the peer: performs the first relaxation.
+    /// Start the peer: performs the first relaxation. When volatility is
+    /// active, the initial state is checkpointed first so a rollback target
+    /// exists even before the first interval checkpoint.
     pub fn on_start(&mut self, transport: &mut impl PeerTransport) {
         transport.note("p2pdc.peers_started");
+        if let Some(vol) = &self.volatility {
+            vol.lock().unwrap().store_checkpoint(Checkpoint {
+                rank: self.rank,
+                iteration: self.task.relaxations(),
+                state: self.task.checkpoint_state(),
+            });
+        }
         self.begin_relaxation(transport);
     }
 
@@ -436,8 +574,21 @@ impl PeerEngine {
     fn begin_relaxation(&mut self, transport: &mut impl PeerTransport) {
         debug_assert!(!self.computing && !self.finished);
         self.computing = true;
+        self.compute_started_ns = transport.now_ns();
         let relax = self.task.relax();
-        let work_points = relax.work_points;
+        let mut work_points = relax.work_points;
+        if let Some(vol) = &self.volatility {
+            // A fired slowdown event scales the sweep's compute cost (the
+            // simulated backend charges it to the virtual clock; wall-clock
+            // backends run the kernel for real and ignore work points).
+            let factor = vol
+                .lock()
+                .unwrap()
+                .slowdown_factor(self.rank, self.task.relaxations());
+            if factor > 1.0 {
+                work_points = (work_points as f64 * factor).round() as u64;
+            }
+        }
         self.pending_relax = Some(relax);
         transport.schedule_compute(work_points);
     }
@@ -446,12 +597,53 @@ impl PeerEngine {
     /// publish its results (`P2P_Send`), report to the convergence detector
     /// and advance if the scheme's wait condition allows it.
     pub fn on_compute_done(&mut self, transport: &mut impl PeerTransport) {
-        if self.finished {
+        if self.finished || self.crashed {
             return;
         }
         self.computing = false;
         let relax = self.pending_relax.take().expect("a sweep was in progress");
         let iteration = self.task.relaxations();
+        let busy_ns = transport.now_ns().saturating_sub(self.compute_started_ns);
+        // A rollback that arrived mid-sweep supersedes the sweep's results:
+        // the state it was computed from is being abandoned. The sweep's
+        // cost was still paid — it counts towards the executed-work metric.
+        if let Some((to_iteration, generation)) = self.pending_rollback.take() {
+            if generation > self.generation {
+                self.shared
+                    .lock()
+                    .unwrap()
+                    .record_load(self.rank, relax.work_points, busy_ns);
+                self.apply_rollback(to_iteration, generation, transport);
+                return;
+            }
+        }
+        // Volatility: deposit the periodic checkpoint, then ask the injector
+        // whether this sweep was the peer's last. A crash strikes *before*
+        // the sweep's updates are published — they are lost with the peer,
+        // but the sweep itself was executed and is accounted as work.
+        if let Some(vol) = &self.volatility {
+            let mut vol = vol.lock().unwrap();
+            if iteration.is_multiple_of(vol.checkpoint_interval()) {
+                vol.store_checkpoint(Checkpoint {
+                    rank: self.rank,
+                    iteration,
+                    state: self.task.checkpoint_state(),
+                });
+            }
+            if vol.should_crash(self.rank, iteration) {
+                let now = transport.now_ns();
+                vol.on_crash(self.rank, now);
+                drop(vol);
+                self.crashed = true;
+                {
+                    let mut shared = self.shared.lock().unwrap();
+                    shared.record_load(self.rank, relax.work_points, busy_ns);
+                    shared.mark_crashed(self.rank);
+                }
+                transport.note("p2pdc.crashes");
+                return;
+            }
+        }
         // P2P_Send of the boundary planes. Updates to asynchronous neighbours
         // pass the transport's pacing gate; skipped updates are superseded by
         // the next relaxation's planes anyway.
@@ -485,11 +677,20 @@ impl PeerEngine {
             }
         }
         self.max_ghost_change = 0.0;
-        // Report to the convergence detector.
+        // Report to the convergence detector; the same lock records the
+        // sweep into the live per-peer load estimate.
         let now = transport.now_ns();
         let stop = {
             let mut shared = self.shared.lock().unwrap();
-            shared.report(self.rank, iteration, relax.local_diff, stable, now)
+            shared.record_load(self.rank, relax.work_points, busy_ns);
+            shared.report(
+                self.rank,
+                iteration,
+                relax.local_diff,
+                stable,
+                now,
+                self.generation,
+            )
         };
         transport.note("p2pdc.relaxations");
         if stop || iteration >= self.max_relaxations {
@@ -558,6 +759,133 @@ impl PeerEngine {
         }
     }
 
+    /// Revive a crashed peer once the run's recovery path has decided its
+    /// fate: restore the task from the checkpoint the coordinator hands
+    /// back, and — for synchronous runs — broadcast the rollback that
+    /// realigns every peer on the common checkpointed iteration. The driver
+    /// calls this after the failure was detected (missed pings on the
+    /// wall-clock backends, the plan's modelled delay on the deterministic
+    /// ones).
+    pub fn recover(&mut self, transport: &mut impl PeerTransport) {
+        if !self.crashed || self.finished {
+            return;
+        }
+        let Some(vol) = self.volatility.clone() else {
+            return;
+        };
+        let now = transport.now_ns();
+        let loads = self.shared.lock().unwrap().loads().to_vec();
+        let (checkpoint, rollback) = vol.lock().unwrap().take_recovery(self.rank, now, &loads);
+        if let Some(checkpoint) = checkpoint {
+            // Tasks without restore support (the trait's default) keep their
+            // live state: the rank rejoins without rewinding.
+            let _ = self.task.restore(&checkpoint.state, checkpoint.iteration);
+        }
+        self.crashed = false;
+        self.computing = false;
+        self.pending_relax = None;
+        self.pending_rollback = None;
+        for counter in self.async_fresh.values_mut() {
+            *counter = 0;
+        }
+        self.max_ghost_change = 0.0;
+        transport.note("p2pdc.recoveries");
+        if let Some((to_iteration, generation)) = rollback {
+            // Rolling back: queued pre-rollback updates belong to abandoned
+            // iterations and every peer will publish afresh from the common
+            // restart point — drop them so the FIFO realigns. Without a
+            // rollback (asynchronous/hybrid recovery) the queues must
+            // SURVIVE: their updates were acknowledged by this peer's
+            // session, the senders will never retransmit them, and a
+            // synchronous-edge neighbour may be blocked waiting for this
+            // peer to consume them.
+            for queue in self.pending_sync.values_mut() {
+                queue.clear();
+            }
+            self.generation = generation;
+            self.shared
+                .lock()
+                .unwrap()
+                .begin_generation(generation, to_iteration);
+            transport.broadcast_rollback(to_iteration, generation);
+        }
+        // The run may have been stopped (relaxation cap) while this peer was
+        // down; deposit the restored result instead of iterating on.
+        if self.shared.lock().unwrap().stop {
+            self.finish(transport);
+            return;
+        }
+        self.begin_relaxation(transport);
+    }
+
+    /// Fallback for a lost rollback broadcast: check the detector's
+    /// published rollback and apply it if this peer is behind. Idempotent
+    /// and cheap (the [`PeerEngine::on_rollback`] generation guard makes a
+    /// caught-up peer a no-op), so lossy-transport drivers call it from
+    /// their idle path, exactly like the `stopped()` poll that backs up the
+    /// stop broadcast.
+    pub fn poll_rollback(&mut self, transport: &mut impl PeerTransport) {
+        let pending = self.shared.lock().unwrap().current_rollback();
+        if let Some((to_iteration, generation)) = pending {
+            self.on_rollback(to_iteration, generation, transport);
+        }
+    }
+
+    /// A rollback broadcast reached this peer: a synchronous run recovered a
+    /// dead rank and every peer must restart from the common checkpointed
+    /// iteration `to_iteration` under the new report generation.
+    pub fn on_rollback(
+        &mut self,
+        to_iteration: u64,
+        generation: u32,
+        transport: &mut impl PeerTransport,
+    ) {
+        if self.finished || self.crashed || generation <= self.generation {
+            return;
+        }
+        if self.computing {
+            self.pending_rollback = Some((to_iteration, generation));
+            return;
+        }
+        self.apply_rollback(to_iteration, generation, transport);
+    }
+
+    fn apply_rollback(
+        &mut self,
+        to_iteration: u64,
+        generation: u32,
+        transport: &mut impl PeerTransport,
+    ) {
+        self.generation = generation;
+        let checkpoint = self.volatility.as_ref().and_then(|vol| {
+            vol.lock()
+                .unwrap()
+                .checkpoint_for_rollback(self.rank, to_iteration)
+        });
+        if let Some(checkpoint) = checkpoint {
+            let _ = self.task.restore(&checkpoint.state, checkpoint.iteration);
+        }
+        // Queued pre-rollback updates belong to iterations the run is
+        // abandoning; consuming them as post-rollback boundaries would leave
+        // this peer permanently off-by-one on those edges. (Updates still in
+        // flight when the rollback lands are a bounded-staleness straggler
+        // the convergence test absorbs: a stale boundary keeps diffs above
+        // tolerance rather than faking convergence.)
+        for queue in self.pending_sync.values_mut() {
+            queue.clear();
+        }
+        for counter in self.async_fresh.values_mut() {
+            *counter = 0;
+        }
+        self.max_ghost_change = 0.0;
+        transport.note("p2pdc.rollbacks");
+        if self.shared.lock().unwrap().stop {
+            self.finish(transport);
+            return;
+        }
+        self.begin_relaxation(transport);
+    }
+
     /// `P2P_Receive` one delivered payload: queue it (synchronous neighbour)
     /// or incorporate it immediately (asynchronous neighbour).
     fn receive_payload(&mut self, from: usize, payload: Bytes) {
@@ -578,6 +906,9 @@ impl PeerEngine {
 
     /// A data segment arrived from neighbour `from`.
     pub fn on_segment(&mut self, from: usize, segment: Bytes, transport: &mut impl PeerTransport) {
+        if self.crashed {
+            return;
+        }
         let now = transport.now_ns();
         let Some(socket) = self.sockets.get_mut(&from) else {
             return;
@@ -599,7 +930,7 @@ impl PeerEngine {
 
     /// A previously armed protocol timer fired.
     pub fn on_timer(&mut self, key: TimerKey, transport: &mut impl PeerTransport) {
-        if self.finished {
+        if self.finished || self.crashed {
             return;
         }
         let (neighbor, layer, tag) = key;
@@ -621,9 +952,19 @@ impl PeerEngine {
     }
 
     /// The stop broadcast reached this peer. Peers in the middle of a sweep
-    /// ignore it (their own compute completion performs the final report).
+    /// ignore it (their own compute completion performs the final report); a
+    /// crashed peer terminates with whatever state it holds (the run ended —
+    /// by cap — while it was down).
     pub fn on_stop_signal(&mut self, transport: &mut impl PeerTransport) {
-        if !self.finished && !self.computing {
+        if self.finished {
+            return;
+        }
+        if self.crashed {
+            self.crashed = false;
+            self.finish(transport);
+            return;
+        }
+        if !self.computing {
             self.finish(transport);
         }
     }
@@ -949,6 +1290,53 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].1, vec![0, 1]);
         assert_eq!(results[1].1, vec![1, 1]);
+    }
+
+    #[test]
+    fn poll_rollback_catches_up_a_peer_that_missed_the_broadcast() {
+        use crate::churn::{ChurnPlan, VolatilityState};
+
+        let topology = Topology::nicta_single_cluster(2);
+        let shared = ConvergenceDetector::shared(0.5, Scheme::Synchronous, 2);
+        let volatility =
+            VolatilityState::shared(&ChurnPlan::kill(1, 1_000), 2, Scheme::Synchronous);
+        let mut peer = PeerEngine::new(
+            0,
+            Scheme::Synchronous,
+            &topology,
+            Box::new(RampTask::new(0, vec![1], 10)),
+            Arc::clone(&shared),
+            1_000,
+        );
+        peer.attach_volatility(Arc::clone(&volatility));
+        let mut transport = ScriptTransport::new(0);
+        peer.on_start(&mut transport);
+        transport.compute_pending = false;
+        peer.on_compute_done(&mut transport);
+        assert!(!peer.computing(), "waiting on its synchronous neighbour");
+
+        // Nothing published yet: polling is a no-op.
+        peer.poll_rollback(&mut transport);
+        assert!(!peer.computing());
+
+        // A recovery elsewhere started generation 1; this peer's rollback
+        // datagram was lost. The poll fallback must catch it up: adopt the
+        // generation and restart relaxing.
+        shared.lock().unwrap().begin_generation(1, 0);
+        peer.poll_rollback(&mut transport);
+        assert!(
+            peer.computing(),
+            "the stranded peer restarts after the poll"
+        );
+        assert!(transport.notes.contains(&"p2pdc.rollbacks"));
+
+        // Idempotent: a second poll (or the late datagram) is a no-op.
+        transport.compute_pending = false;
+        peer.on_compute_done(&mut transport);
+        let relaxed_before = peer.relaxations();
+        peer.poll_rollback(&mut transport);
+        peer.on_rollback(0, 1, &mut transport);
+        assert_eq!(peer.relaxations(), relaxed_before);
     }
 
     #[test]

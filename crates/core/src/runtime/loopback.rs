@@ -16,13 +16,14 @@
 //! loop).
 
 use crate::app::IterativeTask;
+use crate::churn::VolatilityState;
 use crate::metrics::RunMeasurement;
 use crate::runtime::engine::{
     ConvergenceDetector, PeerEngine, PeerTransport, TimerKey, TimerQueue,
 };
 use crate::runtime::RunConfig;
 use bytes::Bytes;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Configuration of a loopback run. The loopback substrate needs nothing
@@ -42,6 +43,8 @@ pub struct LoopbackRunOutcome {
 enum LoopWire {
     Segment(Bytes),
     Stop,
+    /// Synchronous rollback broadcast: (restart iteration, generation).
+    Rollback(u64, u32),
 }
 
 /// The [`PeerTransport`] of the loopback runtime: instant delivery into
@@ -97,6 +100,15 @@ impl PeerTransport for LoopbackTransport {
             }
         }
     }
+
+    fn broadcast_rollback(&mut self, to_iteration: u64, generation: u32) {
+        for rank in 0..self.peers {
+            if rank != self.rank {
+                self.outbox
+                    .push((rank, LoopWire::Rollback(to_iteration, generation)));
+            }
+        }
+    }
 }
 
 /// Run a distributed iterative computation in-process with zero latency.
@@ -110,17 +122,25 @@ where
     let alpha = config.topology.len();
     assert!(alpha >= 1);
     let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
+    let volatility = config
+        .churn
+        .as_ref()
+        .map(|plan| VolatilityState::shared(plan, alpha, config.scheme));
 
     let mut engines: Vec<PeerEngine> = (0..alpha)
         .map(|rank| {
-            PeerEngine::new(
+            let mut engine = PeerEngine::new(
                 rank,
                 config.scheme,
                 &config.topology,
                 task_factory(rank),
                 Arc::clone(&shared),
                 config.max_relaxations,
-            )
+            );
+            if let Some(vol) = &volatility {
+                engine.attach_volatility(Arc::clone(vol));
+            }
+            engine
         })
         .collect();
     let mut transports: Vec<LoopbackTransport> = (0..alpha)
@@ -155,9 +175,52 @@ where
         flush(rank, &mut transports, &mut inboxes);
     }
 
+    // Clock values at which crashed ranks recover (the plan's modelled
+    // failure-detection latency stands in for the ping sweep the wall-clock
+    // backends run for real).
+    let mut recover_at: HashMap<usize, u64> = HashMap::new();
+
     loop {
         let mut progress = false;
         for rank in 0..alpha {
+            // A crashed peer is silent: its protocol timers die with it and
+            // nothing is delivered to it until, after the modelled detection
+            // delay, the recovery path revives the rank. In-flight traffic
+            // waits in its inbox rather than being dropped: the loopback
+            // clock advances one tick per event, so protocol retransmission
+            // timescales (milliseconds) are unreachable while any peer is
+            // busy — dropping a delivered-but-unacknowledged update here
+            // would lose it forever and deadlock a synchronous edge. Real
+            // loss-under-crash semantics live on the UDP backend, whose
+            // sockets genuinely drop and retransmit in wall-clock time.
+            if engines[rank].crashed() {
+                if let std::collections::hash_map::Entry::Vacant(entry) = recover_at.entry(rank) {
+                    let vol = volatility.as_ref().expect("crash implies volatility");
+                    let loads = shared.lock().unwrap().loads().to_vec();
+                    let mut vol = vol.lock().unwrap();
+                    vol.grant(rank, &loads);
+                    entry.insert(clock + vol.detection_delay_events());
+                    drop(vol);
+                    transports[rank].timers = TimerQueue::new();
+                    progress = true;
+                } else if shared.lock().unwrap().stopped() {
+                    // The run ended (cap) while the peer was down.
+                    recover_at.remove(&rank);
+                    clock += 1;
+                    transports[rank].clock_ns = clock;
+                    engines[rank].on_stop_signal(&mut transports[rank]);
+                    flush(rank, &mut transports, &mut inboxes);
+                    progress = true;
+                } else if clock >= recover_at[&rank] {
+                    recover_at.remove(&rank);
+                    clock += 1;
+                    transports[rank].clock_ns = clock;
+                    engines[rank].recover(&mut transports[rank]);
+                    flush(rank, &mut transports, &mut inboxes);
+                    progress = true;
+                }
+                continue;
+            }
             // Deliver everything queued for this peer.
             while let Some((from, wire)) = inboxes[rank].pop_front() {
                 clock += 1;
@@ -167,9 +230,15 @@ where
                         engines[rank].on_segment(from, segment, &mut transports[rank])
                     }
                     LoopWire::Stop => engines[rank].on_stop_signal(&mut transports[rank]),
+                    LoopWire::Rollback(to_iteration, generation) => {
+                        engines[rank].on_rollback(to_iteration, generation, &mut transports[rank])
+                    }
                 }
                 flush(rank, &mut transports, &mut inboxes);
                 progress = true;
+                if engines[rank].crashed() {
+                    break;
+                }
             }
             // Fire due protocol timers.
             transports[rank].clock_ns = clock;
@@ -206,23 +275,28 @@ where
         }
         if !progress {
             // Everyone is waiting: jump the clock to the earliest armed
-            // protocol timer (e.g. a retransmission) or give up if none —
-            // finish_run then reports the run as not converged.
-            match transports
+            // protocol timer (e.g. a retransmission) or pending recovery, or
+            // give up if neither exists — finish_run then reports the run as
+            // not converged.
+            let earliest = transports
                 .iter()
                 .filter_map(|t| t.earliest_deadline())
-                .min()
-            {
+                .chain(recover_at.values().copied())
+                .min();
+            match earliest {
                 Some(deadline) if deadline > clock => clock = deadline,
                 _ => break,
             }
         }
     }
 
-    let (measurement, results) = shared
+    let (mut measurement, results) = shared
         .lock()
         .unwrap()
         .finish_run(clock, config.max_relaxations);
+    if let Some(vol) = &volatility {
+        vol.lock().unwrap().annotate(&mut measurement);
+    }
     LoopbackRunOutcome {
         measurement,
         results,
@@ -307,6 +381,65 @@ mod tests {
         assert!(
             max >= expected && max <= expected + 1,
             "loopback {max} vs sequential {expected}"
+        );
+    }
+
+    #[test]
+    fn seeded_crash_recovers_and_stays_deterministic() {
+        use crate::churn::ChurnPlan;
+        use crate::obstacle_app::ObstacleTask;
+        use obstacle::ObstacleProblem;
+        use std::sync::Arc;
+
+        let n = 8;
+        let peers = 2;
+        let problem = Arc::new(ObstacleProblem::membrane(n));
+        let mut config = LoopbackRunConfig::quick(Scheme::Asynchronous, peers);
+        config.churn = Some(ChurnPlan::kill(1, 12).with_checkpoint_interval(5));
+        let run = |config: &LoopbackRunConfig| {
+            run_iterative_loopback(config, |rank| {
+                Box::new(ObstacleTask::new(Arc::clone(&problem), peers, rank))
+            })
+        };
+        let a = run(&config);
+        assert!(a.measurement.converged, "faulty async run must converge");
+        assert_eq!(a.measurement.crashes, 1);
+        assert_eq!(a.measurement.recoveries, 1);
+        assert_eq!(a.measurement.rollbacks, 0, "async absorbs the restart");
+        assert!(a.measurement.downtime_s > 0.0);
+        // The live load accounting produced throughput estimates.
+        assert_eq!(a.measurement.points_per_sec.len(), peers);
+        assert!(a.measurement.points_per_sec.iter().all(|&t| t > 0.0));
+        // Same plan, same seed: byte-identical outcome.
+        let b = run(&config);
+        assert_eq!(
+            a.measurement.relaxations_per_peer,
+            b.measurement.relaxations_per_peer
+        );
+        assert_eq!(a.results, b.results);
+    }
+
+    #[test]
+    fn synchronous_crash_rolls_every_peer_back() {
+        use crate::churn::ChurnPlan;
+        use crate::obstacle_app::ObstacleTask;
+        use obstacle::ObstacleProblem;
+        use std::sync::Arc;
+
+        let n = 8;
+        let peers = 2;
+        let problem = Arc::new(ObstacleProblem::membrane(n));
+        let mut config = LoopbackRunConfig::quick(Scheme::Synchronous, peers);
+        config.churn = Some(ChurnPlan::kill(0, 14).with_checkpoint_interval(5));
+        let outcome = run_iterative_loopback(&config, |rank| {
+            Box::new(ObstacleTask::new(Arc::clone(&problem), peers, rank))
+        });
+        assert!(outcome.measurement.converged);
+        assert_eq!(outcome.measurement.crashes, 1);
+        assert_eq!(outcome.measurement.recoveries, 1);
+        assert_eq!(
+            outcome.measurement.rollbacks, 1,
+            "synchronous recovery must roll back"
         );
     }
 

@@ -47,6 +47,7 @@
 //! [`engine::ConvergenceDetector::finish_run`], so they report identical
 //! metric shapes.
 
+pub(crate) mod detection;
 pub mod engine;
 pub mod loopback;
 pub mod sim;
@@ -59,6 +60,7 @@ pub use sim::{run_iterative, SimRunConfig, SimRunOutcome};
 pub use threads::{run_iterative_threads, ThreadRunConfig, ThreadRunOutcome};
 pub use udp::{run_iterative_udp, LossShim, Reassembler, UdpRunConfig, UdpRunOutcome};
 
+use crate::churn::ChurnPlan;
 use crate::compute::ComputeModel;
 use netsim::Topology;
 use p2psap::Scheme;
@@ -91,6 +93,11 @@ pub struct RunConfig {
     /// Compute-cost model (virtual time per relaxed point; simulated
     /// runtime only).
     pub compute: ComputeModel,
+    /// Peer-volatility schedule (crashes, slowdowns) injected into the run.
+    /// `None` (the default) runs with fixed membership; `Some` arms the
+    /// fault injector, live checkpointing and the recovery path on every
+    /// backend (see [`crate::churn`]).
+    pub churn: Option<ChurnPlan>,
 }
 
 impl RunConfig {
@@ -122,6 +129,7 @@ impl RunConfig {
             max_relaxations: Self::DEFAULT_MAX_RELAXATIONS,
             seed: Self::DEFAULT_SEED,
             compute: ComputeModel::default(),
+            churn: None,
         }
     }
 
@@ -161,6 +169,12 @@ impl RunConfig {
             topology: Topology::nicta_two_clusters(peers),
             ..Self::quick(scheme, peers)
         }
+    }
+
+    /// Arm the run with a peer-volatility schedule.
+    pub fn with_churn(mut self, plan: ChurnPlan) -> Self {
+        self.churn = Some(plan);
+        self
     }
 
     /// Number of peers in the run.

@@ -15,9 +15,12 @@
 //! the simulated network delays.
 
 use crate::app::IterativeTask;
+use crate::churn::{SharedVolatility, VolatilityState};
 use crate::compute::ComputeModel;
 use crate::metrics::RunMeasurement;
-use crate::runtime::engine::{ConvergenceDetector, PeerEngine, PeerTransport, TimerKey};
+use crate::runtime::engine::{
+    ConvergenceDetector, PeerEngine, PeerTransport, SharedDetector, TimerKey,
+};
 use crate::runtime::RunConfig;
 use bytes::Bytes;
 use desim::{Context, Payload, Process, ProcessId, SimDuration, SimTime, Simulator, TimerId};
@@ -28,6 +31,10 @@ use std::sync::Arc;
 
 /// Timer tag used for "local relaxation finished".
 const COMPUTE_TIMER_TAG: u64 = u64::MAX;
+
+/// Timer tag used for "the crashed peer's failure has been detected and its
+/// rank recovers now" (the plan's modelled detection latency).
+const RECOVERY_TIMER_TAG: u64 = u64::MAX - 1;
 
 /// Configuration of one simulated distributed run: the shared [`RunConfig`]
 /// plus the virtual-time deadline only this backend has.
@@ -99,6 +106,13 @@ pub struct SimRunOutcome {
 /// so peers idling on a synchronous wait (their neighbours have already
 /// finished and will send nothing more) terminate and deposit their results.
 struct StopSignal;
+
+/// Signal broadcast by a recovered peer of a synchronous run: every peer
+/// rolls back to the common checkpointed iteration under a new generation.
+struct RollbackSignal {
+    to_iteration: u64,
+    generation: u32,
+}
 
 /// Substrate-side state of one simulated peer: fabric addressing, the
 /// compute-cost model, sender-side pacing gates and desim timer bookkeeping.
@@ -181,6 +195,20 @@ impl PeerTransport for SimTransport<'_, '_> {
         }
     }
 
+    fn broadcast_rollback(&mut self, to_iteration: u64, generation: u32) {
+        for rank in 0..self.net.topology.len() {
+            if rank != self.net.rank {
+                self.ctx.send(
+                    ProcessId(rank),
+                    Box::new(RollbackSignal {
+                        to_iteration,
+                        generation,
+                    }),
+                );
+            }
+        }
+    }
+
     fn pacing_gate(&mut self, to: usize, wire_bytes: usize) -> bool {
         let now = self.ctx.now();
         let gate = self
@@ -212,11 +240,29 @@ impl PeerTransport for SimTransport<'_, '_> {
 struct PeerActor {
     engine: PeerEngine,
     net: SimNet,
+    /// The run's volatility coordinator and convergence detector (for load
+    /// snapshots at grant time), when failure injection is active.
+    volatility: Option<(SharedVolatility, SharedDetector)>,
 }
 
 impl PeerActor {
     fn transport<'a, 'c>(net: &'a mut SimNet, ctx: &'a mut Context<'c>) -> SimTransport<'a, 'c> {
         SimTransport { net, ctx }
+    }
+
+    /// The engine just crashed: its protocol timers die with it, failure
+    /// detection is granted through the coordinator, and the rank revives
+    /// after the plan's modelled detection latency.
+    fn schedule_recovery(&mut self, ctx: &mut Context<'_>) {
+        self.net.slots.clear();
+        self.net.armed.clear();
+        let (vol, detector) = self.volatility.as_ref().expect("crash implies volatility");
+        let loads = detector.lock().unwrap().loads().to_vec();
+        let mut vol = vol.lock().unwrap();
+        vol.grant(self.engine.rank(), &loads);
+        let delay = SimDuration::from_nanos(vol.detection_delay_ns());
+        drop(vol);
+        ctx.set_timer(delay, RECOVERY_TIMER_TAG);
     }
 }
 
@@ -230,15 +276,28 @@ impl Process for PeerActor {
         let mut transport = Self::transport(&mut self.net, ctx);
         match payload.downcast::<Deliver>() {
             Ok(deliver) => {
+                // A crashed peer is silent: traffic addressed to it is lost
+                // (the engine's own guard also drops it; this keeps the
+                // socket state untouched during downtime).
+                if self.engine.crashed() {
+                    return;
+                }
                 let from = deliver.packet.src.0;
                 self.engine
                     .on_segment(from, deliver.packet.payload, &mut transport);
             }
-            Err(other) => {
-                if other.downcast::<StopSignal>().is_ok() {
-                    self.engine.on_stop_signal(&mut transport);
+            Err(other) => match other.downcast::<StopSignal>() {
+                Ok(_) => self.engine.on_stop_signal(&mut transport),
+                Err(other) => {
+                    if let Ok(rollback) = other.downcast::<RollbackSignal>() {
+                        self.engine.on_rollback(
+                            rollback.to_iteration,
+                            rollback.generation,
+                            &mut transport,
+                        );
+                    }
                 }
-            }
+            },
         }
     }
 
@@ -246,16 +305,29 @@ impl Process for PeerActor {
         if self.engine.finished() {
             return;
         }
-        let mut transport = Self::transport(&mut self.net, ctx);
+        if tag == RECOVERY_TIMER_TAG {
+            let mut transport = Self::transport(&mut self.net, ctx);
+            self.engine.recover(&mut transport);
+            return;
+        }
+        if self.engine.crashed() {
+            // Stale compute/protocol timers of the dead incarnation.
+            return;
+        }
         if tag == COMPUTE_TIMER_TAG {
+            let mut transport = Self::transport(&mut self.net, ctx);
             self.engine.on_compute_done(&mut transport);
+            if self.engine.crashed() {
+                self.schedule_recovery(ctx);
+            }
             return;
         }
         // Protocol timer (retransmission etc.).
-        let Some(key) = transport.net.slots.remove(&tag) else {
+        let Some(key) = self.net.slots.remove(&tag) else {
             return;
         };
-        transport.net.armed.remove(&key);
+        self.net.armed.remove(&key);
+        let mut transport = Self::transport(&mut self.net, ctx);
         self.engine.on_timer(key, &mut transport);
     }
 
@@ -273,6 +345,10 @@ where
     let alpha = config.peers();
     assert!(alpha >= 1);
     let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
+    let volatility = config
+        .churn
+        .as_ref()
+        .map(|plan| VolatilityState::shared(plan, alpha, config.scheme));
     let stats = shared_stats();
     let mut sim = Simulator::new(config.seed);
 
@@ -280,7 +356,7 @@ where
     let fabric_id = ProcessId(alpha);
     let mut endpoints = Vec::with_capacity(alpha);
     for rank in 0..alpha {
-        let engine = PeerEngine::new(
+        let mut engine = PeerEngine::new(
             rank,
             config.scheme,
             &config.topology,
@@ -288,8 +364,14 @@ where
             Arc::clone(&shared),
             config.max_relaxations,
         );
+        if let Some(vol) = &volatility {
+            engine.attach_volatility(Arc::clone(vol));
+        }
         let actor = PeerActor {
             engine,
+            volatility: volatility
+                .as_ref()
+                .map(|vol| (Arc::clone(vol), Arc::clone(&shared))),
             net: SimNet {
                 rank,
                 fabric: fabric_id,
@@ -314,10 +396,13 @@ where
 
     let _ = sim.run_until(SimTime::ZERO + config.deadline);
 
-    let (measurement, results) = shared
+    let (mut measurement, results) = shared
         .lock()
         .unwrap()
         .finish_run(sim.now().as_nanos(), config.max_relaxations);
+    if let Some(vol) = &volatility {
+        vol.lock().unwrap().annotate(&mut measurement);
+    }
     SimRunOutcome {
         measurement,
         results,

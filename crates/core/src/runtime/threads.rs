@@ -15,7 +15,9 @@
 //! that examples and tests complete quickly.
 
 use crate::app::IterativeTask;
+use crate::churn::{SharedVolatility, VolatilityState};
 use crate::metrics::RunMeasurement;
+use crate::runtime::detection::{self, Heartbeat};
 use crate::runtime::engine::{
     ConvergenceDetector, PeerEngine, PeerTransport, TimerKey, TimerQueue,
 };
@@ -81,6 +83,8 @@ enum PeerWire {
     Segment(Bytes),
     /// The termination broadcast.
     Stop,
+    /// Synchronous rollback broadcast: (restart iteration, generation).
+    Rollback(u64, u32),
 }
 
 /// Message routed between peer threads with injected link latency.
@@ -167,6 +171,19 @@ impl PeerTransport for ThreadTransport {
             }
         }
     }
+
+    fn broadcast_rollback(&mut self, to_iteration: u64, generation: u32) {
+        for rank in 0..self.peers {
+            if rank != self.rank {
+                let _ = self.router.send(Routed {
+                    to: rank,
+                    from: self.rank,
+                    deliver_at: Instant::now(),
+                    wire: PeerWire::Rollback(to_iteration, generation),
+                });
+            }
+        }
+    }
 }
 
 /// Run a distributed iterative computation with one OS thread per peer.
@@ -176,6 +193,17 @@ where
 {
     let alpha = config.topology.len();
     let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
+    let volatility = config
+        .churn
+        .as_ref()
+        .map(|plan| VolatilityState::shared(plan, alpha, config.scheme));
+    // Wall-clock failure detection: a run-local topology-manager server the
+    // peers ping; the monitor thread sweeps it for missed-ping evictions.
+    // Every rank is registered before any peer thread spawns (a slow spawn
+    // must not read as three missed pings).
+    let topo = volatility
+        .as_ref()
+        .map(|_| detection::server_with_all_ranks(&config.topology));
 
     // Router: one inbox per peer plus a central routing channel.
     let (router_tx, router_rx) = unbounded::<Routed>();
@@ -217,10 +245,20 @@ where
     let start = Instant::now();
     let task_factory = &task_factory;
     std::thread::scope(|scope| {
+        // The failure monitor: sweep the topology manager for missed-ping
+        // evictions and grant recovery for every evicted rank.
+        if let (Some(vol), Some(topo)) = (&volatility, &topo) {
+            let vol = Arc::clone(vol);
+            let topo = Arc::clone(topo);
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || detection::run_monitor(&vol, &topo, &shared, alpha, start));
+        }
         for (rank, peer_rx) in peer_rxs.iter().enumerate() {
             let rx = peer_rx.clone();
             let tx = router_tx.clone();
             let shared = Arc::clone(&shared);
+            let volatility: Option<SharedVolatility> = volatility.as_ref().map(Arc::clone);
+            let topo = topo.as_ref().map(Arc::clone);
             let topology = config.topology.clone();
             let scheme = config.scheme;
             let max_relaxations = config.max_relaxations;
@@ -234,6 +272,10 @@ where
                     Arc::clone(&shared),
                     max_relaxations,
                 );
+                if let Some(vol) = &volatility {
+                    engine.attach_volatility(Arc::clone(vol));
+                }
+                let mut heartbeat = Heartbeat::new(&topology, rank);
                 let mut transport = ThreadTransport {
                     rank,
                     peers: alpha,
@@ -246,6 +288,10 @@ where
                 };
                 engine.on_start(&mut transport);
                 while !engine.finished() {
+                    // Heartbeat towards the failure detector.
+                    if let Some(topo) = &topo {
+                        heartbeat.beat(topo, start);
+                    }
                     // Drain everything already delivered (asynchronous peers
                     // relax back-to-back, so fresh ghosts must be picked up
                     // between sweeps, like deliveries interleave with compute
@@ -256,6 +302,9 @@ where
                                 engine.on_segment(from, segment, &mut transport);
                             }
                             Ok((_, PeerWire::Stop)) => engine.on_stop_signal(&mut transport),
+                            Ok((_, PeerWire::Rollback(to_iteration, generation))) => {
+                                engine.on_rollback(to_iteration, generation, &mut transport)
+                            }
                             Err(_) => break,
                         }
                     }
@@ -269,6 +318,30 @@ where
                     if transport.compute_pending {
                         transport.compute_pending = false;
                         engine.on_compute_done(&mut transport);
+                        if engine.crashed() {
+                            // The peer died: its timers die with it, queued
+                            // and in-flight traffic is lost, and it stops
+                            // pinging — the topology manager evicts it after
+                            // three missed periods and the monitor grants
+                            // the recovery this wait blocks on.
+                            transport.timers = TimerQueue::new();
+                            while rx.try_recv().is_ok() {}
+                            let granted =
+                                detection::await_recovery_grant(&volatility, &shared, rank, || {
+                                    while rx.try_recv().is_ok() {}
+                                });
+                            if granted {
+                                while rx.try_recv().is_ok() {}
+                                // The revived rank re-registers (rejoin)
+                                // and resumes pinging.
+                                if let Some(topo) = &topo {
+                                    heartbeat.rejoin(topo, start);
+                                }
+                                engine.recover(&mut transport);
+                            } else {
+                                engine.on_stop_signal(&mut transport);
+                            }
+                        }
                         continue;
                     }
                     // Another peer may have stopped the run while this one
@@ -277,15 +350,26 @@ where
                         engine.on_stop_signal(&mut transport);
                         continue;
                     }
+                    // Idle waits stay shorter than the ping period while the
+                    // failure detector is active, so a healthy-but-waiting
+                    // peer never reads as dead.
+                    let wait_cap = if topo.is_some() {
+                        Duration::from_millis(5)
+                    } else {
+                        Duration::from_millis(20)
+                    };
                     let wait = transport
                         .next_timer_wait()
-                        .unwrap_or(Duration::from_millis(20))
-                        .min(Duration::from_millis(20));
+                        .unwrap_or(wait_cap)
+                        .min(wait_cap);
                     match rx.recv_timeout(wait) {
                         Ok((from, PeerWire::Segment(segment))) => {
                             engine.on_segment(from, segment, &mut transport);
                         }
                         Ok((_, PeerWire::Stop)) => engine.on_stop_signal(&mut transport),
+                        Ok((_, PeerWire::Rollback(to_iteration, generation))) => {
+                            engine.on_rollback(to_iteration, generation, &mut transport)
+                        }
                         Err(_) => {}
                     }
                 }
@@ -296,10 +380,13 @@ where
     let _ = router.join();
 
     let fallback_now = start.elapsed().as_nanos() as u64;
-    let (measurement, results) = shared
+    let (mut measurement, results) = shared
         .lock()
         .unwrap()
         .finish_run(fallback_now, config.max_relaxations);
+    if let Some(vol) = &volatility {
+        vol.lock().unwrap().annotate(&mut measurement);
+    }
     ThreadRunOutcome {
         measurement,
         results,

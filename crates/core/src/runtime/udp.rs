@@ -35,7 +35,9 @@
 //! agreement tests assert.
 
 use crate::app::IterativeTask;
+use crate::churn::{SharedVolatility, VolatilityState};
 use crate::metrics::RunMeasurement;
+use crate::runtime::detection::{self, Heartbeat};
 use crate::runtime::engine::{
     ConvergenceDetector, PeerEngine, PeerTransport, TimerKey, TimerQueue,
 };
@@ -73,6 +75,7 @@ const KIND_FRAGMENT: u8 = 0;
 const KIND_STOP: u8 = 1;
 const KIND_HELLO: u8 = 2;
 const KIND_TABLE: u8 = 3;
+const KIND_ROLLBACK: u8 = 4;
 
 /// A decoded runtime datagram.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +107,16 @@ pub enum Datagram {
     Table {
         /// UDP port of every rank, in rank order.
         ports: Vec<u16>,
+    },
+    /// Synchronous rollback broadcast from a recovered peer: every peer
+    /// restarts from the common checkpointed iteration.
+    Rollback {
+        /// Sender rank (the recovered peer).
+        from: usize,
+        /// The iteration every peer rolls back to.
+        to_iteration: u64,
+        /// The new report generation.
+        generation: u32,
     },
 }
 
@@ -142,6 +155,16 @@ impl Datagram {
                 for port in ports {
                     out.extend_from_slice(&port.to_be_bytes());
                 }
+            }
+            Datagram::Rollback {
+                from,
+                to_iteration,
+                generation,
+            } => {
+                out.push(KIND_ROLLBACK);
+                out.extend_from_slice(&(*from as u16).to_be_bytes());
+                out.extend_from_slice(&to_iteration.to_be_bytes());
+                out.extend_from_slice(&generation.to_be_bytes());
             }
         }
         out
@@ -190,6 +213,30 @@ impl Datagram {
                     ports.push(u16_at(5 + 2 * i)?);
                 }
                 Some(Datagram::Table { ports })
+            }
+            KIND_ROLLBACK => {
+                let from = u16_at(3)? as usize;
+                let to_iteration = u64::from_be_bytes([
+                    *bytes.get(5)?,
+                    *bytes.get(6)?,
+                    *bytes.get(7)?,
+                    *bytes.get(8)?,
+                    *bytes.get(9)?,
+                    *bytes.get(10)?,
+                    *bytes.get(11)?,
+                    *bytes.get(12)?,
+                ]);
+                let generation = u32::from_be_bytes([
+                    *bytes.get(13)?,
+                    *bytes.get(14)?,
+                    *bytes.get(15)?,
+                    *bytes.get(16)?,
+                ]);
+                Some(Datagram::Rollback {
+                    from,
+                    to_iteration,
+                    generation,
+                })
             }
             _ => None,
         }
@@ -508,6 +555,23 @@ impl PeerTransport for UdpTransport {
         }
     }
 
+    fn broadcast_rollback(&mut self, to_iteration: u64, generation: u32) {
+        // Rollbacks ride the control path, like stops: in-flight reordered
+        // data must not outlive them, and they bypass the loss shim.
+        self.shim.flush(&self.socket);
+        let rollback = Datagram::Rollback {
+            from: self.rank,
+            to_iteration,
+            generation,
+        }
+        .encode();
+        for (rank, addr) in self.addrs.iter().enumerate() {
+            if rank != self.rank {
+                let _ = self.socket.send_to(&rollback, *addr);
+            }
+        }
+    }
+
     fn pacing_gate(&mut self, to: usize, wire_bytes: usize) -> bool {
         // Same sender-side pacing the simulated runtime applies: an update
         // that would only queue behind the previous one at the link's
@@ -612,6 +676,16 @@ where
     let alpha = config.topology.len();
     assert!(alpha >= 1);
     let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
+    let volatility = config
+        .churn
+        .as_ref()
+        .map(|plan| VolatilityState::shared(plan, alpha, config.scheme));
+    // Wall-clock failure detection, as on the thread runtime: peers ping a
+    // run-local topology-manager server (all ranks pre-registered); the
+    // monitor thread sweeps it for missed-ping evictions.
+    let topo = volatility
+        .as_ref()
+        .map(|_| detection::server_with_all_ranks(&config.topology));
 
     // Bootstrap: bind the service port first so peers have a rendezvous.
     let bootstrap_socket = UdpSocket::bind(SocketAddrV4::new(localhost(), 0))
@@ -625,8 +699,16 @@ where
     let ports = std::sync::Mutex::new(vec![0u16; alpha]);
     let dropped = std::sync::atomic::AtomicU64::new(0);
     std::thread::scope(|scope| {
+        if let (Some(vol), Some(topo)) = (&volatility, &topo) {
+            let vol = Arc::clone(vol);
+            let topo = Arc::clone(topo);
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || detection::run_monitor(&vol, &topo, &shared, alpha, start));
+        }
         for rank in 0..alpha {
             let shared = Arc::clone(&shared);
+            let volatility: Option<SharedVolatility> = volatility.as_ref().map(Arc::clone);
+            let topo = topo.as_ref().map(Arc::clone);
             let topology = config.topology.clone();
             let scheme = config.scheme;
             let max_relaxations = config.max_relaxations;
@@ -649,6 +731,10 @@ where
                     Arc::clone(&shared),
                     max_relaxations,
                 );
+                if let Some(vol) = &volatility {
+                    engine.attach_volatility(Arc::clone(vol));
+                }
+                let mut heartbeat = Heartbeat::new(&topology, rank);
                 let mut transport = UdpTransport {
                     rank,
                     start,
@@ -672,6 +758,10 @@ where
 
                 engine.on_start(&mut transport);
                 while !engine.finished() {
+                    // Heartbeat towards the failure detector.
+                    if let Some(topo) = &topo {
+                        heartbeat.beat(topo, start);
+                    }
                     // Drain everything the kernel has buffered (asynchronous
                     // peers relax back-to-back, so fresh ghosts must be
                     // picked up between sweeps).
@@ -689,8 +779,32 @@ where
                                             engine.on_segment(from, segment, &mut transport);
                                         }
                                     }
-                                    // Late bootstrap traffic (a re-sent
-                                    // table) or foreign noise: ignore.
+                                    Some(Datagram::Rollback {
+                                        to_iteration,
+                                        generation,
+                                        ..
+                                    }) => {
+                                        engine.on_rollback(
+                                            to_iteration,
+                                            generation,
+                                            &mut transport,
+                                        );
+                                    }
+                                    // A table re-broadcast mid-run: a
+                                    // recovered peer rebound its socket and
+                                    // the bootstrap published its new port.
+                                    Some(Datagram::Table { ports })
+                                        if ports.len() == transport.addrs.len() =>
+                                    {
+                                        transport.addrs = ports
+                                            .into_iter()
+                                            .map(|p| {
+                                                SocketAddr::V4(SocketAddrV4::new(localhost(), p))
+                                            })
+                                            .collect();
+                                    }
+                                    // Late bootstrap hellos or foreign
+                                    // noise: ignore.
                                     _ => {}
                                 }
                             }
@@ -709,6 +823,52 @@ where
                     if transport.compute_pending {
                         transport.compute_pending = false;
                         engine.on_compute_done(&mut transport);
+                        if engine.crashed() {
+                            // The peer died. Kill its socket for real: the
+                            // old port closes, in-flight datagrams to it are
+                            // dropped by the kernel, and neighbours' sends
+                            // go nowhere until the bootstrap publishes the
+                            // revived peer's new port. Timers die with it,
+                            // and it stops pinging — the topology manager
+                            // evicts it and the monitor grants recovery.
+                            transport.timers = TimerQueue::new();
+                            transport.socket = UdpSocket::bind(SocketAddrV4::new(localhost(), 0))
+                                .expect("bind replacement socket on localhost");
+                            reassembler = Reassembler::new();
+                            let granted = detection::await_recovery_grant(
+                                &volatility,
+                                &shared,
+                                rank,
+                                // The dead socket swallows traffic by itself;
+                                // nothing to drain while waiting.
+                                || {},
+                            );
+                            if granted {
+                                // Rejoin: announce the new socket to the
+                                // bootstrap (which re-broadcasts the table
+                                // to every peer), re-register with the
+                                // failure detector, restore.
+                                let addrs = discover_peers(&transport.socket, rank, bootstrap_addr);
+                                transport
+                                    .socket
+                                    .set_nonblocking(true)
+                                    .expect("set replacement socket nonblocking");
+                                transport.addrs = addrs;
+                                ports.lock().unwrap()[rank] = transport
+                                    .socket
+                                    .local_addr()
+                                    .expect("replacement local addr")
+                                    .port();
+                                if let Some(topo) = &topo {
+                                    heartbeat.rejoin(topo, start);
+                                }
+                                engine.recover(&mut transport);
+                            } else {
+                                engine.on_stop_signal(&mut transport);
+                            }
+                            backoff = BACKOFF_MIN;
+                            continue;
+                        }
                         backoff = BACKOFF_MIN;
                         continue;
                     }
@@ -717,6 +877,16 @@ where
                     // still in flight).
                     if shared.lock().unwrap().stopped() {
                         engine.on_stop_signal(&mut transport);
+                        continue;
+                    }
+                    // The rollback broadcast is a single datagram the kernel
+                    // may drop under load; a peer stranded on an old
+                    // generation would report into the void forever. Poll
+                    // the detector's published rollback as the safety net,
+                    // exactly like the stop poll above.
+                    engine.poll_rollback(&mut transport);
+                    if engine.computing() {
+                        backoff = BACKOFF_MIN;
                         continue;
                     }
                     if received_any {
@@ -735,10 +905,13 @@ where
     let _ = bootstrap.join();
 
     let fallback_now = start.elapsed().as_nanos() as u64;
-    let (measurement, results) = shared
+    let (mut measurement, results) = shared
         .lock()
         .unwrap()
         .finish_run(fallback_now, config.max_relaxations);
+    if let Some(vol) = &volatility {
+        vol.lock().unwrap().annotate(&mut measurement);
+    }
     UdpRunOutcome {
         measurement,
         results,
@@ -777,6 +950,34 @@ mod tests {
             ports: vec![4000, 4001, 4002],
         };
         assert_eq!(Datagram::decode(&table.encode()), Some(table));
+        let rollback = Datagram::Rollback {
+            from: 2,
+            to_iteration: 40,
+            generation: 1,
+        };
+        assert_eq!(Datagram::decode(&rollback.encode()), Some(rollback));
+    }
+
+    proptest::proptest! {
+        /// Rollback datagrams round-trip bit-exactly and reject every strict
+        /// prefix and wrong-magic garbage (matching the `UpdateMsg` and
+        /// `Checkpoint` proptests).
+        #[test]
+        fn rollback_datagram_round_trips_and_rejects_truncation(
+            from in 0usize..1024,
+            to_iteration in proptest::prelude::any::<u64>(),
+            generation in proptest::prelude::any::<u32>(),
+        ) {
+            let datagram = Datagram::Rollback { from, to_iteration, generation };
+            let bytes = datagram.encode();
+            proptest::prop_assert_eq!(Datagram::decode(&bytes), Some(datagram));
+            for cut in 0..bytes.len() {
+                proptest::prop_assert_eq!(Datagram::decode(&bytes[..cut]), None);
+            }
+            let mut garbage = bytes.clone();
+            garbage[0] ^= 0xFF; // break the magic
+            proptest::prop_assert_eq!(Datagram::decode(&garbage), None);
+        }
     }
 
     #[test]

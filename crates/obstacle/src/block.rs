@@ -186,6 +186,21 @@ impl NodeState {
     pub fn local_values(&self) -> &[f64] {
         &self.u
     }
+
+    /// Overwrite the owned values and the relaxation counter from a
+    /// checkpoint (fault-tolerance restore). The ghost planes are left as
+    /// they are — a restored peer refreshes them from its neighbours' next
+    /// updates, and whatever it currently holds is at least as fresh as what
+    /// the checkpoint saw. Returns `false` (and changes nothing) when the
+    /// value count does not match this block.
+    pub fn restore(&mut self, values: &[f64], relaxations: u64) -> bool {
+        if values.len() != self.u.len() {
+            return false;
+        }
+        self.u.copy_from_slice(values);
+        self.relaxations = relaxations;
+        true
+    }
 }
 
 /// Sequentially emulate the *synchronous* distributed scheme with `alpha`

@@ -1,0 +1,318 @@
+//! End-to-end tests of the peer-volatility subsystem: seeded crashes
+//! injected into live runs on every backend, with checkpoint recovery,
+//! scheme-correct semantics (asynchronous runs absorb the stale restart,
+//! synchronous runs roll back) and cross-runtime agreement on the recovery
+//! counts.
+
+use p2pdc::{run_on, ChurnPlan, RunConfig, RuntimeKind, Scheme, WorkloadKind};
+
+/// The crash point of the e2e scenarios: ~30% of the fault-free synchronous
+/// convergence iteration of the obstacle workload at this size (measured
+/// from a baseline run inside each test, so the tests do not hard-code
+/// solver iteration counts).
+fn crash_at_fraction(baseline_iterations: u64, fraction: f64) -> u64 {
+    ((baseline_iterations as f64 * fraction) as u64).max(2)
+}
+
+fn obstacle_config(scheme: Scheme, peers: usize) -> RunConfig {
+    RunConfig::quick(scheme, peers)
+}
+
+/// The same seeded crash produces identical recovery counts on the two
+/// deterministic backends, and both faulty runs still converge to the same
+/// residual quality as the fault-free baseline.
+#[test]
+fn loopback_and_sim_agree_on_recovery_counts_for_the_same_seeded_crash() {
+    let peers = 4;
+    let workload = WorkloadKind::Obstacle.build(10, peers);
+    let clean = obstacle_config(Scheme::Asynchronous, peers);
+    let baseline = run_on(workload.as_ref(), &clean, RuntimeKind::Loopback);
+    assert!(baseline.measurement.converged);
+    let crash_at = crash_at_fraction(
+        baseline
+            .measurement
+            .relaxations_per_peer
+            .iter()
+            .min()
+            .copied()
+            .unwrap(),
+        0.3,
+    );
+
+    let mut faulty = clean.clone();
+    faulty.churn =
+        Some(ChurnPlan::kill(1, crash_at).with_checkpoint_interval((crash_at / 2).max(1)));
+    let loopback = run_on(workload.as_ref(), &faulty, RuntimeKind::Loopback);
+    let sim = run_on(workload.as_ref(), &faulty, RuntimeKind::Sim);
+    for (label, result) in [("loopback", &loopback), ("sim", &sim)] {
+        assert!(result.measurement.converged, "{label} did not converge");
+        assert_eq!(result.measurement.crashes, 1, "{label} crash count");
+        assert!(
+            result.measurement.residual < clean.tolerance * 10.0,
+            "{label}: residual {} exceeds the async staleness bound",
+            result.measurement.residual
+        );
+        assert!(result.measurement.downtime_s > 0.0, "{label} downtime");
+    }
+    assert_eq!(
+        loopback.measurement.recoveries, sim.measurement.recoveries,
+        "the deterministic backends disagree on recovery counts"
+    );
+    assert_eq!(loopback.measurement.rollbacks, sim.measurement.rollbacks);
+}
+
+/// An asynchronous obstacle run with one peer killed at ~30% progress meets
+/// the same residual tolerance as the fault-free run, on all four backends —
+/// the paper's headline fault-tolerance claim.
+#[test]
+fn async_obstacle_run_survives_a_mid_run_crash_on_every_backend() {
+    let peers = 3;
+    let workload = WorkloadKind::Obstacle.build(10, peers);
+    let clean = obstacle_config(Scheme::Asynchronous, peers);
+    let baseline = run_on(workload.as_ref(), &clean, RuntimeKind::Loopback);
+    assert!(baseline.measurement.converged);
+    let crash_at = crash_at_fraction(
+        baseline
+            .measurement
+            .relaxations_per_peer
+            .iter()
+            .min()
+            .copied()
+            .unwrap(),
+        0.3,
+    );
+    let mut faulty = clean.clone();
+    faulty.churn =
+        Some(ChurnPlan::kill(1, crash_at).with_checkpoint_interval((crash_at / 2).max(1)));
+    for runtime in RuntimeKind::ALL {
+        let result = run_on(workload.as_ref(), &faulty, runtime);
+        assert!(result.measurement.converged, "{runtime} did not converge");
+        assert_eq!(result.measurement.crashes, 1, "{runtime} crash count");
+        assert_eq!(result.measurement.recoveries, 1, "{runtime} recoveries");
+        assert_eq!(
+            result.measurement.rollbacks, 0,
+            "{runtime}: asynchronous runs absorb the restart without rollback"
+        );
+        assert!(
+            result.measurement.residual < clean.tolerance * 10.0,
+            "{runtime}: residual {} exceeds the fault-free quality bound",
+            result.measurement.residual
+        );
+    }
+}
+
+/// A synchronous run cannot absorb a stale restart: the recovery provably
+/// rolls every peer back to a common checkpointed iteration (rollback count
+/// and redone work are both visible) and the run still converges to the
+/// synchronous-quality residual.
+#[test]
+fn sync_obstacle_run_recovers_via_rollback() {
+    // Three peers, victim at one end: the middle peer has an intact
+    // synchronous edge to the far peer, so the rollback must realign the
+    // FIFO on an edge the crash never touched (stale queued updates there
+    // would silently shift every later boundary by one iteration).
+    let peers = 3;
+    let workload = WorkloadKind::Obstacle.build(9, peers);
+    let clean = obstacle_config(Scheme::Synchronous, peers);
+    let baseline = run_on(workload.as_ref(), &clean, RuntimeKind::Loopback);
+    assert!(baseline.measurement.converged);
+    let baseline_iters = baseline
+        .measurement
+        .relaxations_per_peer
+        .iter()
+        .min()
+        .copied()
+        .unwrap();
+    let crash_at = crash_at_fraction(baseline_iters, 0.5);
+    let checkpoint_interval = (crash_at / 2).max(1);
+    let mut faulty = clean.clone();
+    faulty.churn = Some(ChurnPlan::kill(0, crash_at).with_checkpoint_interval(checkpoint_interval));
+    for runtime in [RuntimeKind::Loopback, RuntimeKind::Sim] {
+        let result = run_on(workload.as_ref(), &faulty, runtime);
+        assert!(result.measurement.converged, "{runtime} did not converge");
+        assert_eq!(result.measurement.recoveries, 1, "{runtime} recoveries");
+        assert_eq!(
+            result.measurement.rollbacks, 1,
+            "{runtime}: synchronous recovery must roll back"
+        );
+        assert!(
+            result.measurement.residual < clean.tolerance * 2.0,
+            "{runtime}: rollback must preserve synchronous quality, residual {}",
+            result.measurement.residual
+        );
+        // The rollback redid work: the faulty run performs strictly more
+        // relaxations than the fault-free one.
+        let faulty_max = result
+            .measurement
+            .relaxations_per_peer
+            .iter()
+            .max()
+            .unwrap();
+        assert!(
+            *faulty_max > baseline_iters,
+            "{runtime}: {faulty_max} relaxations vs fault-free {baseline_iters}"
+        );
+    }
+}
+
+/// A hybrid run across two clusters absorbs a crash like an asynchronous
+/// one: the recovery restores the victim without any rollback, the victim's
+/// re-reported iterations must not fake iteration completeness (they are
+/// first-report-only counted), and the run converges.
+#[test]
+fn hybrid_two_cluster_run_absorbs_a_crash_without_rollback() {
+    let peers = 4;
+    let workload = WorkloadKind::Obstacle.build(10, peers);
+    let clean = RunConfig::quick_two_clusters(Scheme::Hybrid, peers);
+    let baseline = run_on(workload.as_ref(), &clean, RuntimeKind::Loopback);
+    assert!(baseline.measurement.converged);
+    let crash_at = crash_at_fraction(
+        baseline
+            .measurement
+            .relaxations_per_peer
+            .iter()
+            .min()
+            .copied()
+            .unwrap(),
+        0.4,
+    );
+    let mut faulty = clean.clone();
+    faulty.churn =
+        Some(ChurnPlan::kill(2, crash_at).with_checkpoint_interval((crash_at / 2).max(1)));
+    // Threads is the wall-clock case: an update lost with the dead peer's
+    // inbox must come back through the reliable channel's real-time
+    // retransmission, or the victim's intra-cluster edge would deadlock.
+    for runtime in [
+        RuntimeKind::Loopback,
+        RuntimeKind::Sim,
+        RuntimeKind::Threads,
+    ] {
+        let clean_result = run_on(workload.as_ref(), &clean, runtime);
+        let result = run_on(workload.as_ref(), &faulty, runtime);
+        assert!(result.measurement.converged, "{runtime} did not converge");
+        assert_eq!(result.measurement.recoveries, 1, "{runtime} recoveries");
+        assert_eq!(
+            result.measurement.rollbacks, 0,
+            "{runtime}: hybrid runs absorb the restart without rollback"
+        );
+        let bound = (clean_result.measurement.residual * 10.0).max(clean.tolerance * 10.0);
+        assert!(
+            result.measurement.residual < bound,
+            "{runtime}: residual {} vs fault-free {}",
+            result.measurement.residual,
+            clean_result.measurement.residual
+        );
+    }
+}
+
+/// The same crash/rollback protocol over real UDP sockets: the victim's
+/// socket genuinely dies, the bootstrap republishes its replacement port,
+/// and the synchronous run converges through the rollback.
+#[test]
+fn sync_crash_over_real_udp_sockets_recovers_via_rollback() {
+    let peers = 2;
+    let workload = WorkloadKind::Obstacle.build(8, peers);
+    let clean = obstacle_config(Scheme::Synchronous, peers);
+    let baseline = run_on(workload.as_ref(), &clean, RuntimeKind::Loopback);
+    let crash_at = crash_at_fraction(
+        baseline
+            .measurement
+            .relaxations_per_peer
+            .iter()
+            .min()
+            .copied()
+            .unwrap(),
+        0.5,
+    );
+    let mut faulty = clean.clone();
+    faulty.churn =
+        Some(ChurnPlan::kill(1, crash_at).with_checkpoint_interval((crash_at / 2).max(1)));
+    let result = run_on(workload.as_ref(), &faulty, RuntimeKind::Udp);
+    assert!(
+        result.measurement.converged,
+        "udp churn run did not converge"
+    );
+    assert_eq!(result.measurement.crashes, 1);
+    assert_eq!(result.measurement.recoveries, 1);
+    assert_eq!(result.measurement.rollbacks, 1);
+    assert!(result.measurement.residual < clean.tolerance * 2.0);
+    // Real downtime: detection took at least the three missed ping periods.
+    assert!(
+        result.measurement.downtime_s >= 0.02,
+        "downtime {}s is shorter than the missed-ping detection window",
+        result.measurement.downtime_s
+    );
+}
+
+/// The heat and PageRank workloads survive the same mid-run crash through
+/// their checkpoint/restore hooks (asynchronous scheme, deterministic
+/// backends).
+#[test]
+fn heat_and_pagerank_survive_crashes_through_their_restore_hooks() {
+    for (kind, size, tolerance) in [
+        (WorkloadKind::Heat, 12, 1e-3),
+        (WorkloadKind::PageRank, 48, 1e-8),
+    ] {
+        let peers = 3;
+        let workload = kind.build(size, peers);
+        let mut clean = obstacle_config(Scheme::Asynchronous, peers);
+        clean.tolerance = tolerance;
+        let baseline = run_on(workload.as_ref(), &clean, RuntimeKind::Loopback);
+        assert!(baseline.measurement.converged, "{kind} baseline");
+        let crash_at = crash_at_fraction(
+            baseline
+                .measurement
+                .relaxations_per_peer
+                .iter()
+                .min()
+                .copied()
+                .unwrap(),
+            0.3,
+        );
+        let mut faulty = clean.clone();
+        faulty.churn =
+            Some(ChurnPlan::kill(2, crash_at).with_checkpoint_interval((crash_at / 2).max(1)));
+        for runtime in [RuntimeKind::Loopback, RuntimeKind::Sim] {
+            // "Same residual tolerance as fault-free": the bound is the
+            // fault-free asynchronous run on the *same* backend (whose own
+            // staleness floor depends on the backend's latency model).
+            let clean_result = run_on(workload.as_ref(), &clean, runtime);
+            let bound = (clean_result.measurement.residual * 10.0).max(tolerance * 10.0);
+            let result = run_on(workload.as_ref(), &faulty, runtime);
+            assert!(result.measurement.converged, "{kind}/{runtime}");
+            assert_eq!(result.measurement.recoveries, 1, "{kind}/{runtime}");
+            assert!(
+                result.measurement.residual < bound,
+                "{kind}/{runtime}: residual {} vs fault-free {}",
+                result.measurement.residual,
+                clean_result.measurement.residual
+            );
+        }
+    }
+}
+
+/// Live load accounting feeds real throughput estimates on every backend,
+/// with or without churn.
+#[test]
+fn per_peer_throughput_estimates_are_live() {
+    let peers = 2;
+    let workload = WorkloadKind::Obstacle.build(8, peers);
+    let config = obstacle_config(Scheme::Synchronous, peers);
+    for runtime in [
+        RuntimeKind::Loopback,
+        RuntimeKind::Sim,
+        RuntimeKind::Threads,
+    ] {
+        let result = run_on(workload.as_ref(), &config, runtime);
+        assert_eq!(
+            result.measurement.points_per_sec.len(),
+            peers,
+            "{runtime}: one throughput estimate per peer"
+        );
+        assert!(
+            result.measurement.points_per_sec.iter().all(|&t| t > 0.0),
+            "{runtime}: throughput estimates must be live, got {:?}",
+            result.measurement.points_per_sec
+        );
+    }
+}
