@@ -352,8 +352,12 @@ pub struct ChurnBenchRow {
     pub scheme: String,
     /// Backend label ("sim", "threads", "loopback", "udp").
     pub runtime: String,
-    /// Churn level ("none" = fault-free baseline, "crash1" = one seeded
-    /// mid-run crash).
+    /// Churn level: "none" (fault-free baseline), "crash1" (one seeded
+    /// mid-run crash, original blocks restored), "crash1+repart" (same crash
+    /// with live repartitioning applied at recovery), "crash1+join" (the
+    /// crash plus a new peer joining mid-run and taking a share of the work
+    /// via the same re-slice). Heterogeneous-capacity cells (one slow peer)
+    /// carry a "hetero-" prefix.
     pub churn: String,
     /// Problem size.
     pub size: usize,
@@ -369,6 +373,12 @@ pub struct ChurnBenchRow {
     pub rollbacks: u64,
     /// Total peer downtime in seconds of the backend's clock.
     pub downtime_s: f64,
+    /// Peers that joined mid-run.
+    pub joins: u64,
+    /// Live repartitions applied (at recovery and at joins).
+    pub repartitions: u64,
+    /// Grid points whose owning rank changed across the repartitions.
+    pub moved_points: u64,
     /// Real time the whole run took on the bench machine, in seconds.
     pub wall_time_s: f64,
     /// Total relaxations across all peers (final task counters — a
@@ -425,6 +435,9 @@ fn churn_row(
         recoveries: result.measurement.recoveries,
         rollbacks: result.measurement.rollbacks,
         downtime_s: result.measurement.downtime_s,
+        joins: result.measurement.joins,
+        repartitions: result.measurement.repartitions,
+        moved_points: result.measurement.moved_points,
         wall_time_s: wall.as_secs_f64(),
         total_relaxations: result.measurement.total_relaxations(),
         total_points,
@@ -451,22 +464,39 @@ pub fn run_churn_grid_for(
                 config.seed = scenario.seed;
                 let baseline = churn_row(scenario, runtime, scheme, "none", &config, None);
                 let baseline_points = baseline.total_points;
-                // Crash the middle rank at ~30% of the baseline's per-peer
-                // progress, checkpointing twice before the crash point.
+                // Crash the middle rank at ~10% of the baseline's per-peer
+                // progress, checkpointing twice before the crash point; the
+                // join (where scheduled) fires at ~20% on rank 0's clock.
+                // Early triggers matter on the wall-clock asynchronous
+                // cells: relaxation counts there depend on scheduling, and
+                // a churn-armed run (heartbeats, detection threads) can
+                // converge in fewer sweeps than the fault-free baseline —
+                // a trigger calibrated deep into the baseline's horizon
+                // would never fire.
                 let per_peer = baseline.total_relaxations / scenario.peers as u64;
-                let crash_at = (per_peer * 3 / 10).max(2);
+                let crash_at = (per_peer / 10).max(2);
+                let join_at = (per_peer / 5).max(crash_at + 1);
                 let plan = ChurnPlan::kill(scenario.peers / 2, crash_at)
                     .with_checkpoint_interval((crash_at / 2).max(1));
-                let faulty_config = config.clone().with_churn(plan.clone());
                 rows.push(baseline);
-                rows.push(churn_row(
-                    scenario,
-                    runtime,
-                    scheme,
-                    "crash1",
-                    &faulty_config,
-                    Some(baseline_points),
-                ));
+                for (label, plan) in [
+                    ("crash1", plan.clone()),
+                    ("crash1+repart", plan.clone().with_repartition(true)),
+                    (
+                        "crash1+join",
+                        plan.clone().with_repartition(true).with_join(0, join_at),
+                    ),
+                ] {
+                    let faulty_config = config.clone().with_churn(plan);
+                    rows.push(churn_row(
+                        scenario,
+                        runtime,
+                        scheme,
+                        label,
+                        &faulty_config,
+                        Some(baseline_points),
+                    ));
+                }
                 if runtime == runtimes[0] && scheme == Scheme::Synchronous {
                     plans.push((scenario.workload.label().to_string(), plan));
                 }
@@ -474,28 +504,81 @@ pub fn run_churn_grid_for(
         }
     }
     ChurnGridResult {
-        schema_version: 1,
+        schema_version: 2,
         plans,
         rows,
     }
 }
 
-/// Run the default CI churn grid: all three workloads on all four backends.
+/// The heterogeneous-capacity cells: the obstacle workload on the simulated
+/// backend with one peer at 40% CPU speed, one seeded crash, with and
+/// without live repartitioning. These are the cells where applying the
+/// capacity-weighted shares pays: the re-slice moves planes off the slow
+/// peer, so the repartitioned recovery's executed-work overhead is no worse
+/// than restoring the original (mis-sized) blocks.
+pub fn run_churn_hetero_cells() -> Vec<ChurnBenchRow> {
+    let scenario = RuntimeMatrixScenario::quick(WorkloadKind::Obstacle);
+    let slow_rank = 0usize;
+    let victim = scenario.peers / 2;
+    let mut rows = Vec::new();
+    for scheme in [Scheme::Synchronous, Scheme::Asynchronous] {
+        let mut config = RunConfig::single_cluster(scheme, scenario.peers);
+        config.tolerance = scenario.tolerance;
+        config.seed = scenario.seed;
+        config
+            .topology
+            .set_cpu_speed(netsim::NodeId(slow_rank), 0.4);
+        let baseline = churn_row(
+            &scenario,
+            RuntimeKind::Sim,
+            scheme,
+            "hetero-none",
+            &config,
+            None,
+        );
+        let baseline_points = baseline.total_points;
+        let per_peer = baseline.total_relaxations / scenario.peers as u64;
+        let crash_at = (per_peer * 3 / 10).max(2);
+        let plan =
+            ChurnPlan::kill(victim, crash_at).with_checkpoint_interval((crash_at / 2).max(1));
+        rows.push(baseline);
+        for (label, plan) in [
+            ("hetero-crash1", plan.clone()),
+            ("hetero-crash1+repart", plan.with_repartition(true)),
+        ] {
+            rows.push(churn_row(
+                &scenario,
+                RuntimeKind::Sim,
+                scheme,
+                label,
+                &config.clone().with_churn(plan),
+                Some(baseline_points),
+            ));
+        }
+    }
+    rows
+}
+
+/// Run the default CI churn grid: all three workloads on all four backends
+/// (fault-free, crash, crash+repartition, crash+join per cell), plus the
+/// heterogeneous-capacity repartition-on/off cells.
 pub fn run_churn_grid() -> ChurnGridResult {
-    run_churn_grid_for(
+    let mut result = run_churn_grid_for(
         &RuntimeMatrixScenario::all_workloads()
             .iter()
             .map(|s| RuntimeMatrixScenario::quick(s.workload))
             .collect::<Vec<_>>(),
         &RuntimeKind::ALL,
-    )
+    );
+    result.rows.extend(run_churn_hetero_cells());
+    result
 }
 
 /// Render the churn grid as text.
 pub fn format_churn_grid(result: &ChurnGridResult) -> String {
     let mut out = String::from("== Churn grid: volatility x scheme x runtime ==\n");
     out.push_str(&format!(
-        "{:<10} {:<14} {:<10} {:<8} {:>9} {:>6} {:>6} {:>6} {:>12} {:>13} {:>12}\n",
+        "{:<10} {:<14} {:<10} {:<20} {:>9} {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>12} {:>13} {:>12}\n",
         "workload",
         "scheme",
         "runtime",
@@ -504,13 +587,16 @@ pub fn format_churn_grid(result: &ChurnGridResult) -> String {
         "crash",
         "recov",
         "rollbk",
+        "joins",
+        "repart",
+        "moved",
         "downtime[s]",
         "relaxations",
         "overhead[%]"
     ));
     for r in &result.rows {
         out.push_str(&format!(
-            "{:<10} {:<14} {:<10} {:<8} {:>9} {:>6} {:>6} {:>6} {:>12.4} {:>13} {:>12.1}\n",
+            "{:<10} {:<14} {:<10} {:<20} {:>9} {:>6} {:>6} {:>6} {:>6} {:>7} {:>7} {:>12.4} {:>13} {:>12.1}\n",
             r.workload,
             r.scheme,
             r.runtime,
@@ -519,6 +605,9 @@ pub fn format_churn_grid(result: &ChurnGridResult) -> String {
             r.crashes,
             r.recoveries,
             r.rollbacks,
+            r.joins,
+            r.repartitions,
+            r.moved_points,
             r.downtime_s,
             r.total_relaxations,
             r.overhead_work_pct
@@ -832,8 +921,8 @@ mod tests {
         let scenarios: Vec<RuntimeMatrixScenario> =
             WorkloadKind::ALL.map(RuntimeMatrixScenario::quick).to_vec();
         let result = run_churn_grid_for(&scenarios, &[RuntimeKind::Loopback]);
-        // One baseline + one crash row per (workload, scheme).
-        assert_eq!(result.rows.len(), WorkloadKind::ALL.len() * 2 * 2);
+        // One baseline + three churn rows per (workload, scheme).
+        assert_eq!(result.rows.len(), WorkloadKind::ALL.len() * 2 * 4);
         for row in &result.rows {
             assert!(
                 row.converged,
@@ -845,8 +934,9 @@ mod tests {
                     assert_eq!(row.crashes, 0);
                     assert_eq!(row.recoveries, 0);
                     assert_eq!(row.overhead_work_pct, 0.0);
+                    assert_eq!(row.repartitions, 0);
                 }
-                "crash1" => {
+                churn @ ("crash1" | "crash1+repart" | "crash1+join") => {
                     assert_eq!(row.crashes, 1, "{}/{}", row.workload, row.scheme);
                     assert_eq!(row.recoveries, 1);
                     assert!(row.total_points > 0);
@@ -855,7 +945,7 @@ mod tests {
                     // as extra executed work. (Synchronous cells stall
                     // instead, and with a tight checkpoint interval the
                     // redone work can vanish inside the ±1 stop-race sweep.)
-                    if row.scheme == "asynchronous" {
+                    if row.scheme == "asynchronous" && churn == "crash1" {
                         assert!(
                             row.overhead_work_pct > 0.0,
                             "{}/{}: overhead {}",
@@ -865,13 +955,28 @@ mod tests {
                         );
                     }
                     if row.scheme == "synchronous" {
-                        assert_eq!(
-                            row.rollbacks, 1,
-                            "{}: synchronous recovery must roll back",
+                        assert!(
+                            row.rollbacks >= 1,
+                            "{}/{churn}: synchronous recovery must roll back",
                             row.workload
                         );
+                    }
+                    if churn == "crash1" {
+                        assert_eq!(row.repartitions, 0);
+                        assert_eq!(row.joins, 0);
                     } else {
-                        assert_eq!(row.rollbacks, 0);
+                        assert!(
+                            row.repartitions >= 1,
+                            "{}/{}/{churn}: the re-slice must be applied",
+                            row.workload,
+                            row.scheme
+                        );
+                        assert!(row.moved_points > 0, "{}/{churn}", row.workload);
+                    }
+                    if churn == "crash1+join" {
+                        assert_eq!(row.joins, 1, "{}/{}", row.workload, row.scheme);
+                    } else {
+                        assert_eq!(row.joins, 0);
                     }
                 }
                 other => panic!("unexpected churn level {other}"),
@@ -880,6 +985,47 @@ mod tests {
         // The artifact serializes with its plans.
         let json = serde_json::to_string(&result).expect("serializes");
         assert!(json.contains("crash1") && json.contains("checkpoint_interval"));
+        assert!(json.contains("repartitions") && json.contains("moved_points"));
+    }
+
+    #[test]
+    fn hetero_cells_show_repartition_overhead_no_worse_than_restoring_old_blocks() {
+        let rows = run_churn_hetero_cells();
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(
+                row.converged,
+                "{}/{} did not converge",
+                row.scheme, row.churn
+            );
+        }
+        // The acceptance criterion of the elastic-membership PR: for at
+        // least one heterogeneous-capacity cell, applying the
+        // capacity-weighted shares at recovery costs no more executed work
+        // than restoring the original blocks.
+        let pairs: Vec<(&ChurnBenchRow, &ChurnBenchRow)> = ["synchronous", "asynchronous"]
+            .iter()
+            .map(|scheme| {
+                let find = |churn: &str| {
+                    rows.iter()
+                        .find(|r| r.scheme == *scheme && r.churn == churn)
+                        .expect("cell present")
+                };
+                (find("hetero-crash1"), find("hetero-crash1+repart"))
+            })
+            .collect();
+        assert!(
+            pairs
+                .iter()
+                .any(|(without, with)| with.overhead_work_pct <= without.overhead_work_pct),
+            "repartitioning must pay off in at least one heterogeneous cell: {:?}",
+            pairs
+                .iter()
+                .map(|(a, b)| (a.scheme.clone(), a.overhead_work_pct, b.overhead_work_pct))
+                .collect::<Vec<_>>()
+        );
+        // And the repartitioned cells really moved work off the slow peer.
+        assert!(pairs.iter().all(|(_, with)| with.repartitions >= 1));
     }
 
     #[test]

@@ -48,16 +48,47 @@
 //!    common iteration under a new report generation (stale in-flight
 //!    convergence reports are discarded by generation).
 //!
-//! Applying the re-decomposition mid-run (shrinking the dead rank's block
-//! onto survivors) would need repartition support in every workload;
-//! [`VolatilityState`] computes the capacity-weighted assignment
-//! ([`obstacle::BlockDecomposition::weighted`] over live throughputs) and
-//! records it in the [`RecoveryRecord`], but the restart keeps the original
-//! blocks. ROADMAP.md lists live repartitioning as an open item.
+//! # Live repartitioning and elastic membership
+//!
+//! Since PR 5 the re-decomposition is applied for real. When a
+//! [`ChurnPlan`] arms `repartition`, a recovery does not restore the
+//! original blocks: the coordinator assembles the checkpointed global state
+//! ([`crate::workload::assemble_global`]), re-slices it by the live
+//! capacity-weighted shares ([`crate::workload::weighted_ranges`] over the
+//! same throughput estimates recorded in
+//! [`RecoveryRecord::proposed_shares`]) and publishes a [`MembershipPlan`]
+//! every engine adopts — synchronous runs under the generation-tagged
+//! rollback barrier, asynchronous and hybrid runs at their next safe point,
+//! overlaying their live state so only *moved* items carry checkpoint
+//! staleness. The same machinery powers *rejoin-as-growth*: a seeded
+//! [`ChurnEventKind::Join`] event lets a brand-new peer enter mid-run, take
+//! a share of the work through the same re-slice, and count in
+//! [`RunMeasurement::joins`] / [`RunMeasurement::repartitions`].
+//!
+//! # Examples
+//!
+//! A seeded plan with one crash, one join and live repartitioning:
+//!
+//! ```
+//! use p2pdc::{ChurnPlan, RunConfig, Scheme};
+//!
+//! let plan = ChurnPlan::kill(1, 20)
+//!     .with_checkpoint_interval(5)
+//!     .with_repartition(true)
+//!     .with_join(0, 30); // a new peer joins once rank 0 completes sweep 30
+//! assert_eq!(plan.crash_count(), 1);
+//! assert_eq!(plan.join_count(), 1);
+//! let config = RunConfig::quick(Scheme::Asynchronous, 2).with_churn(plan);
+//! assert!(config.churn.is_some());
+//! ```
 
 use crate::fault::{Checkpoint, FaultManager, RecoveryAction};
 use crate::load_balance::{LoadBalancer, PeerLoad};
 use crate::metrics::RunMeasurement;
+use crate::workload::{
+    assemble_global, balanced_partition, reslice_moved_items, weighted_ranges, Repartitioner,
+    ReslicerHandle,
+};
 use netsim::NodeId;
 use p2psap::Scheme;
 use rand::{RngCore, SeedableRng};
@@ -79,6 +110,13 @@ pub enum ChurnEventKind {
         /// Multiplier applied to the peer's per-sweep compute cost.
         factor: f64,
     },
+    /// A *new* peer joins the run (rejoin-as-growth): the event's `rank` is
+    /// the existing peer whose relaxation clock triggers the join (the
+    /// joiner does not exist yet, so it cannot trigger itself); the new peer
+    /// takes the next free rank and receives a share of the work through a
+    /// live repartition. Requires the workload to support repartitioning
+    /// ([`crate::workload::Workload::repartitioner`]); ignored otherwise.
+    Join,
 }
 
 /// One scheduled peer event. The trigger is the *victim's own relaxation
@@ -114,6 +152,13 @@ pub struct ChurnPlan {
     /// Spare peers available to adopt a dead rank before the recovery path
     /// falls back to the strongest survivor.
     pub spares: usize,
+    /// Apply the capacity-weighted re-decomposition at recovery: instead of
+    /// restoring the original blocks, the restarted run re-slices the
+    /// checkpointed global state by the live throughput shares. `false` (the
+    /// PR 4 behaviour) keeps the original split and records the proposal in
+    /// [`RecoveryRecord::proposed_shares`] only. Join events repartition
+    /// regardless of this flag (a joiner cannot take work otherwise).
+    pub repartition: bool,
 }
 
 impl ChurnPlan {
@@ -136,6 +181,7 @@ impl ChurnPlan {
             detection_delay_ns: Self::DEFAULT_DETECTION_DELAY_NS,
             detection_delay_events: Self::DEFAULT_DETECTION_DELAY_EVENTS,
             spares: 1,
+            repartition: false,
         }
     }
 
@@ -201,11 +247,37 @@ impl ChurnPlan {
         self
     }
 
+    /// Arm (or disarm) live repartitioning at recovery.
+    pub fn with_repartition(mut self, repartition: bool) -> Self {
+        self.repartition = repartition;
+        self
+    }
+
+    /// Schedule a join: a new peer enters the run once the existing
+    /// `trigger_rank` completes `at_iteration` relaxations, and takes a
+    /// share of the work through a live repartition.
+    pub fn with_join(mut self, trigger_rank: usize, at_iteration: u64) -> Self {
+        self.events.push(ChurnEvent {
+            rank: trigger_rank,
+            at_iteration,
+            kind: ChurnEventKind::Join,
+        });
+        self
+    }
+
     /// Number of crash events in the plan.
     pub fn crash_count(&self) -> usize {
         self.events
             .iter()
             .filter(|e| e.kind == ChurnEventKind::Crash)
+            .count()
+    }
+
+    /// Number of join events in the plan.
+    pub fn join_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == ChurnEventKind::Join)
             .count()
     }
 }
@@ -252,6 +324,21 @@ impl FaultInjector {
         due
     }
 
+    /// `rank` just completed relaxation `iteration`: does its clock trigger
+    /// a scheduled join now? Consumes the event.
+    pub fn join_due(&mut self, rank: usize, iteration: u64) -> bool {
+        let Some(events) = self.pending.get_mut(&rank) else {
+            return false;
+        };
+        let due = events
+            .last()
+            .is_some_and(|e| e.kind == ChurnEventKind::Join && e.at_iteration <= iteration);
+        if due {
+            events.pop();
+        }
+        due
+    }
+
     /// The compute-slowdown factor of `rank` as of relaxation `iteration`
     /// (1.0 = full speed). Fired slowdown events accumulate multiplicatively
     /// and persist.
@@ -292,6 +379,49 @@ pub struct RecoveryRecord {
 /// over (shares out of 100).
 const REBALANCE_SHARE_UNITS: usize = 100;
 
+/// One published re-decomposition of the run: the new contiguous partition,
+/// the assembled global state it was sliced from, and how engines adopt it.
+/// Synchronous plans carry a `rollback` — every peer realigns on the common
+/// iteration under the new generation; asynchronous/hybrid plans are
+/// adopted at each engine's next safe point (the engine overlays its live
+/// state so only moved items carry checkpoint staleness).
+#[derive(Debug, Clone)]
+pub struct MembershipPlan {
+    /// Monotone membership epoch (engines track the epoch they run under).
+    pub epoch: u32,
+    /// New absolute `(start, len)` item ranges, one per rank.
+    pub parts: Vec<(usize, usize)>,
+    /// Global value vector the new slices (and their ghost seeds) come from.
+    pub global: Vec<f64>,
+    /// Iteration the assembled state corresponds to (the restored counter
+    /// for ranks without live state: the joiner, a recovering rank, or
+    /// every rank under a rollback).
+    pub iteration: u64,
+    /// Synchronous realignment: `(rollback iteration, new generation)`.
+    pub rollback: Option<(u64, u32)>,
+    /// The rank that joined with this plan, if it grew the run.
+    pub joined_rank: Option<usize>,
+}
+
+/// Everything an engine needs to adopt the current [`MembershipPlan`],
+/// cloned out of the coordinator under one lock.
+pub struct AdoptionTicket {
+    /// The plan's membership epoch.
+    pub epoch: u32,
+    /// New absolute `(start, len)` item ranges, one per rank.
+    pub parts: Vec<(usize, usize)>,
+    /// Global value vector to slice the new task from.
+    pub global: Vec<f64>,
+    /// Restored relaxation counter for ranks without live state.
+    pub iteration: u64,
+    /// The plan's synchronous realignment, mirrored from
+    /// [`MembershipPlan::rollback`] (callers on the rollback path verify it
+    /// matches the rollback they are applying).
+    pub rollback: Option<(u64, u32)>,
+    /// The workload's repartitioner (task factory for explicit partitions).
+    pub repartitioner: Arc<dyn Repartitioner>,
+}
+
 /// Per-run shared coordinator of the volatility subsystem. One per run, like
 /// the [`crate::runtime::engine::ConvergenceDetector`]; engines and drivers
 /// reach it through [`SharedVolatility`].
@@ -316,6 +446,27 @@ pub struct VolatilityState {
     granted: HashMap<usize, RecoveryAction>,
     /// Completed recoveries, in order.
     recovery_log: Vec<RecoveryRecord>,
+    /// Apply the capacity-weighted re-decomposition at recovery.
+    repartition_on_recovery: bool,
+    /// The workload's repartitioner, when the workload supports re-slicing.
+    repartitioner: Option<ReslicerHandle>,
+    /// Last known value of every item, updated from each checkpoint deposit.
+    /// The re-slice assembly starts from this, so items whose *current*
+    /// owner has no checkpoint yet (a rank re-assigned while its old owner
+    /// was down) still carry the newest value any rank ever recorded for
+    /// them instead of falling back to the initial iterate.
+    canvas: Option<Vec<f64>>,
+    /// Current contiguous partition (absolute `(start, len)` per rank).
+    parts: Vec<(usize, usize)>,
+    /// Membership epoch; bumped by every published plan.
+    epoch: u32,
+    /// The latest published plan (engines on older epochs adopt it).
+    plan: Option<MembershipPlan>,
+    /// A joined rank whose substrate peer has not been spawned yet.
+    pending_spawn: Option<usize>,
+    joins: u64,
+    repartitions: u64,
+    moved_points: u64,
 }
 
 /// A [`VolatilityState`] shared between the peers and driver of one run.
@@ -340,6 +491,16 @@ impl VolatilityState {
             crash_time_ns: HashMap::new(),
             granted: HashMap::new(),
             recovery_log: Vec::new(),
+            repartition_on_recovery: plan.repartition,
+            repartitioner: None,
+            canvas: None,
+            parts: Vec::new(),
+            epoch: 0,
+            plan: None,
+            pending_spawn: None,
+            joins: 0,
+            repartitions: 0,
+            moved_points: 0,
         }
     }
 
@@ -363,9 +524,208 @@ impl VolatilityState {
         self.detection_delay_events
     }
 
-    /// Deposit a checkpoint into the store.
+    /// Deposit a checkpoint into the store (and fold its values into the
+    /// live last-known-value canvas the re-slice assembly starts from).
     pub fn store_checkpoint(&mut self, checkpoint: Checkpoint) {
+        if let (Some(canvas), Some(rep)) = (self.canvas.as_mut(), self.repartitioner.as_ref()) {
+            crate::workload::write_block_state(canvas, &checkpoint.state, rep.0.item_width());
+        }
         self.fault.store_checkpoint(checkpoint);
+    }
+
+    /// Attach the workload's repartitioner (the drivers wire this from
+    /// [`crate::runtime::RunConfig::repartitioner`]). Initialises the
+    /// tracked partition to the balanced split every workload starts from.
+    pub fn set_repartitioner(&mut self, handle: ReslicerHandle) {
+        if handle.0.items() >= self.peers {
+            let (items, base) = (handle.0.items(), handle.0.item_base());
+            self.parts = (0..self.peers)
+                .map(|k| {
+                    let (offset, len) = balanced_partition(items, self.peers, k);
+                    (base + offset, len)
+                })
+                .collect();
+            self.canvas = Some(handle.0.global_canvas());
+            self.repartitioner = Some(handle);
+        }
+    }
+
+    /// Current membership epoch (bumped by every published plan).
+    pub fn current_epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Current number of ranks in the run (grows on joins).
+    pub fn peers(&self) -> usize {
+        self.peers
+    }
+
+    /// The latest published membership plan.
+    pub fn plan(&self) -> Option<&MembershipPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Clone everything an engine needs to adopt the current plan, provided
+    /// the plan is newer than the engine's `epoch` and matches the engine's
+    /// adoption path (`via_rollback`: synchronous realignment vs free
+    /// adoption).
+    pub fn adoption(&self, epoch: u32, via_rollback: bool) -> Option<AdoptionTicket> {
+        let plan = self.plan.as_ref()?;
+        if plan.epoch <= epoch || plan.rollback.is_some() != via_rollback {
+            return None;
+        }
+        Some(AdoptionTicket {
+            epoch: plan.epoch,
+            parts: plan.parts.clone(),
+            global: plan.global.clone(),
+            iteration: plan.iteration,
+            rollback: plan.rollback,
+            repartitioner: Arc::clone(&self.repartitioner.as_ref()?.0),
+        })
+    }
+
+    /// A joined rank whose substrate peer must be spawned, consumed by the
+    /// driver (loopback/sim spawn from the drive loop).
+    pub fn take_pending_spawn(&mut self) -> Option<usize> {
+        self.pending_spawn.take()
+    }
+
+    /// Consume the pending spawn if it is for `rank` (thread/udp joiner
+    /// threads wait on this).
+    pub fn take_spawn_if(&mut self, rank: usize) -> bool {
+        if self.pending_spawn == Some(rank) {
+            self.pending_spawn = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Assemble the checkpointed global state onto the workload's canvas.
+    /// `at` restricts every rank to its newest checkpoint at or before that
+    /// iteration (the synchronous realignment target); `None` takes each
+    /// rank's latest.
+    fn assembled_global(&self, rep: &dyn Repartitioner, at: Option<u64>) -> Vec<f64> {
+        let states: Vec<Vec<u8>> = (0..self.peers)
+            .filter_map(|r| match at {
+                Some(target) => self.fault.checkpoint_at_or_before(r, target),
+                None => self.fault.checkpoint(r),
+            })
+            .map(|c| c.state.clone())
+            .collect();
+        let canvas = self.canvas.clone().unwrap_or_else(|| rep.global_canvas());
+        assemble_global(canvas, &states, rep.item_width())
+    }
+
+    /// Publish a new membership plan re-slicing the run over `new_peers`
+    /// ranks weighted by the live capacities in `loads` (the joiner, if
+    /// any, is weighted at the mean surviving capacity).
+    fn publish_plan(
+        &mut self,
+        loads: &[PeerLoad],
+        new_peers: usize,
+        at: Option<u64>,
+        rollback: Option<(u64, u32)>,
+        joined_rank: Option<usize>,
+    ) -> bool {
+        let Some(rep) = self.repartitioner.as_ref().map(|h| Arc::clone(&h.0)) else {
+            return false;
+        };
+        if rep.items() < new_peers {
+            return false;
+        }
+        let mut weights = self.live_balancer(loads).capacities();
+        if new_peers > weights.len() {
+            let mean = weights.iter().sum::<f64>() / weights.len() as f64;
+            weights.resize(new_peers, mean.max(f64::MIN_POSITIVE));
+        }
+        let parts = weighted_ranges(rep.item_base(), rep.items(), &weights);
+        let global = self.assembled_global(rep.as_ref(), at);
+        let iteration = match at {
+            Some(target) => target,
+            // The iteration the assembled state roughly corresponds to: the
+            // oldest latest-checkpoint of any rank (only restored counters
+            // use it; live ranks keep their own).
+            None => (0..self.peers)
+                .map(|r| self.fault.checkpoint(r).map(|c| c.iteration).unwrap_or(0))
+                .min()
+                .unwrap_or(0),
+        };
+        self.moved_points += (reslice_moved_items(&self.parts, &parts) * rep.item_width()) as u64;
+        self.epoch += 1;
+        self.repartitions += 1;
+        self.parts = parts.clone();
+        self.peers = new_peers;
+        self.plan = Some(MembershipPlan {
+            epoch: self.epoch,
+            parts,
+            global,
+            iteration,
+            rollback,
+            joined_rank,
+        });
+        if let Some(_rank) = joined_rank {
+            self.joins += 1;
+            // The spawn is armed separately (`VolatilityState::arm_spawn`)
+            // once the caller has grown the convergence detector — a joiner
+            // thread must never build its engine against the un-grown run.
+        }
+        true
+    }
+
+    /// Release the published plan's joined rank to the substrate spawners.
+    /// Called by the join trigger *after* growing the convergence detector.
+    pub fn arm_spawn(&mut self) {
+        if let Some(plan) = &self.plan {
+            if let Some(rank) = plan.joined_rank {
+                self.pending_spawn = Some(rank);
+            }
+        }
+    }
+
+    /// Injector query: does `rank`'s clock trigger a scheduled join after
+    /// completing `iteration`? (Consumes the event; the caller follows up
+    /// with [`VolatilityState::create_join_plan`].)
+    pub fn join_due(&mut self, rank: usize, iteration: u64) -> bool {
+        self.injector.join_due(rank, iteration)
+    }
+
+    /// A join triggered at `trigger_iteration`: grow the run by one rank and
+    /// publish the re-slice. Returns the plan's `(new peer count, rollback)`
+    /// on success; `None` when the workload cannot be repartitioned (the
+    /// join is then ignored).
+    ///
+    /// Synchronous runs realign on a *deterministic* common iteration — the
+    /// newest checkpoint-interval multiple every rank is guaranteed to have
+    /// deposited (lockstep peers trail the trigger by at most the peer
+    /// count) — so the same seeded plan yields the same relaxation counts on
+    /// every backend.
+    pub fn create_join_plan(
+        &mut self,
+        trigger_iteration: u64,
+        loads: &[PeerLoad],
+    ) -> Option<(usize, Option<(u64, u32)>)> {
+        self.repartitioner.as_ref()?;
+        let new_rank = self.peers;
+        let (at, rollback) = if self.scheme == Scheme::Synchronous {
+            let interval = self.checkpoint_interval.max(1);
+            let target =
+                trigger_iteration.saturating_sub(self.peers as u64 - 1) / interval * interval;
+            self.generation += 1;
+            (Some(target), Some((target, self.generation)))
+        } else {
+            (None, None)
+        };
+        if self.publish_plan(loads, new_rank + 1, at, rollback, Some(new_rank)) {
+            Some((new_rank + 1, rollback))
+        } else {
+            if rollback.is_some() {
+                // The re-slice was refused (e.g. more ranks than items):
+                // roll the speculative generation bump back.
+                self.generation -= 1;
+            }
+            None
+        }
     }
 
     /// Injector query: does `rank` crash after completing `iteration`?
@@ -465,6 +825,16 @@ impl VolatilityState {
         } else {
             (self.fault.checkpoint(rank).cloned(), None)
         };
+        // Live repartitioning: apply the capacity-weighted shares for real.
+        // Synchronous plans ride the rollback just computed (every rank
+        // realigns on the common iteration under the new generation);
+        // asynchronous/hybrid plans are adopted at each engine's next safe
+        // point. The recovering rank adopts its new slice instead of the
+        // plain checkpoint (see `PeerEngine::recover`).
+        if self.repartition_on_recovery && self.peers >= 2 {
+            let at = rollback.map(|(target, _)| target);
+            self.publish_plan(loads, self.peers, at, rollback, None);
+        }
         let action = self.granted.remove(&rank);
         let proposed = self
             .live_balancer(loads)
@@ -503,6 +873,9 @@ impl VolatilityState {
         measurement.recoveries = self.recoveries;
         measurement.rollbacks = self.rollbacks;
         measurement.downtime_s = self.downtime_ns as f64 / 1e9;
+        measurement.joins = self.joins;
+        measurement.repartitions = self.repartitions;
+        measurement.moved_points = self.moved_points;
     }
 }
 
@@ -571,6 +944,168 @@ mod tests {
         let plan = ChurnPlan::seeded(42, 4, 1, 200).with_spares(2);
         let json = serde_json::to_string(&plan).expect("serializes");
         assert!(json.contains("at_iteration"));
+    }
+
+    /// A minimal repartitionable workload for coordinator-level tests: 12
+    /// one-value items, canvas of zeros, tasks irrelevant (never built).
+    struct StubReslicer;
+
+    impl Repartitioner for StubReslicer {
+        fn items(&self) -> usize {
+            12
+        }
+        fn item_width(&self) -> usize {
+            1
+        }
+        fn global_canvas(&self) -> Vec<f64> {
+            vec![0.0; 12]
+        }
+        fn task_for(
+            &self,
+            _rank: usize,
+            _parts: &[(usize, usize)],
+            _global: &[f64],
+            _iteration: u64,
+        ) -> Box<dyn crate::app::IterativeTask> {
+            unreachable!("coordinator tests never build tasks")
+        }
+    }
+
+    fn stub_state(start: u32, count: u32, value: f64) -> Vec<u8> {
+        crate::workload::encode_block_state(
+            start as usize,
+            count as usize,
+            &vec![value; count as usize],
+        )
+    }
+
+    #[test]
+    fn join_due_consumes_the_event_once() {
+        let plan = ChurnPlan::new(vec![]).with_join(2, 15);
+        let mut vol = VolatilityState::new(&plan, 3, Scheme::Asynchronous);
+        assert!(!vol.join_due(2, 14));
+        assert!(!vol.join_due(0, 15), "only the trigger rank's clock counts");
+        assert!(vol.join_due(2, 15));
+        assert!(!vol.join_due(2, 16), "the event is consumed");
+    }
+
+    #[test]
+    fn join_without_a_repartitioner_is_ignored() {
+        let plan = ChurnPlan::new(vec![]).with_join(0, 5);
+        let mut vol = VolatilityState::new(&plan, 2, Scheme::Asynchronous);
+        assert!(vol.join_due(0, 5));
+        assert!(vol.create_join_plan(5, &[PeerLoad::default(); 2]).is_none());
+        assert_eq!(vol.peers(), 2, "the run does not grow");
+    }
+
+    #[test]
+    fn create_join_plan_grows_the_run_and_gates_the_spawn() {
+        let plan = ChurnPlan::new(vec![])
+            .with_join(0, 10)
+            .with_checkpoint_interval(4);
+        let mut vol = VolatilityState::new(&plan, 2, Scheme::Asynchronous);
+        vol.set_repartitioner(ReslicerHandle(Arc::new(StubReslicer)));
+        for rank in 0..2 {
+            vol.store_checkpoint(Checkpoint {
+                rank,
+                iteration: 8,
+                state: stub_state(6 * rank as u32, 6, rank as f64 + 1.0),
+            });
+        }
+        let (new_peers, rollback) = vol
+            .create_join_plan(10, &[PeerLoad::default(); 2])
+            .expect("plan published");
+        assert_eq!(new_peers, 3);
+        assert!(rollback.is_none(), "asynchronous joins do not roll back");
+        assert_eq!(vol.peers(), 3);
+        let plan = vol.plan().expect("published").clone();
+        assert_eq!(plan.epoch, 1);
+        assert_eq!(plan.parts.len(), 3);
+        assert_eq!(plan.joined_rank, Some(2));
+        // The assembled global carries the checkpointed values.
+        assert_eq!(plan.global[0], 1.0);
+        assert_eq!(plan.global[11], 2.0);
+        // The spawn is gated until the caller grew the detector.
+        assert!(vol.take_pending_spawn().is_none());
+        vol.arm_spawn();
+        assert!(!vol.take_spawn_if(1), "only the joined rank's spawn");
+        assert!(vol.take_spawn_if(2));
+        assert!(vol.take_pending_spawn().is_none(), "consumed once");
+    }
+
+    #[test]
+    fn synchronous_join_realigns_on_a_deterministic_checkpoint_multiple() {
+        let plan = ChurnPlan::new(vec![])
+            .with_join(0, 21)
+            .with_checkpoint_interval(5);
+        let mut vol = VolatilityState::new(&plan, 3, Scheme::Synchronous);
+        vol.set_repartitioner(ReslicerHandle(Arc::new(StubReslicer)));
+        for rank in 0..3 {
+            for iteration in [0u64, 5, 10, 15] {
+                vol.store_checkpoint(Checkpoint {
+                    rank,
+                    iteration,
+                    state: stub_state(4 * rank as u32, 4, iteration as f64),
+                });
+            }
+        }
+        let (_, rollback) = vol
+            .create_join_plan(21, &[PeerLoad::default(); 3])
+            .expect("plan published");
+        // target = largest interval multiple every lockstep peer (trailing
+        // the trigger by at most peers − 1) is guaranteed to have: 21 − 2 =
+        // 19 → 15.
+        assert_eq!(rollback, Some((15, 1)));
+        let plan = vol.plan().unwrap();
+        assert_eq!(plan.iteration, 15);
+        assert!(
+            plan.global.iter().all(|&v| v == 15.0),
+            "states at the target"
+        );
+    }
+
+    #[test]
+    fn repartitioning_recovery_applies_the_capacity_weighted_shares() {
+        let plan = ChurnPlan::kill(0, 10)
+            .with_spares(0)
+            .with_repartition(true)
+            .with_checkpoint_interval(5);
+        let mut vol = VolatilityState::new(&plan, 2, Scheme::Asynchronous);
+        vol.set_repartitioner(ReslicerHandle(Arc::new(StubReslicer)));
+        for rank in 0..2 {
+            vol.store_checkpoint(Checkpoint {
+                rank,
+                iteration: 10,
+                state: stub_state(6 * rank as u32, 6, 3.0),
+            });
+        }
+        let loads = vec![
+            PeerLoad {
+                points: 1_000,
+                busy_seconds: 1.0,
+            },
+            PeerLoad {
+                points: 4_000,
+                busy_seconds: 1.0,
+            },
+        ];
+        vol.on_crash(0, 100);
+        vol.grant(0, &loads);
+        let _ = vol.take_recovery(0, 200, &loads);
+        let plan = vol.plan().expect("recovery published the re-slice");
+        assert_eq!(plan.epoch, 1);
+        assert!(plan.rollback.is_none());
+        assert!(
+            plan.parts[1].1 > plan.parts[0].1,
+            "the 4x-throughput peer takes the larger share: {:?}",
+            plan.parts
+        );
+        let mut measurement =
+            RunMeasurement::from_run(2, desim::SimDuration::from_nanos(1), vec![0, 0], true);
+        vol.annotate(&mut measurement);
+        assert_eq!(measurement.repartitions, 1);
+        assert_eq!(measurement.joins, 0);
+        assert!(measurement.moved_points > 0);
     }
 
     #[test]

@@ -100,6 +100,16 @@ pub fn run_on(
         config.peers(),
         "workload decomposition and topology disagree on the peer count"
     );
+    // Churn-armed runs get the workload's live-repartitioning handle so
+    // recovery can apply the capacity-weighted shares and join events can
+    // grow the run (see crate::churn). Fault-free runs never consult it.
+    let mut config = config.clone();
+    if config.churn.is_some() && config.repartitioner.is_none() {
+        if let Some(rep) = workload.repartitioner() {
+            config.repartitioner = Some(crate::workload::ReslicerHandle(rep));
+        }
+    }
+    let config = &config;
     let (mut measurement, results, net) = match runtime {
         RuntimeKind::Sim => {
             let SimRunOutcome {

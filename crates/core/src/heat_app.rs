@@ -14,10 +14,11 @@
 
 use crate::app::{Application, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
 use crate::obstacle_app::UpdateMsg;
-use crate::workload::{balanced_partition, Workload};
+use crate::workload::{balanced_partition, Repartitioner, Workload};
 use obstacle::sup_norm_diff;
 use p2psap::Scheme;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Temperature of the heated (top) edge.
 pub const HOT_EDGE: f64 = 1.0;
@@ -87,6 +88,33 @@ impl HeatTask {
             ghost_lo: boundary_row(row_start - 1),
             ghost_hi: boundary_row(row_start + rows),
             relaxations: 0,
+        }
+    }
+
+    /// Create the task of `rank` for an explicit partition of the interior
+    /// rows (absolute `(first row, count)` ranges), with owned rows and
+    /// ghost rows seeded from a full `n × n` grid (live repartitioning).
+    pub fn from_parts(
+        n: usize,
+        parts: &[(usize, usize)],
+        rank: usize,
+        global: &[f64],
+        iteration: u64,
+    ) -> Self {
+        assert_eq!(global.len(), n * n, "global grid size mismatch");
+        let (row_start, rows) = parts[rank];
+        assert!(row_start >= 1 && row_start + rows < n && rows >= 1);
+        Self {
+            n,
+            rank,
+            peers: parts.len(),
+            row_start,
+            rows,
+            local: global[row_start * n..(row_start + rows) * n].to_vec(),
+            next: vec![0.0; rows * n],
+            ghost_lo: global[(row_start - 1) * n..row_start * n].to_vec(),
+            ghost_hi: global[(row_start + rows) * n..(row_start + rows + 1) * n].to_vec(),
+            relaxations: iteration,
         }
     }
 
@@ -336,6 +364,45 @@ impl Workload for HeatWorkload {
 
     fn residual(&self, solution: &[f64]) -> f64 {
         heat_residual(self.n, solution)
+    }
+
+    fn repartitioner(&self) -> Option<Arc<dyn Repartitioner>> {
+        Some(Arc::new(HeatReslicer { n: self.n }))
+    }
+}
+
+/// [`Repartitioner`] of the heat workload: the item space is the `n − 2`
+/// interior rows (absolute base 1), each `n` values wide; the canvas is the
+/// plate at the initial iterate with the boundary conditions applied.
+pub struct HeatReslicer {
+    n: usize,
+}
+
+impl Repartitioner for HeatReslicer {
+    fn items(&self) -> usize {
+        self.n - 2
+    }
+
+    fn item_base(&self) -> usize {
+        1
+    }
+
+    fn item_width(&self) -> usize {
+        self.n
+    }
+
+    fn global_canvas(&self) -> Vec<f64> {
+        initial_grid(self.n)
+    }
+
+    fn task_for(
+        &self,
+        rank: usize,
+        parts: &[(usize, usize)],
+        global: &[f64],
+        iteration: u64,
+    ) -> Box<dyn IterativeTask> {
+        Box::new(HeatTask::from_parts(self.n, parts, rank, global, iteration))
     }
 }
 

@@ -41,8 +41,8 @@ pub mod workload;
 
 pub use app::{Application, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
 pub use churn::{
-    ChurnEvent, ChurnEventKind, ChurnPlan, FaultInjector, RecoveryRecord, SharedVolatility,
-    VolatilityState,
+    AdoptionTicket, ChurnEvent, ChurnEventKind, ChurnPlan, FaultInjector, MembershipPlan,
+    RecoveryRecord, SharedVolatility, VolatilityState,
 };
 pub use compute::{calibrate_ns_per_point, ComputeModel};
 pub use experiment::{run_on, RuntimeExperimentResult, RuntimeKind};
@@ -70,7 +70,10 @@ pub use runtime::{
 };
 pub use task_manager::{parse_command, Command, Job, JobState, TaskManager};
 pub use topology_manager::{PeerRecord, TopologyManager, MISSED_PINGS_BEFORE_EVICTION};
-pub use workload::{balanced_partition, Workload, WorkloadKind};
+pub use workload::{
+    assemble_global, balanced_partition, decode_block_state, encode_block_state,
+    reslice_moved_items, weighted_ranges, Repartitioner, ReslicerHandle, Workload, WorkloadKind,
+};
 
 // Re-export the protocol types applications interact with.
 pub use p2psap::{ChannelConfig, CommunicationMode, Scheme};

@@ -41,6 +41,17 @@ pub struct RunMeasurement {
     /// honest "work done" metric for faulty runs, where redone iterations
     /// are real cost.
     pub points_relaxed_per_peer: Vec<u64>,
+    /// Peers that joined the run mid-flight through a
+    /// [`crate::churn::ChurnEventKind::Join`] event (0 for fixed-membership
+    /// runs).
+    pub joins: u64,
+    /// Live repartitions performed: re-slices of the checkpointed global
+    /// state into a new capacity-weighted decomposition, at recovery or at a
+    /// join.
+    pub repartitions: u64,
+    /// Grid points whose owning rank changed across all repartitions (the
+    /// data-movement cost of the re-slices).
+    pub moved_points: u64,
 }
 
 impl RunMeasurement {
@@ -72,6 +83,9 @@ impl RunMeasurement {
             downtime_s: 0.0,
             points_per_sec: Vec::new(),
             points_relaxed_per_peer: Vec::new(),
+            joins: 0,
+            repartitions: 0,
+            moved_points: 0,
         }
     }
 

@@ -11,9 +11,11 @@ use crate::compute::ComputeModel;
 use crate::experiment::{run_on, RuntimeExperimentResult, RuntimeKind};
 use crate::metrics::RunMeasurement;
 use crate::runtime::RunConfig;
-use crate::workload::Workload;
+use crate::workload::{Repartitioner, Workload};
 use netsim::{NetStats, Topology};
-use obstacle::{fixed_point_residual, BlockDecomposition, NodeState, ObstacleProblem};
+use obstacle::{
+    fixed_point_residual, initial_iterate, BlockDecomposition, NodeState, ObstacleProblem,
+};
 use p2psap::Scheme;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -120,6 +122,28 @@ impl ObstacleTask {
             problem,
             rank,
             alpha,
+            state,
+            delta,
+        }
+    }
+
+    /// Create the task of `rank` for an explicit plane partition, with owned
+    /// planes and ghosts seeded from a global iterate (live repartitioning).
+    pub fn from_parts(
+        problem: Arc<ObstacleProblem>,
+        parts: &[(usize, usize)],
+        rank: usize,
+        global: &[f64],
+        iteration: u64,
+    ) -> Self {
+        let counts: Vec<usize> = parts.iter().map(|&(_, len)| len).collect();
+        let decomp = BlockDecomposition::from_counts(problem.grid.n, &counts);
+        let state = NodeState::from_global(&problem, &decomp, rank, global, iteration);
+        let delta = problem.optimal_delta();
+        Self {
+            problem,
+            rank,
+            alpha: parts.len(),
             state,
             delta,
         }
@@ -369,6 +393,49 @@ impl Workload for ObstacleWorkload {
 
     fn residual(&self, solution: &[f64]) -> f64 {
         fixed_point_residual(&self.problem, solution, self.problem.optimal_delta())
+    }
+
+    fn repartitioner(&self) -> Option<Arc<dyn Repartitioner>> {
+        Some(Arc::new(ObstacleReslicer {
+            problem: Arc::clone(&self.problem),
+        }))
+    }
+}
+
+/// [`Repartitioner`] of the obstacle workload: the item space is the `n`
+/// z-planes, each `n²` values wide; the canvas is the canonical initial
+/// iterate `P_K(0)`.
+pub struct ObstacleReslicer {
+    problem: Arc<ObstacleProblem>,
+}
+
+impl Repartitioner for ObstacleReslicer {
+    fn items(&self) -> usize {
+        self.problem.grid.n
+    }
+
+    fn item_width(&self) -> usize {
+        self.problem.grid.plane_len()
+    }
+
+    fn global_canvas(&self) -> Vec<f64> {
+        initial_iterate(&self.problem)
+    }
+
+    fn task_for(
+        &self,
+        rank: usize,
+        parts: &[(usize, usize)],
+        global: &[f64],
+        iteration: u64,
+    ) -> Box<dyn IterativeTask> {
+        Box::new(ObstacleTask::from_parts(
+            Arc::clone(&self.problem),
+            parts,
+            rank,
+            global,
+            iteration,
+        ))
     }
 }
 

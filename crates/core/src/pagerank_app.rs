@@ -19,7 +19,7 @@
 
 use crate::app::{Application, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
 use crate::obstacle_app::UpdateMsg;
-use crate::workload::{balanced_partition, Workload};
+use crate::workload::{balanced_partition, Repartitioner, Workload};
 use obstacle::sup_norm_diff;
 use p2psap::Scheme;
 use serde::{Deserialize, Serialize};
@@ -136,27 +136,27 @@ pub fn pagerank_reference(
     (ranks, max_iterations)
 }
 
-/// Owner peer of vertex `v` under the balanced contiguous partition:
-/// the first `n % peers` chunks hold `n / peers + 1` vertices, the rest
-/// `n / peers` (the exact inverse of [`balanced_partition`]).
-fn owner_of(n: usize, peers: usize, v: usize) -> usize {
-    debug_assert!(v < n && peers >= 1 && peers <= n);
-    let base = n / peers;
-    let extra = n % peers;
-    let big_span = extra * (base + 1);
-    if v < big_span {
-        v / (base + 1)
-    } else {
-        extra + (v - big_span) / base
-    }
+/// Owner peer of vertex `v` under an explicit contiguous partition. The
+/// ranges are sorted and tile the vertex space, so a binary search keeps
+/// the per-edge lookup O(log peers) (task construction visits every edge
+/// endpoint, on the fault-free path and at every repartition alike).
+fn owner_in(parts: &[(usize, usize)], v: usize) -> usize {
+    let owner = parts.partition_point(|&(start, _)| start <= v) - 1;
+    debug_assert!(
+        (parts[owner].0..parts[owner].0 + parts[owner].1).contains(&v),
+        "vertex outside the partition"
+    );
+    owner
 }
 
 /// The per-peer computation: a vertex partition's rank vector iterated on
 /// local plus freshest-received rank mass, speaking the [`IterativeTask`]
-/// interface.
+/// interface. The partition is explicit (live repartitioning re-slices it
+/// mid-run); [`PageRankTask::new`] builds the balanced one.
 pub struct PageRankTask {
     graph: Arc<PageRankGraph>,
-    peers: usize,
+    /// The full contiguous vertex partition (`(start, len)` per rank).
+    parts: Arc<Vec<(usize, usize)>>,
     rank: usize,
     v_start: usize,
     /// Current ranks of the owned vertices.
@@ -173,11 +173,33 @@ pub struct PageRankTask {
 }
 
 impl PageRankTask {
-    /// Create the task of peer `rank` among `peers` peers.
+    /// Create the task of peer `rank` among `peers` peers (balanced
+    /// partition, uniform initial ranks).
     pub fn new(graph: Arc<PageRankGraph>, peers: usize, rank: usize) -> Self {
         let n = graph.len();
         assert!(peers <= n, "{peers} peers cannot split {n} vertices");
-        let (v_start, v_len) = balanced_partition(n, peers, rank);
+        let parts: Vec<(usize, usize)> = (0..peers)
+            .map(|k| balanced_partition(n, peers, k))
+            .collect();
+        let uniform = vec![1.0 / n as f64; n];
+        Self::from_parts(graph, &parts, rank, &uniform, 0)
+    }
+
+    /// Create the task of `rank` for an explicit vertex partition, with
+    /// owned ranks and the seeded external contributions taken from a full
+    /// global rank vector (live repartitioning). Seeding the externals from
+    /// the same global vector makes the next synchronous sweep exactly the
+    /// power step of that vector, independent of the partition.
+    pub fn from_parts(
+        graph: Arc<PageRankGraph>,
+        parts: &[(usize, usize)],
+        rank: usize,
+        global: &[f64],
+        iteration: u64,
+    ) -> Self {
+        let n = graph.len();
+        assert_eq!(global.len(), n, "global rank vector size mismatch");
+        let (v_start, v_len) = parts[rank];
         let work_points = (v_start..v_start + v_len)
             .map(|v| graph.degree(v) as u64)
             .sum();
@@ -185,7 +207,7 @@ impl PageRankTask {
             let mut set = std::collections::BTreeSet::new();
             for v in v_start..v_start + v_len {
                 for &u in graph.neighbors(v) {
-                    let owner = owner_of(n, peers, u as usize);
+                    let owner = owner_in(parts, u as usize);
                     if owner != rank {
                         set.insert(owner);
                     }
@@ -195,21 +217,18 @@ impl PageRankTask {
         };
         let mut task = Self {
             graph,
-            peers,
+            parts: Arc::new(parts.to_vec()),
             rank,
             v_start,
-            ranks: vec![1.0 / n as f64; v_len],
+            ranks: global[v_start..v_start + v_len].to_vec(),
             external: BTreeMap::new(),
             neighbor_peers,
             work_points,
-            relaxations: 0,
+            relaxations: iteration,
         };
-        // Seed the external contributions with what every neighbour peer
-        // would send from the shared uniform initial ranks, so the first
-        // distributed sweep equals the first reference power step.
         for peer in task.neighbor_peers.clone() {
-            let uniform = vec![1.0 / n as f64; balanced_partition(n, peers, peer).1];
-            let seeded = task.contribution_from(peer, &uniform);
+            let (peer_start, peer_len) = task.parts[peer];
+            let seeded = task.contribution_from(peer, &global[peer_start..peer_start + peer_len]);
             task.external.insert(peer, seeded);
         }
         task
@@ -222,11 +241,9 @@ impl PageRankTask {
 
     /// The contribution vector peer `peer` pushes into this partition, given
     /// that peer's rank vector. Used only to seed [`PageRankTask::external`]
-    /// at the shared initial iterate (afterwards the real vectors arrive by
-    /// message).
+    /// at construction (afterwards the real vectors arrive by message).
     fn contribution_from(&self, peer: usize, peer_ranks: &[f64]) -> Vec<f64> {
-        let n = self.graph.len();
-        let (peer_start, _) = balanced_partition(n, self.peers, peer);
+        let (peer_start, _) = self.parts[peer];
         let mut contribution = vec![0.0; self.ranks.len()];
         for (i, r) in peer_ranks.iter().enumerate() {
             let v = peer_start + i;
@@ -243,8 +260,7 @@ impl PageRankTask {
 
     /// The contribution vector this peer currently pushes into `peer`.
     fn contribution_to(&self, peer: usize) -> Vec<f64> {
-        let n = self.graph.len();
-        let (peer_start, peer_len) = balanced_partition(n, self.peers, peer);
+        let (peer_start, peer_len) = self.parts[peer];
         let mut contribution = vec![0.0; peer_len];
         for (i, r) in self.ranks.iter().enumerate() {
             let v = self.v_start + i;
@@ -429,6 +445,48 @@ impl Workload for PageRankWorkload {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max)
     }
+
+    fn repartitioner(&self) -> Option<Arc<dyn Repartitioner>> {
+        Some(Arc::new(PageRankReslicer {
+            graph: Arc::clone(&self.graph),
+        }))
+    }
+}
+
+/// [`Repartitioner`] of the PageRank workload: the item space is the
+/// vertices (one value each); the canvas is the uniform starting vector.
+pub struct PageRankReslicer {
+    graph: Arc<PageRankGraph>,
+}
+
+impl Repartitioner for PageRankReslicer {
+    fn items(&self) -> usize {
+        self.graph.len()
+    }
+
+    fn item_width(&self) -> usize {
+        1
+    }
+
+    fn global_canvas(&self) -> Vec<f64> {
+        vec![1.0 / self.graph.len() as f64; self.graph.len()]
+    }
+
+    fn task_for(
+        &self,
+        rank: usize,
+        parts: &[(usize, usize)],
+        global: &[f64],
+        iteration: u64,
+    ) -> Box<dyn IterativeTask> {
+        Box::new(PageRankTask::from_parts(
+            Arc::clone(&self.graph),
+            parts,
+            rank,
+            global,
+            iteration,
+        ))
+    }
 }
 
 /// The PageRank application registered with the P2PDC environment.
@@ -579,10 +637,13 @@ mod tests {
         // (vertices, peers) pairs whose remainder drifts the guess by more
         // than one chunk, e.g. (34, 14) and (62, 18).
         for (n, peers) in [(34usize, 14usize), (62, 18), (100, 60), (7, 3), (240, 7)] {
+            let parts: Vec<(usize, usize)> = (0..peers)
+                .map(|k| balanced_partition(n, peers, k))
+                .collect();
             for k in 0..peers {
                 let (start, len) = balanced_partition(n, peers, k);
                 for v in start..start + len {
-                    assert_eq!(owner_of(n, peers, v), k, "n={n} peers={peers} v={v}");
+                    assert_eq!(owner_in(&parts, v), k, "n={n} peers={peers} v={v}");
                 }
             }
             // Every rank's task constructs without panicking.

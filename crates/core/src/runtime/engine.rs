@@ -14,18 +14,50 @@
 //! The engine is written in the same sans-io style as the P2PSAP
 //! [`Socket`]: it never blocks and never owns a clock. The runtime driver
 //! feeds it events (`on_start`, `on_segment`, `on_timer`,
-//! `on_compute_done`, `on_stop_signal`) and executes the actions the engine
-//! pushes through its transport (transmit a segment, arm or cancel a
-//! protocol timer, schedule the completion of a relaxation, broadcast the
-//! stop signal). Three transports exist today: the virtual-time desim /
-//! netsim fabric ([`crate::runtime::sim`]), real OS threads with routed
-//! channels ([`crate::runtime::threads`]), and the zero-latency in-process
-//! loopback ([`crate::runtime::loopback`]).
+//! `on_compute_done`, `on_stop_signal`, `on_rollback`) and executes the
+//! actions the engine pushes through its transport (transmit a segment, arm
+//! or cancel a protocol timer, schedule the completion of a relaxation,
+//! broadcast the stop signal or a rollback). Four transports exist today:
+//! the virtual-time desim / netsim fabric ([`crate::runtime::sim`]), real
+//! OS threads with routed channels ([`crate::runtime::threads`]), the
+//! zero-latency in-process loopback ([`crate::runtime::loopback`]) and real
+//! localhost UDP sockets ([`crate::runtime::udp`]).
 //!
 //! Global convergence detection lives in [`ConvergenceDetector`], shared by
 //! all peers of a run. It is an omniscient observer (it consumes no network
 //! resources), standing in for the coordinator-based detection a deployment
 //! would use.
+//!
+//! # Volatility and elastic membership
+//!
+//! When a run is churn-armed ([`crate::runtime::RunConfig::churn`]), the
+//! engine deposits periodic checkpoints, consults the fault injector after
+//! every sweep, supports [`PeerEngine::recover`] / [`PeerEngine::on_rollback`]
+//! and adopts live repartitions ([`PeerEngine::poll_membership`]). Every
+//! data payload carries the sender's rollback *generation*, so an update
+//! published before a rollback but still in flight when it lands is dropped
+//! rather than consumed as a post-rollback iteration boundary — this is
+//! what keeps a realigned synchronous run's iterate sequence exactly equal
+//! to the sequential one, and therefore keeps relaxation counts agreeing
+//! across backends even after a mid-run re-slice. A peer that *joins* a run
+//! enters through [`PeerEngine::join_run`], which builds its engine from
+//! the published [`crate::churn::MembershipPlan`].
+//!
+//! # Examples
+//!
+//! Protocol timers are managed through the shared [`TimerQueue`] by the
+//! transports that keep their own clock:
+//!
+//! ```
+//! use p2pdc::runtime::engine::TimerQueue;
+//!
+//! let mut timers = TimerQueue::new();
+//! timers.arm((1, 0, 7), 500); // neighbour 1, layer 0, tag 7 at t=500ns
+//! timers.arm((2, 0, 9), 300);
+//! assert_eq!(timers.earliest_deadline(), Some(300));
+//! assert_eq!(timers.pop_due(400), Some((2, 0, 9)));
+//! assert_eq!(timers.pop_due(400), None, "the 500ns timer is not due yet");
+//! ```
 
 use crate::app::{IterativeTask, LocalRelax};
 use crate::churn::SharedVolatility;
@@ -42,6 +74,10 @@ use std::sync::{Arc, Mutex};
 /// Identifier of a protocol timer armed by a peer's socket:
 /// `(neighbour rank, protocol layer, protocol tag)`.
 pub type TimerKey = (usize, usize, u64);
+
+/// Bytes of the rollback-generation tag the engine prefixes to every data
+/// payload (see [`PeerEngine::on_compute_done`]'s publish step).
+pub const GENERATION_TAG_BYTES: usize = 4;
 
 /// The substrate services a [`PeerEngine`] needs. Implementations execute
 /// the engine's actions on a concrete runtime; all methods are non-blocking.
@@ -309,12 +345,51 @@ impl ConvergenceDetector {
         &self.loads
     }
 
+    /// Void a peer's stability evidence: its streak restarts and its last
+    /// report no longer counts as stable. Used when the peer's state is no
+    /// longer what the evidence was gathered on — a crash, or the adoption
+    /// of a re-sliced block.
+    pub fn void_stability(&mut self, rank: usize) {
+        self.streaks[rank] = 0;
+        self.latest_stable[rank] = false;
+    }
+
     /// A peer crashed: its convergence evidence is void until it reports
     /// again after recovery, so a run can never be declared converged on a
     /// dead peer's stale stability.
     pub fn mark_crashed(&mut self, rank: usize) {
-        self.streaks[rank] = 0;
-        self.latest_stable[rank] = false;
+        self.void_stability(rank);
+    }
+
+    /// Void every peer's stability evidence. A live repartition moves block
+    /// data between ranks, so *all* pre-adoption stability was gathered on
+    /// boundary data that no longer describes the neighbours — convergence
+    /// must be re-established globally on the re-sliced state.
+    pub fn void_all_stability(&mut self) {
+        for rank in 0..self.peers {
+            self.void_stability(rank);
+        }
+    }
+
+    /// Grow the run to `new_peers` ranks (elastic membership: a join event
+    /// fired). The new ranks start with no convergence evidence, no result
+    /// and no load history, so the run cannot be declared converged before
+    /// they report, and `finish_run` will wait for their results.
+    pub fn grow(&mut self, new_peers: usize) {
+        if new_peers <= self.peers {
+            return;
+        }
+        self.peers = new_peers;
+        self.has_async_neighbor.resize(new_peers, false);
+        self.latest_stable.resize(new_peers, false);
+        self.streaks.resize(new_peers, 0);
+        self.results.resize(new_peers, None);
+        self.last_reported.resize(new_peers, self.rollback_target);
+        self.loads.resize(new_peers, PeerLoad::default());
+        // In-flight iteration entries are kept: completeness is checked
+        // against the *current* peer count, so a pending iteration now also
+        // waits for the joiner's report of it (the joiner's restored counter
+        // starts at or below every survivor's, so it will report them).
     }
 
     /// Start a new rollback generation: every peer restarts from the common
@@ -396,6 +471,12 @@ impl ConvergenceDetector {
 pub struct PeerEngine {
     rank: usize,
     max_relaxations: u64,
+    /// Scheme of computation (kept for rebuilding the per-neighbour wait
+    /// classification after a live repartition).
+    scheme: Scheme,
+    /// The run's topology, including any pre-provisioned join ranks (kept
+    /// for classifying connections to neighbours gained by a repartition).
+    topology: Topology,
     task: Box<dyn IterativeTask>,
     shared: SharedDetector,
     /// Result of the sweep currently being "executed" (published when the
@@ -429,6 +510,10 @@ pub struct PeerEngine {
     /// This peer's rollback generation (see
     /// [`ConvergenceDetector::begin_generation`]).
     generation: u32,
+    /// This peer's membership epoch (see
+    /// [`crate::churn::MembershipPlan::epoch`]): bumped when the engine
+    /// adopts a live repartition.
+    epoch: u32,
     /// A rollback that arrived mid-sweep, applied at compute completion.
     pending_rollback: Option<(u64, u32)>,
     /// Clock value when the pending sweep started (busy-time accounting).
@@ -479,6 +564,8 @@ impl PeerEngine {
         Self {
             rank,
             max_relaxations,
+            scheme,
+            topology: topology.clone(),
             task,
             shared,
             pending_relax: None,
@@ -494,9 +581,155 @@ impl PeerEngine {
             volatility: None,
             crashed: false,
             generation: 0,
+            epoch: 0,
             pending_rollback: None,
             compute_started_ns: 0,
         }
+    }
+
+    /// Create the engine of a peer that *joins* a running computation (a
+    /// [`crate::churn::ChurnEventKind::Join`] event fired): its task is this
+    /// rank's slice of the *latest* [`crate::churn::MembershipPlan`] — not
+    /// necessarily the plan that introduced the rank, since another plan
+    /// (e.g. a repartitioning recovery during the spawn window) may have
+    /// replaced it; every plan published after the join slices for the
+    /// grown rank count, so the newest one always covers the joiner.
+    /// Returns `None` when no plan covers `rank`. The caller follows up
+    /// with [`PeerEngine::on_start`], which checkpoints the restored state
+    /// and begins relaxing.
+    pub fn join_run(
+        rank: usize,
+        scheme: Scheme,
+        topology: &Topology,
+        shared: SharedDetector,
+        volatility: SharedVolatility,
+        max_relaxations: u64,
+    ) -> Option<Self> {
+        let (task, epoch, generation) = {
+            let vol = volatility.lock().unwrap();
+            let plan = vol.plan()?;
+            if rank >= plan.parts.len() {
+                return None;
+            }
+            let rep = vol.adoption(0, plan.rollback.is_some())?;
+            (
+                rep.repartitioner
+                    .task_for(rank, &rep.parts, &rep.global, rep.iteration),
+                plan.epoch,
+                plan.rollback.map(|(_, generation)| generation).unwrap_or(0),
+            )
+        };
+        let mut engine = Self::new(rank, scheme, topology, task, shared, max_relaxations);
+        engine.attach_volatility(volatility);
+        engine.epoch = epoch;
+        engine.generation = generation;
+        Some(engine)
+    }
+
+    /// Recompute the per-neighbour communication state from the (new) task
+    /// after a live repartition. Sockets, FIFO queues and freshness counters
+    /// of neighbours that *persist* are kept — their reliable sessions must
+    /// stay continuous — while lost neighbours are dropped and new ones get
+    /// fresh sockets (both endpoints of a new edge open at adoption, so the
+    /// sessions start consistently; a segment sent before the other end
+    /// adopted is recovered by the reliable channel's retransmission).
+    fn rebuild_comms(&mut self) {
+        let neighbors = self.task.neighbors();
+        self.sockets.retain(|nb, _| neighbors.contains(nb));
+        self.pending_sync.retain(|nb, _| neighbors.contains(nb));
+        self.async_fresh.retain(|nb, _| neighbors.contains(nb));
+        self.sync_neighbors.clear();
+        self.async_neighbors.clear();
+        for &nb in &neighbors {
+            let connection = self.topology.connection_type(NodeId(self.rank), NodeId(nb));
+            self.sockets
+                .entry(nb)
+                .or_insert_with(|| Socket::open(self.scheme, connection));
+            let wait = match self.scheme {
+                Scheme::Synchronous => true,
+                Scheme::Asynchronous => false,
+                Scheme::Hybrid => connection == netsim::ConnectionType::IntraCluster,
+            };
+            if wait {
+                self.sync_neighbors.push(nb);
+                self.pending_sync.entry(nb).or_default();
+                self.async_fresh.remove(&nb);
+            } else {
+                self.async_neighbors.push(nb);
+                self.async_fresh.entry(nb).or_insert(0);
+                self.pending_sync.remove(&nb);
+            }
+        }
+        // The adopted block is new state: freshness counters restart (every
+        // asynchronous neighbour must deliver again before this rank may
+        // claim stability) and any pre-adoption stability evidence is void —
+        // convergence must be re-established on the re-sliced data.
+        for counter in self.async_fresh.values_mut() {
+            *counter = 0;
+        }
+        self.max_ghost_change = 0.0;
+        let mut shared = self.shared.lock().unwrap();
+        shared.has_async_neighbor[self.rank] = !self.async_neighbors.is_empty();
+        shared.void_all_stability();
+    }
+
+    /// Adopt the current membership plan: replace the task by this rank's
+    /// new slice and rebuild the neighbour state. With `overlay` (the
+    /// asynchronous/hybrid path), the engine's *live* block values are
+    /// written over the plan's checkpoint-assembled global first, so only
+    /// items that moved between ranks carry checkpoint staleness, and the
+    /// relaxation counter is kept; without it (a rollback realignment, a
+    /// recovering rank, or the joiner) the plan's state and iteration are
+    /// taken as-is.
+    fn adopt_ticket(
+        &mut self,
+        ticket: crate::churn::AdoptionTicket,
+        overlay: bool,
+        transport: &mut impl PeerTransport,
+    ) {
+        let mut global = ticket.global;
+        let iteration = if overlay {
+            crate::workload::write_block_state(
+                &mut global,
+                &self.task.checkpoint_state(),
+                ticket.repartitioner.item_width(),
+            );
+            self.task.relaxations()
+        } else {
+            ticket.iteration
+        };
+        self.task = ticket
+            .repartitioner
+            .task_for(self.rank, &ticket.parts, &global, iteration);
+        self.rebuild_comms();
+        self.epoch = ticket.epoch;
+        transport.note("p2pdc.repartitions");
+    }
+
+    /// Adopt a pending asynchronous/hybrid membership plan, if one is newer
+    /// than this engine's epoch, and start relaxing on the new slice.
+    /// Synchronous plans are NOT adopted here — they ride the rollback
+    /// broadcast ([`PeerEngine::on_rollback`]) so every peer realigns on the
+    /// common iteration. Drivers may call this from their idle paths (like
+    /// [`PeerEngine::poll_rollback`]); the engine also polls it between
+    /// sweeps. Returns whether a plan was adopted.
+    pub fn poll_membership(&mut self, transport: &mut impl PeerTransport) -> bool {
+        if self.finished || self.crashed || self.computing {
+            return false;
+        }
+        let Some(vol) = self.volatility.clone() else {
+            return false;
+        };
+        let Some(ticket) = vol.lock().unwrap().adoption(self.epoch, false) else {
+            return false;
+        };
+        self.adopt_ticket(ticket, true, transport);
+        if self.shared.lock().unwrap().stop {
+            self.finish(transport);
+            return true;
+        }
+        self.begin_relaxation(transport);
+        true
     }
 
     /// Attach the run's volatility coordinator: the engine will deposit
@@ -650,14 +883,21 @@ impl PeerEngine {
         let outgoing = self.task.outgoing();
         for (dst, payload) in outgoing {
             if self.async_neighbors.contains(&dst) {
-                let wire = payload.len() + netsim::WIRE_OVERHEAD_BYTES;
+                let wire = payload.len() + GENERATION_TAG_BYTES + netsim::WIRE_OVERHEAD_BYTES;
                 if !transport.pacing_gate(dst, wire) {
                     continue;
                 }
             }
+            // Every data payload carries the sender's rollback generation,
+            // so an update published before a rollback can never be consumed
+            // as a post-rollback iteration boundary (see
+            // `PeerEngine::receive_payload`).
+            let mut wire = Vec::with_capacity(GENERATION_TAG_BYTES + payload.len());
+            wire.extend_from_slice(&self.generation.to_le_bytes());
+            wire.extend_from_slice(&payload);
             let now = transport.now_ns();
             let socket = self.sockets.get_mut(&dst).expect("socket per neighbour");
-            let (_, out) = socket.send(Bytes::from(payload), now);
+            let (_, out) = socket.send(Bytes::from(wire), now);
             self.run_socket_output(transport, dst, out);
         }
         // Stability: the local sweep changed little, every asynchronous
@@ -697,12 +937,73 @@ impl PeerEngine {
             self.finish(transport);
             return;
         }
+        if self.handle_join_trigger(iteration, transport) {
+            return;
+        }
         self.try_advance(transport);
+    }
+
+    /// This rank's relaxation clock may trigger a scheduled join: grow the
+    /// run, publish the re-slice and adopt this rank's new share. For
+    /// synchronous runs the realignment rides a rollback broadcast (every
+    /// peer restarts from the deterministic common iteration under a new
+    /// generation); asynchronous/hybrid peers pick the plan up at their next
+    /// safe point. Returns whether a join fired (the engine then already
+    /// started its next sweep or finished).
+    fn handle_join_trigger(&mut self, iteration: u64, transport: &mut impl PeerTransport) -> bool {
+        let Some(vol) = self.volatility.clone() else {
+            return false;
+        };
+        if !vol.lock().unwrap().join_due(self.rank, iteration) {
+            return false;
+        }
+        let loads = self.shared.lock().unwrap().loads().to_vec();
+        let Some((new_peers, rollback)) = vol.lock().unwrap().create_join_plan(iteration, &loads)
+        else {
+            // The workload cannot be repartitioned: the join is ignored.
+            return false;
+        };
+        self.shared.lock().unwrap().grow(new_peers);
+        vol.lock().unwrap().arm_spawn();
+        if let Some((target, generation)) = rollback {
+            // Synchronous realignment (same semantics as a recovery
+            // rollback): queued pre-realign updates belong to abandoned
+            // iterations, every peer republishes from the common restart.
+            for queue in self.pending_sync.values_mut() {
+                queue.clear();
+            }
+            self.generation = generation;
+            self.shared
+                .lock()
+                .unwrap()
+                .begin_generation(generation, target);
+            let ticket = vol.lock().unwrap().adoption(self.epoch, true);
+            if let Some(ticket) = ticket {
+                self.adopt_ticket(ticket, false, transport);
+            }
+            transport.broadcast_rollback(target, generation);
+        } else {
+            let ticket = vol.lock().unwrap().adoption(self.epoch, false);
+            if let Some(ticket) = ticket {
+                self.adopt_ticket(ticket, true, transport);
+            }
+        }
+        if self.shared.lock().unwrap().stop {
+            self.finish(transport);
+            return true;
+        }
+        self.begin_relaxation(transport);
+        true
     }
 
     /// Start the next relaxation if the scheme's waiting condition allows it.
     fn try_advance(&mut self, transport: &mut impl PeerTransport) {
         if self.computing || self.finished {
+            return;
+        }
+        // A pending asynchronous/hybrid re-slice is adopted before waiting
+        // on neighbours that may no longer exist under the new partition.
+        if self.poll_membership(transport) {
             return;
         }
         // Check the stop flag set by other peers.
@@ -776,7 +1077,18 @@ impl PeerEngine {
         let now = transport.now_ns();
         let loads = self.shared.lock().unwrap().loads().to_vec();
         let (checkpoint, rollback) = vol.lock().unwrap().take_recovery(self.rank, now, &loads);
-        if let Some(checkpoint) = checkpoint {
+        // Live repartitioning: when the recovery published (or the crash
+        // missed) a membership plan, the revived rank adopts its *new* slice
+        // instead of restoring the original block — this is where the
+        // capacity-weighted shares are applied for real.
+        let adoption = {
+            let vol = vol.lock().unwrap();
+            vol.adoption(self.epoch, rollback.is_some())
+                .filter(|ticket| ticket.rollback == rollback)
+        };
+        if let Some(ticket) = adoption {
+            self.adopt_ticket(ticket, false, transport);
+        } else if let Some(checkpoint) = checkpoint {
             // Tasks without restore support (the trait's default) keep their
             // live state: the rank rejoins without rewinding.
             let _ = self.task.restore(&checkpoint.state, checkpoint.iteration);
@@ -857,12 +1169,23 @@ impl PeerEngine {
         transport: &mut impl PeerTransport,
     ) {
         self.generation = generation;
-        let checkpoint = self.volatility.as_ref().and_then(|vol| {
+        // A rollback that carries a membership plan (recovery-with-reslice
+        // or a join on a synchronous run) realigns *and* repartitions: the
+        // peer adopts its new slice of the plan's common state instead of
+        // its own checkpoint.
+        let adoption = self.volatility.as_ref().and_then(|vol| {
+            vol.lock()
+                .unwrap()
+                .adoption(self.epoch, true)
+                .filter(|ticket| ticket.rollback == Some((to_iteration, generation)))
+        });
+        if let Some(ticket) = adoption {
+            self.adopt_ticket(ticket, false, transport);
+        } else if let Some(checkpoint) = self.volatility.as_ref().and_then(|vol| {
             vol.lock()
                 .unwrap()
                 .checkpoint_for_rollback(self.rank, to_iteration)
-        });
-        if let Some(checkpoint) = checkpoint {
+        }) {
             let _ = self.task.restore(&checkpoint.state, checkpoint.iteration);
         }
         // Queued pre-rollback updates belong to iterations the run is
@@ -886,9 +1209,36 @@ impl PeerEngine {
         self.begin_relaxation(transport);
     }
 
-    /// `P2P_Receive` one delivered payload: queue it (synchronous neighbour)
-    /// or incorporate it immediately (asynchronous neighbour).
-    fn receive_payload(&mut self, from: usize, payload: Bytes) {
+    /// `P2P_Receive` one delivered payload: strip and check the sender's
+    /// rollback generation, then queue it (synchronous neighbour) or
+    /// incorporate it immediately (asynchronous neighbour).
+    ///
+    /// The generation tag is what keeps a rollback exact on backends with
+    /// real delivery latency: an update published *before* a rollback but
+    /// still in flight when it lands would otherwise be consumed as a
+    /// post-rollback iteration boundary, leaving that edge permanently
+    /// skewed. Stale-generation payloads are dropped (the sender republishes
+    /// from the common restart point); a payload from a *newer* generation
+    /// means this peer has not applied the rollback yet — it catches up
+    /// through the detector's published rollback first.
+    fn receive_payload(&mut self, from: usize, payload: Bytes, transport: &mut impl PeerTransport) {
+        if payload.len() < GENERATION_TAG_BYTES {
+            return;
+        }
+        let generation = u32::from_le_bytes(
+            payload[..GENERATION_TAG_BYTES]
+                .try_into()
+                .expect("tag length checked"),
+        );
+        if generation < self.generation {
+            // A pre-rollback straggler: its iteration belongs to an
+            // abandoned lineage.
+            return;
+        }
+        if generation > self.generation {
+            self.poll_rollback(transport);
+        }
+        let payload = payload.slice(GENERATION_TAG_BYTES..);
         if self.pending_sync.contains_key(&from) {
             self.pending_sync
                 .get_mut(&from)
@@ -921,7 +1271,7 @@ impl PeerEngine {
         }
         self.run_socket_output(transport, from, out);
         for payload in received {
-            self.receive_payload(from, payload);
+            self.receive_payload(from, payload, transport);
         }
         if !self.finished {
             self.try_advance(transport);
@@ -945,7 +1295,7 @@ impl PeerEngine {
             }
             self.run_socket_output(transport, neighbor, out);
             for payload in received {
-                self.receive_payload(neighbor, payload);
+                self.receive_payload(neighbor, payload, transport);
             }
             self.try_advance(transport);
         }

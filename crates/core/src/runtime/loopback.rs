@@ -121,18 +121,28 @@ where
 {
     let alpha = config.topology.len();
     assert!(alpha >= 1);
+    // Pre-provision substrate capacity (transports, inboxes) for ranks that
+    // may join mid-run; their engines stay unspawned until the join fires.
+    let topology = config.provisioned_topology();
+    let total = topology.len();
     let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
-    let volatility = config
-        .churn
-        .as_ref()
-        .map(|plan| VolatilityState::shared(plan, alpha, config.scheme));
+    let volatility = config.churn.as_ref().map(|plan| {
+        let vol = VolatilityState::shared(plan, alpha, config.scheme);
+        if let Some(handle) = &config.repartitioner {
+            vol.lock().unwrap().set_repartitioner(handle.clone());
+        }
+        vol
+    });
 
-    let mut engines: Vec<PeerEngine> = (0..alpha)
+    let mut engines: Vec<Option<PeerEngine>> = (0..total)
         .map(|rank| {
+            if rank >= alpha {
+                return None;
+            }
             let mut engine = PeerEngine::new(
                 rank,
                 config.scheme,
-                &config.topology,
+                &topology,
                 task_factory(rank),
                 Arc::clone(&shared),
                 config.max_relaxations,
@@ -140,13 +150,13 @@ where
             if let Some(vol) = &volatility {
                 engine.attach_volatility(Arc::clone(vol));
             }
-            engine
+            Some(engine)
         })
         .collect();
-    let mut transports: Vec<LoopbackTransport> = (0..alpha)
+    let mut transports: Vec<LoopbackTransport> = (0..total)
         .map(|rank| LoopbackTransport {
             rank,
-            peers: alpha,
+            peers: total,
             clock_ns: 0,
             outbox: Vec::new(),
             timers: TimerQueue::new(),
@@ -154,7 +164,7 @@ where
         })
         .collect();
     let mut inboxes: Vec<VecDeque<(usize, LoopWire)>> =
-        (0..alpha).map(|_| VecDeque::new()).collect();
+        (0..total).map(|_| VecDeque::new()).collect();
 
     let mut clock: u64 = 0;
     // Drain a transport's outbox into the destination inboxes.
@@ -171,7 +181,10 @@ where
     for rank in 0..alpha {
         clock += 1;
         transports[rank].clock_ns = clock;
-        engines[rank].on_start(&mut transports[rank]);
+        engines[rank]
+            .as_mut()
+            .expect("initial ranks are spawned")
+            .on_start(&mut transports[rank]);
         flush(rank, &mut transports, &mut inboxes);
     }
 
@@ -182,7 +195,37 @@ where
 
     loop {
         let mut progress = false;
-        for rank in 0..alpha {
+        // A join fired: spawn the pre-provisioned rank. Its engine adopts
+        // the joined slice of the membership plan and starts relaxing.
+        if let Some(vol) = &volatility {
+            let spawn = vol.lock().unwrap().take_pending_spawn();
+            if let Some(rank) = spawn {
+                if engines[rank].is_none() {
+                    if let Some(engine) = PeerEngine::join_run(
+                        rank,
+                        config.scheme,
+                        &topology,
+                        Arc::clone(&shared),
+                        Arc::clone(vol),
+                        config.max_relaxations,
+                    ) {
+                        clock += 1;
+                        transports[rank].clock_ns = clock;
+                        engines[rank] = Some(engine);
+                        engines[rank]
+                            .as_mut()
+                            .expect("just spawned")
+                            .on_start(&mut transports[rank]);
+                        flush(rank, &mut transports, &mut inboxes);
+                        progress = true;
+                    }
+                }
+            }
+        }
+        for rank in 0..total {
+            if engines[rank].is_none() {
+                continue;
+            }
             // A crashed peer is silent: its protocol timers die with it and
             // nothing is delivered to it until, after the modelled detection
             // delay, the recovery path revives the rank. In-flight traffic
@@ -193,7 +236,7 @@ where
             // would lose it forever and deadlock a synchronous edge. Real
             // loss-under-crash semantics live on the UDP backend, whose
             // sockets genuinely drop and retransmit in wall-clock time.
-            if engines[rank].crashed() {
+            if engines[rank].as_ref().expect("spawned").crashed() {
                 if let std::collections::hash_map::Entry::Vacant(entry) = recover_at.entry(rank) {
                     let vol = volatility.as_ref().expect("crash implies volatility");
                     let loads = shared.lock().unwrap().loads().to_vec();
@@ -208,14 +251,20 @@ where
                     recover_at.remove(&rank);
                     clock += 1;
                     transports[rank].clock_ns = clock;
-                    engines[rank].on_stop_signal(&mut transports[rank]);
+                    engines[rank]
+                        .as_mut()
+                        .expect("spawned")
+                        .on_stop_signal(&mut transports[rank]);
                     flush(rank, &mut transports, &mut inboxes);
                     progress = true;
                 } else if clock >= recover_at[&rank] {
                     recover_at.remove(&rank);
                     clock += 1;
                     transports[rank].clock_ns = clock;
-                    engines[rank].recover(&mut transports[rank]);
+                    engines[rank]
+                        .as_mut()
+                        .expect("spawned")
+                        .recover(&mut transports[rank]);
                     flush(rank, &mut transports, &mut inboxes);
                     progress = true;
                 }
@@ -226,17 +275,22 @@ where
                 clock += 1;
                 transports[rank].clock_ns = clock;
                 match wire {
-                    LoopWire::Segment(segment) => {
-                        engines[rank].on_segment(from, segment, &mut transports[rank])
-                    }
-                    LoopWire::Stop => engines[rank].on_stop_signal(&mut transports[rank]),
-                    LoopWire::Rollback(to_iteration, generation) => {
-                        engines[rank].on_rollback(to_iteration, generation, &mut transports[rank])
-                    }
+                    LoopWire::Segment(segment) => engines[rank]
+                        .as_mut()
+                        .expect("spawned")
+                        .on_segment(from, segment, &mut transports[rank]),
+                    LoopWire::Stop => engines[rank]
+                        .as_mut()
+                        .expect("spawned")
+                        .on_stop_signal(&mut transports[rank]),
+                    LoopWire::Rollback(to_iteration, generation) => engines[rank]
+                        .as_mut()
+                        .expect("spawned")
+                        .on_rollback(to_iteration, generation, &mut transports[rank]),
                 }
                 flush(rank, &mut transports, &mut inboxes);
                 progress = true;
-                if engines[rank].crashed() {
+                if engines[rank].as_ref().expect("spawned").crashed() {
                     break;
                 }
             }
@@ -245,7 +299,10 @@ where
             while let Some(key) = transports[rank].pop_due_timer() {
                 clock += 1;
                 transports[rank].clock_ns = clock;
-                engines[rank].on_timer(key, &mut transports[rank]);
+                engines[rank]
+                    .as_mut()
+                    .expect("spawned")
+                    .on_timer(key, &mut transports[rank]);
                 flush(rank, &mut transports, &mut inboxes);
                 progress = true;
             }
@@ -254,23 +311,46 @@ where
                 transports[rank].compute_pending = false;
                 clock += 1;
                 transports[rank].clock_ns = clock;
-                engines[rank].on_compute_done(&mut transports[rank]);
+                engines[rank]
+                    .as_mut()
+                    .expect("spawned")
+                    .on_compute_done(&mut transports[rank]);
                 flush(rank, &mut transports, &mut inboxes);
                 progress = true;
             }
+            // Adopt a pending asynchronous/hybrid re-slice even while idle
+            // (the engine also polls between sweeps; this covers a peer
+            // parked in a scheme wait with no traffic in flight).
+            if !engines[rank].as_ref().expect("spawned").finished()
+                && !engines[rank].as_ref().expect("spawned").computing()
+            {
+                transports[rank].clock_ns = clock;
+                if engines[rank]
+                    .as_mut()
+                    .expect("spawned")
+                    .poll_membership(&mut transports[rank])
+                {
+                    clock += 1;
+                    flush(rank, &mut transports, &mut inboxes);
+                    progress = true;
+                }
+            }
             // Propagate a stop another peer established.
-            if !engines[rank].finished()
-                && !engines[rank].computing()
+            if !engines[rank].as_ref().expect("spawned").finished()
+                && !engines[rank].as_ref().expect("spawned").computing()
                 && shared.lock().unwrap().stopped()
             {
                 clock += 1;
                 transports[rank].clock_ns = clock;
-                engines[rank].on_stop_signal(&mut transports[rank]);
+                engines[rank]
+                    .as_mut()
+                    .expect("spawned")
+                    .on_stop_signal(&mut transports[rank]);
                 flush(rank, &mut transports, &mut inboxes);
                 progress = true;
             }
         }
-        if engines.iter().all(|e| e.finished()) {
+        if engines.iter().flatten().all(|e| e.finished()) {
             break;
         }
         if !progress {

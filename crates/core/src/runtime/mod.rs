@@ -62,7 +62,8 @@ pub use udp::{run_iterative_udp, LossShim, Reassembler, UdpRunConfig, UdpRunOutc
 
 use crate::churn::ChurnPlan;
 use crate::compute::ComputeModel;
-use netsim::Topology;
+use crate::workload::ReslicerHandle;
+use netsim::{ClusterId, Topology};
 use p2psap::Scheme;
 
 /// The configuration every runtime backend shares: the scheme of
@@ -93,11 +94,17 @@ pub struct RunConfig {
     /// Compute-cost model (virtual time per relaxed point; simulated
     /// runtime only).
     pub compute: ComputeModel,
-    /// Peer-volatility schedule (crashes, slowdowns) injected into the run.
-    /// `None` (the default) runs with fixed membership; `Some` arms the
-    /// fault injector, live checkpointing and the recovery path on every
+    /// Peer-volatility schedule (crashes, slowdowns, joins) injected into
+    /// the run. `None` (the default) runs with fixed membership; `Some` arms
+    /// the fault injector, live checkpointing and the recovery path on every
     /// backend (see [`crate::churn`]).
     pub churn: Option<ChurnPlan>,
+    /// The workload's live-repartitioning handle
+    /// ([`crate::workload::Workload::repartitioner`]). `None` disables
+    /// re-slicing: recovery restores the original blocks and join events are
+    /// ignored. [`crate::experiment::run_on`] fills this in automatically
+    /// for churn-armed runs.
+    pub repartitioner: Option<ReslicerHandle>,
 }
 
 impl RunConfig {
@@ -130,6 +137,7 @@ impl RunConfig {
             seed: Self::DEFAULT_SEED,
             compute: ComputeModel::default(),
             churn: None,
+            repartitioner: None,
         }
     }
 
@@ -177,8 +185,32 @@ impl RunConfig {
         self
     }
 
-    /// Number of peers in the run.
+    /// Attach the workload's live-repartitioning handle.
+    pub fn with_repartitioner(mut self, handle: ReslicerHandle) -> Self {
+        self.repartitioner = Some(handle);
+        self
+    }
+
+    /// Number of peers the run *starts* with (joins may grow it).
     pub fn peers(&self) -> usize {
         self.topology.len()
+    }
+
+    /// Number of join events the churn plan schedules.
+    pub fn planned_joins(&self) -> usize {
+        self.churn.as_ref().map(ChurnPlan::join_count).unwrap_or(0)
+    }
+
+    /// The run's topology extended with one pre-provisioned node (in the
+    /// first cluster, at reference speed) per scheduled join event. Drivers
+    /// size their substrate — channels, inboxes, the simulated fabric, the
+    /// bootstrap table — from this, so a joining peer has a slot to occupy;
+    /// the extra ranks stay dormant until their join fires.
+    pub fn provisioned_topology(&self) -> Topology {
+        let mut topology = self.topology.clone();
+        for _ in 0..self.planned_joins() {
+            topology.push_node(ClusterId(0), 1.0);
+        }
+        topology
     }
 }

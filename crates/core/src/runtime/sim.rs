@@ -114,6 +114,10 @@ struct RollbackSignal {
     generation: u32,
 }
 
+/// Signal sent to a pre-provisioned dormant rank when its join event fires:
+/// the rank builds its engine from the membership plan and starts relaxing.
+struct JoinSignal;
+
 /// Substrate-side state of one simulated peer: fabric addressing, the
 /// compute-cost model, sender-side pacing gates and desim timer bookkeeping.
 struct SimNet {
@@ -236,9 +240,15 @@ impl PeerTransport for SimTransport<'_, '_> {
 }
 
 /// One peer of the distributed computation: a [`PeerEngine`] plus the
-/// simulated-substrate state it drives its transport with.
+/// simulated-substrate state it drives its transport with. Ranks that are
+/// pre-provisioned for a scheduled join start *dormant* (`engine: None`)
+/// and come alive on the [`JoinSignal`] the triggering peer sends.
 struct PeerActor {
-    engine: PeerEngine,
+    rank: usize,
+    scheme: p2psap::Scheme,
+    max_relaxations: u64,
+    shared: SharedDetector,
+    engine: Option<PeerEngine>,
     net: SimNet,
     /// The run's volatility coordinator and convergence detector (for load
     /// snapshots at grant time), when failure injection is active.
@@ -259,38 +269,84 @@ impl PeerActor {
         let (vol, detector) = self.volatility.as_ref().expect("crash implies volatility");
         let loads = detector.lock().unwrap().loads().to_vec();
         let mut vol = vol.lock().unwrap();
-        vol.grant(self.engine.rank(), &loads);
+        vol.grant(self.rank, &loads);
         let delay = SimDuration::from_nanos(vol.detection_delay_ns());
         drop(vol);
         ctx.set_timer(delay, RECOVERY_TIMER_TAG);
+    }
+
+    /// A join event fired somewhere in the run: wake the dormant rank it
+    /// named (the joiner builds its engine from the membership plan).
+    fn dispatch_spawn(&mut self, ctx: &mut Context<'_>) {
+        if let Some((vol, _)) = &self.volatility {
+            let spawn = vol.lock().unwrap().take_pending_spawn();
+            if let Some(rank) = spawn {
+                ctx.send(ProcessId(rank), Box::new(JoinSignal));
+            }
+        }
+    }
+
+    /// The dormant rank's join: adopt the plan's slice and start relaxing.
+    fn join(&mut self, ctx: &mut Context<'_>) {
+        if self.engine.is_some() {
+            return;
+        }
+        let Some((vol, _)) = &self.volatility else {
+            return;
+        };
+        let Some(mut engine) = PeerEngine::join_run(
+            self.rank,
+            self.scheme,
+            &self.net.topology,
+            Arc::clone(&self.shared),
+            Arc::clone(vol),
+            self.max_relaxations,
+        ) else {
+            return;
+        };
+        let mut transport = Self::transport(&mut self.net, ctx);
+        engine.on_start(&mut transport);
+        self.engine = Some(engine);
     }
 }
 
 impl Process for PeerActor {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
-        let mut transport = Self::transport(&mut self.net, ctx);
-        self.engine.on_start(&mut transport);
+        if let Some(engine) = self.engine.as_mut() {
+            let mut transport = Self::transport(&mut self.net, ctx);
+            engine.on_start(&mut transport);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, payload: Payload) {
+        let payload = match payload.downcast::<JoinSignal>() {
+            Ok(_) => {
+                self.join(ctx);
+                return;
+            }
+            Err(payload) => payload,
+        };
+        let Some(engine) = self.engine.as_mut() else {
+            // Dormant rank: nothing to deliver to yet.
+            return;
+        };
         let mut transport = Self::transport(&mut self.net, ctx);
         match payload.downcast::<Deliver>() {
             Ok(deliver) => {
                 // A crashed peer is silent: traffic addressed to it is lost
                 // (the engine's own guard also drops it; this keeps the
                 // socket state untouched during downtime).
-                if self.engine.crashed() {
+                if engine.crashed() {
                     return;
                 }
                 let from = deliver.packet.src.0;
-                self.engine
-                    .on_segment(from, deliver.packet.payload, &mut transport);
+                engine.on_segment(from, deliver.packet.payload, &mut transport);
             }
             Err(other) => match other.downcast::<StopSignal>() {
-                Ok(_) => self.engine.on_stop_signal(&mut transport),
+                Ok(_) => engine.on_stop_signal(&mut transport),
                 Err(other) => {
                     if let Ok(rollback) = other.downcast::<RollbackSignal>() {
-                        self.engine.on_rollback(
+                        engine.on_rollback(
                             rollback.to_iteration,
                             rollback.generation,
                             &mut transport,
@@ -302,22 +358,28 @@ impl Process for PeerActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: TimerId, tag: u64) {
-        if self.engine.finished() {
+        let Some(engine) = self.engine.as_mut() else {
+            return;
+        };
+        if engine.finished() {
             return;
         }
         if tag == RECOVERY_TIMER_TAG {
             let mut transport = Self::transport(&mut self.net, ctx);
-            self.engine.recover(&mut transport);
+            engine.recover(&mut transport);
             return;
         }
-        if self.engine.crashed() {
+        if engine.crashed() {
             // Stale compute/protocol timers of the dead incarnation.
             return;
         }
         if tag == COMPUTE_TIMER_TAG {
             let mut transport = Self::transport(&mut self.net, ctx);
-            self.engine.on_compute_done(&mut transport);
-            if self.engine.crashed() {
+            engine.on_compute_done(&mut transport);
+            let crashed = engine.crashed();
+            // A join the sweep triggered names a dormant rank: wake it.
+            self.dispatch_spawn(ctx);
+            if crashed {
                 self.schedule_recovery(ctx);
             }
             return;
@@ -328,11 +390,11 @@ impl Process for PeerActor {
         };
         self.net.armed.remove(&key);
         let mut transport = Self::transport(&mut self.net, ctx);
-        self.engine.on_timer(key, &mut transport);
+        engine.on_timer(key, &mut transport);
     }
 
     fn name(&self) -> String {
-        format!("peer-{}", self.engine.rank())
+        format!("peer-{}", self.rank)
     }
 }
 
@@ -344,30 +406,47 @@ where
 {
     let alpha = config.peers();
     assert!(alpha >= 1);
+    // Pre-provision fabric nodes and (dormant) peer processes for ranks
+    // that may join mid-run.
+    let topology = config.provisioned_topology();
+    let total = topology.len();
     let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
-    let volatility = config
-        .churn
-        .as_ref()
-        .map(|plan| VolatilityState::shared(plan, alpha, config.scheme));
+    let volatility = config.churn.as_ref().map(|plan| {
+        let vol = VolatilityState::shared(plan, alpha, config.scheme);
+        if let Some(handle) = &config.repartitioner {
+            vol.lock().unwrap().set_repartitioner(handle.clone());
+        }
+        vol
+    });
     let stats = shared_stats();
     let mut sim = Simulator::new(config.seed);
 
-    // Peer processes are added first (ids 0..alpha-1); the fabric gets id alpha.
-    let fabric_id = ProcessId(alpha);
-    let mut endpoints = Vec::with_capacity(alpha);
-    for rank in 0..alpha {
-        let mut engine = PeerEngine::new(
-            rank,
-            config.scheme,
-            &config.topology,
-            task_factory(rank),
-            Arc::clone(&shared),
-            config.max_relaxations,
-        );
-        if let Some(vol) = &volatility {
-            engine.attach_volatility(Arc::clone(vol));
-        }
+    // Peer processes are added first (ids 0..total-1); the fabric gets id
+    // total.
+    let fabric_id = ProcessId(total);
+    let mut endpoints = Vec::with_capacity(total);
+    for rank in 0..total {
+        let engine = if rank < alpha {
+            let mut engine = PeerEngine::new(
+                rank,
+                config.scheme,
+                &topology,
+                task_factory(rank),
+                Arc::clone(&shared),
+                config.max_relaxations,
+            );
+            if let Some(vol) = &volatility {
+                engine.attach_volatility(Arc::clone(vol));
+            }
+            Some(engine)
+        } else {
+            None
+        };
         let actor = PeerActor {
+            rank,
+            scheme: config.scheme,
+            max_relaxations: config.max_relaxations,
+            shared: Arc::clone(&shared),
             engine,
             volatility: volatility
                 .as_ref()
@@ -375,7 +454,7 @@ where
             net: SimNet {
                 rank,
                 fabric: fabric_id,
-                topology: config.topology.clone(),
+                topology: topology.clone(),
                 compute: config.compute,
                 next_send_ok: HashMap::new(),
                 slots: HashMap::new(),
@@ -387,7 +466,7 @@ where
         assert_eq!(pid.index(), rank);
         endpoints.push(pid);
     }
-    let mut fabric = NetworkFabric::new(config.topology.clone(), endpoints, Arc::clone(&stats));
+    let mut fabric = NetworkFabric::new(topology.clone(), endpoints, Arc::clone(&stats));
     if config.topology.cluster_count() > 1 {
         fabric = fabric.with_inter_cluster_netem(netsim::Netem::delay_100ms());
     }

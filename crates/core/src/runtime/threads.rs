@@ -192,15 +192,23 @@ where
     F: Fn(usize) -> Box<dyn IterativeTask> + Send + Sync,
 {
     let alpha = config.topology.len();
+    // Pre-provision substrate capacity (channels, a dormant thread) for
+    // ranks that may join mid-run.
+    let topology = config.provisioned_topology();
+    let total = topology.len();
     let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
-    let volatility = config
-        .churn
-        .as_ref()
-        .map(|plan| VolatilityState::shared(plan, alpha, config.scheme));
+    let volatility = config.churn.as_ref().map(|plan| {
+        let vol = VolatilityState::shared(plan, alpha, config.scheme);
+        if let Some(handle) = &config.repartitioner {
+            vol.lock().unwrap().set_repartitioner(handle.clone());
+        }
+        vol
+    });
     // Wall-clock failure detection: a run-local topology-manager server the
     // peers ping; the monitor thread sweeps it for missed-ping evictions.
-    // Every rank is registered before any peer thread spawns (a slow spawn
-    // must not read as three missed pings).
+    // Every initial rank is registered before any peer thread spawns (a
+    // slow spawn must not read as three missed pings); a joiner registers
+    // when its join fires.
     let topo = volatility
         .as_ref()
         .map(|_| detection::server_with_all_ranks(&config.topology));
@@ -209,7 +217,7 @@ where
     let (router_tx, router_rx) = unbounded::<Routed>();
     let mut peer_txs: Vec<Sender<(usize, PeerWire)>> = Vec::new();
     let mut peer_rxs: Vec<Receiver<(usize, PeerWire)>> = Vec::new();
-    for _ in 0..alpha {
+    for _ in 0..total {
         let (tx, rx) = unbounded();
         peer_txs.push(tx);
         peer_rxs.push(rx);
@@ -251,7 +259,7 @@ where
             let vol = Arc::clone(vol);
             let topo = Arc::clone(topo);
             let shared = Arc::clone(&shared);
-            scope.spawn(move || detection::run_monitor(&vol, &topo, &shared, alpha, start));
+            scope.spawn(move || detection::run_monitor(&vol, &topo, &shared, total, start));
         }
         for (rank, peer_rx) in peer_rxs.iter().enumerate() {
             let rx = peer_rx.clone();
@@ -259,26 +267,59 @@ where
             let shared = Arc::clone(&shared);
             let volatility: Option<SharedVolatility> = volatility.as_ref().map(Arc::clone);
             let topo = topo.as_ref().map(Arc::clone);
-            let topology = config.topology.clone();
+            let topology = topology.clone();
             let scheme = config.scheme;
             let max_relaxations = config.max_relaxations;
             let latency_scale = config.latency_scale;
             scope.spawn(move || {
-                let mut engine = PeerEngine::new(
-                    rank,
-                    scheme,
-                    &topology,
-                    task_factory(rank),
-                    Arc::clone(&shared),
-                    max_relaxations,
-                );
-                if let Some(vol) = &volatility {
-                    engine.attach_volatility(Arc::clone(vol));
-                }
+                let mut engine = if rank < alpha {
+                    let mut engine = PeerEngine::new(
+                        rank,
+                        scheme,
+                        &topology,
+                        task_factory(rank),
+                        Arc::clone(&shared),
+                        max_relaxations,
+                    );
+                    if let Some(vol) = &volatility {
+                        engine.attach_volatility(Arc::clone(vol));
+                    }
+                    engine
+                } else {
+                    // A pre-provisioned join rank: stay dormant (discarding
+                    // any early broadcasts) until the seeded join fires,
+                    // then adopt the membership plan's slice. If the run
+                    // ends first, exit without ever having existed.
+                    let vol = volatility.as_ref().expect("join ranks imply churn");
+                    let engine = loop {
+                        if vol.lock().unwrap().take_spawn_if(rank) {
+                            match PeerEngine::join_run(
+                                rank,
+                                scheme,
+                                &topology,
+                                Arc::clone(&shared),
+                                Arc::clone(vol),
+                                max_relaxations,
+                            ) {
+                                Some(engine) => break Some(engine),
+                                None => break None,
+                            }
+                        }
+                        if shared.lock().unwrap().stopped() {
+                            break None;
+                        }
+                        while rx.try_recv().is_ok() {}
+                        std::thread::sleep(Duration::from_millis(1));
+                    };
+                    let Some(engine) = engine else {
+                        return;
+                    };
+                    engine
+                };
                 let mut heartbeat = Heartbeat::new(&topology, rank);
                 let mut transport = ThreadTransport {
                     rank,
-                    peers: alpha,
+                    peers: total,
                     start,
                     router: tx,
                     topology,
@@ -286,6 +327,12 @@ where
                     timers: TimerQueue::new(),
                     compute_pending: false,
                 };
+                if rank >= alpha {
+                    // The joiner announces itself to the failure detector.
+                    if let Some(topo) = &topo {
+                        heartbeat.rejoin(topo, start);
+                    }
+                }
                 engine.on_start(&mut transport);
                 while !engine.finished() {
                     // Heartbeat towards the failure detector.
@@ -348,6 +395,11 @@ where
                     // was idling in a scheme wait.
                     if shared.lock().unwrap().stopped() {
                         engine.on_stop_signal(&mut transport);
+                        continue;
+                    }
+                    // Adopt a pending asynchronous/hybrid re-slice while
+                    // idle (the engine also polls between sweeps).
+                    if engine.poll_membership(&mut transport) {
                         continue;
                     }
                     // Idle waits stay shorter than the ping period while the

@@ -519,6 +519,12 @@ impl PeerTransport for UdpTransport {
     }
 
     fn transmit(&mut self, to: usize, segment: Bytes) {
+        // A pre-provisioned join rank that has not announced yet shows as
+        // port 0: nothing to send to (the reliable channel retransmits once
+        // the bootstrap republishes the table with its real port).
+        if self.addrs[to].port() == 0 {
+            return;
+        }
         let msg_id = self.next_msg_id;
         self.next_msg_id = self.next_msg_id.wrapping_add(1);
         for datagram in frame_segment(self.rank, msg_id, &segment) {
@@ -547,7 +553,7 @@ impl PeerTransport for UdpTransport {
         self.shim.flush(&self.socket);
         let stop = Datagram::Stop { from: self.rank }.encode();
         for (rank, addr) in self.addrs.iter().enumerate() {
-            if rank != self.rank {
+            if rank != self.rank && addr.port() != 0 {
                 // Stops bypass the shim: termination is the coordinator's
                 // reliable path, and the shared detector backs it up anyway.
                 let _ = self.socket.send_to(&stop, *addr);
@@ -566,7 +572,7 @@ impl PeerTransport for UdpTransport {
         }
         .encode();
         for (rank, addr) in self.addrs.iter().enumerate() {
-            if rank != self.rank {
+            if rank != self.rank && addr.port() != 0 {
                 let _ = self.socket.send_to(&rollback, *addr);
             }
         }
@@ -599,18 +605,21 @@ fn localhost() -> Ipv4Addr {
 }
 
 /// Bootstrap service: binds its own port, collects one `HELLO(rank)` from
-/// every peer, then answers every (re-)announcement with the full table.
-/// Runs until `stop` is set.
+/// every *initial* peer, then answers every (re-)announcement with the full
+/// `total`-slot table (pre-provisioned join ranks appear as port 0 until
+/// they announce; a joiner's hello triggers a table re-broadcast so every
+/// running peer learns its address mid-run). Runs until `stop` is set.
 fn bootstrap_service(
     socket: UdpSocket,
-    peers: usize,
+    initial: usize,
+    total: usize,
     stop: Arc<AtomicBool>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
         socket
             .set_read_timeout(Some(Duration::from_millis(20)))
             .expect("set bootstrap read timeout");
-        let mut ports: Vec<Option<u16>> = vec![None; peers];
+        let mut ports: Vec<Option<u16>> = vec![None; total];
         let mut buf = [0u8; 64];
         while !stop.load(Ordering::Relaxed) {
             let Ok((len, from_addr)) = socket.recv_from(&mut buf) else {
@@ -619,16 +628,17 @@ fn bootstrap_service(
             let Some(Datagram::Hello { rank }) = Datagram::decode(&buf[..len]) else {
                 continue;
             };
-            if rank < peers {
+            if rank < total {
                 ports[rank] = Some(from_addr.port());
             }
-            if ports.iter().all(|p| p.is_some()) {
+            if ports.iter().take(initial).all(|p| p.is_some()) {
                 let table = Datagram::Table {
-                    ports: ports.iter().map(|p| p.expect("all known")).collect(),
+                    ports: ports.iter().map(|p| p.unwrap_or(0)).collect(),
                 }
                 .encode();
                 // Answer the announcer (and everyone else, so peers whose
-                // earlier table reply was not yet sent make progress).
+                // earlier table reply was not yet sent make progress and a
+                // joiner's port reaches the already-running peers).
                 for port in ports.iter().flatten() {
                     let _ = socket.send_to(
                         &table,
@@ -675,14 +685,22 @@ where
 {
     let alpha = config.topology.len();
     assert!(alpha >= 1);
+    // Pre-provision bootstrap-table slots and a dormant thread for ranks
+    // that may join mid-run.
+    let topology = config.provisioned_topology();
+    let total = topology.len();
     let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
-    let volatility = config
-        .churn
-        .as_ref()
-        .map(|plan| VolatilityState::shared(plan, alpha, config.scheme));
+    let volatility = config.churn.as_ref().map(|plan| {
+        let vol = VolatilityState::shared(plan, alpha, config.scheme);
+        if let Some(handle) = &config.repartitioner {
+            vol.lock().unwrap().set_repartitioner(handle.clone());
+        }
+        vol
+    });
     // Wall-clock failure detection, as on the thread runtime: peers ping a
-    // run-local topology-manager server (all ranks pre-registered); the
-    // monitor thread sweeps it for missed-ping evictions.
+    // run-local topology-manager server (initial ranks pre-registered; a
+    // joiner registers when its join fires); the monitor thread sweeps it
+    // for missed-ping evictions.
     let topo = volatility
         .as_ref()
         .map(|_| detection::server_with_all_ranks(&config.topology));
@@ -692,24 +710,24 @@ where
         .expect("bind bootstrap socket on localhost");
     let bootstrap_addr = bootstrap_socket.local_addr().expect("bootstrap addr");
     let bootstrap_stop = Arc::new(AtomicBool::new(false));
-    let bootstrap = bootstrap_service(bootstrap_socket, alpha, Arc::clone(&bootstrap_stop));
+    let bootstrap = bootstrap_service(bootstrap_socket, alpha, total, Arc::clone(&bootstrap_stop));
 
     let start = Instant::now();
     let task_factory = &task_factory;
-    let ports = std::sync::Mutex::new(vec![0u16; alpha]);
+    let ports = std::sync::Mutex::new(vec![0u16; total]);
     let dropped = std::sync::atomic::AtomicU64::new(0);
     std::thread::scope(|scope| {
         if let (Some(vol), Some(topo)) = (&volatility, &topo) {
             let vol = Arc::clone(vol);
             let topo = Arc::clone(topo);
             let shared = Arc::clone(&shared);
-            scope.spawn(move || detection::run_monitor(&vol, &topo, &shared, alpha, start));
+            scope.spawn(move || detection::run_monitor(&vol, &topo, &shared, total, start));
         }
-        for rank in 0..alpha {
+        for rank in 0..total {
             let shared = Arc::clone(&shared);
             let volatility: Option<SharedVolatility> = volatility.as_ref().map(Arc::clone);
             let topo = topo.as_ref().map(Arc::clone);
-            let topology = config.topology.clone();
+            let topology = topology.clone();
             let scheme = config.scheme;
             let max_relaxations = config.max_relaxations;
             let seed = config.seed;
@@ -718,22 +736,53 @@ where
             let ports = &ports;
             let dropped = &dropped;
             scope.spawn(move || {
+                let mut engine = if rank < alpha {
+                    let mut engine = PeerEngine::new(
+                        rank,
+                        scheme,
+                        &topology,
+                        task_factory(rank),
+                        Arc::clone(&shared),
+                        max_relaxations,
+                    );
+                    if let Some(vol) = &volatility {
+                        engine.attach_volatility(Arc::clone(vol));
+                    }
+                    engine
+                } else {
+                    // A pre-provisioned join rank: no socket, no hello —
+                    // fully dormant until the seeded join fires. The run's
+                    // bootstrap table carries port 0 for it meanwhile. If
+                    // the run ends first, exit without ever having existed.
+                    let vol = volatility.as_ref().expect("join ranks imply churn");
+                    let engine = loop {
+                        if vol.lock().unwrap().take_spawn_if(rank) {
+                            break PeerEngine::join_run(
+                                rank,
+                                scheme,
+                                &topology,
+                                Arc::clone(&shared),
+                                Arc::clone(vol),
+                                max_relaxations,
+                            );
+                        }
+                        if shared.lock().unwrap().stopped() {
+                            break None;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    };
+                    let Some(engine) = engine else {
+                        return;
+                    };
+                    engine
+                };
                 let socket = UdpSocket::bind(SocketAddrV4::new(localhost(), 0))
                     .expect("bind peer socket on localhost");
                 ports.lock().unwrap()[rank] = socket.local_addr().expect("peer local addr").port();
+                // A joiner's hello makes the bootstrap re-broadcast the
+                // table, so the already-running peers learn its port.
                 let addrs = discover_peers(&socket, rank, bootstrap_addr);
                 socket.set_nonblocking(true).expect("set nonblocking");
-                let mut engine = PeerEngine::new(
-                    rank,
-                    scheme,
-                    &topology,
-                    task_factory(rank),
-                    Arc::clone(&shared),
-                    max_relaxations,
-                );
-                if let Some(vol) = &volatility {
-                    engine.attach_volatility(Arc::clone(vol));
-                }
                 let mut heartbeat = Heartbeat::new(&topology, rank);
                 let mut transport = UdpTransport {
                     rank,
@@ -756,6 +805,12 @@ where
                 const BACKOFF_MAX: Duration = Duration::from_millis(2);
                 let mut backoff = BACKOFF_MIN;
 
+                if rank >= alpha {
+                    // The joiner announces itself to the failure detector.
+                    if let Some(topo) = &topo {
+                        heartbeat.rejoin(topo, start);
+                    }
+                }
                 engine.on_start(&mut transport);
                 while !engine.finished() {
                     // Heartbeat towards the failure detector.
@@ -885,6 +940,9 @@ where
                     // the detector's published rollback as the safety net,
                     // exactly like the stop poll above.
                     engine.poll_rollback(&mut transport);
+                    // Adopt a pending asynchronous/hybrid re-slice while
+                    // idle (the engine also polls between sweeps).
+                    engine.poll_membership(&mut transport);
                     if engine.computing() {
                         backoff = BACKOFF_MIN;
                         continue;

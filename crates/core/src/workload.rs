@@ -23,6 +23,36 @@
 //!   asynchronous-iteration-friendly PageRank over a ring-with-chords
 //!   graph; peers own vertex partitions and exchange rank mass with
 //!   *arbitrary* neighbour peers, not just adjacent ranks.
+//!
+//! # Repartitioning
+//!
+//! All three workloads decompose a one-dimensional *item* space (z-planes,
+//! interior rows, vertices) into contiguous per-rank ranges, and all three
+//! serialize per-rank state in the same shape: a `(start, count)` header
+//! followed by `count × width` little-endian `f64` values. That shared
+//! structure is what makes *live repartitioning* — re-slicing a checkpointed
+//! global state into a new decomposition while the run executes — a generic
+//! operation: [`Repartitioner`] describes a workload's item space and builds
+//! a rank's task for an explicit partition, while [`assemble_global`],
+//! [`weighted_ranges`] and [`reslice_moved_items`] do the coordinate
+//! arithmetic once for every workload. The volatility subsystem
+//! ([`crate::churn`]) drives it: after a recovery the capacity-weighted
+//! shares are applied for real, and a [`crate::churn::ChurnEventKind::Join`]
+//! event lets a brand-new peer take a share of the work mid-run.
+//!
+//! # Examples
+//!
+//! Splitting an item space proportionally to measured capacities:
+//!
+//! ```
+//! use p2pdc::workload::weighted_ranges;
+//!
+//! // 10 interior rows starting at absolute row 1, one peer twice as fast.
+//! let parts = weighted_ranges(1, 10, &[2.0, 1.0, 1.0]);
+//! assert_eq!(parts.iter().map(|&(_, len)| len).sum::<usize>(), 10);
+//! assert_eq!(parts[0].0, 1, "ranges are contiguous from the base");
+//! assert!(parts[0].1 > parts[1].1, "the fast peer owns more rows");
+//! ```
 
 use crate::app::IterativeTask;
 use crate::heat_app::HeatWorkload;
@@ -30,6 +60,7 @@ use crate::obstacle_app::{ObstacleInstance, ObstacleParams, ObstacleWorkload};
 use crate::pagerank_app::PageRankWorkload;
 use p2psap::Scheme;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One distributed application, packaged for the workload-generic experiment
 /// driver: problem construction happens when the workload is built, task
@@ -54,6 +85,195 @@ pub trait Workload: Send + Sync {
     /// global iteration). Converged runs report residuals on the order of
     /// the tolerance.
     fn residual(&self, solution: &[f64]) -> f64;
+
+    /// Live-repartitioning support: re-slice a checkpointed global state
+    /// into a new [`weighted_ranges`] decomposition mid-run. `None` (the
+    /// default) means the workload cannot be repartitioned — recovery then
+    /// restores the original blocks and join events are ignored. All three
+    /// built-in workloads return `Some`.
+    fn repartitioner(&self) -> Option<Arc<dyn Repartitioner>> {
+        None
+    }
+}
+
+/// A workload's handle for live repartitioning: the description of its
+/// one-dimensional item space (planes / rows / vertices) plus a factory
+/// that builds one rank's task for an *explicit* contiguous partition,
+/// seeded from an assembled global state vector.
+///
+/// Implementations are cheap, `'static` and shareable (an [`Arc`] travels
+/// through [`crate::runtime::RunConfig`] into the volatility coordinator),
+/// so a workload typically implements this on a small struct holding its
+/// shared problem data.
+pub trait Repartitioner: Send + Sync {
+    /// Number of divisible work items (z-planes, interior rows, vertices).
+    fn items(&self) -> usize;
+
+    /// First absolute item index (0 for obstacle planes and PageRank
+    /// vertices; 1 for heat, whose interior rows start below the boundary
+    /// row).
+    fn item_base(&self) -> usize {
+        0
+    }
+
+    /// `f64` values per item in the serialized state encoding (`n²` per
+    /// obstacle plane, `n` per heat row, 1 per vertex).
+    fn item_width(&self) -> usize;
+
+    /// The canonical global value vector (initial iterate / boundary
+    /// conditions) used as the canvas that per-rank checkpoint states are
+    /// assembled onto. Length `(item_base() + items()) × item_width()` —
+    /// plus any trailing boundary values the workload's absolute coordinates
+    /// imply (the heat canvas is the full plate including both boundary
+    /// rows).
+    fn global_canvas(&self) -> Vec<f64>;
+
+    /// Build the task of `rank` for the explicit partition `parts`
+    /// (absolute `(start, len)` ranges, one per rank), with owned values
+    /// *and* ghost/external seeds taken from `global` and the relaxation
+    /// counter set to `iteration`. Seeding the boundaries from the same
+    /// global vector keeps a synchronous run's next sweep identical to the
+    /// sequential sweep of that iterate — the re-slice cannot perturb the
+    /// decomposition-invariant relaxation count.
+    fn task_for(
+        &self,
+        rank: usize,
+        parts: &[(usize, usize)],
+        global: &[f64],
+        iteration: u64,
+    ) -> Box<dyn IterativeTask>;
+}
+
+/// Shareable [`Repartitioner`] handle carried by
+/// [`crate::runtime::RunConfig`] (a newtype so the config stays `Debug`).
+#[derive(Clone)]
+pub struct ReslicerHandle(pub Arc<dyn Repartitioner>);
+
+impl std::fmt::Debug for ReslicerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ReslicerHandle(items={}, width={})",
+            self.0.items(),
+            self.0.item_width()
+        )
+    }
+}
+
+/// Split `items` items starting at absolute index `base` into contiguous
+/// ranges proportional to `weights`, every range at least one item
+/// (largest-remainder allocation, the same rule as
+/// [`obstacle::BlockDecomposition::weighted`]). Returns absolute
+/// `(start, len)` per rank.
+pub fn weighted_ranges(base: usize, items: usize, weights: &[f64]) -> Vec<(usize, usize)> {
+    let parts = weights.len();
+    assert!(
+        parts >= 1 && parts <= items,
+        "{parts} parts of {items} items"
+    );
+    assert!(weights.iter().all(|w| *w > 0.0), "weights must be positive");
+    let total: f64 = weights.iter().sum();
+    let mut counts = vec![1usize; parts];
+    let mut remaining = items - parts;
+    let mut fractional: Vec<(usize, f64)> = Vec::with_capacity(parts);
+    for (r, w) in weights.iter().enumerate() {
+        let ideal = items as f64 * w / total;
+        let extra = (ideal - 1.0).max(0.0);
+        let whole = extra.floor() as usize;
+        let take = whole.min(remaining);
+        counts[r] += take;
+        remaining -= take;
+        fractional.push((r, extra - whole as f64));
+    }
+    fractional.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let mut i = 0;
+    while remaining > 0 {
+        counts[fractional[i % parts].0] += 1;
+        remaining -= 1;
+        i += 1;
+    }
+    let mut out = Vec::with_capacity(parts);
+    let mut cursor = base;
+    for count in counts {
+        out.push((cursor, count));
+        cursor += count;
+    }
+    out
+}
+
+/// Decode a serialized block state (the shared result/checkpoint encoding):
+/// `start` (u32), `count` (u32), then `count × width` little-endian `f64`
+/// values. `None` for truncated or mis-sized input.
+pub fn decode_block_state(bytes: &[u8], width: usize) -> Option<(usize, usize, Vec<f64>)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let start = u32::from_le_bytes(bytes[0..4].try_into().ok()?) as usize;
+    let count = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+    if bytes.len() != 8 + count * width * 8 {
+        return None;
+    }
+    let values = bytes[8..]
+        .chunks_exact(8)
+        .map(|b| f64::from_le_bytes(b.try_into().expect("chunked")))
+        .collect();
+    Some((start, count, values))
+}
+
+/// Encode a block state in the shared result/checkpoint encoding.
+pub fn encode_block_state(start: usize, count: usize, values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + values.len() * 8);
+    out.extend_from_slice(&(start as u32).to_le_bytes());
+    out.extend_from_slice(&(count as u32).to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Write one serialized block state (the shared `(start, count, values)`
+/// encoding) onto `canvas` at its absolute coordinates. States that fail to
+/// decode or would overrun the canvas are skipped; returns whether the
+/// values were written.
+pub fn write_block_state(canvas: &mut [f64], bytes: &[u8], width: usize) -> bool {
+    let Some((start, count, values)) = decode_block_state(bytes, width) else {
+        return false;
+    };
+    let at = start * width;
+    if at + count * width > canvas.len() {
+        return false;
+    }
+    canvas[at..at + count * width].copy_from_slice(&values);
+    true
+}
+
+/// Assemble a global value vector by writing per-rank serialized states
+/// onto `canvas` at their absolute coordinates ([`write_block_state`] per
+/// state). Skipped states leave the canvas (the workload's canonical
+/// initial values, or the coordinator's last-known-value record) covering
+/// the gap.
+pub fn assemble_global(mut canvas: Vec<f64>, states: &[Vec<u8>], width: usize) -> Vec<f64> {
+    for bytes in states {
+        write_block_state(&mut canvas, bytes, width);
+    }
+    canvas
+}
+
+/// Items whose owning rank changed between two contiguous partitions of the
+/// same item space (the "moved work" a repartition pays for).
+pub fn reslice_moved_items(old: &[(usize, usize)], new: &[(usize, usize)]) -> usize {
+    let owner = |parts: &[(usize, usize)], item: usize| -> Option<usize> {
+        parts
+            .iter()
+            .position(|&(start, len)| (start..start + len).contains(&item))
+    };
+    let Some(&(base, _)) = new.first() else {
+        return 0;
+    };
+    let total: usize = new.iter().map(|&(_, len)| len).sum();
+    (base..base + total)
+        .filter(|&item| owner(old, item) != owner(new, item))
+        .count()
 }
 
 /// The built-in workloads, enumerable by the bench matrix and the `repro`
@@ -127,6 +347,143 @@ pub fn balanced_partition(total: usize, parts: usize, k: usize) -> (usize, usize
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weighted_ranges_cover_the_item_space_with_min_one_item() {
+        for (base, items) in [(0usize, 10usize), (1, 8), (0, 100)] {
+            for weights in [vec![1.0; 4], vec![4.0, 1.0, 1.0], vec![0.1, 10.0]] {
+                let parts = weighted_ranges(base, items, &weights);
+                assert_eq!(parts.len(), weights.len());
+                let mut next = base;
+                for &(start, len) in &parts {
+                    assert_eq!(start, next, "ranges are contiguous");
+                    assert!(len >= 1, "every rank owns at least one item");
+                    next = start + len;
+                }
+                assert_eq!(next, base + items, "ranges tile the item space");
+            }
+        }
+        // Proportionality: a 4x-capacity peer gets the lion's share.
+        let parts = weighted_ranges(0, 100, &[4.0, 1.0, 1.0]);
+        assert!(parts[0].1 > 2 * parts[1].1);
+    }
+
+    #[test]
+    fn block_state_codec_round_trips_and_rejects_mis_sized_input() {
+        let values = vec![1.5, -2.25, 0.0, 7.75, 3.5, -1.0];
+        let encoded = encode_block_state(3, 2, &values);
+        assert_eq!(decode_block_state(&encoded, 3), Some((3, 2, values)));
+        assert_eq!(decode_block_state(&encoded, 2), None, "width mismatch");
+        assert_eq!(decode_block_state(&encoded[..encoded.len() - 1], 3), None);
+        assert_eq!(decode_block_state(&[], 3), None);
+    }
+
+    #[test]
+    fn moved_items_counts_ownership_changes_only() {
+        let old = vec![(0usize, 4usize), (4, 4)];
+        assert_eq!(reslice_moved_items(&old, &old), 0);
+        let new = vec![(0usize, 6usize), (6, 2)];
+        assert_eq!(reslice_moved_items(&old, &new), 2, "items 4 and 5 moved");
+        // A grown partition moves item 3 (rank 0 → 1) and items 6–7
+        // (rank 1 → the new rank 2); items 4–5 stay with rank 1.
+        let grown = vec![(0usize, 3usize), (3, 3), (6, 2)];
+        assert_eq!(reslice_moved_items(&old, &grown), 3);
+    }
+
+    proptest! {
+        /// Decompose → re-slice → reassemble is lossless: encoding a global
+        /// vector under any contiguous partition and assembling the states
+        /// back (onto a canvas of different values) reproduces the vector
+        /// exactly, for any item width — and re-slicing those states into a
+        /// second partition before reassembling changes nothing.
+        #[test]
+        fn reslice_round_trip_is_lossless(
+            width in 1usize..5,
+            items in 2usize..24,
+            seed in proptest::any::<u64>(),
+            parts_a in 1usize..6,
+            parts_b in 1usize..6,
+        ) {
+            let parts_a = parts_a.min(items);
+            let parts_b = parts_b.min(items);
+            // A deterministic pseudo-random global vector.
+            let global: Vec<f64> = (0..items * width)
+                .map(|i| ((seed.wrapping_add(i as u64).wrapping_mul(2654435761)) % 1000) as f64)
+                .collect();
+            let encode_under = |parts: usize, source: &[f64]| -> Vec<Vec<u8>> {
+                (0..parts)
+                    .map(|k| {
+                        let (start, len) = balanced_partition(items, parts, k);
+                        encode_block_state(start, len, &source[start * width..(start + len) * width])
+                    })
+                    .collect()
+            };
+            let states_a = encode_under(parts_a, &global);
+            let assembled = assemble_global(vec![f64::NAN; items * width], &states_a, width);
+            prop_assert_eq!(&assembled, &global, "decompose -> reassemble");
+            // Re-slice: cut the assembled vector under partition B and
+            // reassemble again.
+            let states_b = encode_under(parts_b, &assembled);
+            let again = assemble_global(vec![f64::NAN; items * width], &states_b, width);
+            prop_assert_eq!(&again, &global, "re-slice -> reassemble");
+        }
+    }
+
+    /// The concrete three-workload round trip: every built-in workload's
+    /// repartitioner re-slices live task states into a different partition
+    /// without losing a value, and the re-sliced tasks assemble back to the
+    /// identical global solution.
+    #[test]
+    fn every_workload_reslices_losslessly() {
+        for kind in WorkloadKind::ALL {
+            let size = match kind {
+                WorkloadKind::Obstacle => 8,
+                WorkloadKind::Heat => 9,
+                WorkloadKind::PageRank => 12,
+            };
+            let workload = kind.build(size, 2);
+            let rep = workload.repartitioner().expect("built-ins repartition");
+            // Relax two tasks a few sweeps with synchronous exchanges so the
+            // states are non-trivial.
+            let mut tasks: Vec<_> = (0..2).map(|r| workload.task(r)).collect();
+            for _ in 0..3 {
+                for task in tasks.iter_mut() {
+                    task.relax();
+                }
+                type Outbox = Vec<(usize, Vec<(usize, Vec<u8>)>)>;
+                let outgoing: Outbox = tasks
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(r, t)| (r, t.outgoing()))
+                    .collect();
+                for (from, messages) in outgoing {
+                    for (dst, payload) in messages {
+                        tasks[dst].incorporate(from, &payload);
+                    }
+                }
+            }
+            let results: Vec<(usize, Vec<u8>)> = tasks
+                .iter()
+                .enumerate()
+                .map(|(r, t)| (r, t.result()))
+                .collect();
+            let reference = workload.assemble(&results);
+            // Re-slice into three uneven ranks seeded from the assembled
+            // checkpoint states.
+            let states: Vec<Vec<u8>> = tasks.iter().map(|t| t.checkpoint_state()).collect();
+            let global = assemble_global(rep.global_canvas(), &states, rep.item_width());
+            let parts = weighted_ranges(rep.item_base(), rep.items(), &[2.0, 1.0, 1.0]);
+            let new_results: Vec<(usize, Vec<u8>)> = (0..3)
+                .map(|r| (r, rep.task_for(r, &parts, &global, 3).result()))
+                .collect();
+            let resliced = workload.assemble(&new_results);
+            assert_eq!(
+                reference, resliced,
+                "{kind}: re-slice must preserve the global solution exactly"
+            );
+        }
+    }
 
     #[test]
     fn balanced_partition_covers_the_range_without_overlap() {

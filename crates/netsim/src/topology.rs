@@ -180,6 +180,19 @@ impl Topology {
     pub fn inter_link_mut(&mut self) -> &mut LinkSpec {
         &mut self.inter_link
     }
+
+    /// Append a node to the topology (elastic membership: a peer joining a
+    /// run mid-flight). The new node gets the next free id.
+    pub fn push_node(&mut self, cluster: ClusterId, cpu_speed: f64) -> NodeId {
+        assert!(cpu_speed > 0.0, "cpu speed must be positive");
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(NodeSpec {
+            id,
+            cluster,
+            cpu_speed,
+        });
+        id
+    }
 }
 
 #[cfg(test)]

@@ -30,11 +30,28 @@ impl NodeState {
     /// Create the state of peer `r` under `decomp`, initialised (including
     /// ghost planes) from the canonical initial iterate `P_K(0)`.
     pub fn new(problem: &ObstacleProblem, decomp: &BlockDecomposition, r: usize) -> Self {
+        Self::from_global(problem, decomp, r, &initial_iterate(problem), 0)
+    }
+
+    /// Create the state of peer `r` under `decomp`, initialised (owned
+    /// planes *and* ghost planes) from an explicit global iterate, with the
+    /// relaxation counter set to `relaxations`. Live repartitioning uses
+    /// this to hand a re-sliced block to a peer mid-run: seeding the ghosts
+    /// from the same global vector keeps the next synchronous sweep
+    /// identical to the sequential sweep of that iterate, so the re-slice
+    /// does not perturb the decomposition-invariant relaxation count.
+    pub fn from_global(
+        problem: &ObstacleProblem,
+        decomp: &BlockDecomposition,
+        r: usize,
+        full: &[f64],
+        relaxations: u64,
+    ) -> Self {
         let n = problem.grid.n;
         let plane = problem.grid.plane_len();
+        assert_eq!(full.len(), n * plane, "global iterate size mismatch");
         let z_start = decomp.start(r);
         let z_end = decomp.end(r);
-        let full = initial_iterate(problem);
         let u = full[z_start * plane..z_end * plane].to_vec();
         let ghost_lo = if z_start > 0 {
             full[(z_start - 1) * plane..z_start * plane].to_vec()
@@ -55,7 +72,7 @@ impl NodeState {
             next: vec![0.0; len],
             ghost_lo,
             ghost_hi,
-            relaxations: 0,
+            relaxations,
         }
     }
 

@@ -133,6 +133,25 @@ impl BlockDecomposition {
         Self { n, alpha, starts }
     }
 
+    /// Build a decomposition from explicit per-peer plane counts (live
+    /// repartitioning hands these out after recomputing capacity-weighted
+    /// shares). Every count must be at least one plane and the counts must
+    /// cover all `n` planes.
+    pub fn from_counts(n: usize, counts: &[usize]) -> Self {
+        let alpha = counts.len();
+        assert!(alpha >= 1, "need at least one peer");
+        assert!(counts.iter().all(|c| *c >= 1), "every peer owns a plane");
+        let mut starts = Vec::with_capacity(alpha + 1);
+        let mut cursor = 0;
+        for c in counts {
+            starts.push(cursor);
+            cursor += c;
+        }
+        starts.push(cursor);
+        assert_eq!(cursor, n, "counts must cover all {n} planes");
+        Self { n, alpha, starts }
+    }
+
     /// Number of peers.
     pub fn alpha(&self) -> usize {
         self.alpha

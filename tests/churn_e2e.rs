@@ -128,6 +128,7 @@ fn sync_obstacle_run_recovers_via_rollback() {
     let mut faulty = clean.clone();
     faulty.churn = Some(ChurnPlan::kill(0, crash_at).with_checkpoint_interval(checkpoint_interval));
     for runtime in [RuntimeKind::Loopback, RuntimeKind::Sim] {
+        let baseline = run_on(workload.as_ref(), &clean, runtime);
         let result = run_on(workload.as_ref(), &faulty, runtime);
         assert!(result.measurement.converged, "{runtime} did not converge");
         assert_eq!(result.measurement.recoveries, 1, "{runtime} recoveries");
@@ -140,17 +141,17 @@ fn sync_obstacle_run_recovers_via_rollback() {
             "{runtime}: rollback must preserve synchronous quality, residual {}",
             result.measurement.residual
         );
-        // The rollback redid work: the faulty run performs strictly more
-        // relaxations than the fault-free one.
-        let faulty_max = result
-            .measurement
-            .relaxations_per_peer
-            .iter()
-            .max()
-            .unwrap();
+        // The rollback redid work. The iteration *counters* cannot show it —
+        // since the generation-tagged payloads made rollbacks exact, the
+        // realigned run re-converges at precisely the decomposition-invariant
+        // iteration, and the restore rewinds the counters over the redone
+        // stretch — but the executed-points account counts every sweep that
+        // actually ran, including the rolled-back ones.
         assert!(
-            *faulty_max > baseline_iters,
-            "{runtime}: {faulty_max} relaxations vs fault-free {baseline_iters}"
+            result.measurement.total_points_relaxed() > baseline.measurement.total_points_relaxed(),
+            "{runtime}: {} executed points vs fault-free {}",
+            result.measurement.total_points_relaxed(),
+            baseline.measurement.total_points_relaxed()
         );
     }
 }
@@ -289,6 +290,189 @@ fn heat_and_pagerank_survive_crashes_through_their_restore_hooks() {
             );
         }
     }
+}
+
+/// The acceptance scenario of the elastic-membership subsystem: a seeded
+/// plan with one crash *and* one join, with live repartitioning armed,
+/// converges on all four backends; the measurement reports the join and at
+/// least one applied re-slice (the recovery's and/or the join's).
+#[test]
+fn seeded_crash_plus_join_converges_with_repartition_on_every_backend() {
+    for scheme in [Scheme::Asynchronous, Scheme::Synchronous] {
+        let peers = 3;
+        let workload = WorkloadKind::Obstacle.build(10, peers);
+        let mut clean = obstacle_config(scheme, peers);
+        clean.tolerance = 1e-4;
+        let baseline = run_on(workload.as_ref(), &clean, RuntimeKind::Loopback);
+        assert!(baseline.measurement.converged);
+        let baseline_iters = baseline
+            .measurement
+            .relaxations_per_peer
+            .iter()
+            .min()
+            .copied()
+            .unwrap();
+        let crash_at = crash_at_fraction(baseline_iters, 0.3);
+        let join_at = crash_at_fraction(baseline_iters, 0.6);
+        let mut faulty = clean.clone();
+        faulty.churn = Some(
+            ChurnPlan::kill(1, crash_at)
+                .with_checkpoint_interval((crash_at / 2).max(1))
+                .with_repartition(true)
+                .with_join(0, join_at)
+                // Match the modelled detector to the sim's virtual timescale:
+                // a whole run is a few ms of virtual time, so the wall-clock
+                // default (30 ms) would let asynchronous survivors free-run
+                // thousands of sweeps against the dead rank's frozen boundary
+                // — the staleness regime the wall-clock backends genuinely
+                // exhibit (see the residual bound below), not what the
+                // deterministic backends are meant to measure.
+                .with_detection_delay_ns(1_000_000),
+        );
+        for runtime in RuntimeKind::ALL {
+            let result = run_on(workload.as_ref(), &faulty, runtime);
+            let m = &result.measurement;
+            assert!(m.converged, "{scheme:?}/{runtime} did not converge");
+            assert_eq!(m.crashes, 1, "{scheme:?}/{runtime} crashes");
+            assert_eq!(m.recoveries, 1, "{scheme:?}/{runtime} recoveries");
+            assert_eq!(m.joins, 1, "{scheme:?}/{runtime} joins");
+            assert!(
+                m.repartitions >= 1,
+                "{scheme:?}/{runtime}: {} repartitions",
+                m.repartitions
+            );
+            assert!(m.moved_points > 0, "{scheme:?}/{runtime} moved points");
+            assert_eq!(m.peers, peers + 1, "{scheme:?}/{runtime} grew by one");
+            assert_eq!(m.relaxations_per_peer.len(), peers + 1);
+            // The joined rank really worked and deposited a result: the
+            // assembled solution still satisfies the scheme's quality bound.
+            // Synchronous runs repartition under the rollback barrier, so
+            // their quality is tolerance-exact everywhere. Asynchronous
+            // quality depends on how long survivors free-ran against the
+            // dead rank's frozen boundary: bounded-tolerance staleness on
+            // the deterministic backends (modelled ~1 ms detection), the
+            // documented asynchronous staleness bound on the wall-clock
+            // ones (real ~30 ms missed-ping detection with microsecond
+            // sweeps — the same 2e-2 bound the WAN staleness test uses).
+            let bound = match (scheme, runtime) {
+                (Scheme::Synchronous, _) => clean.tolerance * 2.0,
+                (_, RuntimeKind::Loopback | RuntimeKind::Sim) => clean.tolerance * 10.0,
+                _ => 2e-2,
+            };
+            assert!(
+                m.residual < bound,
+                "{scheme:?}/{runtime}: residual {}",
+                m.residual
+            );
+        }
+    }
+}
+
+/// Synchronous relaxation counts stay problem-determined through a
+/// repartitioned recovery *and* a join: the re-slice restores every peer
+/// onto one common global iterate (ghosts included) and the sweep sequence
+/// of a synchronous run does not depend on the decomposition, so loopback,
+/// sim and real-socket UDP agree on the convergence iteration even though
+/// their capacity estimates (and hence their new partitions) differ.
+#[test]
+fn repartitioned_sync_run_keeps_cross_runtime_relaxation_agreement() {
+    let peers = 3;
+    let workload = WorkloadKind::Obstacle.build(9, peers);
+    let clean = obstacle_config(Scheme::Synchronous, peers);
+    let baseline = run_on(workload.as_ref(), &clean, RuntimeKind::Loopback);
+    assert!(baseline.measurement.converged);
+    let baseline_iters = baseline
+        .measurement
+        .relaxations_per_peer
+        .iter()
+        .min()
+        .copied()
+        .unwrap();
+    let crash_at = crash_at_fraction(baseline_iters, 0.4);
+    let join_at = crash_at_fraction(baseline_iters, 0.7);
+    let mut faulty = clean.clone();
+    faulty.churn = Some(
+        ChurnPlan::kill(0, crash_at)
+            .with_checkpoint_interval((crash_at / 2).max(1))
+            .with_repartition(true)
+            .with_join(1, join_at),
+    );
+    let counts: Vec<u64> = [RuntimeKind::Loopback, RuntimeKind::Sim, RuntimeKind::Udp]
+        .into_iter()
+        .map(|runtime| {
+            let result = run_on(workload.as_ref(), &faulty, runtime);
+            assert!(result.measurement.converged, "{runtime} did not converge");
+            assert_eq!(result.measurement.joins, 1, "{runtime} joins");
+            assert!(result.measurement.repartitions >= 1, "{runtime}");
+            // The convergence iteration: the smallest final counter (the
+            // detecting peer stops exactly there; others may overshoot by
+            // the in-flight sweep).
+            result
+                .measurement
+                .relaxations_per_peer
+                .iter()
+                .min()
+                .copied()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(
+        counts[0], counts[1],
+        "loopback vs sim disagree on the repartitioned convergence iteration"
+    );
+    assert_eq!(
+        counts[0], counts[2],
+        "loopback vs udp disagree on the repartitioned convergence iteration"
+    );
+}
+
+/// Join-mid-run over real sockets: the joiner binds a fresh UdpSocket,
+/// registers with the bootstrap (which republishes the rank→port table to
+/// the running peers), takes a share of the work and counts in the
+/// measurement — the paper's "peers arrive while the application runs",
+/// on a real network stack.
+#[test]
+fn join_mid_run_over_real_udp_sockets() {
+    let peers = 2;
+    let workload = WorkloadKind::Heat.build(12, peers);
+    let mut clean = obstacle_config(Scheme::Asynchronous, peers);
+    clean.tolerance = 1e-3;
+    let baseline = run_on(workload.as_ref(), &clean, RuntimeKind::Loopback);
+    assert!(baseline.measurement.converged);
+    let join_at = crash_at_fraction(
+        baseline
+            .measurement
+            .relaxations_per_peer
+            .iter()
+            .min()
+            .copied()
+            .unwrap(),
+        0.4,
+    );
+    let mut faulty = clean.clone();
+    faulty.churn = Some(
+        ChurnPlan::new(vec![])
+            .with_checkpoint_interval((join_at / 2).max(1))
+            .with_join(0, join_at),
+    );
+    let result = run_on(workload.as_ref(), &faulty, RuntimeKind::Udp);
+    let m = &result.measurement;
+    assert!(m.converged, "udp join run did not converge");
+    assert_eq!(m.crashes, 0);
+    assert_eq!(m.joins, 1);
+    assert_eq!(m.repartitions, 1);
+    assert_eq!(m.peers, peers + 1);
+    // The joiner really relaxed (its executed-points account is live).
+    assert!(
+        m.points_relaxed_per_peer[peers] > 0,
+        "the joined rank did no work: {:?}",
+        m.points_relaxed_per_peer
+    );
+    assert!(
+        m.residual < clean.tolerance * 10.0,
+        "residual {}",
+        m.residual
+    );
 }
 
 /// Live load accounting feeds real throughput estimates on every backend,
