@@ -1,9 +1,10 @@
 //! Micro-benchmark: throughput of the projected Richardson relaxation kernel
 //! (points relaxed per second), the quantity the compute model is calibrated
-//! from.
+//! from — plus the blocked-vs-scalar comparison of the per-peer
+//! [`NodeState`] kernels that the distributed runtimes actually execute.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use obstacle::{initial_iterate, sweep, ObstacleProblem};
+use obstacle::{initial_iterate, sweep, BlockDecomposition, NodeState, ObstacleProblem};
 
 fn bench_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("richardson_kernel");
@@ -20,5 +21,27 @@ fn bench_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernel);
+/// The hot-path comparison: the shipping cache-blocked, branch-free
+/// `NodeState::sweep` against the per-point `sweep_scalar` reference, on the
+/// single-peer block (full grid per sweep).
+fn bench_node_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_kernel");
+    for n in [32usize, 64, 96] {
+        let problem = ObstacleProblem::membrane(n);
+        let decomp = BlockDecomposition::balanced(n, 1);
+        let delta = problem.optimal_delta();
+        let mut state = NodeState::new(&problem, &decomp, 0);
+        group.throughput(Throughput::Elements(state.local_len() as u64));
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(state.sweep(&problem, delta)));
+        });
+        let mut state = NodeState::new(&problem, &decomp, 0);
+        group.bench_with_input(BenchmarkId::new("scalar", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(state.sweep_scalar(&problem, delta)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel, bench_node_kernels);
 criterion_main!(benches);

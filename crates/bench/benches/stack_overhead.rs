@@ -5,7 +5,10 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p2pdc::app::FrameSink;
+use p2pdc::{HeatTask, IterativeTask, ObstacleTask, PageRankGraph, PageRankTask};
 use p2psap::{ChannelConfig, Session};
+use std::sync::Arc;
 
 fn bench_stack(c: &mut Criterion) {
     let mut group = c.benchmark_group("protocol_stack");
@@ -41,5 +44,56 @@ fn bench_stack(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_stack);
+/// Ghost-update serialization: the legacy per-exchange allocation chain
+/// (`outgoing()` payload `Vec`s + a fresh wire `Vec` per frame for the
+/// generation tag) against `encode_outgoing` into a warm pooled `FrameSink`
+/// — the zero-copy path the engine now drives.
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ghost_encode");
+    let tasks: Vec<(&str, Box<dyn IterativeTask>)> = vec![
+        (
+            "obstacle64",
+            Box::new(ObstacleTask::new(
+                Arc::new(obstacle::ObstacleProblem::membrane(64)),
+                4,
+                1,
+            )),
+        ),
+        ("heat512", Box::new(HeatTask::new(512, 4, 1))),
+        (
+            "pagerank120k",
+            Box::new(PageRankTask::new(
+                Arc::new(PageRankGraph::ring_with_chords(120_000)),
+                4,
+                1,
+            )),
+        ),
+    ];
+    for (label, mut task) in tasks {
+        task.relax();
+        let frame_bytes: usize = task.outgoing().iter().map(|(_, p)| 4 + p.len()).sum();
+        group.throughput(Throughput::Bytes(frame_bytes as u64));
+        group.bench_with_input(BenchmarkId::new("legacy_alloc", label), &label, |b, _| {
+            b.iter(|| {
+                for (dst, payload) in task.outgoing() {
+                    let mut wire = Vec::with_capacity(4 + payload.len());
+                    wire.extend_from_slice(&7u32.to_le_bytes());
+                    wire.extend_from_slice(&payload);
+                    std::hint::black_box((dst, wire.len()));
+                }
+            });
+        });
+        let mut sink = FrameSink::new();
+        group.bench_with_input(BenchmarkId::new("zero_copy_sink", label), &label, |b, _| {
+            b.iter(|| {
+                sink.begin(7);
+                task.encode_outgoing(&mut sink);
+                std::hint::black_box(sink.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stack, bench_encode);
 criterion_main!(benches);

@@ -9,6 +9,7 @@
 //! repro ablation               # data-channel design-choice ablation
 //! repro runtimes               # (workload x scheme x runtime) matrix -> BENCH_runtimes.json
 //! repro churn                  # churn grid (crash + recovery per cell) -> BENCH_churn.json
+//! repro hotpath                # kernel/encode/end-to-end grid -> BENCH_hotpath.json
 //! repro all [--full]           # everything above
 //! ```
 //!
@@ -16,12 +17,22 @@
 //! `results/` for EXPERIMENTS.md. `repro runtimes` additionally writes the
 //! machine-readable `BENCH_runtimes.json` into the working directory; CI
 //! uploads it as a workflow artifact on every PR (the perf trajectory).
+//! `repro hotpath` likewise writes `BENCH_hotpath.json` and fails (exit 1)
+//! when the blocked kernel falls below the scalar reference on the n = 64
+//! obstacle cell — the CI smoke assertion for the hot-path overhaul.
 
 use bench_suite::{
-    format_ablation, format_churn_grid, format_runtime_matrix, format_table1, run_ablation,
-    run_churn_grid, run_figure, run_runtime_matrix, run_table1, FigureConfig,
+    format_ablation, format_churn_grid, format_hotpath, format_runtime_matrix, format_table1,
+    run_ablation, run_churn_grid, run_figure, run_hotpath, run_runtime_matrix, run_table1,
+    FigureConfig,
 };
 use p2pdc::format_table;
+
+// Counting the hot path's heap traffic requires owning the process's global
+// allocator; with it installed, the allocs/bytes columns of `repro hotpath`
+// are real measurements instead of zeros.
+#[global_allocator]
+static COUNTING: p2pdc::allocs::CountingAllocator = p2pdc::allocs::CountingAllocator;
 
 fn write_json_to(path: &str, value: &impl serde::Serialize) {
     match serde_json::to_string_pretty(value) {
@@ -82,6 +93,33 @@ fn run_churn() {
     }
 }
 
+fn run_hotpath_grid() {
+    eprintln!("running the hot-path grid (kernel / encode / end-to-end) ...");
+    let result = run_hotpath();
+    println!("{}", format_hotpath(&result));
+    write_json("hotpath", &result);
+    // Uploaded alongside BENCH_runtimes.json as a perf-trajectory artifact.
+    write_json_to("BENCH_hotpath.json", &result);
+    // Smoke assertion: the blocked kernel must not lose to the scalar
+    // reference on the n = 64 obstacle cell.
+    let points = |kernel: &str| {
+        result
+            .kernel
+            .iter()
+            .find(|r| r.n == 64 && r.kernel == kernel)
+            .map(|r| r.points_per_sec)
+    };
+    if let (Some(blocked), Some(scalar)) = (points("blocked"), points("scalar")) {
+        if blocked < scalar {
+            eprintln!(
+                "WARNING: blocked kernel slower than scalar at n=64 \
+                 ({blocked:.0} vs {scalar:.0} points/sec)"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(|s| s.as_str()).unwrap_or("all");
@@ -106,6 +144,7 @@ fn main() {
         }
         "runtimes" => run_runtimes(),
         "churn" => run_churn(),
+        "hotpath" => run_hotpath_grid(),
         "all" => {
             let rows = run_table1();
             println!("{}", format_table1(&rows));
@@ -117,10 +156,11 @@ fn main() {
             write_json("ablation", &ablation);
             run_runtimes();
             run_churn();
+            run_hotpath_grid();
         }
         other => {
             eprintln!(
-                "unknown command '{other}'; expected table1 | fig5 | fig6 | ablation | runtimes | churn | all"
+                "unknown command '{other}'; expected table1 | fig5 | fig6 | ablation | runtimes | churn | hotpath | all"
             );
             std::process::exit(2);
         }

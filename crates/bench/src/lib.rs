@@ -826,6 +826,350 @@ pub fn format_ablation(rows: &[AblationRow]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Hot-path benchmark (BENCH_hotpath.json)
+
+/// One kernel cell of the hot-path grid: one relaxation-kernel flavour on a
+/// single-peer obstacle block (the workload whose scalar reference kernel is
+/// kept for exactly this comparison).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotpathKernelRow {
+    /// Workload label.
+    pub workload: String,
+    /// Grid points per dimension.
+    pub n: usize,
+    /// Kernel flavour: "blocked" (the shipping cache-blocked, branch-free
+    /// kernel) or "scalar" (the per-point reference).
+    pub kernel: String,
+    /// Nanoseconds per relaxed grid point.
+    pub sweep_ns_per_point: f64,
+    /// Grid points relaxed per second.
+    pub points_per_sec: f64,
+}
+
+/// One encode cell: per-exchange cost of one rank's ghost-update
+/// serialization, legacy chain vs zero-copy sink.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotpathEncodeRow {
+    /// Workload label.
+    pub workload: String,
+    /// "legacy" (fresh `outgoing()` payload `Vec`s plus the engine's old
+    /// generation-tag re-wrap) or "zero_copy" (`encode_outgoing` into a warm
+    /// `FrameSink`).
+    pub path: String,
+    /// Nanoseconds per exchange (all of one rank's outgoing frames).
+    pub ns_per_exchange: f64,
+    /// Heap allocation events per exchange. Real values only when the
+    /// process installed [`p2pdc::allocs::CountingAllocator`] (the `repro`
+    /// binary does); zero otherwise.
+    pub allocs_per_exchange: f64,
+    /// Heap bytes requested per exchange (same caveat).
+    pub alloc_bytes_per_exchange: f64,
+}
+
+/// One end-to-end cell: a loopback run at a fixed relaxation budget
+/// (compute-bound scenario; the run never converges early, so every cell
+/// executes the same sweep budget).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotpathRunRow {
+    /// Workload label.
+    pub workload: String,
+    /// Scheme of computation.
+    pub scheme: String,
+    /// Backend label (always "loopback": in-process, no sleep/backoff noise,
+    /// so the hot path itself dominates).
+    pub runtime: String,
+    /// Problem size (grid points per dimension / vertices).
+    pub size: usize,
+    /// Number of peers.
+    pub peers: usize,
+    /// Total relaxations executed across all peers.
+    pub relaxations: u64,
+    /// Grid points relaxed per wall-clock second, whole run.
+    pub points_per_sec: f64,
+    /// Wall nanoseconds per relaxed point (engine + wire overhead included
+    /// — this is the end-to-end figure, not the bare kernel).
+    pub sweep_ns_per_point: f64,
+    /// Heap allocation events per relaxation (one relaxation = one publish
+    /// round). Real values only under the counting allocator.
+    pub allocs_per_relaxation: f64,
+    /// Heap bytes requested per relaxation (same caveat).
+    pub alloc_bytes_per_relaxation: f64,
+}
+
+/// The complete hot-path artifact (`BENCH_hotpath.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HotpathResult {
+    /// Artifact schema version (bump when the row shapes change).
+    pub schema_version: u32,
+    /// Blocked-vs-scalar kernel cells.
+    pub kernel: Vec<HotpathKernelRow>,
+    /// Legacy-vs-zero-copy encode cells.
+    pub encode: Vec<HotpathEncodeRow>,
+    /// End-to-end loopback cells.
+    pub runs: Vec<HotpathRunRow>,
+}
+
+/// Shape of a hot-path measurement: which cells to run and how hard.
+#[derive(Debug, Clone)]
+pub struct HotpathConfig {
+    /// Obstacle grid sizes for the kernel cells.
+    pub kernel_sizes: Vec<usize>,
+    /// Timed sweeps per kernel cell (after 4 warmup sweeps — the first
+    /// cell otherwise absorbs the process's CPU-frequency ramp).
+    pub kernel_sweeps: u32,
+    /// Timed exchanges per encode cell (after 2 warmup exchanges).
+    pub encode_rounds: u32,
+    /// Per-peer relaxation budget of the end-to-end cells.
+    pub run_budget: u64,
+    /// End-to-end scenarios: (workload, size, peers).
+    pub run_scenarios: Vec<(WorkloadKind, usize, usize)>,
+}
+
+impl HotpathConfig {
+    /// The CI grid: compute-bound sizes (the obstacle boundary planes at
+    /// n = 64 are 32 KiB — real serialization work), seconds-scale total.
+    pub fn ci() -> Self {
+        Self {
+            kernel_sizes: vec![64, 96],
+            kernel_sweeps: 12,
+            encode_rounds: 256,
+            run_budget: 24,
+            run_scenarios: vec![
+                (WorkloadKind::Obstacle, 64, 4),
+                (WorkloadKind::Heat, 512, 4),
+                (WorkloadKind::PageRank, 120_000, 4),
+            ],
+        }
+    }
+
+    /// Milliseconds-scale shape for the test suite.
+    pub fn quick() -> Self {
+        Self {
+            kernel_sizes: vec![16],
+            kernel_sweeps: 2,
+            encode_rounds: 16,
+            run_budget: 6,
+            run_scenarios: vec![
+                (WorkloadKind::Obstacle, 12, 2),
+                (WorkloadKind::Heat, 24, 2),
+                (WorkloadKind::PageRank, 200, 2),
+            ],
+        }
+    }
+}
+
+/// Grid points one global sweep of the workload relaxes.
+fn points_per_global_sweep(kind: WorkloadKind, size: usize) -> f64 {
+    match kind {
+        WorkloadKind::Obstacle => (size * size * size) as f64,
+        WorkloadKind::Heat => ((size - 2) * (size - 2)) as f64,
+        WorkloadKind::PageRank => size as f64,
+    }
+}
+
+fn hotpath_kernel_rows(sizes: &[usize], sweeps: u32) -> Vec<HotpathKernelRow> {
+    use obstacle::{BlockDecomposition, NodeState, ObstacleProblem};
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let problem = ObstacleProblem::membrane(n);
+        let decomp = BlockDecomposition::balanced(n, 1);
+        let delta = problem.optimal_delta();
+        for kernel in ["blocked", "scalar"] {
+            let mut state = NodeState::new(&problem, &decomp, 0);
+            let run = |state: &mut NodeState| match kernel {
+                "blocked" => state.sweep(&problem, delta),
+                _ => state.sweep_scalar(&problem, delta),
+            };
+            for _ in 0..4 {
+                std::hint::black_box(run(&mut state));
+            }
+            let started = Instant::now();
+            for _ in 0..sweeps {
+                std::hint::black_box(run(&mut state));
+            }
+            let ns =
+                started.elapsed().as_nanos() as f64 / (sweeps as f64 * state.local_len() as f64);
+            rows.push(HotpathKernelRow {
+                workload: "obstacle".to_string(),
+                n,
+                kernel: kernel.to_string(),
+                sweep_ns_per_point: ns,
+                points_per_sec: 1e9 / ns,
+            });
+        }
+    }
+    rows
+}
+
+fn hotpath_encode_rows(
+    kind: WorkloadKind,
+    size: usize,
+    peers: usize,
+    rounds: u32,
+) -> Vec<HotpathEncodeRow> {
+    use p2pdc::app::FrameSink;
+    let workload = kind.build(size, peers);
+    // An interior rank: two neighbours for the PDE workloads.
+    let rank = peers / 2;
+    let mut task = workload.task(rank);
+    task.relax();
+    let mut rows = Vec::new();
+    for path in ["legacy", "zero_copy"] {
+        let mut sink = FrameSink::new();
+        let mut exchange = |task: &mut dyn p2pdc::IterativeTask, generation: u32| match path {
+            "legacy" => {
+                // What the engine used to do per publish: fresh payload
+                // `Vec`s from `outgoing()`, then a fresh wire `Vec` per
+                // frame to prefix the generation tag.
+                for (dst, payload) in task.outgoing() {
+                    let mut wire = Vec::with_capacity(4 + payload.len());
+                    wire.extend_from_slice(&generation.to_le_bytes());
+                    wire.extend_from_slice(&payload);
+                    std::hint::black_box((dst, wire.len()));
+                }
+            }
+            _ => {
+                sink.begin(generation);
+                task.encode_outgoing(&mut sink);
+                std::hint::black_box(sink.len());
+            }
+        };
+        for generation in 0..2 {
+            exchange(task.as_mut(), generation);
+        }
+        let alloc_before = p2pdc::allocs::counters();
+        let started = Instant::now();
+        for generation in 2..2 + rounds {
+            exchange(task.as_mut(), generation);
+        }
+        let elapsed_ns = started.elapsed().as_nanos() as f64;
+        let alloc = p2pdc::allocs::counters().since(alloc_before);
+        rows.push(HotpathEncodeRow {
+            workload: kind.label().to_string(),
+            path: path.to_string(),
+            ns_per_exchange: elapsed_ns / rounds as f64,
+            allocs_per_exchange: alloc.allocations as f64 / rounds as f64,
+            alloc_bytes_per_exchange: alloc.bytes as f64 / rounds as f64,
+        });
+    }
+    rows
+}
+
+fn hotpath_run_row(
+    kind: WorkloadKind,
+    size: usize,
+    peers: usize,
+    scheme: Scheme,
+    budget: u64,
+) -> HotpathRunRow {
+    let workload = kind.build(size, peers);
+    let mut config = RunConfig::single_cluster(scheme, peers);
+    // Unreachable tolerance: the run always executes the full budget, so
+    // every cell measures the same amount of work.
+    config.tolerance = 1e-300;
+    config.seed = 42;
+    config.max_relaxations = budget;
+    let alloc_before = p2pdc::allocs::counters();
+    let started = Instant::now();
+    let result = run_on(workload.as_ref(), &config, RuntimeKind::Loopback);
+    let wall_s = started.elapsed().as_secs_f64();
+    let alloc = p2pdc::allocs::counters().since(alloc_before);
+    let relaxations = result.measurement.total_relaxations();
+    let points = relaxations as f64 * points_per_global_sweep(kind, size) / peers as f64;
+    HotpathRunRow {
+        workload: kind.label().to_string(),
+        scheme: scheme.to_string(),
+        runtime: RuntimeKind::Loopback.label().to_string(),
+        size,
+        peers,
+        relaxations,
+        points_per_sec: points / wall_s,
+        sweep_ns_per_point: wall_s * 1e9 / points,
+        allocs_per_relaxation: alloc.allocations as f64 / relaxations as f64,
+        alloc_bytes_per_relaxation: alloc.bytes as f64 / relaxations as f64,
+    }
+}
+
+/// Run the hot-path grid: kernel cells, encode cells and end-to-end
+/// loopback cells, per the config.
+pub fn run_hotpath_for(config: &HotpathConfig) -> HotpathResult {
+    let kernel = hotpath_kernel_rows(&config.kernel_sizes, config.kernel_sweeps);
+    let mut encode = Vec::new();
+    let mut runs = Vec::new();
+    for &(kind, size, peers) in &config.run_scenarios {
+        encode.extend(hotpath_encode_rows(kind, size, peers, config.encode_rounds));
+        for scheme in [Scheme::Synchronous, Scheme::Asynchronous] {
+            runs.push(hotpath_run_row(
+                kind,
+                size,
+                peers,
+                scheme,
+                config.run_budget,
+            ));
+        }
+    }
+    HotpathResult {
+        schema_version: 1,
+        kernel,
+        encode,
+        runs,
+    }
+}
+
+/// Run the CI hot-path grid.
+pub fn run_hotpath() -> HotpathResult {
+    run_hotpath_for(&HotpathConfig::ci())
+}
+
+/// Render the hot-path result as text.
+pub fn format_hotpath(result: &HotpathResult) -> String {
+    let mut out = String::from("== Hot path: kernel (blocked vs scalar) ==\n");
+    out.push_str(&format!(
+        "{:<10} {:>5} {:<8} {:>14} {:>16}\n",
+        "workload", "n", "kernel", "ns/point", "points/sec"
+    ));
+    for r in &result.kernel {
+        out.push_str(&format!(
+            "{:<10} {:>5} {:<8} {:>14.3} {:>16.0}\n",
+            r.workload, r.n, r.kernel, r.sweep_ns_per_point, r.points_per_sec
+        ));
+    }
+    out.push_str("== Hot path: encode (legacy vs zero-copy) ==\n");
+    out.push_str(&format!(
+        "{:<10} {:<10} {:>14} {:>16} {:>18}\n",
+        "workload", "path", "ns/exchange", "allocs/exchange", "bytes/exchange"
+    ));
+    for r in &result.encode {
+        out.push_str(&format!(
+            "{:<10} {:<10} {:>14.1} {:>16.2} {:>18.1}\n",
+            r.workload,
+            r.path,
+            r.ns_per_exchange,
+            r.allocs_per_exchange,
+            r.alloc_bytes_per_exchange
+        ));
+    }
+    out.push_str("== Hot path: end-to-end (loopback, fixed budget) ==\n");
+    out.push_str(&format!(
+        "{:<10} {:<14} {:>8} {:>12} {:>16} {:>12} {:>14}\n",
+        "workload", "scheme", "size", "relaxations", "points/sec", "ns/point", "allocs/relax"
+    ));
+    for r in &result.runs {
+        out.push_str(&format!(
+            "{:<10} {:<14} {:>8} {:>12} {:>16.0} {:>12.3} {:>14.2}\n",
+            r.workload,
+            r.scheme,
+            r.size,
+            r.relaxations,
+            r.points_per_sec,
+            r.sweep_ns_per_point,
+            r.allocs_per_relaxation
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1045,5 +1389,40 @@ mod tests {
         }
         // The single-peer reference has speedup exactly 1.
         assert!((result.rows[0].speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quick_hotpath_grid_is_well_formed() {
+        let config = HotpathConfig::quick();
+        let result = run_hotpath_for(&config);
+        assert_eq!(result.schema_version, 1);
+        // One blocked + one scalar cell per kernel size.
+        assert_eq!(result.kernel.len(), 2 * config.kernel_sizes.len());
+        // One legacy + one zero-copy cell per scenario.
+        assert_eq!(result.encode.len(), 2 * config.run_scenarios.len());
+        // One sync + one async cell per scenario.
+        assert_eq!(result.runs.len(), 2 * config.run_scenarios.len());
+        for r in &result.kernel {
+            assert!(r.sweep_ns_per_point > 0.0 && r.points_per_sec > 0.0);
+        }
+        for r in &result.encode {
+            assert!(r.ns_per_exchange > 0.0);
+        }
+        for r in &result.runs {
+            // The tolerance is unreachable, so at least one peer must have
+            // burned the full relaxation budget before broadcasting stop.
+            assert!(
+                r.relaxations >= config.run_budget,
+                "cell did not exhaust its budget: {r:?}"
+            );
+            assert!(r.points_per_sec > 0.0);
+        }
+        // The artifact must round-trip through serde.
+        let json = serde_json::to_string(&result).expect("serialize");
+        let back: HotpathResult = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.runs.len(), result.runs.len());
+        // And the text rendering mentions every section.
+        let text = format_hotpath(&result);
+        assert!(text.contains("kernel") && text.contains("encode") && text.contains("loopback"));
     }
 }

@@ -51,6 +51,89 @@ pub struct LocalRelax {
     pub work_points: u64,
 }
 
+/// Reusable scratch buffers for encoding outgoing boundary updates without
+/// per-exchange heap allocation.
+///
+/// The engine owns one sink per peer and drives the hot path through it:
+/// [`FrameSink::begin`] recycles last round's frames and records the
+/// generation tag, the task appends one frame per destination with
+/// [`FrameSink::frame`] (the 4-byte little-endian tag is pre-written, so the
+/// task serializes its update payload directly behind it), and the engine
+/// drains the frames with [`FrameSink::take`] / returns the buffers with
+/// [`FrameSink::recycle`]. In steady state every buffer has warmed up to its
+/// peak size and the whole encode path allocates nothing.
+#[derive(Debug, Default)]
+pub struct FrameSink {
+    /// Frames encoded this round: `(destination rank, tag + payload bytes)`.
+    frames: Vec<(usize, Vec<u8>)>,
+    /// Spare buffers kept warm across rounds.
+    pool: Vec<Vec<u8>>,
+    /// The generation tag pre-written into every frame.
+    tag: [u8; 4],
+}
+
+impl FrameSink {
+    /// An empty sink (buffers warm up over the first rounds).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start an encode round: recycle any frames left from the previous
+    /// round and pre-select the generation tag for the new frames.
+    pub fn begin(&mut self, generation: u32) {
+        for (_, buf) in self.frames.drain(..) {
+            // The capacity-0 placeholders `take` leaves behind would poison
+            // the pool (handing them out forces a regrow every round).
+            if buf.capacity() > 0 {
+                self.pool.push(buf);
+            }
+        }
+        self.tag = generation.to_le_bytes();
+    }
+
+    /// Append a frame for `dst` and return its buffer, positioned right
+    /// after the pre-written generation tag. The task serializes its update
+    /// payload into it (same bytes as the legacy [`IterativeTask::outgoing`]
+    /// payload).
+    pub fn frame(&mut self, dst: usize) -> &mut Vec<u8> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(&self.tag);
+        self.frames.push((dst, buf));
+        &mut self.frames.last_mut().expect("frame just pushed").1
+    }
+
+    /// Number of frames encoded this round.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the current round has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Take the frame at `index` out of the round (the buffer is replaced by
+    /// an empty one; hand it back through [`FrameSink::recycle`] once the
+    /// wire no longer needs it).
+    pub fn take(&mut self, index: usize) -> (usize, Vec<u8>) {
+        let (dst, buf) = &mut self.frames[index];
+        (*dst, std::mem::take(buf))
+    }
+
+    /// Destination and encoded length of the frame at `index`.
+    pub fn peek(&self, index: usize) -> (usize, usize) {
+        let (dst, buf) = &self.frames[index];
+        (*dst, buf.len())
+    }
+
+    /// Return a buffer to the pool so the next round reuses its capacity.
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        self.pool.push(buf);
+    }
+}
+
 /// The per-peer computation created by `Calculate()`.
 ///
 /// The environment repeatedly calls [`IterativeTask::relax`], sends the
@@ -63,7 +146,23 @@ pub trait IterativeTask: Send {
 
     /// Updates to send to other peers after the latest relaxation, as
     /// `(destination rank, payload)` pairs.
+    ///
+    /// This is the legacy allocating form; the runtimes drive
+    /// [`IterativeTask::encode_outgoing`] instead, whose default delegates
+    /// here. Tasks on the hot path override `encode_outgoing` and serialize
+    /// straight into the sink's pooled buffers.
     fn outgoing(&mut self) -> Vec<(usize, Vec<u8>)>;
+
+    /// Encode the updates of the latest relaxation into `sink`, one frame
+    /// per destination, without allocating in steady state. Every frame's
+    /// bytes (after the sink's generation tag) must be identical to the
+    /// corresponding legacy [`IterativeTask::outgoing`] payload. The caller
+    /// has already called [`FrameSink::begin`].
+    fn encode_outgoing(&mut self, sink: &mut FrameSink) {
+        for (dst, payload) in self.outgoing() {
+            sink.frame(dst).extend_from_slice(&payload);
+        }
+    }
 
     /// Incorporate an update received from peer `from`. Returns the sup-norm
     /// magnitude of the change the update introduced (0.0 when unknown or

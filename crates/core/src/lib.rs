@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod allocs;
 pub mod app;
 pub mod churn;
 pub mod compute;
@@ -39,7 +40,7 @@ pub mod task_manager;
 pub mod topology_manager;
 pub mod workload;
 
-pub use app::{Application, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
+pub use app::{Application, FrameSink, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
 pub use churn::{
     AdoptionTicket, ChurnEvent, ChurnEventKind, ChurnPlan, FaultInjector, MembershipPlan,
     RecoveryRecord, SharedVolatility, VolatilityState,

@@ -6,7 +6,7 @@
 //! plane to peer `k+1`; incoming planes become ghost boundaries for the next
 //! relaxation.
 
-use crate::app::{Application, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
+use crate::app::{Application, FrameSink, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
 use crate::compute::ComputeModel;
 use crate::experiment::{run_on, RuntimeExperimentResult, RuntimeKind};
 use crate::metrics::RunMeasurement;
@@ -35,13 +35,22 @@ impl UpdateMsg {
     /// Serialize to a compact little-endian byte representation.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16 + self.plane.len() * 8);
-        out.extend_from_slice(&self.from.to_le_bytes());
-        out.extend_from_slice(&(self.plane.len() as u32).to_le_bytes());
-        out.extend_from_slice(&self.iteration.to_le_bytes());
-        for v in &self.plane {
+        Self::encode_into(&mut out, self.from, self.iteration, &self.plane);
+        out
+    }
+
+    /// Append the wire representation of an update to `out` without building
+    /// an [`UpdateMsg`] first: the zero-copy path serializes boundary planes
+    /// straight from grid storage into a pooled buffer. Byte-identical to
+    /// [`UpdateMsg::encode`] (which delegates here).
+    pub fn encode_into(out: &mut Vec<u8>, from: u32, iteration: u64, plane: &[f64]) {
+        out.reserve(16 + plane.len() * 8);
+        out.extend_from_slice(&from.to_le_bytes());
+        out.extend_from_slice(&(plane.len() as u32).to_le_bytes());
+        out.extend_from_slice(&iteration.to_le_bytes());
+        for v in plane {
             out.extend_from_slice(&v.to_le_bytes());
         }
-        out
     }
 
     /// Decode from bytes produced by [`UpdateMsg::encode`].
@@ -184,6 +193,29 @@ impl IterativeTask for ObstacleTask {
             out.push((self.rank + 1, msg.encode()));
         }
         out
+    }
+
+    fn encode_outgoing(&mut self, sink: &mut FrameSink) {
+        // Zero-copy form of `outgoing`: the boundary planes are serialized
+        // straight from grid storage into the sink's pooled buffers.
+        let iteration = self.state.relaxations();
+        let from = self.rank as u32;
+        if self.rank > 0 {
+            UpdateMsg::encode_into(
+                sink.frame(self.rank - 1),
+                from,
+                iteration,
+                self.state.first_plane_slice(),
+            );
+        }
+        if self.rank + 1 < self.alpha {
+            UpdateMsg::encode_into(
+                sink.frame(self.rank + 1),
+                from,
+                iteration,
+                self.state.last_plane_slice(),
+            );
+        }
     }
 
     fn incorporate(&mut self, from: usize, payload: &[u8]) -> f64 {

@@ -17,7 +17,7 @@
 //! asynchronous scheme peers free-run on the freshest received mass — the
 //! totally asynchronous iteration the paper's schemes of computation target.
 
-use crate::app::{Application, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
+use crate::app::{Application, FrameSink, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
 use crate::obstacle_app::UpdateMsg;
 use crate::workload::{balanced_partition, Repartitioner, Workload};
 use obstacle::sup_norm_diff;
@@ -170,6 +170,11 @@ pub struct PageRankTask {
     /// Owned work per sweep (sum of owned degrees).
     work_points: u64,
     relaxations: u64,
+    /// Reusable sweep buffer (the next rank vector is built here and
+    /// swapped in, instead of allocating a fresh vector per relaxation).
+    next_scratch: Vec<f64>,
+    /// Reusable contribution buffer for the zero-copy outgoing path.
+    contribution_scratch: Vec<f64>,
 }
 
 impl PageRankTask {
@@ -225,6 +230,8 @@ impl PageRankTask {
             neighbor_peers,
             work_points,
             relaxations: iteration,
+            next_scratch: Vec::new(),
+            contribution_scratch: Vec::new(),
         };
         for peer in task.neighbor_peers.clone() {
             let (peer_start, peer_len) = task.parts[peer];
@@ -260,19 +267,27 @@ impl PageRankTask {
 
     /// The contribution vector this peer currently pushes into `peer`.
     fn contribution_to(&self, peer: usize) -> Vec<f64> {
+        let mut contribution = Vec::new();
+        self.contribution_to_into(peer, &mut contribution);
+        contribution
+    }
+
+    /// Scatter this peer's current rank mass into `out` (resized to `peer`'s
+    /// partition length), reusing the buffer's capacity across calls.
+    fn contribution_to_into(&self, peer: usize, out: &mut Vec<f64>) {
         let (peer_start, peer_len) = self.parts[peer];
-        let mut contribution = vec![0.0; peer_len];
+        out.clear();
+        out.resize(peer_len, 0.0);
         for (i, r) in self.ranks.iter().enumerate() {
             let v = self.v_start + i;
             let share = r / self.graph.degree(v) as f64;
             for &u in self.graph.neighbors(v) {
                 let u = u as usize;
                 if (peer_start..peer_start + peer_len).contains(&u) {
-                    contribution[u - peer_start] += share;
+                    out[u - peer_start] += share;
                 }
             }
         }
-        contribution
     }
 }
 
@@ -280,7 +295,11 @@ impl IterativeTask for PageRankTask {
     fn relax(&mut self) -> LocalRelax {
         let n = self.graph.len();
         let v_len = self.ranks.len();
-        let mut next = vec![(1.0 - DAMPING) / n as f64; v_len];
+        // Reused sweep buffer: same values as a fresh
+        // `vec![(1.0 - DAMPING) / n; v_len]`, without the allocation.
+        let mut next = std::mem::take(&mut self.next_scratch);
+        next.clear();
+        next.resize(v_len, (1.0 - DAMPING) / n as f64);
         // Mass from owned vertices.
         for (i, r) in self.ranks.iter().enumerate() {
             let v = self.v_start + i;
@@ -299,7 +318,7 @@ impl IterativeTask for PageRankTask {
             }
         }
         let diff = sup_norm_diff(&self.ranks, &next);
-        self.ranks = next;
+        self.next_scratch = std::mem::replace(&mut self.ranks, next);
         self.relaxations += 1;
         LocalRelax {
             local_diff: diff,
@@ -321,6 +340,21 @@ impl IterativeTask for PageRankTask {
                 (peer, msg.encode())
             })
             .collect()
+    }
+
+    fn encode_outgoing(&mut self, sink: &mut FrameSink) {
+        // Zero-copy form of `outgoing`: the contribution vector is scattered
+        // into a reused scratch buffer and serialized straight into the
+        // sink's pooled buffers.
+        let iteration = self.relaxations;
+        let from = self.rank as u32;
+        let mut scratch = std::mem::take(&mut self.contribution_scratch);
+        for idx in 0..self.neighbor_peers.len() {
+            let peer = self.neighbor_peers[idx];
+            self.contribution_to_into(peer, &mut scratch);
+            UpdateMsg::encode_into(sink.frame(peer), from, iteration, &scratch);
+        }
+        self.contribution_scratch = scratch;
     }
 
     fn incorporate(&mut self, from: usize, payload: &[u8]) -> f64 {

@@ -59,7 +59,7 @@
 //! assert_eq!(timers.pop_due(400), None, "the 500ns timer is not due yet");
 //! ```
 
-use crate::app::{IterativeTask, LocalRelax};
+use crate::app::{FrameSink, IterativeTask, LocalRelax};
 use crate::churn::SharedVolatility;
 use crate::fault::Checkpoint;
 use crate::load_balance::PeerLoad;
@@ -518,6 +518,15 @@ pub struct PeerEngine {
     pending_rollback: Option<(u64, u32)>,
     /// Clock value when the pending sweep started (busy-time accounting).
     compute_started_ns: u64,
+    /// Pooled encode buffers for the publish step: the task serializes its
+    /// boundary updates straight into these (generation tag in place), and
+    /// buffers the wire released are reclaimed for the next round — the
+    /// steady-state ghost exchange allocates nothing.
+    frame_sink: FrameSink,
+    /// Reusable snapshot of the detector's per-peer load estimates, refilled
+    /// under the shared lock without allocating once warm. Snapshotting (vs
+    /// holding the lock) keeps the shared and volatility locks un-nested.
+    loads_scratch: Vec<PeerLoad>,
 }
 
 impl PeerEngine {
@@ -584,7 +593,18 @@ impl PeerEngine {
             epoch: 0,
             pending_rollback: None,
             compute_started_ns: 0,
+            frame_sink: FrameSink::new(),
+            loads_scratch: Vec::new(),
         }
+    }
+
+    /// Copy the detector's live per-peer load estimates into the engine's
+    /// scratch buffer. The copy happens under the shared lock but performs
+    /// no heap allocation once the buffer has warmed to the peer count.
+    fn snapshot_loads(&mut self) {
+        let shared = self.shared.lock().unwrap();
+        self.loads_scratch.clear();
+        self.loads_scratch.extend_from_slice(shared.loads());
     }
 
     /// Create the engine of a peer that *joins* a running computation (a
@@ -877,29 +897,42 @@ impl PeerEngine {
                 return;
             }
         }
-        // P2P_Send of the boundary planes. Updates to asynchronous neighbours
-        // pass the transport's pacing gate; skipped updates are superseded by
-        // the next relaxation's planes anyway.
-        let outgoing = self.task.outgoing();
-        for (dst, payload) in outgoing {
+        // P2P_Send of the boundary planes. The task serializes each update
+        // into a pooled frame behind the pre-written generation tag (every
+        // data payload carries the sender's rollback generation, so an update
+        // published before a rollback can never be consumed as a
+        // post-rollback iteration boundary — see `PeerEngine::receive_payload`).
+        // Updates to asynchronous neighbours pass the transport's pacing
+        // gate; skipped updates are superseded by the next relaxation's
+        // planes anyway. Once the wire releases its reference the buffer is
+        // reclaimed into the pool, so the steady-state exchange of a warm
+        // engine performs zero heap allocations on this path.
+        let mut sink = std::mem::take(&mut self.frame_sink);
+        sink.begin(self.generation);
+        self.task.encode_outgoing(&mut sink);
+        for index in 0..sink.len() {
+            let (dst, frame_len) = sink.peek(index);
             if self.async_neighbors.contains(&dst) {
-                let wire = payload.len() + GENERATION_TAG_BYTES + netsim::WIRE_OVERHEAD_BYTES;
+                let wire = frame_len + netsim::WIRE_OVERHEAD_BYTES;
                 if !transport.pacing_gate(dst, wire) {
                     continue;
                 }
             }
-            // Every data payload carries the sender's rollback generation,
-            // so an update published before a rollback can never be consumed
-            // as a post-rollback iteration boundary (see
-            // `PeerEngine::receive_payload`).
-            let mut wire = Vec::with_capacity(GENERATION_TAG_BYTES + payload.len());
-            wire.extend_from_slice(&self.generation.to_le_bytes());
-            wire.extend_from_slice(&payload);
+            let (dst, frame) = sink.take(index);
+            let payload = Bytes::from(frame);
             let now = transport.now_ns();
             let socket = self.sockets.get_mut(&dst).expect("socket per neighbour");
-            let (_, out) = socket.send(Bytes::from(wire), now);
+            let (_, out) = socket.send(payload.clone(), now);
             self.run_socket_output(transport, dst, out);
+            // In the asynchronous-unreliable mode the session copies the
+            // payload into its wire segment and retains nothing, so the
+            // buffer comes straight back; reliable channels hold a clone for
+            // retransmission and the pool refills by allocation instead.
+            if let Ok(buf) = payload.try_reclaim() {
+                sink.recycle(buf);
+            }
         }
+        self.frame_sink = sink;
         // Stability: the local sweep changed little, every asynchronous
         // neighbour has delivered at least one fresh update since the last
         // dirty sweep, and those updates themselves changed the boundary by
@@ -957,8 +990,11 @@ impl PeerEngine {
         if !vol.lock().unwrap().join_due(self.rank, iteration) {
             return false;
         }
-        let loads = self.shared.lock().unwrap().loads().to_vec();
-        let Some((new_peers, rollback)) = vol.lock().unwrap().create_join_plan(iteration, &loads)
+        self.snapshot_loads();
+        let Some((new_peers, rollback)) = vol
+            .lock()
+            .unwrap()
+            .create_join_plan(iteration, &self.loads_scratch)
         else {
             // The workload cannot be repartitioned: the join is ignored.
             return false;
@@ -1075,8 +1111,11 @@ impl PeerEngine {
             return;
         };
         let now = transport.now_ns();
-        let loads = self.shared.lock().unwrap().loads().to_vec();
-        let (checkpoint, rollback) = vol.lock().unwrap().take_recovery(self.rank, now, &loads);
+        self.snapshot_loads();
+        let (checkpoint, rollback) =
+            vol.lock()
+                .unwrap()
+                .take_recovery(self.rank, now, &self.loads_scratch);
         // Live repartitioning: when the recovery published (or the crash
         // missed) a membership plan, the revived rank adopts its *new* slice
         // instead of restoring the original block — this is where the

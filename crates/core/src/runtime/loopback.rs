@@ -192,6 +192,10 @@ where
     // failure-detection latency stands in for the ping sweep the wall-clock
     // backends run for real).
     let mut recover_at: HashMap<usize, u64> = HashMap::new();
+    // Reusable snapshot of the detector's per-peer loads, copied under the
+    // shared lock without allocating once warm (the two locks stay
+    // un-nested).
+    let mut loads_scratch: Vec<crate::load_balance::PeerLoad> = Vec::new();
 
     loop {
         let mut progress = false;
@@ -239,9 +243,13 @@ where
             if engines[rank].as_ref().expect("spawned").crashed() {
                 if let std::collections::hash_map::Entry::Vacant(entry) = recover_at.entry(rank) {
                     let vol = volatility.as_ref().expect("crash implies volatility");
-                    let loads = shared.lock().unwrap().loads().to_vec();
+                    {
+                        let shared = shared.lock().unwrap();
+                        loads_scratch.clear();
+                        loads_scratch.extend_from_slice(shared.loads());
+                    }
                     let mut vol = vol.lock().unwrap();
-                    vol.grant(rank, &loads);
+                    vol.grant(rank, &loads_scratch);
                     entry.insert(clock + vol.detection_delay_events());
                     drop(vol);
                     transports[rank].timers = TimerQueue::new();

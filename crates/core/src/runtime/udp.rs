@@ -120,27 +120,58 @@ pub enum Datagram {
     },
 }
 
+/// Encode one fragment datagram (header + payload chunk) into `out`, which
+/// is cleared first. Shared by [`Datagram::encode`] and the transport's send
+/// path, which re-encodes into a pooled buffer — sharing the writer keeps
+/// the two byte-identical.
+pub fn encode_fragment_into(
+    out: &mut Vec<u8>,
+    from: usize,
+    msg_id: u32,
+    frag_index: u16,
+    frag_count: u16,
+    payload: &[u8],
+) {
+    out.clear();
+    out.reserve(FRAGMENT_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&DATAGRAM_MAGIC.to_be_bytes());
+    out.push(KIND_FRAGMENT);
+    out.extend_from_slice(&(from as u16).to_be_bytes());
+    out.extend_from_slice(&msg_id.to_be_bytes());
+    out.extend_from_slice(&frag_index.to_be_bytes());
+    out.extend_from_slice(&frag_count.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
 impl Datagram {
+    /// Exact encoded size in bytes (what [`Datagram::encode`] pre-reserves).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Datagram::Fragment { payload, .. } => FRAGMENT_HEADER_BYTES + payload.len(),
+            Datagram::Stop { .. } | Datagram::Hello { .. } => 5,
+            Datagram::Table { ports } => 5 + 2 * ports.len(),
+            Datagram::Rollback { .. } => 17,
+        }
+    }
+
     /// Encode to the on-wire byte representation.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.encoded_len());
+        if let Datagram::Fragment {
+            from,
+            msg_id,
+            frag_index,
+            frag_count,
+            payload,
+        } = self
+        {
+            encode_fragment_into(&mut out, *from, *msg_id, *frag_index, *frag_count, payload);
+            return out;
+        }
         out.extend_from_slice(&DATAGRAM_MAGIC.to_be_bytes());
         match self {
-            Datagram::Fragment {
-                from,
-                msg_id,
-                frag_index,
-                frag_count,
-                payload,
-            } => {
-                out.push(KIND_FRAGMENT);
-                out.extend_from_slice(&(*from as u16).to_be_bytes());
-                out.extend_from_slice(&msg_id.to_be_bytes());
-                out.extend_from_slice(&frag_index.to_be_bytes());
-                out.extend_from_slice(&frag_count.to_be_bytes());
-                out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
-                out.extend_from_slice(payload);
-            }
+            Datagram::Fragment { .. } => unreachable!("encoded above"),
             Datagram::Stop { from } => {
                 out.push(KIND_STOP);
                 out.extend_from_slice(&(*from as u16).to_be_bytes());
@@ -181,17 +212,7 @@ impl Datagram {
         }
         match *bytes.get(2)? {
             KIND_FRAGMENT => {
-                let from = u16_at(3)? as usize;
-                let msg_id = u32::from_be_bytes([
-                    *bytes.get(5)?,
-                    *bytes.get(6)?,
-                    *bytes.get(7)?,
-                    *bytes.get(8)?,
-                ]);
-                let frag_index = u16_at(9)?;
-                let frag_count = u16_at(11)?;
-                let len = u16_at(13)? as usize;
-                let payload = bytes.get(FRAGMENT_HEADER_BYTES..FRAGMENT_HEADER_BYTES + len)?;
+                let (from, msg_id, frag_index, frag_count, payload) = Self::fragment_fields(bytes)?;
                 Some(Datagram::Fragment {
                     from,
                     msg_id,
@@ -241,6 +262,32 @@ impl Datagram {
             _ => None,
         }
     }
+
+    /// Parse a fragment datagram without copying the payload: returns
+    /// `(from, msg_id, frag_index, frag_count, payload)` borrowed from
+    /// `bytes`, or `None` for anything that is not a well-formed fragment.
+    /// The receive hot path uses this with [`Reassembler::push_ref`] so a
+    /// datagram's payload is copied once, into a pooled reassembly buffer.
+    pub fn fragment_fields(bytes: &[u8]) -> Option<(usize, u32, u16, u16, &[u8])> {
+        let u16_at = |i: usize| -> Option<u16> {
+            Some(u16::from_be_bytes([*bytes.get(i)?, *bytes.get(i + 1)?]))
+        };
+        if u16_at(0)? != DATAGRAM_MAGIC || *bytes.get(2)? != KIND_FRAGMENT {
+            return None;
+        }
+        let from = u16_at(3)? as usize;
+        let msg_id = u32::from_be_bytes([
+            *bytes.get(5)?,
+            *bytes.get(6)?,
+            *bytes.get(7)?,
+            *bytes.get(8)?,
+        ]);
+        let frag_index = u16_at(9)?;
+        let frag_count = u16_at(11)?;
+        let len = u16_at(13)? as usize;
+        let payload = bytes.get(FRAGMENT_HEADER_BYTES..FRAGMENT_HEADER_BYTES + len)?;
+        Some((from, msg_id, frag_index, frag_count, payload))
+    }
 }
 
 /// Split one P2PSAP wire segment into fragment datagrams of at most
@@ -274,6 +321,11 @@ pub struct Reassembler {
     partial: HashMap<(usize, u32), Partial>,
     /// Monotone admission counter used for oldest-first eviction.
     admitted: u64,
+    /// Spare fragment buffers, kept warm across messages: in steady state a
+    /// fragment's payload is copied into a recycled buffer instead of a
+    /// fresh allocation (only the assembled segment handed to the engine is
+    /// allocated per message — delivery inherently needs it).
+    pool: Vec<Vec<u8>>,
 }
 
 #[derive(Debug)]
@@ -307,12 +359,28 @@ impl Reassembler {
         else {
             return None;
         };
+        self.push_ref(from, msg_id, frag_index, frag_count, &payload)
+    }
+
+    /// Feed one fragment by reference (the receive hot path, paired with
+    /// [`Datagram::fragment_fields`]): the payload is copied into a pooled
+    /// buffer instead of requiring an owned `Vec` per datagram. Returns the
+    /// complete segment when this fragment finishes a message.
+    pub fn push_ref(
+        &mut self,
+        from: usize,
+        msg_id: u32,
+        frag_index: u16,
+        frag_count: u16,
+        payload: &[u8],
+    ) -> Option<(usize, Bytes)> {
         if frag_count == 0 || frag_index >= frag_count {
             return None;
         }
-        // Single-fragment fast path: nothing to buffer.
+        // Single-fragment fast path: nothing to buffer; the copy is the
+        // delivered segment itself.
         if frag_count == 1 {
-            return Some((from, Bytes::from(payload)));
+            return Some((from, Bytes::from(payload.to_vec())));
         }
         let key = (from, msg_id);
         if !self.partial.contains_key(&key) && self.partial.len() >= MAX_PARTIAL_MESSAGES {
@@ -322,38 +390,63 @@ impl Reassembler {
                 .min_by_key(|(_, p)| p.admitted_at)
                 .map(|(k, _)| *k)
             {
-                self.partial.remove(&oldest);
+                if let Some(evicted) = self.partial.remove(&oldest) {
+                    self.recycle_fragments(evicted.fragments);
+                }
             }
         }
         self.admitted += 1;
         let admitted = self.admitted;
+        // A message id reused with a different shape restarts the message.
+        if let Some(existing) = self.partial.get_mut(&key) {
+            if existing.fragments.len() != frag_count as usize {
+                let stale =
+                    std::mem::replace(&mut existing.fragments, vec![None; frag_count as usize]);
+                existing.received = 0;
+                existing.admitted_at = admitted;
+                self.recycle_fragments(stale);
+            }
+        }
+        // Fill the pooled buffer before borrowing the entry.
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(payload);
         let entry = self.partial.entry(key).or_insert_with(|| Partial {
             fragments: vec![None; frag_count as usize],
             received: 0,
             admitted_at: admitted,
         });
-        if entry.fragments.len() != frag_count as usize {
-            // A message id was reused with a different shape: start over.
-            *entry = Partial {
-                fragments: vec![None; frag_count as usize],
-                received: 0,
-                admitted_at: admitted,
-            };
-        }
         let slot = &mut entry.fragments[frag_index as usize];
         if slot.is_none() {
-            *slot = Some(payload);
+            *slot = Some(buf);
             entry.received += 1;
+        } else {
+            // Duplicate delivery: the buffer goes straight back.
+            self.pool.push(buf);
         }
         if entry.received < entry.fragments.len() {
             return None;
         }
         let complete = self.partial.remove(&key).expect("checked above");
-        let mut segment = Vec::new();
+        let total: usize = complete
+            .fragments
+            .iter()
+            .map(|f| f.as_ref().expect("all fragments received").len())
+            .sum();
+        let mut segment = Vec::with_capacity(total);
         for fragment in complete.fragments {
-            segment.extend_from_slice(&fragment.expect("all fragments received"));
+            let fragment = fragment.expect("all fragments received");
+            segment.extend_from_slice(&fragment);
+            self.pool.push(fragment);
         }
         Some((from, Bytes::from(segment)))
+    }
+
+    /// Return a finished or abandoned message's fragment buffers to the pool.
+    fn recycle_fragments(&mut self, fragments: Vec<Option<Vec<u8>>>) {
+        for fragment in fragments.into_iter().flatten() {
+            self.pool.push(fragment);
+        }
     }
 }
 
@@ -504,6 +597,10 @@ struct UdpTransport {
     /// Earliest wall-clock ns the next update may be sent to each
     /// asynchronous neighbour (see [`PeerTransport::pacing_gate`]).
     next_send_ok: HashMap<usize, u64>,
+    /// Reused encode buffer for outgoing fragments: each fragment's header
+    /// and payload chunk are written into it in place, so the steady-state
+    /// send path performs no heap allocation.
+    send_frame: Vec<u8>,
 }
 
 impl UdpTransport {
@@ -527,9 +624,27 @@ impl PeerTransport for UdpTransport {
         }
         let msg_id = self.next_msg_id;
         self.next_msg_id = self.next_msg_id.wrapping_add(1);
-        for datagram in frame_segment(self.rank, msg_id, &segment) {
+        // Frame the segment in place: every fragment is encoded into the
+        // reused send buffer (same bytes as `frame_segment` + `encode`,
+        // which the tests pin) and handed straight to the kernel.
+        let frag_count = if segment.is_empty() {
+            1
+        } else {
+            segment.len().div_ceil(MAX_FRAGMENT_PAYLOAD)
+        } as u16;
+        for frag_index in 0..frag_count {
+            let at = frag_index as usize * MAX_FRAGMENT_PAYLOAD;
+            let chunk = &segment[at..(at + MAX_FRAGMENT_PAYLOAD).min(segment.len())];
+            encode_fragment_into(
+                &mut self.send_frame,
+                self.rank,
+                msg_id,
+                frag_index,
+                frag_count,
+                chunk,
+            );
             self.shim
-                .send_to(&self.socket, &datagram.encode(), self.addrs[to]);
+                .send_to(&self.socket, &self.send_frame, self.addrs[to]);
         }
     }
 
@@ -796,6 +911,7 @@ where
                     compute_pending: false,
                     topology: topology.clone(),
                     next_send_ok: HashMap::new(),
+                    send_frame: Vec::new(),
                 };
                 let mut reassembler = Reassembler::new();
                 let mut buf = vec![0u8; 65536];
@@ -825,14 +941,26 @@ where
                         match transport.socket.recv_from(&mut buf) {
                             Ok((len, _)) => {
                                 received_any = true;
+                                // Fragments (the data hot path) are parsed
+                                // borrowed and copied once, into a pooled
+                                // reassembly buffer; control datagrams take
+                                // the allocating decode.
+                                if let Some((from, msg_id, frag_index, frag_count, payload)) =
+                                    Datagram::fragment_fields(&buf[..len])
+                                {
+                                    if let Some((from, segment)) = reassembler
+                                        .push_ref(from, msg_id, frag_index, frag_count, payload)
+                                    {
+                                        engine.on_segment(from, segment, &mut transport);
+                                    }
+                                    continue;
+                                }
                                 match Datagram::decode(&buf[..len]) {
                                     Some(Datagram::Stop { .. }) => {
                                         engine.on_stop_signal(&mut transport);
                                     }
-                                    Some(fragment @ Datagram::Fragment { .. }) => {
-                                        if let Some((from, segment)) = reassembler.push(fragment) {
-                                            engine.on_segment(from, segment, &mut transport);
-                                        }
+                                    Some(Datagram::Fragment { .. }) => {
+                                        unreachable!("fragments parsed above")
                                     }
                                     Some(Datagram::Rollback {
                                         to_iteration,

@@ -1,0 +1,81 @@
+//! The zero-copy encode path must be byte-identical to the legacy one.
+//!
+//! Every workload overrides [`IterativeTask::encode_outgoing`] to serialize
+//! straight into the sink's pooled buffers; the engine prefixes (via the
+//! sink) the same 4-byte little-endian generation tag it used to prepend by
+//! re-wrapping. These proptests pin the override to the legacy
+//! [`IterativeTask::outgoing`] payloads — same destinations, same order,
+//! same bytes after the tag — across random shapes, ranks and sweep counts.
+
+use p2pdc::app::{FrameSink, IterativeTask};
+use p2pdc::{HeatTask, ObstacleTask, PageRankGraph, PageRankTask};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Drive `sweeps` local relaxations, then compare the legacy `outgoing`
+/// pairs against the frames `encode_outgoing` lays down behind the tag.
+fn assert_encode_matches_outgoing(task: &mut dyn IterativeTask, sweeps: usize, generation: u32) {
+    for _ in 0..sweeps {
+        task.relax();
+    }
+    let legacy = task.outgoing();
+    let mut sink = FrameSink::new();
+    // Two rounds: the second exercises the pooled-buffer reuse path.
+    for _ in 0..2 {
+        sink.begin(generation);
+        task.encode_outgoing(&mut sink);
+    }
+    assert_eq!(sink.len(), legacy.len(), "frame count differs");
+    for (index, (legacy_dst, payload)) in legacy.iter().enumerate() {
+        let (dst, frame) = sink.take(index);
+        assert_eq!(dst, *legacy_dst, "destination order differs");
+        assert_eq!(&frame[..4], generation.to_le_bytes(), "generation tag");
+        assert_eq!(&frame[4..], &payload[..], "payload bytes differ");
+    }
+}
+
+proptest! {
+    #[test]
+    fn obstacle_encode_outgoing_matches_legacy(
+        n in 4usize..12,
+        alpha_seed in 1usize..6,
+        rank_seed in 0usize..6,
+        sweeps in 0usize..6,
+        generation in any::<u32>(),
+    ) {
+        let alpha = 1 + alpha_seed % n.min(5);
+        let rank = rank_seed % alpha;
+        let problem = Arc::new(obstacle::ObstacleProblem::membrane(n));
+        let mut task = ObstacleTask::new(problem, alpha, rank);
+        assert_encode_matches_outgoing(&mut task, sweeps, generation);
+    }
+
+    #[test]
+    fn heat_encode_outgoing_matches_legacy(
+        n in 3usize..20,
+        peers_seed in 1usize..6,
+        rank_seed in 0usize..6,
+        sweeps in 0usize..6,
+        generation in any::<u32>(),
+    ) {
+        let peers = 1 + peers_seed % (n - 2).max(1);
+        let rank = rank_seed % peers;
+        let mut task = HeatTask::new(n, peers, rank);
+        assert_encode_matches_outgoing(&mut task, sweeps, generation);
+    }
+
+    #[test]
+    fn pagerank_encode_outgoing_matches_legacy(
+        vertices in 8usize..80,
+        peers_seed in 1usize..6,
+        rank_seed in 0usize..6,
+        sweeps in 0usize..6,
+        generation in any::<u32>(),
+    ) {
+        let peers = 1 + peers_seed % 5;
+        let rank = rank_seed % peers;
+        let graph = Arc::new(PageRankGraph::ring_with_chords(vertices));
+        let mut task = PageRankTask::new(graph, peers, rank);
+        assert_encode_matches_outgoing(&mut task, sweeps, generation);
+    }
+}

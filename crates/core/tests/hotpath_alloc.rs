@@ -1,0 +1,108 @@
+//! Zero-allocation assertions for the steady-state ghost-exchange hot path.
+//!
+//! This binary installs [`p2pdc::allocs::CountingAllocator`] as its global
+//! allocator and measures three regions once their buffers are warm:
+//!
+//! 1. every workload's `encode_outgoing` into a pooled [`FrameSink`] —
+//!    must allocate nothing;
+//! 2. UDP fragment framing of a large segment into a reused send buffer
+//!    (what `UdpTransport::transmit` does per datagram) — must allocate
+//!    nothing;
+//! 3. the engine's frame → `Bytes` → send → reclaim cycle — costs exactly
+//!    the one shared-handle allocation the wire hand-off inherently needs
+//!    (the buffer itself is reclaimed into the pool every round).
+//!
+//! The counters are process-global, so all assertions live in one `#[test]`
+//! — parallel test threads would pollute each other's deltas.
+
+use p2pdc::allocs::{self, CountingAllocator};
+use p2pdc::app::{FrameSink, IterativeTask};
+use p2pdc::runtime::udp::{encode_fragment_into, MAX_FRAGMENT_PAYLOAD};
+use p2pdc::{HeatTask, ObstacleTask, PageRankGraph, PageRankTask};
+use std::sync::Arc;
+
+#[global_allocator]
+static COUNTING: CountingAllocator = CountingAllocator;
+
+/// Drive `rounds` encode rounds into a warm sink and return the counter
+/// delta across them (warmup rounds are excluded).
+fn encode_delta(task: &mut dyn IterativeTask, rounds: u32) -> allocs::AllocCounters {
+    let mut sink = FrameSink::new();
+    for generation in 0..3 {
+        sink.begin(generation);
+        task.encode_outgoing(&mut sink);
+    }
+    let before = allocs::counters();
+    for generation in 3..3 + rounds {
+        sink.begin(generation);
+        task.encode_outgoing(&mut sink);
+    }
+    allocs::counters().since(before)
+}
+
+#[test]
+fn steady_state_ghost_exchange_does_not_allocate() {
+    // 1. Task encode into a warm sink: zero allocations for all workloads.
+    let problem = Arc::new(obstacle::ObstacleProblem::membrane(16));
+    let mut task = ObstacleTask::new(problem, 4, 1);
+    task.relax();
+    let delta = encode_delta(&mut task, 64);
+    assert_eq!(delta.allocations, 0, "obstacle encode allocated: {delta:?}");
+
+    let mut task = HeatTask::new(32, 4, 2);
+    task.relax();
+    let delta = encode_delta(&mut task, 64);
+    assert_eq!(delta.allocations, 0, "heat encode allocated: {delta:?}");
+
+    let graph = Arc::new(PageRankGraph::ring_with_chords(120));
+    let mut task = PageRankTask::new(graph, 4, 1);
+    task.relax();
+    let delta = encode_delta(&mut task, 64);
+    assert_eq!(delta.allocations, 0, "pagerank encode allocated: {delta:?}");
+
+    // 2. UDP fragment framing into a reused send buffer: zero allocations
+    // once the buffer has grown to a full datagram.
+    let segment = vec![0xA5u8; 4 * MAX_FRAGMENT_PAYLOAD + 123];
+    let mut frame = Vec::new();
+    let frag_count = segment.len().div_ceil(MAX_FRAGMENT_PAYLOAD) as u16;
+    let frame_rounds = |frame: &mut Vec<u8>, messages: u32| {
+        for msg_id in 0..messages {
+            for frag_index in 0..frag_count {
+                let at = frag_index as usize * MAX_FRAGMENT_PAYLOAD;
+                let chunk = &segment[at..(at + MAX_FRAGMENT_PAYLOAD).min(segment.len())];
+                encode_fragment_into(frame, 3, msg_id, frag_index, frag_count, chunk);
+            }
+        }
+    };
+    frame_rounds(&mut frame, 2);
+    let before = allocs::counters();
+    frame_rounds(&mut frame, 32);
+    let delta = allocs::counters().since(before);
+    assert_eq!(delta.allocations, 0, "udp framing allocated: {delta:?}");
+
+    // 3. Frame → Bytes → (send) → reclaim: exactly one shared-handle
+    // allocation per frame; the buffer itself cycles through the pool.
+    let mut sink = FrameSink::new();
+    let cycle = |sink: &mut FrameSink, generation: u32| {
+        sink.begin(generation);
+        sink.frame(1).extend_from_slice(&[0u8; 512]);
+        let (_, buf) = sink.take(0);
+        let payload = bytes::Bytes::from(buf);
+        let on_the_wire = payload.clone(); // what socket.send copies from
+        drop(on_the_wire);
+        let buf = payload.try_reclaim().expect("wire released its reference");
+        sink.recycle(buf);
+    };
+    for generation in 0..3 {
+        cycle(&mut sink, generation);
+    }
+    let before = allocs::counters();
+    for generation in 3..67 {
+        cycle(&mut sink, generation);
+    }
+    let delta = allocs::counters().since(before);
+    assert_eq!(
+        delta.allocations, 64,
+        "expected exactly one shared-handle allocation per cycle: {delta:?}"
+    );
+}

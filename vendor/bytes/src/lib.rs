@@ -78,6 +78,22 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_ref().to_vec()
     }
+
+    /// Try to take the underlying storage back without copying.
+    ///
+    /// Succeeds only when this handle is the sole owner of the storage and
+    /// spans it fully (not a slice), returning the original `Vec<u8>`;
+    /// otherwise the unchanged `Bytes` comes back as the error. Buffer pools
+    /// use this to recycle a send buffer once the wire no longer holds a
+    /// reference. (Upstream `bytes` exposes the same idea as
+    /// `try_into_mut`.)
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Self> {
+        if self.start != 0 || self.end != self.data.len() {
+            return Err(self);
+        }
+        let Self { data, start, end } = self;
+        Arc::try_unwrap(data).map_err(|data| Self { data, start, end })
+    }
 }
 
 impl Deref for Bytes {
@@ -301,6 +317,24 @@ mod tests {
         let head = rest.split_to(2);
         assert_eq!(head.as_ref(), &[1, 2]);
         assert_eq!(rest.as_ref(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn try_reclaim_requires_sole_full_range_ownership() {
+        // Sole owner, full range: reclaims the original storage.
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.try_reclaim().unwrap(), vec![1, 2, 3]);
+        // A live clone blocks reclamation.
+        let b = Bytes::from(vec![4u8, 5]);
+        let clone = b.clone();
+        let b = b.try_reclaim().unwrap_err();
+        drop(clone);
+        // Sole again: now it succeeds.
+        assert_eq!(b.try_reclaim().unwrap(), vec![4, 5]);
+        // A strict slice never reclaims, even when solely owned.
+        let s = Bytes::from(vec![6u8, 7, 8]).slice(1..);
+        let s = s.try_reclaim().unwrap_err();
+        assert_eq!(s.as_ref(), &[7, 8]);
     }
 
     #[test]
