@@ -8,6 +8,8 @@
 //! repro fig6 [--full]          # Figure 6: 144³ obstacle problem (default: scaled 48³)
 //! repro ablation               # data-channel design-choice ablation
 //! repro runtimes               # (workload x scheme x runtime) matrix -> BENCH_runtimes.json
+//! repro scale [--full]         # matrix + reactor peer-scaling curve (64/256; --full adds 1024
+//!                              # and a 1024-peer crash+recovery run) -> BENCH_runtimes.json
 //! repro churn                  # churn grid (crash + recovery per cell) -> BENCH_churn.json
 //! repro hotpath                # kernel/encode/end-to-end grid -> BENCH_hotpath.json
 //! repro all [--full]           # everything above
@@ -22,9 +24,9 @@
 //! obstacle cell — the CI smoke assertion for the hot-path overhaul.
 
 use bench_suite::{
-    format_ablation, format_churn_grid, format_hotpath, format_runtime_matrix, format_table1,
-    run_ablation, run_churn_grid, run_figure, run_hotpath, run_runtime_matrix, run_table1,
-    FigureConfig,
+    format_ablation, format_churn_grid, format_hotpath, format_runtime_matrix, format_scale_curve,
+    format_table1, run_ablation, run_churn_grid, run_figure, run_hotpath, run_runtime_matrix,
+    run_scale_curve, run_table1, FigureConfig,
 };
 use p2pdc::format_table;
 
@@ -67,15 +69,31 @@ fn run_fig(which: u8, full: bool) {
     );
 }
 
-fn run_runtimes() {
+fn run_runtimes_with_scale(scale: bool, full: bool) {
     eprintln!("running the (workload x scheme x runtime) matrix ...");
-    let result = run_runtime_matrix();
+    let mut result = run_runtime_matrix();
     println!("{}", format_runtime_matrix(&result));
+    if scale {
+        eprintln!(
+            "running the reactor peer-scaling curve ({}) ...",
+            if full {
+                "64/256/1024 + churn"
+            } else {
+                "64/256"
+            }
+        );
+        result.scale = run_scale_curve(full);
+        println!("{}", format_scale_curve(&result.scale));
+    }
     write_json("runtimes", &result);
     // The perf-trajectory artifact CI uploads on every PR.
     write_json_to("BENCH_runtimes.json", &result);
     if !result.rows.iter().all(|r| r.converged) {
         eprintln!("WARNING: a (workload, runtime) cell failed to converge");
+        std::process::exit(1);
+    }
+    if !result.scale.iter().all(|r| r.converged) {
+        eprintln!("WARNING: a peer-scaling cell failed to converge");
         std::process::exit(1);
     }
 }
@@ -142,7 +160,8 @@ fn main() {
             println!("{}", format_ablation(&rows));
             write_json("ablation", &rows);
         }
-        "runtimes" => run_runtimes(),
+        "runtimes" => run_runtimes_with_scale(false, false),
+        "scale" => run_runtimes_with_scale(true, full),
         "churn" => run_churn(),
         "hotpath" => run_hotpath_grid(),
         "all" => {
@@ -154,13 +173,13 @@ fn main() {
             let ablation = run_ablation();
             println!("{}", format_ablation(&ablation));
             write_json("ablation", &ablation);
-            run_runtimes();
+            run_runtimes_with_scale(true, full);
             run_churn();
             run_hotpath_grid();
         }
         other => {
             eprintln!(
-                "unknown command '{other}'; expected table1 | fig5 | fig6 | ablation | runtimes | churn | hotpath | all"
+                "unknown command '{other}'; expected table1 | fig5 | fig6 | ablation | runtimes | scale | churn | hotpath | all"
             );
             std::process::exit(2);
         }

@@ -3,8 +3,8 @@
 //! the `repro` binary and the Criterion benches call into this crate.
 
 use p2pdc::{
-    derive_row, run_on, ChurnPlan, ComputeModel, FigureRow, RunConfig, RuntimeKind, Scheme,
-    WorkloadKind,
+    derive_row, run_on, BackendExtras, ChurnPlan, ComputeModel, FigureRow, RunConfig, RuntimeKind,
+    Scheme, WorkloadKind,
 };
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -255,6 +255,10 @@ pub struct RuntimeMatrixResult {
     pub scenarios: Vec<RuntimeMatrixScenario>,
     /// All rows.
     pub rows: Vec<RuntimeBenchRow>,
+    /// Peer-scaling curve on the reactor backend (empty when the matrix ran
+    /// without the scale sweep; absent in pre-v3 artifacts).
+    #[serde(default)]
+    pub scale: Vec<ScaleBenchRow>,
 }
 
 /// Run one scenario on one backend and measure it, through the
@@ -298,9 +302,10 @@ pub fn run_runtime_matrix_for(scenarios: &[RuntimeMatrixScenario]) -> RuntimeMat
         }
     }
     RuntimeMatrixResult {
-        schema_version: 2,
+        schema_version: 3,
         scenarios: scenarios.to_vec(),
         rows,
+        scale: Vec::new(),
     }
 }
 
@@ -336,6 +341,119 @@ pub fn format_runtime_matrix(result: &RuntimeMatrixResult) -> String {
             r.reported_elapsed_s,
             r.total_relaxations,
             r.converged
+        ));
+    }
+    out
+}
+
+/// One row of the peer-scaling curve: the reactor backend multiplexing
+/// `peers` engines over nonblocking localhost sockets on a handful of event
+/// loops — the regime where one-OS-thread-per-peer backends stop scaling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleBenchRow {
+    /// Backend label (always "reactor" today).
+    pub runtime: String,
+    /// Workload label (the curve runs PageRank: its vertex count scales
+    /// linearly with the peer count, keeping per-peer work constant).
+    pub workload: String,
+    /// Scheme of computation.
+    pub scheme: String,
+    /// Number of peers multiplexed onto the event loops.
+    pub peers: usize,
+    /// Problem size (PageRank vertices = 4 × peers).
+    pub size: usize,
+    /// Event loops the run was multiplexed onto.
+    pub event_loops: usize,
+    /// Whether the run included one seeded crash + recovery.
+    pub churn: bool,
+    /// Real time the whole run took on the bench machine, in seconds.
+    pub wall_time_s: f64,
+    /// The elapsed time the runtime itself reported, in seconds.
+    pub reported_elapsed_s: f64,
+    /// Total relaxations across all peers.
+    pub total_relaxations: u64,
+    /// Whether the run converged.
+    pub converged: bool,
+    /// Residual of the assembled solution under the workload's metric.
+    pub residual: f64,
+    /// Crashes injected (0 on fault-free rows).
+    pub crashes: u64,
+    /// Recoveries completed (must equal `crashes` on a healthy run).
+    pub recoveries: u64,
+}
+
+/// Run one cell of the peer-scaling curve: PageRank with 4 vertices per
+/// peer, asynchronous scheme, on the reactor backend; optionally with one
+/// seeded mid-run crash (checkpointed, detected, recovered live).
+pub fn run_scale_once(peers: usize, churn: bool) -> ScaleBenchRow {
+    let size = peers * 4;
+    let workload = WorkloadKind::PageRank.build(size, peers);
+    let mut config = RunConfig::single_cluster(Scheme::Asynchronous, peers).with_extras(
+        BackendExtras::Reactor {
+            event_loops: 0, // auto: one per core
+            loss_probability: 0.0,
+            reorder_probability: 0.0,
+        },
+    );
+    config.tolerance = 1e-6;
+    if churn {
+        config = config.with_churn(ChurnPlan::kill(peers / 2, 12).with_checkpoint_interval(5));
+    }
+    let event_loops = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .clamp(1, peers);
+    let started = Instant::now();
+    let result = run_on(workload.as_ref(), &config, RuntimeKind::Reactor);
+    let wall = started.elapsed();
+    ScaleBenchRow {
+        runtime: RuntimeKind::Reactor.label().to_string(),
+        workload: WorkloadKind::PageRank.label().to_string(),
+        scheme: Scheme::Asynchronous.to_string(),
+        peers,
+        size,
+        event_loops,
+        churn,
+        wall_time_s: wall.as_secs_f64(),
+        reported_elapsed_s: result.measurement.elapsed.as_secs_f64(),
+        total_relaxations: result.measurement.total_relaxations(),
+        converged: result.measurement.converged,
+        residual: result.measurement.residual,
+        crashes: result.measurement.crashes,
+        recoveries: result.measurement.recoveries,
+    }
+}
+
+/// Run the peer-scaling curve. The CI smoke sweep stops at 256 peers; the
+/// full (local/nightly) sweep adds the 1024-peer point and a 1024-peer run
+/// with one seeded crash + recovery.
+pub fn run_scale_curve(full: bool) -> Vec<ScaleBenchRow> {
+    let mut rows = vec![run_scale_once(64, false), run_scale_once(256, false)];
+    if full {
+        rows.push(run_scale_once(1024, false));
+        rows.push(run_scale_once(1024, true));
+    }
+    rows
+}
+
+/// Render the peer-scaling curve as text.
+pub fn format_scale_curve(rows: &[ScaleBenchRow]) -> String {
+    let mut out = String::from("== Reactor peer-scaling curve ==\n");
+    out.push_str(&format!(
+        "{:<8} {:<8} {:<7} {:>10} {:>13} {:>13} {:>8} {:>10}\n",
+        "peers", "loops", "churn", "wall [s]", "relaxations", "crash/rec", "conv", "residual"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<8} {:<7} {:>10.3} {:>13} {:>13} {:>8} {:>10.2e}\n",
+            r.peers,
+            r.event_loops,
+            r.churn,
+            r.wall_time_s,
+            r.total_relaxations,
+            format!("{}/{}", r.crashes, r.recoveries),
+            r.converged,
+            r.residual
         ));
     }
     out
@@ -1256,6 +1374,29 @@ mod tests {
         let json = serde_json::to_string(&result).expect("serializes");
         assert!(json.contains("\"udp\"") && json.contains("schema_version"));
         assert!(json.contains("\"pagerank\"") && json.contains("\"heat\""));
+    }
+
+    #[test]
+    fn scale_cell_runs_and_serializes() {
+        // A miniature cell keeps the test fast; the 64/256-peer sweep runs
+        // in CI's bench-smoke job and the 1024-peer points run nightly.
+        let row = run_scale_once(8, false);
+        assert!(row.converged, "8-peer reactor cell did not converge");
+        assert_eq!(row.runtime, "reactor");
+        assert_eq!(row.size, 32);
+        assert_eq!(row.crashes, 0);
+        assert!(row.event_loops >= 1);
+        assert!(row.wall_time_s > 0.0);
+        // The curve travels inside the BENCH_runtimes.json artifact; pre-v3
+        // artifacts without a `scale` field must still deserialize.
+        let mut result = run_runtime_matrix_for(&[]);
+        result.scale = vec![row];
+        let json = serde_json::to_string(&result).expect("serializes");
+        assert!(json.contains("\"scale\"") && json.contains("\"event_loops\""));
+        let legacy: RuntimeMatrixResult =
+            serde_json::from_str(r#"{"schema_version":2,"scenarios":[],"rows":[]}"#)
+                .expect("pre-v3 artifact still parses");
+        assert!(legacy.scale.is_empty());
     }
 
     #[test]

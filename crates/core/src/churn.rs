@@ -836,9 +836,11 @@ impl VolatilityState {
             self.publish_plan(loads, self.peers, at, rollback, None);
         }
         let action = self.granted.remove(&rank);
+        // A weighted decomposition needs at least one share unit per peer;
+        // populations beyond the notional 100 units scale the base up.
         let proposed = self
             .live_balancer(loads)
-            .propose_assignment(REBALANCE_SHARE_UNITS);
+            .propose_assignment(REBALANCE_SHARE_UNITS.max(self.peers));
         self.recovery_log.push(RecoveryRecord {
             rank,
             replacement: match action {

@@ -1,71 +1,25 @@
 //! End-to-end experiment driver: run *any* workload for one (scheme,
-//! topology) configuration on any of the four runtime backends and collect
+//! topology) configuration on any registered runtime backend and collect
 //! the paper's metrics.
 //!
-//! This layer is deliberately workload-agnostic: [`run_on`] takes a
-//! [`Workload`] trait object and a shared [`RunConfig`], dispatches to the
-//! chosen [`RuntimeKind`], assembles the solution and fills in the
-//! workload's residual metric. No application-specific type appears here —
-//! the obstacle wrappers the evaluation harness uses
+//! This layer is deliberately workload-agnostic AND backend-agnostic:
+//! [`run_on`] takes a [`Workload`] trait object and a shared [`RunConfig`],
+//! resolves the chosen [`RuntimeKind`] through the
+//! [`driver registry`](crate::runtime::driver), assembles the solution and
+//! fills in the workload's residual metric. No application-specific type and
+//! no per-backend dispatch arm appears here — backends plug in by
+//! registering a [`crate::runtime::RuntimeDriver`], and the obstacle
+//! wrappers the evaluation harness uses
 //! ([`crate::obstacle_app::run_obstacle_experiment`] /
 //! [`crate::obstacle_app::run_obstacle_on`]) live with the obstacle
 //! application and delegate to this generic path.
 
 use crate::metrics::RunMeasurement;
-use crate::runtime::loopback::run_iterative_loopback;
-use crate::runtime::sim::{run_iterative, SimRunConfig, SimRunOutcome};
-use crate::runtime::threads::{run_iterative_threads, ThreadRunConfig};
-use crate::runtime::udp::{run_iterative_udp, UdpRunConfig};
-use crate::runtime::RunConfig;
+use crate::runtime::{driver_for, RunConfig};
 use crate::workload::Workload;
 use netsim::NetStats;
-use serde::{Deserialize, Serialize};
 
-/// The runtime backend an experiment executes on. All four drive the same
-/// [`crate::runtime::engine::PeerEngine`]; they differ only in the substrate
-/// carrying the P2PSAP segments and in the clock behind the measurement.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum RuntimeKind {
-    /// Virtual-time discrete-event simulation over the netsim fabric
-    /// (deterministic, models latency/bandwidth/loss — the evaluation
-    /// harness default).
-    Sim,
-    /// One OS thread per peer, channel-routed segments with scaled link
-    /// latency (wall-clock).
-    Threads,
-    /// Single-threaded in-process round-robin with instant delivery
-    /// (deterministic, fastest).
-    Loopback,
-    /// One OS thread per peer over real localhost UDP sockets with framing,
-    /// bootstrap discovery and an optional loss/reorder shim (wall-clock).
-    Udp,
-}
-
-impl RuntimeKind {
-    /// Every backend, in the order the bench matrix reports them.
-    pub const ALL: [RuntimeKind; 4] = [
-        RuntimeKind::Sim,
-        RuntimeKind::Threads,
-        RuntimeKind::Loopback,
-        RuntimeKind::Udp,
-    ];
-
-    /// Stable lowercase label (JSON artifacts, bench ids).
-    pub fn label(&self) -> &'static str {
-        match self {
-            RuntimeKind::Sim => "sim",
-            RuntimeKind::Threads => "threads",
-            RuntimeKind::Loopback => "loopback",
-            RuntimeKind::Udp => "udp",
-        }
-    }
-}
-
-impl std::fmt::Display for RuntimeKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
-    }
-}
+pub use crate::runtime::RuntimeKind;
 
 /// Outcome shape shared by every runtime backend: the measurement, the
 /// assembled solution and its residual, plus the network statistics when the
@@ -81,15 +35,18 @@ pub struct RuntimeExperimentResult {
     /// Network statistics (`Some` on the simulated backend, which models the
     /// fabric; wall-clock backends use the real network stack).
     pub net: Option<NetStats>,
+    /// Datagrams dropped by the loss shim (socket backends running with
+    /// [`crate::BackendExtras`] impairment armed; zero everywhere else).
+    pub datagrams_dropped: u64,
 }
 
 /// Run one workload on the chosen runtime backend.
 ///
-/// The config's `seed` drives the deterministic backends (simulated fabric;
-/// the UDP shim stays disabled here — lossy-delivery runs go through
-/// [`UdpRunConfig`] directly) and its `compute` model charges virtual time
-/// on the simulated backend (the wall-clock backends run the kernel for
-/// real).
+/// The config's `seed` drives the deterministic backends (simulated fabric,
+/// loss-shim randomness), its `compute` model charges virtual time on the
+/// simulated backend (the wall-clock backends run the kernel for real), and
+/// its [`crate::BackendExtras`] carry the per-backend knobs (sim deadline,
+/// thread latency scale, socket impairment, reactor event-loop count).
 pub fn run_on(
     workload: &dyn Workload,
     config: &RunConfig,
@@ -109,42 +66,16 @@ pub fn run_on(
             config.repartitioner = Some(crate::workload::ReslicerHandle(rep));
         }
     }
-    let config = &config;
-    let (mut measurement, results, net) = match runtime {
-        RuntimeKind::Sim => {
-            let SimRunOutcome {
-                measurement,
-                results,
-                net,
-            } = run_iterative(&SimRunConfig::evaluation(config.clone()), |rank| {
-                workload.task(rank)
-            });
-            (measurement, results, Some(net))
-        }
-        RuntimeKind::Threads => {
-            let outcome = run_iterative_threads(&ThreadRunConfig::scaled(config.clone()), |rank| {
-                workload.task(rank)
-            });
-            (outcome.measurement, outcome.results, None)
-        }
-        RuntimeKind::Loopback => {
-            let outcome = run_iterative_loopback(config, |rank| workload.task(rank));
-            (outcome.measurement, outcome.results, None)
-        }
-        RuntimeKind::Udp => {
-            let outcome = run_iterative_udp(&UdpRunConfig::clean(config.clone()), |rank| {
-                workload.task(rank)
-            });
-            (outcome.measurement, outcome.results, None)
-        }
-    };
-    let solution = workload.assemble(&results);
+    let outcome = driver_for(runtime).run(&config, &|rank| workload.task(rank));
+    let solution = workload.assemble(&outcome.results);
+    let mut measurement = outcome.measurement;
     measurement.residual = workload.residual(&solution);
     RuntimeExperimentResult {
         runtime,
         measurement,
         solution,
-        net,
+        net: outcome.net,
+        datagrams_dropped: outcome.datagrams_dropped,
     }
 }
 

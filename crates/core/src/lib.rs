@@ -64,10 +64,8 @@ pub use pagerank_app::{
     PageRankParams, PageRankTask, PageRankWorkload,
 };
 pub use runtime::{
-    run_iterative, run_iterative_loopback, run_iterative_threads, run_iterative_udp,
-    ConvergenceDetector, LoopbackRunConfig, LoopbackRunOutcome, LossShim, PeerEngine,
-    PeerTransport, Reassembler, RunConfig, SimRunConfig, SimRunOutcome, ThreadRunConfig,
-    ThreadRunOutcome, UdpRunConfig, UdpRunOutcome,
+    driver_for, BackendExtras, ClockDomain, ConvergenceDetector, DriverOutcome, LossShim,
+    PeerEngine, PeerTransport, Reassembler, RunConfig, RuntimeDriver, TaskFactory, DRIVERS,
 };
 pub use task_manager::{parse_command, Command, Job, JobState, TaskManager};
 pub use topology_manager::{PeerRecord, TopologyManager, MISSED_PINGS_BEFORE_EVICTION};

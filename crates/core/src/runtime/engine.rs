@@ -808,7 +808,16 @@ impl PeerEngine {
         output: p2psap::SocketOutput,
     ) {
         for segment in output.data {
-            transport.transmit(neighbor, segment);
+            transport.transmit(neighbor, segment.clone());
+            // Wall-clock transports copy the segment into their send frame
+            // and drop the handle; reclaim the storage for the session's
+            // wire-buffer pool. Retaining transports (sim, loopback) keep a
+            // reference, so reclamation simply fails and nothing is pooled.
+            if let Ok(buf) = segment.try_reclaim() {
+                if let Some(socket) = self.sockets.get_mut(&neighbor) {
+                    socket.recycle_wire(buf);
+                }
+            }
         }
         // Control messages would travel over the reliable control channel; in
         // these experiments the configuration is static after opening, so none

@@ -18,6 +18,7 @@
 use crate::app::IterativeTask;
 use crate::churn::VolatilityState;
 use crate::metrics::RunMeasurement;
+use crate::runtime::driver::{ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory};
 use crate::runtime::engine::{
     ConvergenceDetector, PeerEngine, PeerTransport, TimerKey, TimerQueue,
 };
@@ -26,10 +27,40 @@ use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-/// Configuration of a loopback run. The loopback substrate needs nothing
-/// beyond the shared [`RunConfig`] (latencies are ignored; the topology only
-/// drives the peer count and the hybrid scheme's cluster-split wait rule).
-pub type LoopbackRunConfig = RunConfig;
+/// The registered [`RuntimeDriver`] of the loopback backend. The loopback
+/// substrate needs nothing beyond the shared [`RunConfig`] (latencies are
+/// ignored; the topology only drives the peer count and the hybrid scheme's
+/// cluster-split wait rule), so every [`BackendExtras`](crate::BackendExtras)
+/// variant is accepted and none is read.
+pub struct LoopbackDriver;
+
+impl RuntimeDriver for LoopbackDriver {
+    fn kind(&self) -> RuntimeKind {
+        RuntimeKind::Loopback
+    }
+
+    fn label(&self) -> &'static str {
+        "loopback"
+    }
+
+    fn clock(&self) -> ClockDomain {
+        ClockDomain::EventCount
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn run(&self, config: &RunConfig, task_factory: TaskFactory<'_>) -> DriverOutcome {
+        let outcome = run_iterative_loopback(config, |rank| task_factory(rank));
+        DriverOutcome {
+            measurement: outcome.measurement,
+            results: outcome.results,
+            net: None,
+            datagrams_dropped: 0,
+        }
+    }
+}
 
 /// Outcome of a loopback run.
 #[derive(Debug, Clone)]
@@ -112,8 +143,8 @@ impl PeerTransport for LoopbackTransport {
 }
 
 /// Run a distributed iterative computation in-process with zero latency.
-pub fn run_iterative_loopback<F>(
-    config: &LoopbackRunConfig,
+pub(crate) fn run_iterative_loopback<F>(
+    config: &RunConfig,
     mut task_factory: F,
 ) -> LoopbackRunOutcome
 where
@@ -399,14 +430,14 @@ mod tests {
 
     const RAMP: u64 = 10;
 
-    fn run(config: &LoopbackRunConfig) -> LoopbackRunOutcome {
+    fn run(config: &RunConfig) -> LoopbackRunOutcome {
         let peers = config.topology.len();
         run_iterative_loopback(config, |rank| Box::new(RampTask::line(rank, peers, RAMP)))
     }
 
     #[test]
     fn synchronous_scheme_runs_in_lockstep() {
-        let mut config = LoopbackRunConfig::quick(Scheme::Synchronous, 3);
+        let mut config = RunConfig::quick(Scheme::Synchronous, 3);
         config.tolerance = 0.5;
         let outcome = run(&config);
         assert!(outcome.measurement.converged);
@@ -418,7 +449,7 @@ mod tests {
 
     #[test]
     fn asynchronous_scheme_converges_without_waiting() {
-        let mut config = LoopbackRunConfig::quick(Scheme::Asynchronous, 3);
+        let mut config = RunConfig::quick(Scheme::Asynchronous, 3);
         config.tolerance = 0.5;
         let outcome = run(&config);
         assert!(outcome.measurement.converged);
@@ -431,7 +462,7 @@ mod tests {
 
     #[test]
     fn hybrid_scheme_converges_across_two_clusters() {
-        let mut config = LoopbackRunConfig::two_clusters(Scheme::Hybrid, 4);
+        let mut config = RunConfig::two_clusters(Scheme::Hybrid, 4);
         config.tolerance = 0.5;
         let outcome = run(&config);
         assert!(outcome.measurement.converged);
@@ -450,7 +481,7 @@ mod tests {
         let n = 8;
         let peers = 2;
         let problem = Arc::new(ObstacleProblem::membrane(n));
-        let config = LoopbackRunConfig::quick(Scheme::Synchronous, peers);
+        let config = RunConfig::quick(Scheme::Synchronous, peers);
         let outcome = run_iterative_loopback(&config, |rank| {
             Box::new(ObstacleTask::new(Arc::clone(&problem), peers, rank))
         });
@@ -482,9 +513,9 @@ mod tests {
         let n = 8;
         let peers = 2;
         let problem = Arc::new(ObstacleProblem::membrane(n));
-        let mut config = LoopbackRunConfig::quick(Scheme::Asynchronous, peers);
+        let mut config = RunConfig::quick(Scheme::Asynchronous, peers);
         config.churn = Some(ChurnPlan::kill(1, 12).with_checkpoint_interval(5));
-        let run = |config: &LoopbackRunConfig| {
+        let run = |config: &RunConfig| {
             run_iterative_loopback(config, |rank| {
                 Box::new(ObstacleTask::new(Arc::clone(&problem), peers, rank))
             })
@@ -517,7 +548,7 @@ mod tests {
         let n = 8;
         let peers = 2;
         let problem = Arc::new(ObstacleProblem::membrane(n));
-        let mut config = LoopbackRunConfig::quick(Scheme::Synchronous, peers);
+        let mut config = RunConfig::quick(Scheme::Synchronous, peers);
         config.churn = Some(ChurnPlan::kill(0, 14).with_checkpoint_interval(5));
         let outcome = run_iterative_loopback(&config, |rank| {
             Box::new(ObstacleTask::new(Arc::clone(&problem), peers, rank))
@@ -533,7 +564,7 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let mut config = LoopbackRunConfig::quick(Scheme::Asynchronous, 4);
+        let mut config = RunConfig::quick(Scheme::Asynchronous, 4);
         config.tolerance = 0.5;
         let a = run(&config);
         let b = run(&config);

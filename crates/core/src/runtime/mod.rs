@@ -39,39 +39,136 @@
 //!   protocol's reliability machinery is exercised by a genuinely lossy
 //!   network stack.
 //!
-//! Adding a backend means implementing [`engine::PeerTransport`] plus a
-//! small drive loop — candidate future backends are listed in ROADMAP.md
-//! (async/tokio sockets, MPI-style process ranks).
+//! * [`reactor`] — the scale substrate: a few readiness-polled event loops
+//!   (the vendored `polling` epoll wrapper) each multiplexing many peers
+//!   over nonblocking UDP sockets, reusing the [`udp`] framing, bootstrap
+//!   and detection machinery. Runs thousands of peers where the
+//!   thread-per-peer backends cap out at tens.
+//!
+//! Every backend registers as a [`driver::RuntimeDriver`]: the dispatch
+//! layer, the bench grids and the e2e helpers iterate the
+//! [`driver::DRIVERS`] registry instead of matching on backends, so adding
+//! a substrate is one module implementing [`engine::PeerTransport`] plus a
+//! drive loop behind the trait, and one registry entry (see the "adding a
+//! backend" recipe in ARCHITECTURE.md).
 //!
 //! All runtimes assemble their [`crate::metrics::RunMeasurement`] through
 //! [`engine::ConvergenceDetector::finish_run`], so they report identical
 //! metric shapes.
 
 pub(crate) mod detection;
+pub mod driver;
 pub mod engine;
 pub mod loopback;
+pub mod reactor;
 pub mod sim;
 pub mod threads;
 pub mod udp;
 
+pub use driver::{
+    driver_for, ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory, DRIVERS,
+};
 pub use engine::{ConvergenceDetector, PeerEngine, PeerTransport, SharedDetector, TimerKey};
-pub use loopback::{run_iterative_loopback, LoopbackRunConfig, LoopbackRunOutcome};
-pub use sim::{run_iterative, SimRunConfig, SimRunOutcome};
-pub use threads::{run_iterative_threads, ThreadRunConfig, ThreadRunOutcome};
-pub use udp::{run_iterative_udp, LossShim, Reassembler, UdpRunConfig, UdpRunOutcome};
+pub use udp::{LossShim, Reassembler};
 
 use crate::churn::ChurnPlan;
 use crate::compute::ComputeModel;
 use crate::workload::ReslicerHandle;
+use desim::SimDuration;
 use netsim::{ClusterId, Topology};
 use p2psap::Scheme;
 
+/// Typed per-backend knobs layered on the shared [`RunConfig`]. Each
+/// [`driver::RuntimeDriver`] reads its own variant through the accessor
+/// methods (which fall back to the backend's defaults for every other
+/// variant), so one `RunConfig` drives all five backends and a config built
+/// for one backend degrades gracefully on another.
+#[derive(Debug, Clone, Default)]
+pub enum BackendExtras {
+    /// Every backend's defaults (the common case).
+    #[default]
+    Default,
+    /// Simulated backend: the virtual-time deadline capping a run.
+    Sim {
+        /// Virtual-time cap.
+        deadline: SimDuration,
+    },
+    /// Thread backend: link-latency scaling.
+    Threads {
+        /// Scale factor applied to link latencies (1.0 = real latencies).
+        latency_scale: f64,
+    },
+    /// UDP backend: the deterministic loss/reorder shim.
+    Udp {
+        /// Probability that the shim drops an outgoing datagram.
+        loss_probability: f64,
+        /// Probability that the shim holds a datagram back one slot.
+        reorder_probability: f64,
+    },
+    /// Reactor backend: event-loop sizing plus the same shim as [`udp`].
+    Reactor {
+        /// Number of event-loop threads (0 = size from the host's
+        /// available parallelism).
+        event_loops: usize,
+        /// Probability that the shim drops an outgoing datagram.
+        loss_probability: f64,
+        /// Probability that the shim holds a datagram back one slot.
+        reorder_probability: f64,
+    },
+}
+
+impl BackendExtras {
+    /// Virtual-time deadline of the evaluation harness: long enough that
+    /// every paper experiment converges well before it.
+    pub const DEFAULT_SIM_DEADLINE: SimDuration = SimDuration::from_secs(100_000);
+
+    /// The simulated backend's virtual-time deadline.
+    pub fn sim_deadline(&self) -> SimDuration {
+        match self {
+            BackendExtras::Sim { deadline } => *deadline,
+            _ => Self::DEFAULT_SIM_DEADLINE,
+        }
+    }
+
+    /// The thread backend's link-latency scale factor.
+    pub fn latency_scale(&self) -> f64 {
+        match self {
+            BackendExtras::Threads { latency_scale } => *latency_scale,
+            _ => RunConfig::DEFAULT_LATENCY_SCALE,
+        }
+    }
+
+    /// The socket backends' `(loss, reorder)` shim probabilities.
+    pub fn impairment(&self) -> (f64, f64) {
+        match self {
+            BackendExtras::Udp {
+                loss_probability,
+                reorder_probability,
+            }
+            | BackendExtras::Reactor {
+                loss_probability,
+                reorder_probability,
+                ..
+            } => (*loss_probability, *reorder_probability),
+            _ => (0.0, 0.0),
+        }
+    }
+
+    /// The reactor backend's event-loop count, if pinned explicitly.
+    pub fn event_loops(&self) -> Option<usize> {
+        match self {
+            BackendExtras::Reactor { event_loops, .. } if *event_loops > 0 => Some(*event_loops),
+            _ => None,
+        }
+    }
+}
+
 /// The configuration every runtime backend shares: the scheme of
 /// computation, the topology (peer count, cluster split, link model), the
-/// convergence tolerance and the relaxation cap. Backend-specific knobs live
-/// in thin wrapper structs ([`SimRunConfig`], [`ThreadRunConfig`],
-/// [`UdpRunConfig`]) that deref to this shared core; the loopback runtime
-/// needs nothing beyond it ([`LoopbackRunConfig`] is an alias).
+/// convergence tolerance and the relaxation cap. Backend-specific knobs
+/// travel in the typed [`BackendExtras`] enum (`extras`); each driver reads
+/// its own variant and falls back to its defaults for every other, so the
+/// same config runs on all five backends.
 ///
 /// `seed` and `compute` are shared here rather than duplicated per backend:
 /// the seed drives every deterministic random source (the simulated fabric,
@@ -105,6 +202,10 @@ pub struct RunConfig {
     /// ignored. [`crate::experiment::run_on`] fills this in automatically
     /// for churn-armed runs.
     pub repartitioner: Option<ReslicerHandle>,
+    /// Typed backend-specific knobs (sim deadline, thread latency scale,
+    /// socket impairment, reactor event-loop count). The default variant
+    /// means "every backend's defaults".
+    pub extras: BackendExtras,
 }
 
 impl RunConfig {
@@ -138,6 +239,7 @@ impl RunConfig {
             compute: ComputeModel::default(),
             churn: None,
             repartitioner: None,
+            extras: BackendExtras::Default,
         }
     }
 
@@ -188,6 +290,12 @@ impl RunConfig {
     /// Attach the workload's live-repartitioning handle.
     pub fn with_repartitioner(mut self, handle: ReslicerHandle) -> Self {
         self.repartitioner = Some(handle);
+        self
+    }
+
+    /// Attach typed backend-specific knobs.
+    pub fn with_extras(mut self, extras: BackendExtras) -> Self {
+        self.extras = extras;
         self
     }
 

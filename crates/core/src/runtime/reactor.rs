@@ -1,0 +1,793 @@
+//! The reactor runtime of P2PDC: readiness-polled event loops multiplexing
+//! many peers per OS thread over nonblocking UDP sockets.
+//!
+//! The thread-per-peer backends ([`threads`](crate::runtime::threads),
+//! [`udp`](crate::runtime::udp)) cap out at tens of peers: every peer costs
+//! an OS thread, and past the core count the scheduler burns the run's time
+//! context-switching idle waiters. This backend keeps the *wire* of the UDP
+//! runtime — the same datagram framing, fragment reassembly, bootstrap
+//! discovery, loss shim, pacing gate and failure detection, reused from
+//! [`crate::runtime::udp`] verbatim — but replaces its drive loop: a small
+//! fixed pool of event-loop threads each owns a contiguous slice of peers
+//! and multiplexes their nonblocking sockets through the vendored
+//! [`polling`] readiness poller (epoll on Linux). A thousand peers are a
+//! thousand sockets on a handful of threads, so the 1024-peer rows of the
+//! scaling grid run on a laptop.
+//!
+//! Blocking is forbidden inside an event loop, so every wait the UDP
+//! runtime performs inline becomes a per-peer state machine phase:
+//! bootstrap discovery resends hellos on poll ticks until the rank→address
+//! table lands, a pre-provisioned join rank stays dormant until its seeded
+//! join fires, and a crashed peer parks in an await-grant phase (its
+//! replacement socket already bound) until the failure monitor grants
+//! recovery or the run stops.
+
+use crate::app::IterativeTask;
+use crate::churn::{SharedVolatility, VolatilityState};
+use crate::metrics::RunMeasurement;
+use crate::runtime::detection::{self, Heartbeat};
+use crate::runtime::driver::{ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory};
+use crate::runtime::engine::{ConvergenceDetector, PeerEngine, SharedDetector, TimerQueue};
+use crate::runtime::udp::{
+    bootstrap_service, localhost, Datagram, LossShim, Reassembler, UdpTransport,
+};
+use crate::runtime::RunConfig;
+use netsim::Topology;
+use polling::{Events, Poller};
+use std::collections::HashMap;
+use std::net::{SocketAddr, SocketAddrV4, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The registered [`RuntimeDriver`] of the reactor backend. Reads the
+/// event-loop count and the loss/reorder shim probabilities from
+/// [`BackendExtras::Reactor`](crate::BackendExtras).
+pub struct ReactorDriver;
+
+impl RuntimeDriver for ReactorDriver {
+    fn kind(&self) -> RuntimeKind {
+        RuntimeKind::Reactor
+    }
+
+    fn label(&self) -> &'static str {
+        "reactor"
+    }
+
+    fn clock(&self) -> ClockDomain {
+        ClockDomain::Wall
+    }
+
+    fn deterministic(&self) -> bool {
+        false
+    }
+
+    fn run(&self, config: &RunConfig, task_factory: TaskFactory<'_>) -> DriverOutcome {
+        let outcome = run_iterative_reactor(config, |rank| task_factory(rank));
+        DriverOutcome {
+            measurement: outcome.measurement,
+            results: outcome.results,
+            net: None,
+            datagrams_dropped: outcome.datagrams_dropped,
+        }
+    }
+}
+
+/// Outcome of a reactor run.
+#[derive(Debug, Clone)]
+pub struct ReactorRunOutcome {
+    /// Timing and relaxation measurements (elapsed is wall-clock).
+    pub measurement: RunMeasurement,
+    /// Per-rank serialized results.
+    pub results: Vec<(usize, Vec<u8>)>,
+    /// The localhost ports the peers bound during bootstrap, in rank order.
+    pub ports: Vec<u16>,
+    /// Datagrams dropped by the loss shim, summed over all peers.
+    pub datagrams_dropped: u64,
+}
+
+/// How long a discovering peer waits before re-announcing itself to the
+/// bootstrap service.
+const HELLO_RETRY: Duration = Duration::from_millis(25);
+
+/// Poll-timeout ceiling when every owned peer is quiescent: bounds the
+/// latency of the dormant-join, await-grant and stop polls (the same 2 ms
+/// the UDP runtime's idle backoff tops out at).
+const IDLE_POLL_CAP: Duration = Duration::from_millis(2);
+
+/// What to do with a peer's engine once the rank→address table arrives.
+enum OnTable {
+    /// Initial rank: first discovery, then `on_start`.
+    Start,
+    /// Mid-run joiner: announce to the failure detector, then `on_start`.
+    JoinStart,
+    /// Revived crash victim: republish the new port, re-register with the
+    /// failure detector, then restore from the checkpoint.
+    Recover,
+}
+
+/// One multiplexed peer's slot in an event loop.
+enum Phase {
+    /// Pre-provisioned join rank: no socket, no engine, waiting for its
+    /// seeded join to fire (or the run to end first).
+    Dormant,
+    /// Socket bound, hello sent; waiting for the bootstrap table.
+    Discovering {
+        /// When the last hello went out (resend after [`HELLO_RETRY`]).
+        hello_at: Instant,
+        /// What to do once the table lands.
+        then: OnTable,
+    },
+    /// Crashed; replacement socket bound, waiting for the recovery grant
+    /// (or the run to stop).
+    AwaitGrant,
+    /// Discovered and computing.
+    Running,
+    /// Finished (or never spawned); shim flushed, socket deregistered.
+    Done,
+}
+
+/// One peer multiplexed onto an event loop.
+struct Peer {
+    rank: usize,
+    phase: Phase,
+    /// `None` only while [`Phase::Dormant`].
+    engine: Option<PeerEngine>,
+    /// `None` only while [`Phase::Dormant`] (no socket yet).
+    transport: Option<UdpTransport>,
+    reassembler: Reassembler,
+    heartbeat: Option<Heartbeat>,
+    /// Table received by the drain sweep, applied by the advance sweep.
+    table: Option<Vec<SocketAddr>>,
+}
+
+/// Everything an event loop shares with its siblings.
+struct LoopShared<'a> {
+    alpha: usize,
+    topology: &'a Topology,
+    config: &'a RunConfig,
+    shared: &'a SharedDetector,
+    volatility: &'a Option<SharedVolatility>,
+    topo: &'a Option<detection::SharedTopologyManager>,
+    bootstrap_addr: SocketAddr,
+    start: Instant,
+    ports: &'a Mutex<Vec<u16>>,
+    dropped: &'a AtomicU64,
+}
+
+/// Kernel buffer size requested for every peer socket. A single ghost
+/// exchange of a large-grid workload fragments into hundreds of datagrams
+/// arriving as one burst; the ~208 KiB default `rmem` drops most of such a
+/// burst, and every dropped fragment voids its whole segment's reassembly
+/// and triggers a retransmission of the full ghost — a feedback loop that
+/// can keep a large run from ever converging. Best-effort: the kernel
+/// clamps the request to `net.core.{r,w}mem_max`.
+const SOCKET_BUFFER_BYTES: i32 = 4 << 20;
+
+/// Grow a socket's kernel receive and send buffers (linux only; a no-op
+/// elsewhere). Failures are ignored — the run still works at the default
+/// size, just with more retransmissions.
+#[cfg(target_os = "linux")]
+fn grow_socket_buffers(socket: &UdpSocket) {
+    use std::os::fd::AsRawFd;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const core::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    const SO_RCVBUF: i32 = 8;
+    let val = SOCKET_BUFFER_BYTES;
+    let ptr = &val as *const i32 as *const core::ffi::c_void;
+    let len = core::mem::size_of::<i32>() as u32;
+    unsafe {
+        setsockopt(socket.as_raw_fd(), SOL_SOCKET, SO_RCVBUF, ptr, len);
+        setsockopt(socket.as_raw_fd(), SOL_SOCKET, SO_SNDBUF, ptr, len);
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn grow_socket_buffers(_socket: &UdpSocket) {}
+
+impl Peer {
+    /// Bind a fresh nonblocking socket for this rank, register it with the
+    /// poller under the rank as key, publish its port, and enter discovery.
+    fn bind_and_discover(&mut self, poller: &Poller, ctx: &LoopShared<'_>, then: OnTable) {
+        let socket = UdpSocket::bind(SocketAddrV4::new(localhost(), 0))
+            .expect("bind peer socket on localhost");
+        socket.set_nonblocking(true).expect("set nonblocking");
+        grow_socket_buffers(&socket);
+        ctx.ports.lock().unwrap()[self.rank] = socket.local_addr().expect("peer local addr").port();
+        poller
+            .add(&socket, self.rank)
+            .expect("register peer socket");
+        let total = ctx.topology.len();
+        let (loss, reorder) = ctx.config.extras.impairment();
+        self.transport = Some(UdpTransport {
+            rank: self.rank,
+            start: ctx.start,
+            socket,
+            addrs: vec![SocketAddr::V4(SocketAddrV4::new(localhost(), 0)); total],
+            // Per-rank stream so peers do not share drop decisions.
+            shim: LossShim::new(
+                ctx.config.seed.wrapping_add(self.rank as u64),
+                loss,
+                reorder,
+            ),
+            next_msg_id: 0,
+            timers: TimerQueue::new(),
+            compute_pending: false,
+            topology: ctx.topology.clone(),
+            next_send_ok: HashMap::new(),
+            send_frame: Vec::new(),
+        });
+        if self.heartbeat.is_none() {
+            self.heartbeat = Some(Heartbeat::new(ctx.topology, self.rank));
+        }
+        self.send_hello(ctx);
+        self.phase = Phase::Discovering {
+            hello_at: Instant::now(),
+            then,
+        };
+    }
+
+    fn send_hello(&mut self, ctx: &LoopShared<'_>) {
+        let transport = self
+            .transport
+            .as_ref()
+            .expect("discovering peer has socket");
+        let hello = Datagram::Hello { rank: self.rank }.encode();
+        let _ = transport.socket.send_to(&hello, ctx.bootstrap_addr);
+    }
+
+    /// Retire the peer: flush the shim's held-back datagram, account its
+    /// drops, deregister the socket.
+    fn finish(&mut self, poller: &Poller, ctx: &LoopShared<'_>) {
+        if let Some(transport) = &mut self.transport {
+            transport.shim.flush(&transport.socket);
+            ctx.dropped
+                .fetch_add(transport.shim.dropped, Ordering::Relaxed);
+            transport.shim.dropped = 0;
+            let _ = poller.delete(&transport.socket);
+        }
+        self.phase = Phase::Done;
+    }
+
+    /// Drain everything the kernel has buffered on this peer's socket.
+    /// While discovering, only the bootstrap table is acted on (data
+    /// fragments racing ahead of it are discarded — the reliable channel
+    /// retransmits and asynchronous ghosts are superseded, exactly as with
+    /// the UDP runtime's blocking discovery). While running, this is the
+    /// UDP runtime's receive sweep verbatim.
+    fn drain(&mut self, buf: &mut [u8]) {
+        let Some(transport) = self.transport.as_mut() else {
+            return;
+        };
+        while let Ok((len, _)) = transport.socket.recv_from(buf) {
+            match &mut self.phase {
+                Phase::Discovering { .. } => {
+                    if let Some(Datagram::Table { ports }) = Datagram::decode(&buf[..len]) {
+                        if ports.len() == transport.addrs.len() {
+                            self.table = Some(
+                                ports
+                                    .into_iter()
+                                    .map(|p| SocketAddr::V4(SocketAddrV4::new(localhost(), p)))
+                                    .collect(),
+                            );
+                        }
+                    }
+                }
+                Phase::Running => {
+                    let engine = self.engine.as_mut().expect("running peer has engine");
+                    if engine.finished() {
+                        break;
+                    }
+                    // Fragments (the data hot path) are parsed borrowed and
+                    // copied once, into a pooled reassembly buffer; control
+                    // datagrams take the allocating decode.
+                    if let Some((from, msg_id, frag_index, frag_count, payload)) =
+                        Datagram::fragment_fields(&buf[..len])
+                    {
+                        if let Some((from, segment)) = self
+                            .reassembler
+                            .push_ref(from, msg_id, frag_index, frag_count, payload)
+                        {
+                            engine.on_segment(from, segment, transport);
+                        }
+                        continue;
+                    }
+                    match Datagram::decode(&buf[..len]) {
+                        Some(Datagram::Stop { .. }) => engine.on_stop_signal(transport),
+                        Some(Datagram::Fragment { .. }) => unreachable!("fragments parsed above"),
+                        Some(Datagram::Rollback {
+                            to_iteration,
+                            generation,
+                            ..
+                        }) => engine.on_rollback(to_iteration, generation, transport),
+                        // A table re-broadcast mid-run: a joiner announced
+                        // or a recovered peer rebound its socket.
+                        Some(Datagram::Table { ports }) if ports.len() == transport.addrs.len() => {
+                            transport.addrs = ports
+                                .into_iter()
+                                .map(|p| SocketAddr::V4(SocketAddrV4::new(localhost(), p)))
+                                .collect();
+                        }
+                        _ => {}
+                    }
+                }
+                // Dormant peers have no socket; a crashed peer's replacement
+                // socket swallows stray traffic unread until recovery.
+                _ => {}
+            }
+        }
+    }
+
+    /// One state-machine turn.
+    fn advance(&mut self, poller: &Poller, ctx: &LoopShared<'_>) {
+        match &mut self.phase {
+            Phase::Done => {}
+            Phase::Dormant => {
+                // A joiner builds its task from the checkpointed slice it
+                // adopts (`join_run`), not from the task factory.
+                let vol = ctx.volatility.as_ref().expect("join ranks imply churn");
+                if vol.lock().unwrap().take_spawn_if(self.rank) {
+                    match PeerEngine::join_run(
+                        self.rank,
+                        ctx.config.scheme,
+                        ctx.topology,
+                        Arc::clone(ctx.shared),
+                        Arc::clone(vol),
+                        ctx.config.max_relaxations,
+                    ) {
+                        Some(engine) => {
+                            self.engine = Some(engine);
+                            self.bind_and_discover(poller, ctx, OnTable::JoinStart);
+                        }
+                        None => self.phase = Phase::Done,
+                    }
+                } else if ctx.shared.lock().unwrap().stopped() {
+                    // The run ended before the join fired: exit without ever
+                    // having existed.
+                    self.phase = Phase::Done;
+                }
+            }
+            Phase::Discovering { hello_at, .. } => {
+                if let Some(addrs) = self.table.take() {
+                    let transport = self
+                        .transport
+                        .as_mut()
+                        .expect("discovering peer has socket");
+                    transport.addrs = addrs;
+                    let engine = self.engine.as_mut().expect("discovering peer has engine");
+                    let Phase::Discovering { then, .. } =
+                        std::mem::replace(&mut self.phase, Phase::Running)
+                    else {
+                        unreachable!()
+                    };
+                    match then {
+                        OnTable::Start => engine.on_start(transport),
+                        OnTable::JoinStart => {
+                            // The joiner announces itself to the failure
+                            // detector before its first relaxation.
+                            if let Some(topo) = ctx.topo {
+                                self.heartbeat
+                                    .as_mut()
+                                    .expect("bound peer has heartbeat")
+                                    .rejoin(topo, ctx.start);
+                            }
+                            engine.on_start(transport);
+                        }
+                        OnTable::Recover => {
+                            if let Some(topo) = ctx.topo {
+                                self.heartbeat
+                                    .as_mut()
+                                    .expect("bound peer has heartbeat")
+                                    .rejoin(topo, ctx.start);
+                            }
+                            engine.recover(transport);
+                        }
+                    }
+                } else if hello_at.elapsed() >= HELLO_RETRY {
+                    *hello_at = Instant::now();
+                    self.send_hello(ctx);
+                }
+            }
+            Phase::AwaitGrant => {
+                if ctx.shared.lock().unwrap().stopped() {
+                    // Relaxation cap reached elsewhere while this peer was
+                    // down: fold it into the stop instead of reviving it.
+                    let transport = self
+                        .transport
+                        .as_mut()
+                        .expect("crashed peer keeps a socket");
+                    self.engine
+                        .as_mut()
+                        .expect("crashed peer has engine")
+                        .on_stop_signal(transport);
+                    self.finish(poller, ctx);
+                } else if ctx
+                    .volatility
+                    .as_ref()
+                    .is_some_and(|vol| vol.lock().unwrap().is_granted(self.rank))
+                {
+                    // Rejoin: announce the replacement socket to the
+                    // bootstrap (which re-broadcasts the table to every
+                    // peer), then restore from the checkpoint.
+                    self.send_hello(ctx);
+                    self.phase = Phase::Discovering {
+                        hello_at: Instant::now(),
+                        then: OnTable::Recover,
+                    };
+                }
+            }
+            Phase::Running => {
+                let transport = self.transport.as_mut().expect("running peer has socket");
+                let engine = self.engine.as_mut().expect("running peer has engine");
+                // Heartbeat towards the failure detector (rate-limited to
+                // the ping period internally).
+                if let Some(topo) = ctx.topo {
+                    self.heartbeat
+                        .as_mut()
+                        .expect("bound peer has heartbeat")
+                        .beat(topo, ctx.start);
+                }
+                while !engine.finished() {
+                    let Some(key) = transport.pop_due_timer() else {
+                        break;
+                    };
+                    engine.on_timer(key, transport);
+                }
+                if !engine.finished() && transport.compute_pending {
+                    transport.compute_pending = false;
+                    engine.on_compute_done(transport);
+                    if engine.crashed() {
+                        // The peer died. Kill its socket for real: the old
+                        // port closes, in-flight datagrams to it are dropped
+                        // by the kernel, and neighbours' sends go nowhere
+                        // until the bootstrap publishes the revived peer's
+                        // new port. Timers die with it, and it stops
+                        // pinging — the topology manager evicts it and the
+                        // monitor grants recovery.
+                        transport.shim.flush(&transport.socket);
+                        let _ = poller.delete(&transport.socket);
+                        transport.timers = TimerQueue::new();
+                        transport.compute_pending = false;
+                        transport.socket = UdpSocket::bind(SocketAddrV4::new(localhost(), 0))
+                            .expect("bind replacement socket on localhost");
+                        transport
+                            .socket
+                            .set_nonblocking(true)
+                            .expect("set replacement socket nonblocking");
+                        grow_socket_buffers(&transport.socket);
+                        poller
+                            .add(&transport.socket, self.rank)
+                            .expect("register replacement socket");
+                        ctx.ports.lock().unwrap()[self.rank] = transport
+                            .socket
+                            .local_addr()
+                            .expect("replacement local addr")
+                            .port();
+                        self.reassembler = Reassembler::new();
+                        self.phase = Phase::AwaitGrant;
+                        return;
+                    }
+                }
+                if !engine.finished() {
+                    // Another peer may have stopped the run while this one
+                    // was idling in a scheme wait (or its stop datagram was
+                    // dropped). Poll the detector's published verdicts as
+                    // the safety net, exactly like the UDP drive loop.
+                    if ctx.shared.lock().unwrap().stopped() {
+                        engine.on_stop_signal(transport);
+                    } else {
+                        engine.poll_rollback(transport);
+                        engine.poll_membership(transport);
+                    }
+                }
+                if engine.finished() {
+                    self.finish(poller, ctx);
+                }
+            }
+        }
+    }
+
+    /// Whether this peer needs an immediate next turn (zero poll timeout).
+    fn busy(&self) -> bool {
+        match self.phase {
+            Phase::Running => {
+                self.transport.as_ref().is_some_and(|t| t.compute_pending)
+                    || self.engine.as_ref().is_some_and(|e| e.computing())
+            }
+            _ => false,
+        }
+    }
+
+    /// This peer's next self-imposed deadline, as a delay from now.
+    fn next_deadline(&self, now_ns: u64) -> Option<Duration> {
+        match self.phase {
+            Phase::Running => self
+                .transport
+                .as_ref()
+                .and_then(UdpTransport::earliest_timer_deadline)
+                .map(|deadline| Duration::from_nanos(deadline.saturating_sub(now_ns))),
+            _ => None,
+        }
+    }
+}
+
+/// One event loop: drive `ranks` (a contiguous slice) to completion.
+fn event_loop(
+    ranks: std::ops::Range<usize>,
+    ctx: &LoopShared<'_>,
+    task_factory: &(dyn Fn(usize) -> Box<dyn IterativeTask> + Sync),
+) {
+    let poller = Poller::new().expect("create readiness poller");
+    let mut events = Events::new();
+    let mut buf = vec![0u8; 65536];
+    let first = ranks.start;
+    let mut peers: Vec<Peer> = ranks
+        .map(|rank| Peer {
+            rank,
+            phase: Phase::Dormant,
+            engine: None,
+            transport: None,
+            reassembler: Reassembler::new(),
+            heartbeat: None,
+            table: None,
+        })
+        .collect();
+    // Initial ranks get their engine and socket up front; pre-provisioned
+    // join ranks stay dormant.
+    for peer in &mut peers {
+        if peer.rank < ctx.alpha {
+            let mut engine = PeerEngine::new(
+                peer.rank,
+                ctx.config.scheme,
+                ctx.topology,
+                task_factory(peer.rank),
+                Arc::clone(ctx.shared),
+                ctx.config.max_relaxations,
+            );
+            if let Some(vol) = ctx.volatility {
+                engine.attach_volatility(Arc::clone(vol));
+            }
+            peer.engine = Some(engine);
+            peer.bind_and_discover(&poller, ctx, OnTable::Start);
+        }
+    }
+
+    while !peers.iter().all(|p| matches!(p.phase, Phase::Done)) {
+        // A pending compute means an immediate turn; otherwise sleep in the
+        // poller until the earliest protocol timer, capped so the dormant /
+        // await-grant / discovery / stop polls stay responsive.
+        let timeout = if peers.iter().any(Peer::busy) {
+            Duration::ZERO
+        } else {
+            let now_ns = ctx.start.elapsed().as_nanos() as u64;
+            peers
+                .iter()
+                .filter_map(|p| p.next_deadline(now_ns))
+                .fold(IDLE_POLL_CAP, Duration::min)
+        };
+        events.clear();
+        let _ = poller.wait(&mut events, Some(timeout));
+        for event in events.iter() {
+            if let Some(peer) = peers.get_mut(event.key - first) {
+                peer.drain(&mut buf);
+            }
+        }
+        for peer in &mut peers {
+            peer.advance(&poller, ctx);
+        }
+    }
+}
+
+/// Run a distributed iterative computation over nonblocking localhost UDP
+/// sockets multiplexed onto a few readiness-polled event loops.
+pub(crate) fn run_iterative_reactor<F>(config: &RunConfig, task_factory: F) -> ReactorRunOutcome
+where
+    F: Fn(usize) -> Box<dyn IterativeTask> + Send + Sync,
+{
+    let alpha = config.topology.len();
+    assert!(alpha >= 1);
+    // Pre-provision bootstrap-table slots and a dormant event-loop slot for
+    // ranks that may join mid-run.
+    let topology = config.provisioned_topology();
+    let total = topology.len();
+    let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
+    let volatility = config.churn.as_ref().map(|plan| {
+        let vol = VolatilityState::shared(plan, alpha, config.scheme);
+        if let Some(handle) = &config.repartitioner {
+            vol.lock().unwrap().set_repartitioner(handle.clone());
+        }
+        vol
+    });
+    // Wall-clock failure detection, shared with the other real-time
+    // backends: peers ping a run-local topology-manager server; the monitor
+    // thread sweeps it for missed-ping evictions.
+    let topo = volatility
+        .as_ref()
+        .map(|_| detection::server_with_all_ranks(&config.topology));
+
+    // Bootstrap: bind the service port first so peers have a rendezvous.
+    let bootstrap_socket = UdpSocket::bind(SocketAddrV4::new(localhost(), 0))
+        .expect("bind bootstrap socket on localhost");
+    let bootstrap_addr = bootstrap_socket.local_addr().expect("bootstrap addr");
+    let bootstrap_stop = Arc::new(AtomicBool::new(false));
+    let bootstrap = bootstrap_service(bootstrap_socket, alpha, total, Arc::clone(&bootstrap_stop));
+
+    // Event-loop pool: explicit via extras, otherwise sized from the host's
+    // parallelism (the loops are compute-bound — the relaxation kernels run
+    // inline on them).
+    let loops = config
+        .extras
+        .event_loops()
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, total);
+    let chunk = total.div_ceil(loops);
+
+    let start = Instant::now();
+    let ports = Mutex::new(vec![0u16; total]);
+    let dropped = AtomicU64::new(0);
+    let ctx = LoopShared {
+        alpha,
+        topology: &topology,
+        config,
+        shared: &shared,
+        volatility: &volatility,
+        topo: &topo,
+        bootstrap_addr,
+        start,
+        ports: &ports,
+        dropped: &dropped,
+    };
+    let task_factory = &task_factory;
+    std::thread::scope(|scope| {
+        if let (Some(vol), Some(topo)) = (&volatility, &topo) {
+            let vol = Arc::clone(vol);
+            let topo = Arc::clone(topo);
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || detection::run_monitor(&vol, &topo, &shared, total, start));
+        }
+        let ctx = &ctx;
+        for index in 0..loops {
+            let lo = index * chunk;
+            let hi = ((index + 1) * chunk).min(total);
+            if lo < hi {
+                scope.spawn(move || event_loop(lo..hi, ctx, task_factory));
+            }
+        }
+    });
+    bootstrap_stop.store(true, Ordering::Relaxed);
+    let _ = bootstrap.join();
+
+    let fallback_now = start.elapsed().as_nanos() as u64;
+    let (mut measurement, results) = shared
+        .lock()
+        .unwrap()
+        .finish_run(fallback_now, config.max_relaxations);
+    if let Some(vol) = &volatility {
+        vol.lock().unwrap().annotate(&mut measurement);
+    }
+    ReactorRunOutcome {
+        measurement,
+        results,
+        ports: ports.into_inner().unwrap(),
+        datagrams_dropped: dropped.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::engine::testing::RampTask;
+    use crate::BackendExtras;
+    use p2psap::Scheme;
+
+    const RAMP: u64 = 10;
+
+    fn run(config: &RunConfig) -> ReactorRunOutcome {
+        let peers = config.topology.len();
+        run_iterative_reactor(config, |rank| Box::new(RampTask::line(rank, peers, RAMP)))
+    }
+
+    /// Two event loops multiplexing three peers: the loops genuinely share
+    /// peers (one carries two), and the synchronous scheme still runs in
+    /// lockstep over the multiplexed sockets.
+    #[test]
+    fn synchronous_scheme_on_the_reactor_runs_in_lockstep() {
+        let mut config =
+            RunConfig::quick(Scheme::Synchronous, 3).with_extras(BackendExtras::Reactor {
+                event_loops: 2,
+                loss_probability: 0.0,
+                reorder_probability: 0.0,
+            });
+        config.tolerance = 0.5;
+        let outcome = run(&config);
+        assert!(outcome.measurement.converged);
+        // Lockstep counts: the convergence iteration is the ramp length;
+        // before the stop lands a wall-clock peer can overshoot it by at
+        // most the topology diameter (it only waits on direct neighbours).
+        for &count in &outcome.measurement.relaxations_per_peer {
+            assert!(
+                (RAMP..RAMP + 3).contains(&count),
+                "lockstep violated: {count} vs ramp {RAMP}"
+            );
+        }
+        assert_eq!(
+            outcome
+                .measurement
+                .relaxations_per_peer
+                .iter()
+                .min()
+                .copied(),
+            Some(RAMP),
+            "the detecting peer stops at exactly the convergence iteration"
+        );
+        assert_eq!(outcome.results.len(), 3);
+        // Bootstrap assigned a distinct real port to every peer.
+        let mut ports = outcome.ports.clone();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 3);
+        assert!(ports.iter().all(|&p| p != 0));
+    }
+
+    #[test]
+    fn asynchronous_scheme_on_the_reactor_converges() {
+        let mut config = RunConfig::quick(Scheme::Asynchronous, 3);
+        config.tolerance = 0.5;
+        let outcome = run(&config);
+        assert!(outcome.measurement.converged);
+        for &count in &outcome.measurement.relaxations_per_peer {
+            assert!(count >= RAMP, "peer finished early: {count} < {RAMP}");
+        }
+    }
+
+    #[test]
+    fn hybrid_scheme_on_the_reactor_converges_across_two_clusters() {
+        let mut config = RunConfig::quick_two_clusters(Scheme::Hybrid, 4);
+        config.tolerance = 0.5;
+        let outcome = run(&config);
+        assert!(outcome.measurement.converged);
+        assert_eq!(outcome.results.len(), 4);
+    }
+
+    /// Crash + recovery inside an event loop: the victim's socket is
+    /// replaced, the failure monitor grants recovery, and the revived peer
+    /// rediscovers and restores from its checkpoint — all without blocking
+    /// the sibling peers multiplexed on the same loop.
+    #[test]
+    fn seeded_crash_recovers_on_a_shared_event_loop() {
+        use crate::churn::ChurnPlan;
+        use crate::obstacle_app::ObstacleTask;
+        use obstacle::ObstacleProblem;
+
+        let n = 8;
+        let peers = 2;
+        let problem = Arc::new(ObstacleProblem::membrane(n));
+        let mut config =
+            RunConfig::quick(Scheme::Asynchronous, peers).with_extras(BackendExtras::Reactor {
+                event_loops: 1,
+                loss_probability: 0.0,
+                reorder_probability: 0.0,
+            });
+        config.churn = Some(ChurnPlan::kill(1, 12).with_checkpoint_interval(5));
+        let outcome = run_iterative_reactor(&config, |rank| {
+            Box::new(ObstacleTask::new(Arc::clone(&problem), peers, rank))
+        });
+        assert!(outcome.measurement.converged, "faulty run must converge");
+        assert_eq!(outcome.measurement.crashes, 1);
+        assert_eq!(outcome.measurement.recoveries, 1);
+        assert!(outcome.measurement.downtime_s > 0.0);
+    }
+}

@@ -18,6 +18,7 @@ use crate::app::IterativeTask;
 use crate::churn::{SharedVolatility, VolatilityState};
 use crate::compute::ComputeModel;
 use crate::metrics::RunMeasurement;
+use crate::runtime::driver::{ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory};
 use crate::runtime::engine::{
     ConvergenceDetector, PeerEngine, PeerTransport, SharedDetector, TimerKey,
 };
@@ -25,7 +26,6 @@ use crate::runtime::RunConfig;
 use bytes::Bytes;
 use desim::{Context, Payload, Process, ProcessId, SimDuration, SimTime, Simulator, TimerId};
 use netsim::{shared_stats, Deliver, NetStats, NetworkFabric, NodeId, Packet, Topology, Transmit};
-use p2psap::Scheme;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -36,58 +36,35 @@ const COMPUTE_TIMER_TAG: u64 = u64::MAX;
 /// rank recovers now" (the plan's modelled detection latency).
 const RECOVERY_TIMER_TAG: u64 = u64::MAX - 1;
 
-/// Configuration of one simulated distributed run: the shared [`RunConfig`]
-/// plus the virtual-time deadline only this backend has.
-#[derive(Debug, Clone)]
-pub struct SimRunConfig {
-    /// The runtime-agnostic part (scheme, topology, tolerance, caps, seed,
-    /// compute model).
-    pub common: RunConfig,
-    /// Virtual-time cap.
-    pub deadline: SimDuration,
-}
+/// The registered [`RuntimeDriver`] of the simulated backend. Reads the
+/// virtual-time deadline from [`BackendExtras::Sim`](crate::BackendExtras).
+pub struct SimDriver;
 
-impl SimRunConfig {
-    /// Deadline of the evaluation harness: long enough that every paper
-    /// experiment converges well before it.
-    pub const EVALUATION_DEADLINE: SimDuration = SimDuration::from_secs(100_000);
+impl RuntimeDriver for SimDriver {
+    fn kind(&self) -> RuntimeKind {
+        RuntimeKind::Sim
+    }
 
-    /// Wrap a shared configuration with the evaluation-harness deadline.
-    pub fn evaluation(common: RunConfig) -> Self {
-        Self {
-            common,
-            deadline: Self::EVALUATION_DEADLINE,
+    fn label(&self) -> &'static str {
+        "sim"
+    }
+
+    fn clock(&self) -> ClockDomain {
+        ClockDomain::Virtual
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn run(&self, config: &RunConfig, task_factory: TaskFactory<'_>) -> DriverOutcome {
+        let outcome = run_iterative(config, |rank| task_factory(rank));
+        DriverOutcome {
+            measurement: outcome.measurement,
+            results: outcome.results,
+            net: Some(outcome.net),
+            datagrams_dropped: 0,
         }
-    }
-
-    /// A configuration for `peers` peers in a single NICTA-style cluster.
-    pub fn single_cluster(scheme: Scheme, peers: usize) -> Self {
-        Self {
-            common: RunConfig::single_cluster(scheme, peers),
-            deadline: SimDuration::from_secs(3_600),
-        }
-    }
-
-    /// A configuration for `peers` peers split into two clusters joined by a
-    /// 100 ms path.
-    pub fn two_clusters(scheme: Scheme, peers: usize) -> Self {
-        Self {
-            common: RunConfig::two_clusters(scheme, peers),
-            deadline: SimDuration::from_secs(3_600),
-        }
-    }
-}
-
-impl std::ops::Deref for SimRunConfig {
-    type Target = RunConfig;
-    fn deref(&self) -> &RunConfig {
-        &self.common
-    }
-}
-
-impl std::ops::DerefMut for SimRunConfig {
-    fn deref_mut(&mut self) -> &mut RunConfig {
-        &mut self.common
     }
 }
 
@@ -400,7 +377,7 @@ impl Process for PeerActor {
 
 /// Run a distributed iterative computation on the simulated runtime. The
 /// factory builds the per-rank task (the application's `Calculate()`).
-pub fn run_iterative<F>(config: &SimRunConfig, mut task_factory: F) -> SimRunOutcome
+pub(crate) fn run_iterative<F>(config: &RunConfig, mut task_factory: F) -> SimRunOutcome
 where
     F: FnMut(usize) -> Box<dyn IterativeTask>,
 {
@@ -473,7 +450,7 @@ where
     let actual_fabric_id = sim.add_process(Box::new(fabric));
     assert_eq!(actual_fabric_id, fabric_id);
 
-    let _ = sim.run_until(SimTime::ZERO + config.deadline);
+    let _ = sim.run_until(SimTime::ZERO + config.extras.sim_deadline());
 
     let (mut measurement, results) = shared
         .lock()

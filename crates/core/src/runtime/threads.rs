@@ -18,6 +18,7 @@ use crate::app::IterativeTask;
 use crate::churn::{SharedVolatility, VolatilityState};
 use crate::metrics::RunMeasurement;
 use crate::runtime::detection::{self, Heartbeat};
+use crate::runtime::driver::{ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory};
 use crate::runtime::engine::{
     ConvergenceDetector, PeerEngine, PeerTransport, TimerKey, TimerQueue,
 };
@@ -25,46 +26,39 @@ use crate::runtime::RunConfig;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use netsim::{NodeId, Topology};
-use p2psap::Scheme;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Configuration of a thread-runtime run: the shared [`RunConfig`] plus the
-/// latency scale only this backend has.
-#[derive(Debug, Clone)]
-pub struct ThreadRunConfig {
-    /// The runtime-agnostic part (scheme, topology, tolerance, caps).
-    pub common: RunConfig,
-    /// Scale factor applied to link latencies (1.0 = real latencies).
-    pub latency_scale: f64,
-}
+/// The registered [`RuntimeDriver`] of the thread-per-peer backend. Reads
+/// the link-latency scale from [`BackendExtras::Threads`](crate::BackendExtras).
+pub struct ThreadsDriver;
 
-impl ThreadRunConfig {
-    /// Wrap a shared configuration with the default scaled-down latencies.
-    pub fn scaled(common: RunConfig) -> Self {
-        Self {
-            common,
-            latency_scale: RunConfig::DEFAULT_LATENCY_SCALE,
+impl RuntimeDriver for ThreadsDriver {
+    fn kind(&self) -> RuntimeKind {
+        RuntimeKind::Threads
+    }
+
+    fn label(&self) -> &'static str {
+        "threads"
+    }
+
+    fn clock(&self) -> ClockDomain {
+        ClockDomain::Wall
+    }
+
+    fn deterministic(&self) -> bool {
+        false
+    }
+
+    fn run(&self, config: &RunConfig, task_factory: TaskFactory<'_>) -> DriverOutcome {
+        let outcome = run_iterative_threads(config, |rank| task_factory(rank));
+        DriverOutcome {
+            measurement: outcome.measurement,
+            results: outcome.results,
+            net: None,
+            datagrams_dropped: 0,
         }
-    }
-
-    /// Quick configuration: `peers` peers, one cluster, scaled-down latencies.
-    pub fn quick(scheme: Scheme, peers: usize) -> Self {
-        Self::scaled(RunConfig::quick(scheme, peers))
-    }
-}
-
-impl std::ops::Deref for ThreadRunConfig {
-    type Target = RunConfig;
-    fn deref(&self) -> &RunConfig {
-        &self.common
-    }
-}
-
-impl std::ops::DerefMut for ThreadRunConfig {
-    fn deref_mut(&mut self) -> &mut RunConfig {
-        &mut self.common
     }
 }
 
@@ -187,7 +181,7 @@ impl PeerTransport for ThreadTransport {
 }
 
 /// Run a distributed iterative computation with one OS thread per peer.
-pub fn run_iterative_threads<F>(config: &ThreadRunConfig, task_factory: F) -> ThreadRunOutcome
+pub(crate) fn run_iterative_threads<F>(config: &RunConfig, task_factory: F) -> ThreadRunOutcome
 where
     F: Fn(usize) -> Box<dyn IterativeTask> + Send + Sync,
 {
@@ -270,7 +264,7 @@ where
             let topology = topology.clone();
             let scheme = config.scheme;
             let max_relaxations = config.max_relaxations;
-            let latency_scale = config.latency_scale;
+            let latency_scale = config.extras.latency_scale();
             scope.spawn(move || {
                 let mut engine = if rank < alpha {
                     let mut engine = PeerEngine::new(

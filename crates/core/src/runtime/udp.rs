@@ -38,13 +38,13 @@ use crate::app::IterativeTask;
 use crate::churn::{SharedVolatility, VolatilityState};
 use crate::metrics::RunMeasurement;
 use crate::runtime::detection::{self, Heartbeat};
+use crate::runtime::driver::{ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory};
 use crate::runtime::engine::{
     ConvergenceDetector, PeerEngine, PeerTransport, TimerKey, TimerQueue,
 };
 use crate::runtime::RunConfig;
 use bytes::Bytes;
 use netsim::Topology;
-use p2psap::Scheme;
 use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashMap;
@@ -510,60 +510,39 @@ impl LossShim {
     }
 }
 
-/// Configuration of a UDP-runtime run: the shared [`RunConfig`] plus the
-/// loss/reorder shim probabilities only this backend has. Link latencies are
-/// not emulated — the kernel's loopback path provides the real ones; the
+/// The registered [`RuntimeDriver`] of the UDP backend. Reads the
+/// loss/reorder shim probabilities from
+/// [`BackendExtras::Udp`](crate::BackendExtras). Link latencies are not
+/// emulated — the kernel's loopback path provides the real ones; the
 /// topology still drives the peer count, the hybrid wait rule and Table I.
 /// The shim draws its randomness from the shared `seed`.
-#[derive(Debug, Clone)]
-pub struct UdpRunConfig {
-    /// The runtime-agnostic part (scheme, topology, tolerance, caps, seed).
-    pub common: RunConfig,
-    /// Probability that the shim drops an outgoing datagram.
-    pub loss_probability: f64,
-    /// Probability that the shim holds a datagram back one slot.
-    pub reorder_probability: f64,
-}
+pub struct UdpDriver;
 
-impl UdpRunConfig {
-    /// Wrap a shared configuration with clean (unimpaired) delivery.
-    pub fn clean(common: RunConfig) -> Self {
-        Self {
-            common,
-            loss_probability: 0.0,
-            reorder_probability: 0.0,
+impl RuntimeDriver for UdpDriver {
+    fn kind(&self) -> RuntimeKind {
+        RuntimeKind::Udp
+    }
+
+    fn label(&self) -> &'static str {
+        "udp"
+    }
+
+    fn clock(&self) -> ClockDomain {
+        ClockDomain::Wall
+    }
+
+    fn deterministic(&self) -> bool {
+        false
+    }
+
+    fn run(&self, config: &RunConfig, task_factory: TaskFactory<'_>) -> DriverOutcome {
+        let outcome = run_iterative_udp(config, |rank| task_factory(rank));
+        DriverOutcome {
+            measurement: outcome.measurement,
+            results: outcome.results,
+            net: None,
+            datagrams_dropped: outcome.datagrams_dropped,
         }
-    }
-
-    /// Quick configuration: `peers` peers, one cluster, clean delivery.
-    pub fn quick(scheme: Scheme, peers: usize) -> Self {
-        Self::clean(RunConfig::quick(scheme, peers))
-    }
-
-    /// Same, split into two clusters (exercises the hybrid wait rule and
-    /// the unreliable inter-cluster channel choice).
-    pub fn two_clusters(scheme: Scheme, peers: usize) -> Self {
-        Self::clean(RunConfig::quick_two_clusters(scheme, peers))
-    }
-
-    /// Enable the loss/reorder shim.
-    pub fn with_impairment(mut self, loss: f64, reorder: f64) -> Self {
-        self.loss_probability = loss;
-        self.reorder_probability = reorder;
-        self
-    }
-}
-
-impl std::ops::Deref for UdpRunConfig {
-    type Target = RunConfig;
-    fn deref(&self) -> &RunConfig {
-        &self.common
-    }
-}
-
-impl std::ops::DerefMut for UdpRunConfig {
-    fn deref_mut(&mut self) -> &mut RunConfig {
-        &mut self.common
     }
 }
 
@@ -580,33 +559,41 @@ pub struct UdpRunOutcome {
     pub datagrams_dropped: u64,
 }
 
-/// The [`PeerTransport`] of the UDP runtime.
-struct UdpTransport {
-    rank: usize,
-    start: Instant,
-    socket: UdpSocket,
+/// The [`PeerTransport`] of the UDP runtime (the reactor backend reuses it
+/// verbatim: framing, pacing gate and control broadcasts are identical; only
+/// the drive loop around it differs).
+pub(crate) struct UdpTransport {
+    pub(crate) rank: usize,
+    pub(crate) start: Instant,
+    pub(crate) socket: UdpSocket,
     /// Rank → address table obtained from bootstrap.
-    addrs: Vec<SocketAddr>,
-    shim: LossShim,
+    pub(crate) addrs: Vec<SocketAddr>,
+    pub(crate) shim: LossShim,
     /// Per-sender message counter for framing.
-    next_msg_id: u32,
-    timers: TimerQueue,
-    compute_pending: bool,
+    pub(crate) next_msg_id: u32,
+    pub(crate) timers: TimerQueue,
+    pub(crate) compute_pending: bool,
     /// Topology (for the asynchronous pacing gate's serialization rate).
-    topology: Topology,
+    pub(crate) topology: Topology,
     /// Earliest wall-clock ns the next update may be sent to each
     /// asynchronous neighbour (see [`PeerTransport::pacing_gate`]).
-    next_send_ok: HashMap<usize, u64>,
+    pub(crate) next_send_ok: HashMap<usize, u64>,
     /// Reused encode buffer for outgoing fragments: each fragment's header
     /// and payload chunk are written into it in place, so the steady-state
     /// send path performs no heap allocation.
-    send_frame: Vec<u8>,
+    pub(crate) send_frame: Vec<u8>,
 }
 
 impl UdpTransport {
-    fn pop_due_timer(&mut self) -> Option<TimerKey> {
+    pub(crate) fn pop_due_timer(&mut self) -> Option<TimerKey> {
         let now = self.start.elapsed().as_nanos() as u64;
         self.timers.pop_due(now)
+    }
+
+    /// Earliest armed timer deadline in start-relative nanoseconds (the
+    /// reactor derives its poll timeout from this).
+    pub(crate) fn earliest_timer_deadline(&self) -> Option<u64> {
+        self.timers.earliest_deadline()
     }
 }
 
@@ -715,7 +702,7 @@ impl PeerTransport for UdpTransport {
     }
 }
 
-fn localhost() -> Ipv4Addr {
+pub(crate) fn localhost() -> Ipv4Addr {
     Ipv4Addr::LOCALHOST
 }
 
@@ -724,7 +711,7 @@ fn localhost() -> Ipv4Addr {
 /// `total`-slot table (pre-provisioned join ranks appear as port 0 until
 /// they announce; a joiner's hello triggers a table re-broadcast so every
 /// running peer learns its address mid-run). Runs until `stop` is set.
-fn bootstrap_service(
+pub(crate) fn bootstrap_service(
     socket: UdpSocket,
     initial: usize,
     total: usize,
@@ -767,7 +754,11 @@ fn bootstrap_service(
 
 /// Announce `rank` to the bootstrap service until the rank→address table
 /// arrives; returns the table.
-fn discover_peers(socket: &UdpSocket, rank: usize, bootstrap: SocketAddr) -> Vec<SocketAddr> {
+pub(crate) fn discover_peers(
+    socket: &UdpSocket,
+    rank: usize,
+    bootstrap: SocketAddr,
+) -> Vec<SocketAddr> {
     socket
         .set_read_timeout(Some(Duration::from_millis(10)))
         .expect("set discovery read timeout");
@@ -794,7 +785,7 @@ fn discover_peers(socket: &UdpSocket, rank: usize, bootstrap: SocketAddr) -> Vec
 
 /// Run a distributed iterative computation over real localhost UDP sockets,
 /// one OS thread per peer.
-pub fn run_iterative_udp<F>(config: &UdpRunConfig, task_factory: F) -> UdpRunOutcome
+pub(crate) fn run_iterative_udp<F>(config: &RunConfig, task_factory: F) -> UdpRunOutcome
 where
     F: Fn(usize) -> Box<dyn IterativeTask> + Send + Sync,
 {
@@ -846,8 +837,7 @@ where
             let scheme = config.scheme;
             let max_relaxations = config.max_relaxations;
             let seed = config.seed;
-            let loss = config.loss_probability;
-            let reorder = config.reorder_probability;
+            let (loss, reorder) = config.extras.impairment();
             let ports = &ports;
             let dropped = &dropped;
             scope.spawn(move || {
@@ -1110,10 +1100,11 @@ where
 mod tests {
     use super::*;
     use crate::runtime::engine::testing::RampTask;
+    use p2psap::Scheme;
 
     const RAMP: u64 = 10;
 
-    fn run(config: &UdpRunConfig) -> UdpRunOutcome {
+    fn run(config: &RunConfig) -> UdpRunOutcome {
         let peers = config.topology.len();
         run_iterative_udp(config, |rank| Box::new(RampTask::line(rank, peers, RAMP)))
     }
@@ -1274,7 +1265,7 @@ mod tests {
 
     #[test]
     fn synchronous_scheme_over_udp_runs_in_lockstep() {
-        let mut config = UdpRunConfig::quick(Scheme::Synchronous, 3);
+        let mut config = RunConfig::quick(Scheme::Synchronous, 3);
         config.tolerance = 0.5;
         let outcome = run(&config);
         assert!(outcome.measurement.converged);
@@ -1308,7 +1299,7 @@ mod tests {
 
     #[test]
     fn asynchronous_scheme_over_udp_converges() {
-        let mut config = UdpRunConfig::quick(Scheme::Asynchronous, 3);
+        let mut config = RunConfig::quick(Scheme::Asynchronous, 3);
         config.tolerance = 0.5;
         let outcome = run(&config);
         assert!(outcome.measurement.converged);
@@ -1319,7 +1310,7 @@ mod tests {
 
     #[test]
     fn hybrid_scheme_over_udp_converges_across_two_clusters() {
-        let mut config = UdpRunConfig::two_clusters(Scheme::Hybrid, 4);
+        let mut config = RunConfig::quick_two_clusters(Scheme::Hybrid, 4);
         config.tolerance = 0.5;
         let outcome = run(&config);
         assert!(outcome.measurement.converged);
@@ -1330,7 +1321,11 @@ mod tests {
     fn synchronous_scheme_survives_a_lossy_link() {
         // The reliable synchronous channel retransmits dropped segments, so
         // the run still converges in lockstep over a 10%-loss path.
-        let mut config = UdpRunConfig::quick(Scheme::Synchronous, 2).with_impairment(0.1, 0.1);
+        let mut config =
+            RunConfig::quick(Scheme::Synchronous, 2).with_extras(crate::BackendExtras::Udp {
+                loss_probability: 0.1,
+                reorder_probability: 0.1,
+            });
         config.tolerance = 0.5;
         let outcome = run(&config);
         assert!(outcome.measurement.converged);

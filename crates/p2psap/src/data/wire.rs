@@ -1,7 +1,7 @@
 //! Wire format of the data channel and message attribute keys shared by the
 //! transport micro-protocols.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 use cactus::Message;
 
 /// Attribute: sequence number of a data segment.
@@ -83,14 +83,23 @@ impl WireSegment {
 
     /// Encode to the on-wire byte representation.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(SEGMENT_HEADER_BYTES + self.payload.len());
-        buf.put_u8(self.kind.to_u8());
-        buf.put_u8(u8::from(self.ack_requested));
-        buf.put_u64(self.seq);
-        buf.put_u64(self.sent_at_ns);
-        buf.put_u32(self.payload.len() as u32);
+        let mut buf = Vec::new();
+        self.encode_into(&mut buf);
+        Bytes::from(buf)
+    }
+
+    /// Encode into a reusable buffer (cleared first). Send paths that pool
+    /// their wire buffers use this to skip the per-segment allocation once
+    /// the pooled buffer has grown to segment size.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(SEGMENT_HEADER_BYTES + self.payload.len());
+        buf.push(self.kind.to_u8());
+        buf.push(u8::from(self.ack_requested));
+        buf.extend_from_slice(&self.seq.to_be_bytes());
+        buf.extend_from_slice(&self.sent_at_ns.to_be_bytes());
+        buf.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
         buf.extend_from_slice(&self.payload);
-        buf.freeze()
     }
 
     /// Decode from the on-wire byte representation.

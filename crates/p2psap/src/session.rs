@@ -36,20 +36,6 @@ pub struct SessionOutput {
 }
 
 impl SessionOutput {
-    fn from_stack(output: StackOutput) -> Self {
-        let mut result = SessionOutput::default();
-        for msg in output.to_net {
-            result.wire.push(WireSegment::from_message(&msg).encode());
-        }
-        for msg in output.delivered.into_iter().chain(output.to_user) {
-            result.delivered.push(msg.payload().clone());
-        }
-        result.timers = output.timers;
-        result.cancels = output.cancels;
-        result.completions = output.send_completions;
-        result
-    }
-
     /// Merge another output after this one.
     pub fn merge(&mut self, other: SessionOutput) {
         self.wire.extend(other.wire);
@@ -67,6 +53,7 @@ pub struct Session {
     next_seq: u64,
     sent_segments: u64,
     received_segments: u64,
+    wire_pool: Vec<Vec<u8>>,
 }
 
 impl Session {
@@ -81,7 +68,33 @@ impl Session {
             next_seq: 0,
             sent_segments: 0,
             received_segments: 0,
+            wire_pool: Vec::new(),
         }
+    }
+
+    /// Convert the protocol stack's raw output into session actions, drawing
+    /// each outgoing segment's wire buffer from the session's pool.
+    fn output_from_stack(&mut self, output: StackOutput) -> SessionOutput {
+        let mut result = SessionOutput::default();
+        for msg in output.to_net {
+            let mut buf = self.wire_pool.pop().unwrap_or_default();
+            WireSegment::from_message(&msg).encode_into(&mut buf);
+            result.wire.push(Bytes::from(buf));
+        }
+        for msg in output.delivered.into_iter().chain(output.to_user) {
+            result.delivered.push(msg.payload().clone());
+        }
+        result.timers = output.timers;
+        result.cancels = output.cancels;
+        result.completions = output.send_completions;
+        result
+    }
+
+    /// Return a wire buffer to the pool once the runtime has put it on the
+    /// wire and reclaimed sole ownership (`Bytes::try_reclaim`). The next
+    /// outgoing segment reuses its storage instead of allocating.
+    pub fn recycle_wire(&mut self, buf: Vec<u8>) {
+        self.wire_pool.push(buf);
     }
 
     /// Current configuration.
@@ -110,7 +123,8 @@ impl Session {
         msg.set_u64(ATTR_NOW, now_ns);
         msg.set_u64(ATTR_SENT_AT, now_ns);
         let out = self.stack.from_user(msg);
-        (seq, SessionOutput::from_stack(out))
+        let out = self.output_from_stack(out);
+        (seq, out)
     }
 
     /// Process a segment received from the wire.
@@ -120,7 +134,8 @@ impl Session {
             Some(segment) => {
                 let mut msg = segment.into_message();
                 msg.set_u64(ATTR_NOW, now_ns);
-                SessionOutput::from_stack(self.stack.from_net(msg))
+                let out = self.stack.from_net(msg);
+                self.output_from_stack(out)
             }
             None => SessionOutput::default(),
         }
@@ -132,7 +147,7 @@ impl Session {
         msg.set_u64(ATTR_NOW, now_ns);
         msg.set_u64("timer_tag", tag);
         let out = self.stack.raise_at(layer, cactus::events::TIMEOUT, msg);
-        SessionOutput::from_stack(out)
+        self.output_from_stack(out)
     }
 
     /// Reconfigure the data channel in place (mode, reliability, ordering,

@@ -150,6 +150,13 @@ impl Socket {
         self.recv_queue.len()
     }
 
+    /// Return a wire buffer to the session's pool. Runtimes that copy
+    /// segments onto the wire (UDP, reactor) call this after
+    /// `Bytes::try_reclaim` succeeds, so steady-state sends stop allocating.
+    pub fn recycle_wire(&mut self, buf: Vec<u8>) {
+        self.session.recycle_wire(buf);
+    }
+
     /// A data-channel segment arrived from the remote peer.
     pub fn on_data(&mut self, segment: Bytes, now_ns: u64) -> SocketOutput {
         let session_out = self.session.on_wire(segment, now_ns);

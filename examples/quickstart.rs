@@ -6,37 +6,39 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use obstacle::{solve_sequential, sup_norm_diff, ObstacleProblem, RichardsonConfig};
-use p2pdc::{assemble_solution, run_iterative_threads, ObstacleTask, Scheme, ThreadRunConfig};
-use std::sync::Arc;
+use obstacle::{solve_sequential, sup_norm_diff, RichardsonConfig};
+use p2pdc::{
+    run_on, ObstacleInstance, ObstacleParams, ObstacleWorkload, RunConfig, RuntimeKind, Scheme,
+};
 
 fn main() {
     let n = 16;
     let peers = 4;
     println!("P2PDC quickstart: {n}^3 obstacle problem on {peers} peers (thread runtime)");
 
-    // The application side of the programming model: the per-peer Calculate()
-    // is an ObstacleTask; the environment drives the relaxation loop and the
-    // P2P_Send / P2P_Receive exchanges.
+    // The application side of the programming model: the workload supplies
+    // the per-peer Calculate() (an ObstacleTask); the environment drives the
+    // relaxation loop and the P2P_Send / P2P_Receive exchanges on whichever
+    // registered backend is asked for.
     // The synchronous scheme reproduces the sequential iterates exactly, so
     // the comparison below is tight; try `Scheme::Asynchronous` to see peers
     // racing ahead at their own pace instead.
-    let problem = Arc::new(ObstacleProblem::membrane(n));
-    let config = ThreadRunConfig::quick(Scheme::Synchronous, peers);
-    let problem_for_tasks = Arc::clone(&problem);
-    let outcome = run_iterative_threads(&config, move |rank| {
-        Box::new(ObstacleTask::new(
-            Arc::clone(&problem_for_tasks),
-            peers,
-            rank,
-        ))
+    let scheme = Scheme::Synchronous;
+    let workload = ObstacleWorkload::new(ObstacleParams {
+        n,
+        peers,
+        scheme,
+        instance: ObstacleInstance::Membrane,
     });
+    let problem = workload.problem();
+    let config = RunConfig::quick(scheme, peers);
+    let result = run_on(&workload, &config, RuntimeKind::Threads);
 
     println!(
         "converged: {} in {:.3} s wall-clock, relaxations per peer: {:?}",
-        outcome.measurement.converged,
-        outcome.measurement.elapsed.as_secs_f64(),
-        outcome.measurement.relaxations_per_peer
+        result.measurement.converged,
+        result.measurement.elapsed.as_secs_f64(),
+        result.measurement.relaxations_per_peer
     );
 
     // Compare with the single-machine baseline.
@@ -47,8 +49,7 @@ fn main() {
             ..Default::default()
         },
     );
-    let distributed = assemble_solution(n, &outcome.results);
-    let difference = sup_norm_diff(&distributed, &reference.u);
+    let difference = sup_norm_diff(&result.solution, &reference.u);
     println!(
         "sequential baseline: {} relaxations; max difference distributed vs sequential: {difference:.2e}",
         reference.iterations

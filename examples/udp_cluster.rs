@@ -1,5 +1,5 @@
 //! Obstacle problem over real localhost UDP sockets: the three schemes of
-//! computation on the fourth runtime backend, with an optional loss/reorder
+//! computation on the UDP runtime backend, with an optional loss/reorder
 //! shim so the protocol's reliability machinery visibly earns its keep.
 //!
 //! ```text
@@ -11,8 +11,10 @@
 //! over the sockets themselves, and P2PSAP segments travel as framed UDP
 //! datagrams through the kernel's loopback path.
 
-use p2pdc::{run_iterative_udp, ObstacleTask, Scheme, UdpRunConfig};
-use std::sync::Arc;
+use p2pdc::{
+    run_on, BackendExtras, ObstacleInstance, ObstacleParams, ObstacleWorkload, RunConfig,
+    RuntimeKind, Scheme,
+};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -24,30 +26,25 @@ fn main() {
         loss * 100.0
     );
 
-    let problem = Arc::new(obstacle::ObstacleProblem::membrane(n));
     for scheme in [Scheme::Synchronous, Scheme::Asynchronous, Scheme::Hybrid] {
-        let config = UdpRunConfig::quick(scheme, peers).with_impairment(loss, loss);
-        let problem_for_tasks = Arc::clone(&problem);
-        let outcome = run_iterative_udp(&config, move |rank| {
-            Box::new(ObstacleTask::new(
-                Arc::clone(&problem_for_tasks),
-                peers,
-                rank,
-            ))
+        let workload = ObstacleWorkload::new(ObstacleParams {
+            n,
+            peers,
+            scheme,
+            instance: ObstacleInstance::Membrane,
         });
-        let solution = p2pdc::assemble_solution(n, &outcome.results);
-        let residual = obstacle::fixed_point_residual(&problem, &solution, problem.optimal_delta());
+        let config = RunConfig::quick(scheme, peers).with_extras(BackendExtras::Udp {
+            loss_probability: loss,
+            reorder_probability: loss,
+        });
+        let result = run_on(&workload, &config, RuntimeKind::Udp);
         println!(
             "{scheme:<13} converged={} wall={:.3}s relaxations={:?} dropped={} residual={:.2e}",
-            outcome.measurement.converged,
-            outcome.measurement.elapsed.as_secs_f64(),
-            outcome.measurement.relaxations_per_peer,
-            outcome.datagrams_dropped,
-            residual,
-        );
-        println!(
-            "              peers bootstrapped on ports {:?}",
-            outcome.ports
+            result.measurement.converged,
+            result.measurement.elapsed.as_secs_f64(),
+            result.measurement.relaxations_per_peer,
+            result.datagrams_dropped,
+            result.measurement.residual,
         );
     }
 }

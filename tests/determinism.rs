@@ -1,5 +1,5 @@
 //! Determinism regression test: two simulated runs with the same
-//! `SimRunConfig::seed` must produce byte-identical `RunMeasurement`s (and
+//! `RunConfig::seed` must produce byte-identical `RunMeasurement`s (and
 //! identical per-peer results). This guards the PeerEngine refactor and any
 //! future parallel backend against nondeterminism creeping into the
 //! virtual-time substrate — the property every evaluation figure rests on.

@@ -4,10 +4,9 @@
 //! timeout (a hung handshake must fail fast, not stall the workflow).
 
 use p2pdc::{
-    run_iterative_udp, run_obstacle_on, ObstacleExperiment, ObstacleTask, RuntimeKind, Scheme,
-    UdpRunConfig,
+    run_obstacle_on, run_on, BackendExtras, ObstacleExperiment, ObstacleInstance, ObstacleParams,
+    ObstacleWorkload, RunConfig, RuntimeKind, Scheme,
 };
-use std::sync::Arc;
 
 /// Fixed-seed cross-runtime agreement: the synchronous scheme converges at
 /// a problem-determined iteration, so the loopback and UDP backends must
@@ -75,22 +74,28 @@ fn multi_fragment_boundary_planes_reassemble_end_to_end() {
 fn asynchronous_two_cluster_run_tolerates_real_datagram_loss() {
     let n = 10usize;
     let peers = 2usize;
-    let problem = Arc::new(obstacle::ObstacleProblem::membrane(n));
-    let config =
-        UdpRunConfig::two_clusters(Scheme::Asynchronous, peers).with_impairment(0.05, 0.05);
-    let outcome = run_iterative_udp(&config, |rank| {
-        Box::new(ObstacleTask::new(Arc::clone(&problem), peers, rank))
+    let workload = ObstacleWorkload::new(ObstacleParams {
+        n,
+        peers,
+        scheme: Scheme::Asynchronous,
+        instance: ObstacleInstance::Membrane,
     });
-    assert!(outcome.measurement.converged, "lossy run did not converge");
+    let config = RunConfig::quick_two_clusters(Scheme::Asynchronous, peers).with_extras(
+        BackendExtras::Udp {
+            loss_probability: 0.05,
+            reorder_probability: 0.05,
+        },
+    );
+    let result = run_on(&workload, &config, RuntimeKind::Udp);
+    assert!(result.measurement.converged, "lossy run did not converge");
     assert!(
-        outcome.datagrams_dropped > 0,
+        result.datagrams_dropped > 0,
         "the loss shim never fired — the scenario is not exercising loss"
     );
-    let solution = p2pdc::assemble_solution(n, &outcome.results);
-    let residual = obstacle::fixed_point_residual(&problem, &solution, problem.optimal_delta());
     assert!(
-        residual < 1e-2,
-        "residual {residual} beyond the asynchronous staleness bound"
+        result.measurement.residual < 1e-2,
+        "residual {} beyond the asynchronous staleness bound",
+        result.measurement.residual
     );
 }
 

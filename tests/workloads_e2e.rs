@@ -70,6 +70,50 @@ fn pagerank_loopback_and_sim_agree_on_synchronous_relaxation_counts() {
     assert!(loopback.measurement.residual < 1e-7);
 }
 
+/// The reactor backend multiplexes all peers onto a few event loops over
+/// real nonblocking UDP sockets, yet must land on the same
+/// problem-determined synchronous convergence iteration as the in-process
+/// loopback backend — for all three workloads.
+#[test]
+fn reactor_agrees_with_loopback_on_synchronous_relaxation_counts() {
+    for (kind, size, tolerance) in [
+        (WorkloadKind::Obstacle, 10, 1e-4),
+        (WorkloadKind::Heat, 16, 1e-4),
+        (WorkloadKind::PageRank, 120, 1e-8),
+    ] {
+        let peers = 4;
+        let workload = kind.build(size, peers);
+        let mut config = RunConfig::single_cluster(Scheme::Synchronous, peers);
+        config.tolerance = tolerance;
+        let loopback = run_on(workload.as_ref(), &config, RuntimeKind::Loopback);
+        let reactor = run_on(workload.as_ref(), &config, RuntimeKind::Reactor);
+        assert!(
+            loopback.measurement.converged && reactor.measurement.converged,
+            "{kind} did not converge on both backends"
+        );
+        assert_eq!(
+            min_relaxations(&loopback.measurement),
+            min_relaxations(&reactor.measurement),
+            "{kind}: the convergence iteration differs: loopback {:?} vs reactor {:?}",
+            loopback.measurement.relaxations_per_peer,
+            reactor.measurement.relaxations_per_peer
+        );
+        // Wall-clock peers may overshoot the convergence iteration, but only
+        // by up to the topology diameter before the stop broadcast lands.
+        assert!(
+            reactor.measurement.max_relaxations()
+                < min_relaxations(&reactor.measurement) + peers as u64,
+            "{kind}: reactor overshoot beyond the topology diameter: {:?}",
+            reactor.measurement.relaxations_per_peer
+        );
+        assert!(
+            reactor.measurement.residual < tolerance * 2.0,
+            "{kind}: reactor residual {}",
+            reactor.measurement.residual
+        );
+    }
+}
+
 /// Same-seed loopback runs of the new workloads are bit-for-bit
 /// reproducible, like the obstacle runs in `tests/determinism.rs`.
 #[test]

@@ -11,12 +11,21 @@
 //! these shapes: structs serialize as maps keyed by field name, one-field
 //! tuple structs (newtypes) are transparent, longer tuple structs are
 //! arrays, unit enum variants are strings, and data-carrying variants are
-//! single-entry maps keyed by the variant name.
+//! single-entry maps keyed by the variant name. The only field attribute
+//! honoured is `#[serde(default)]`: a missing map entry deserializes to
+//! `Default::default()` instead of erroring.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing map entry deserializes to
+    /// `Default::default()` instead of erroring.
+    default: bool,
+}
+
 enum Fields {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
 }
@@ -84,13 +93,41 @@ fn skip_to_top_level_comma(tokens: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
-/// Parse the field names of a named-fields group (`{ a: T, pub b: U }`).
-fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+/// Whether an attribute body (the `[...]` group) is `serde(default)` (or a
+/// `serde(...)` list containing `default`).
+fn attr_is_serde_default(group: &proc_macro::Group) -> bool {
     let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
-    let mut names = Vec::new();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Parse the fields of a named-fields group (`{ a: T, pub b: U }`),
+/// honouring per-field `#[serde(default)]` markers.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        i = skip_attributes(&tokens, i);
+        let mut default = false;
+        while i + 1 < tokens.len() {
+            match (&tokens[i], &tokens[i + 1]) {
+                (TokenTree::Punct(p), TokenTree::Group(g))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    default |= attr_is_serde_default(g);
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
         if i >= tokens.len() {
             break;
         }
@@ -101,13 +138,16 @@ fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
                 tokens[i]
             );
         };
-        names.push(name.to_string());
+        fields.push(Field {
+            name: name.to_string(),
+            default,
+        });
         i += 1; // field name
         i += 1; // ':'
         i = skip_to_top_level_comma(&tokens, i);
         i += 1; // ','
     }
-    names
+    fields
 }
 
 /// Count the fields of a tuple group (`( T, U )`).
@@ -212,6 +252,7 @@ fn serialize_body(item: &Item) -> String {
         Shape::Struct(Fields::Named(fields)) => {
             let mut body = String::from("let mut entries = Vec::new();\n");
             for f in fields {
+                let f = &f.name;
                 body.push_str(&format!(
                     "entries.push((String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
                 ));
@@ -252,9 +293,14 @@ fn serialize_body(item: &Item) -> String {
                         ));
                     }
                     Fields::Named(fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut inner = String::from("{ let mut entries = Vec::new();\n");
                         for f in fields {
+                            let f = &f.name;
                             inner.push_str(&format!(
                                 "entries.push((String::from(\"{f}\"), ::serde::Serialize::to_value({f})));\n"
                             ));
@@ -289,14 +335,24 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 // ---- Deserialize ---------------------------------------------------------
 
 /// Expression deserializing field `field` of a map held in `source`.
-fn named_field_expr(field: &str, source: &str) -> String {
+fn named_field_expr(field: &Field, source: &str) -> String {
+    let name = &field.name;
+    if field.default {
+        // `#[serde(default)]`: a missing entry takes the type's default.
+        return format!(
+            "match {source}.get(\"{name}\") {{\n\
+                 Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                 None => ::core::default::Default::default(),\n\
+             }}"
+        );
+    }
     format!(
-        "match {source}.get(\"{field}\") {{\n\
+        "match {source}.get(\"{name}\") {{\n\
              Some(v) => ::serde::Deserialize::from_value(v)?,\n\
              // Missing fields deserialize from null so Option<T> defaults to\n\
              // None (other types report the missing field).\n\
              None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
-                 .map_err(|e| ::serde::DeError(format!(\"field `{field}`: {{e}}\")))?,\n\
+                 .map_err(|e| ::serde::DeError(format!(\"field `{name}`: {{e}}\")))?,\n\
          }}"
     )
 }
@@ -307,7 +363,7 @@ fn deserialize_body(item: &Item) -> String {
         Shape::Struct(Fields::Named(fields)) => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: {}", named_field_expr(f, "value")))
+                .map(|f| format!("{}: {}", f.name, named_field_expr(f, "value")))
                 .collect();
             format!("Ok({name} {{ {} }})", inits.join(",\n"))
         }
@@ -364,7 +420,7 @@ fn deserialize_body(item: &Item) -> String {
                     Fields::Named(fields) => {
                         let inits: Vec<String> = fields
                             .iter()
-                            .map(|f| format!("{f}: {}", named_field_expr(f, "inner")))
+                            .map(|f| format!("{}: {}", f.name, named_field_expr(f, "inner")))
                             .collect();
                         body.push_str(&format!(
                             "if let Some(inner) = value.get(\"{vn}\") {{\n\
