@@ -12,6 +12,8 @@
 //!                              # and a 1024-peer crash+recovery run) -> BENCH_runtimes.json
 //! repro churn                  # churn grid (crash + recovery per cell) -> BENCH_churn.json
 //! repro hotpath                # kernel/encode/end-to-end grid -> BENCH_hotpath.json
+//! repro contention             # control-plane lock grid (--full adds the 1024-peer row)
+//!                              # -> BENCH_contention.json
 //! repro all [--full]           # everything above
 //! ```
 //!
@@ -24,9 +26,9 @@
 //! obstacle cell — the CI smoke assertion for the hot-path overhaul.
 
 use bench_suite::{
-    format_ablation, format_churn_grid, format_hotpath, format_runtime_matrix, format_scale_curve,
-    format_table1, run_ablation, run_churn_grid, run_figure, run_hotpath, run_runtime_matrix,
-    run_scale_curve, run_table1, FigureConfig,
+    format_ablation, format_churn_grid, format_contention, format_hotpath, format_runtime_matrix,
+    format_scale_curve, format_table1, run_ablation, run_churn_grid, run_contention, run_figure,
+    run_hotpath, run_runtime_matrix, run_scale_curve, run_table1, FigureConfig,
 };
 use p2pdc::format_table;
 
@@ -138,6 +140,48 @@ fn run_hotpath_grid() {
     }
 }
 
+fn run_contention_grid(full: bool) {
+    eprintln!("running the control-plane contention grid (instrumented lock counters) ...");
+    let result = run_contention(full);
+    println!("{}", format_contention(&result));
+    write_json("contention", &result);
+    // Uploaded alongside BENCH_runtimes.json as a perf-trajectory artifact.
+    write_json_to("BENCH_contention.json", &result);
+    // Smoke assertion 1: the instrumented hot sweep must never touch the
+    // detector or volatility mutex on its per-sweep paths.
+    let h = &result.hot_sweep;
+    if h.detector_report_locks != 0 || h.volatility_sweep_locks != 0 {
+        eprintln!(
+            "WARNING: hot sweep acquired per-sweep locks \
+             (report path {}, volatility gates {}) over {} relaxations",
+            h.detector_report_locks, h.volatility_sweep_locks, h.relaxations
+        );
+        std::process::exit(1);
+    }
+    // Smoke assertion 2: loop rebalancing must not regress the 256-peer
+    // point against its own static-shard baseline.
+    let pps = |rebalance: bool| {
+        result
+            .rows
+            .iter()
+            .find(|r| r.peers == 256 && !r.churn && r.rebalance == rebalance)
+            .map(|r| r.points_per_sec)
+    };
+    if let (Some(on), Some(off)) = (pps(true), pps(false)) {
+        if on < 0.8 * off {
+            eprintln!(
+                "WARNING: loop rebalancing regresses the 256-peer reactor row \
+                 ({on:.0} vs {off:.0} points/sec)"
+            );
+            std::process::exit(1);
+        }
+    }
+    if !result.rows.iter().all(|r| r.converged) {
+        eprintln!("WARNING: a contention cell failed to converge");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(|s| s.as_str()).unwrap_or("all");
@@ -164,6 +208,7 @@ fn main() {
         "scale" => run_runtimes_with_scale(true, full),
         "churn" => run_churn(),
         "hotpath" => run_hotpath_grid(),
+        "contention" => run_contention_grid(full),
         "all" => {
             let rows = run_table1();
             println!("{}", format_table1(&rows));
@@ -176,10 +221,11 @@ fn main() {
             run_runtimes_with_scale(true, full);
             run_churn();
             run_hotpath_grid();
+            run_contention_grid(full);
         }
         other => {
             eprintln!(
-                "unknown command '{other}'; expected table1 | fig5 | fig6 | ablation | runtimes | scale | churn | hotpath | all"
+                "unknown command '{other}'; expected table1 | fig5 | fig6 | ablation | runtimes | scale | churn | hotpath | contention | all"
             );
             std::process::exit(2);
         }

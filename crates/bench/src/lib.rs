@@ -1288,6 +1288,233 @@ pub fn format_hotpath(result: &HotpathResult) -> String {
     out
 }
 
+/// The hot-sweep cell of the contention artifact: a run shaped so *every*
+/// sweep is the common case (dirty report, no armed event, no checkpoint
+/// boundary), with the instrumented lock counters read afterwards. The
+/// smoke assertion is that the per-sweep paths acquired zero mutexes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContentionHotSweep {
+    /// Backend label (loopback: in-process, so the counters measure the
+    /// control plane and nothing else).
+    pub runtime: String,
+    /// Scheme of computation.
+    pub scheme: String,
+    /// Number of peers.
+    pub peers: usize,
+    /// Total relaxations executed (every one a hot sweep).
+    pub relaxations: u64,
+    /// Detector-mutex acquisitions from any entry point (start/stop
+    /// bookkeeping is allowed to lock; the per-sweep path is not).
+    pub detector_locks: u64,
+    /// Detector-mutex acquisitions from the per-sweep report path. Must be
+    /// zero: every report here is dirty and goes through its report cell.
+    pub detector_report_locks: u64,
+    /// Volatility-mutex acquisitions from the per-sweep gates. Must be
+    /// zero: the plan's only event and the checkpoint cadence both sit far
+    /// beyond the relaxation budget.
+    pub volatility_sweep_locks: u64,
+}
+
+/// One row of the contention grid: the reactor backend at `peers`, with
+/// throughput and the instrumented lock counters normalized per relaxation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContentionBenchRow {
+    /// Backend label (always "reactor").
+    pub runtime: String,
+    /// Scheme of computation.
+    pub scheme: String,
+    /// Number of peers multiplexed onto the event loops.
+    pub peers: usize,
+    /// Whether the run included one seeded crash + recovery (exercises the
+    /// heartbeat/eviction path, so `topology_locks_per_relaxation` is real).
+    pub churn: bool,
+    /// Whether measured loop rebalancing was enabled.
+    pub rebalance: bool,
+    /// Real time the whole run took on the bench machine, in seconds.
+    pub wall_time_s: f64,
+    /// Grid points relaxed per wall-clock second.
+    pub points_per_sec: f64,
+    /// Total relaxations across all peers.
+    pub total_relaxations: u64,
+    /// Whether the run converged.
+    pub converged: bool,
+    /// Detector-mutex acquisitions per relaxation (all entry points).
+    pub detector_locks_per_relaxation: f64,
+    /// Detector-mutex acquisitions per relaxation from the per-sweep report
+    /// path (reports at or below tolerance — peers near convergence).
+    pub detector_report_locks_per_relaxation: f64,
+    /// Volatility-mutex acquisitions per relaxation from the per-sweep
+    /// gates (checkpoint boundaries and due events only).
+    pub volatility_sweep_locks_per_relaxation: f64,
+    /// Topology-manager acquisitions per relaxation (batched heartbeats,
+    /// eviction sweeps; zero on fault-free rows, which run no detector).
+    pub topology_locks_per_relaxation: f64,
+    /// Peers migrated between event loops by the rebalancer.
+    pub migrations: u64,
+}
+
+/// The complete contention artifact (`BENCH_contention.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContentionResult {
+    /// Artifact schema version (bump when the row shapes change).
+    pub schema_version: u32,
+    /// The instrumented hot-sweep cell with its zero-lock assertion inputs.
+    pub hot_sweep: ContentionHotSweep,
+    /// Reactor scaling rows with per-relaxation lock counters.
+    pub rows: Vec<ContentionBenchRow>,
+}
+
+/// Run the instrumented hot-sweep cell: 64 synchronous loopback peers, a
+/// tolerance no diff can reach (every report dirty), a churn plan attached
+/// but with its event and checkpoint cadence beyond the relaxation budget
+/// (the volatility gates are evaluated every sweep yet never due). The
+/// process-global counters mean this is only meaningful single-threaded —
+/// the `repro` binary, not the parallel test harness.
+pub fn run_contention_hot_sweep() -> ContentionHotSweep {
+    use p2pdc::runtime::report_cell::contention;
+    let peers = 64;
+    let size = peers * 4;
+    let budget = 50;
+    let workload = WorkloadKind::PageRank.build(size, peers);
+    let mut config = RunConfig::single_cluster(Scheme::Synchronous, peers);
+    // Negative tolerance: diffs are nonnegative, so no sweep ever reads as
+    // converged and every report takes the dirty path.
+    config.tolerance = -1.0;
+    config.max_relaxations = budget;
+    config = config
+        .with_churn(ChurnPlan::kill(0, budget * 1000).with_checkpoint_interval(budget * 1000));
+    contention::reset();
+    let result = run_on(workload.as_ref(), &config, RuntimeKind::Loopback);
+    let counters = contention::snapshot();
+    ContentionHotSweep {
+        runtime: RuntimeKind::Loopback.label().to_string(),
+        scheme: Scheme::Synchronous.to_string(),
+        peers,
+        relaxations: result.measurement.total_relaxations(),
+        detector_locks: counters.detector_locks,
+        detector_report_locks: counters.detector_report_locks,
+        volatility_sweep_locks: counters.volatility_sweep_locks,
+    }
+}
+
+/// Run one reactor cell of the contention grid (same shape as the scale
+/// curve: PageRank, 4 vertices per peer, asynchronous).
+pub fn run_contention_once(peers: usize, churn: bool, rebalance: bool) -> ContentionBenchRow {
+    use p2pdc::runtime::{reactor, report_cell::contention};
+    let size = peers * 4;
+    let workload = WorkloadKind::PageRank.build(size, peers);
+    let mut config = RunConfig::single_cluster(Scheme::Asynchronous, peers).with_extras(
+        BackendExtras::Reactor {
+            event_loops: 0, // auto: one per core
+            loss_probability: 0.0,
+            reorder_probability: 0.0,
+        },
+    );
+    config.tolerance = 1e-6;
+    if churn {
+        config = config.with_churn(ChurnPlan::kill(peers / 2, 12).with_checkpoint_interval(5));
+    }
+    reactor::set_rebalance_enabled(rebalance);
+    contention::reset();
+    let started = Instant::now();
+    let result = run_on(workload.as_ref(), &config, RuntimeKind::Reactor);
+    let wall = started.elapsed().as_secs_f64();
+    let counters = contention::snapshot();
+    reactor::set_rebalance_enabled(true);
+    let relaxations = result.measurement.total_relaxations();
+    let per_relax = relaxations.max(1) as f64;
+    let points =
+        relaxations as f64 * points_per_global_sweep(WorkloadKind::PageRank, size) / peers as f64;
+    ContentionBenchRow {
+        runtime: RuntimeKind::Reactor.label().to_string(),
+        scheme: Scheme::Asynchronous.to_string(),
+        peers,
+        churn,
+        rebalance,
+        wall_time_s: wall,
+        points_per_sec: points / wall,
+        total_relaxations: relaxations,
+        converged: result.measurement.converged,
+        detector_locks_per_relaxation: counters.detector_locks as f64 / per_relax,
+        detector_report_locks_per_relaxation: counters.detector_report_locks as f64 / per_relax,
+        volatility_sweep_locks_per_relaxation: counters.volatility_sweep_locks as f64 / per_relax,
+        topology_locks_per_relaxation: counters.topology_locks as f64 / per_relax,
+        migrations: reactor::last_loop_stats()
+            .map(|s| s.migrations)
+            .unwrap_or(0),
+    }
+}
+
+/// Run the contention grid: the hot-sweep cell plus reactor rows at
+/// 4/64/256 peers (1024 with `full`). The 64-peer point runs fault-free and
+/// with churn (the churn row measures the batched heartbeat's topology
+/// locking); the 256-peer point runs with rebalancing off and on (the
+/// regression guard for loop migration).
+pub fn run_contention(full: bool) -> ContentionResult {
+    let hot_sweep = run_contention_hot_sweep();
+    let mut rows = vec![
+        run_contention_once(4, false, true),
+        run_contention_once(64, false, true),
+        run_contention_once(64, true, true),
+        run_contention_once(256, false, false),
+        run_contention_once(256, false, true),
+    ];
+    if full {
+        rows.push(run_contention_once(1024, false, true));
+    }
+    ContentionResult {
+        schema_version: 1,
+        hot_sweep,
+        rows,
+    }
+}
+
+/// Render the contention result as text.
+pub fn format_contention(result: &ContentionResult) -> String {
+    let h = &result.hot_sweep;
+    let mut out = String::from("== Contention: instrumented hot sweep (loopback) ==\n");
+    out.push_str(&format!(
+        "{} peers {} | relaxations {} | detector locks {} | \
+         report-path locks {} | volatility sweep locks {}\n",
+        h.peers,
+        h.scheme,
+        h.relaxations,
+        h.detector_locks,
+        h.detector_report_locks,
+        h.volatility_sweep_locks
+    ));
+    out.push_str("== Contention: reactor grid (locks per relaxation) ==\n");
+    out.push_str(&format!(
+        "{:<7} {:<6} {:<10} {:>10} {:>14} {:>10} {:>10} {:>10} {:>10} {:>6}\n",
+        "peers",
+        "churn",
+        "rebalance",
+        "wall [s]",
+        "points/sec",
+        "det/rel",
+        "rep/rel",
+        "vol/rel",
+        "topo/rel",
+        "migr"
+    ));
+    for r in &result.rows {
+        out.push_str(&format!(
+            "{:<7} {:<6} {:<10} {:>10.3} {:>14.0} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>6}\n",
+            r.peers,
+            r.churn,
+            r.rebalance,
+            r.wall_time_s,
+            r.points_per_sec,
+            r.detector_locks_per_relaxation,
+            r.detector_report_locks_per_relaxation,
+            r.volatility_sweep_locks_per_relaxation,
+            r.topology_locks_per_relaxation,
+            r.migrations
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,6 +85,7 @@
 use crate::fault::{Checkpoint, FaultManager, RecoveryAction};
 use crate::load_balance::{LoadBalancer, PeerLoad};
 use crate::metrics::RunMeasurement;
+use crate::runtime::report_cell::contention;
 use crate::workload::{
     assemble_global, balanced_partition, reslice_moved_items, weighted_ranges, Repartitioner,
     ReslicerHandle,
@@ -95,7 +96,8 @@ use rand::{RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// What happens to a peer at a scheduled point of a [`ChurnPlan`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -356,6 +358,159 @@ impl FaultInjector {
         }
         self.slowdown.get(&rank).copied().unwrap_or(1.0)
     }
+
+    /// The next iteration at which any pending event of `rank` fires
+    /// (`u64::MAX` when none are left). Mirrors into the `VolatilityFast`
+    /// per-rank atomics after every consuming query, so the per-sweep
+    /// due-ness checks are plain atomic loads.
+    pub fn next_event_at(&self, rank: usize) -> u64 {
+        self.pending
+            .get(&rank)
+            .and_then(|events| events.last())
+            .map(|e| e.at_iteration)
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Highest rank any pending event targets (for sizing the fast mirror).
+    fn max_event_rank(&self) -> Option<usize> {
+        self.pending
+            .iter()
+            .filter(|(_, events)| !events.is_empty())
+            .map(|(&rank, _)| rank)
+            .max()
+    }
+}
+
+/// Read-mostly mirror of the volatility facts every sweep consults, kept
+/// beside the [`VolatilityState`] mutex so the common sweep (no event due,
+/// no checkpoint boundary, no new plan) never takes it. All mirrors are
+/// conservative gates: a stale value can only send a sweep to the locked
+/// path (where the injector's own state decides), never skip a due event —
+/// each mirror is rewritten under the mutex immediately after the state it
+/// reflects changes.
+#[derive(Debug)]
+pub struct VolatilityFast {
+    /// Fixed for the run (`ChurnPlan::checkpoint_interval`, clamped to 1).
+    checkpoint_interval: u64,
+    /// Per-rank next pending event iteration (`u64::MAX` = none left).
+    next_event_at: Box<[AtomicU64]>,
+    /// Per-rank accumulated slowdown factor (f64 bits; persists after the
+    /// events fire, so it must be cached — an event gate alone would report
+    /// full speed once the schedule drains).
+    slowdown_bits: Box<[AtomicU64]>,
+    /// Epoch of the latest published membership plan (0 = none).
+    plan_epoch: AtomicU32,
+}
+
+impl VolatilityFast {
+    fn new(checkpoint_interval: u64, injector: &FaultInjector, peers: usize) -> Self {
+        let ranks = injector
+            .max_event_rank()
+            .map(|r| r + 1)
+            .unwrap_or(0)
+            .max(peers);
+        let next_event_at = (0..ranks)
+            .map(|rank| AtomicU64::new(injector.next_event_at(rank)))
+            .collect();
+        let slowdown_bits = (0..ranks)
+            .map(|_| AtomicU64::new(1.0_f64.to_bits()))
+            .collect();
+        Self {
+            checkpoint_interval,
+            next_event_at,
+            slowdown_bits,
+            plan_epoch: AtomicU32::new(0),
+        }
+    }
+
+    /// Next pending event iteration of `rank`. Ranks beyond the provisioned
+    /// mirror (joiners without scheduled events) never have one.
+    fn next_event_at(&self, rank: usize) -> u64 {
+        self.next_event_at
+            .get(rank)
+            .map(|at| at.load(Ordering::Acquire))
+            .unwrap_or(u64::MAX)
+    }
+
+    fn set_next_event(&self, rank: usize, at_iteration: u64) {
+        if let Some(slot) = self.next_event_at.get(rank) {
+            slot.store(at_iteration, Ordering::Release);
+        }
+    }
+
+    fn slowdown(&self, rank: usize) -> f64 {
+        self.slowdown_bits
+            .get(rank)
+            .map(|bits| f64::from_bits(bits.load(Ordering::Acquire)))
+            .unwrap_or(1.0)
+    }
+
+    fn set_slowdown(&self, rank: usize, factor: f64) {
+        if let Some(slot) = self.slowdown_bits.get(rank) {
+            slot.store(factor.to_bits(), Ordering::Release);
+        }
+    }
+
+    fn plan_epoch(&self) -> u32 {
+        self.plan_epoch.load(Ordering::Acquire)
+    }
+}
+
+/// The sharing wrapper around a [`VolatilityState`]: lock-free per-sweep
+/// gates over the [`VolatilityFast`] mirror in front of the mutex-protected
+/// coordinator. See the gate methods for the exactness argument.
+#[derive(Debug)]
+pub struct VolatilityHandle {
+    fast: Arc<VolatilityFast>,
+    inner: Mutex<VolatilityState>,
+}
+
+impl VolatilityHandle {
+    /// Lock the coordinator (control-path operations: recovery, plans,
+    /// checkpoint deposits, driver polls).
+    pub fn lock(&self) -> MutexGuard<'_, VolatilityState> {
+        contention::count_volatility_lock();
+        self.inner.lock().unwrap()
+    }
+
+    /// Lock the coordinator from a per-sweep path that passed a due-ness
+    /// gate. Identical to [`VolatilityHandle::lock`] but counted separately,
+    /// so the contention instrumentation can prove the common sweep takes
+    /// zero of these.
+    pub fn lock_sweep(&self) -> MutexGuard<'_, VolatilityState> {
+        contention::count_volatility_sweep_lock();
+        self.inner.lock().unwrap()
+    }
+
+    /// Whether any scheduled event of `rank` is due at `iteration` — exact,
+    /// because an event is due iff `at_iteration <= iteration`, and the
+    /// mirror always holds the minimum pending `at_iteration`.
+    pub fn event_due(&self, rank: usize, iteration: u64) -> bool {
+        iteration >= self.fast.next_event_at(rank)
+    }
+
+    /// Whether the post-sweep volatility work (periodic checkpoint deposit,
+    /// crash injection) requires the mutex this iteration.
+    pub fn sweep_event_due(&self, rank: usize, iteration: u64) -> bool {
+        iteration.is_multiple_of(self.fast.checkpoint_interval) || self.event_due(rank, iteration)
+    }
+
+    /// Whether a membership plan newer than `epoch` has been published
+    /// (lock-free mirror of the [`VolatilityState::adoption`] precondition).
+    pub fn plan_newer_than(&self, epoch: u32) -> bool {
+        self.fast.plan_epoch() > epoch
+    }
+
+    /// The rank's current compute-slowdown factor: answered from the atomic
+    /// cache unless an event is due (the locked query then pops it and
+    /// refreshes the cache).
+    pub fn slowdown_factor(&self, rank: usize, iteration: u64) -> f64 {
+        if self.event_due(rank, iteration) {
+            self.lock_sweep().slowdown_factor(rank, iteration)
+        } else {
+            self.fast.slowdown(rank)
+        }
+    }
 }
 
 /// One completed recovery, for observability (surfaced by the churn bench).
@@ -467,21 +622,26 @@ pub struct VolatilityState {
     joins: u64,
     repartitions: u64,
     moved_points: u64,
+    /// Read-mostly mirror the per-sweep gates load (see [`VolatilityFast`]).
+    fast: Arc<VolatilityFast>,
 }
 
 /// A [`VolatilityState`] shared between the peers and driver of one run.
-pub type SharedVolatility = Arc<Mutex<VolatilityState>>;
+pub type SharedVolatility = Arc<VolatilityHandle>;
 
 impl VolatilityState {
     /// Create the coordinator for a run of `peers` peers under `plan`.
     pub fn new(plan: &ChurnPlan, peers: usize, scheme: Scheme) -> Self {
+        let checkpoint_interval = plan.checkpoint_interval.max(1);
+        let injector = FaultInjector::new(plan);
+        let fast = Arc::new(VolatilityFast::new(checkpoint_interval, &injector, peers));
         Self {
             scheme,
             peers,
-            checkpoint_interval: plan.checkpoint_interval.max(1),
+            checkpoint_interval,
             detection_delay_ns: plan.detection_delay_ns,
             detection_delay_events: plan.detection_delay_events,
-            injector: FaultInjector::new(plan),
+            injector,
             fault: FaultManager::new((0..plan.spares).map(|i| NodeId(peers + i)).collect()),
             generation: 0,
             crashes: 0,
@@ -501,12 +661,17 @@ impl VolatilityState {
             joins: 0,
             repartitions: 0,
             moved_points: 0,
+            fast,
         }
     }
 
     /// Create a shared coordinator handle.
     pub fn shared(plan: &ChurnPlan, peers: usize, scheme: Scheme) -> SharedVolatility {
-        Arc::new(Mutex::new(Self::new(plan, peers, scheme)))
+        let state = Self::new(plan, peers, scheme);
+        Arc::new(VolatilityHandle {
+            fast: Arc::clone(&state.fast),
+            inner: Mutex::new(state),
+        })
     }
 
     /// Relaxations between checkpoints.
@@ -653,6 +818,7 @@ impl VolatilityState {
         };
         self.moved_points += (reslice_moved_items(&self.parts, &parts) * rep.item_width()) as u64;
         self.epoch += 1;
+        self.fast.plan_epoch.store(self.epoch, Ordering::Release);
         self.repartitions += 1;
         self.parts = parts.clone();
         self.peers = new_peers;
@@ -687,7 +853,10 @@ impl VolatilityState {
     /// completing `iteration`? (Consumes the event; the caller follows up
     /// with [`VolatilityState::create_join_plan`].)
     pub fn join_due(&mut self, rank: usize, iteration: u64) -> bool {
-        self.injector.join_due(rank, iteration)
+        let due = self.injector.join_due(rank, iteration);
+        self.fast
+            .set_next_event(rank, self.injector.next_event_at(rank));
+        due
     }
 
     /// A join triggered at `trigger_iteration`: grow the run by one rank and
@@ -730,12 +899,19 @@ impl VolatilityState {
 
     /// Injector query: does `rank` crash after completing `iteration`?
     pub fn should_crash(&mut self, rank: usize, iteration: u64) -> bool {
-        self.injector.should_crash(rank, iteration)
+        let crashed = self.injector.should_crash(rank, iteration);
+        self.fast
+            .set_next_event(rank, self.injector.next_event_at(rank));
+        crashed
     }
 
     /// Injector query: the rank's current compute-slowdown factor.
     pub fn slowdown_factor(&mut self, rank: usize, iteration: u64) -> f64 {
-        self.injector.slowdown_factor(rank, iteration)
+        let factor = self.injector.slowdown_factor(rank, iteration);
+        self.fast
+            .set_next_event(rank, self.injector.next_event_at(rank));
+        self.fast.set_slowdown(rank, factor);
+        factor
     }
 
     /// A peer crashed at clock value `now_ns`.

@@ -43,7 +43,7 @@ pub mod workload;
 pub use app::{Application, FrameSink, IterativeTask, LocalRelax, ProblemDefinition, SubTask};
 pub use churn::{
     AdoptionTicket, ChurnEvent, ChurnEventKind, ChurnPlan, FaultInjector, MembershipPlan,
-    RecoveryRecord, SharedVolatility, VolatilityState,
+    RecoveryRecord, SharedVolatility, VolatilityHandle, VolatilityState,
 };
 pub use compute::{calibrate_ns_per_point, ComputeModel};
 pub use experiment::{run_on, RuntimeExperimentResult, RuntimeKind};
@@ -64,8 +64,9 @@ pub use pagerank_app::{
     PageRankParams, PageRankTask, PageRankWorkload,
 };
 pub use runtime::{
-    driver_for, BackendExtras, ClockDomain, ConvergenceDetector, DriverOutcome, LossShim,
-    PeerEngine, PeerTransport, Reassembler, RunConfig, RuntimeDriver, TaskFactory, DRIVERS,
+    driver_for, BackendExtras, ClockDomain, ConvergenceDetector, DetectorHandle, DriverOutcome,
+    LossShim, PeerEngine, PeerTransport, Reassembler, RunConfig, RuntimeDriver, TaskFactory,
+    DRIVERS,
 };
 pub use task_manager::{parse_command, Command, Job, JobState, TaskManager};
 pub use topology_manager::{PeerRecord, TopologyManager, MISSED_PINGS_BEFORE_EVICTION};

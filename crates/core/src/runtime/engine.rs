@@ -64,12 +64,13 @@ use crate::churn::SharedVolatility;
 use crate::fault::Checkpoint;
 use crate::load_balance::PeerLoad;
 use crate::metrics::RunMeasurement;
+use crate::runtime::report_cell::{self, contention, CellReport, ReportBoard};
 use bytes::Bytes;
 use desim::SimDuration;
 use netsim::{NodeId, Topology};
 use p2psap::{Scheme, Socket};
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Identifier of a protocol timer armed by a peer's socket:
 /// `(neighbour rank, protocol layer, protocol tag)`.
@@ -219,14 +220,109 @@ pub struct ConvergenceDetector {
     /// Live per-peer load accounting (points relaxed, busy time) — the
     /// throughput estimates the load balancer and recovery path consume.
     loads: Vec<PeerLoad>,
+    /// The lock-free report cells engines publish dirty sweeps into; folded
+    /// into the fields above whenever the detector mutex is taken.
+    board: Arc<ReportBoard>,
+    /// Per-rank serial of the last cell report folded in, so a cell is
+    /// applied at most once per publication.
+    folded_serials: Vec<u64>,
+}
+
+/// The sharing wrapper around a [`ConvergenceDetector`]: a lock-free
+/// [`ReportBoard`] for the common-case sweep beside the mutex-protected
+/// detector for everything that actually decides (convergence, rollback,
+/// results). Every locked entry point folds outstanding cell reports first,
+/// so locked code always observes the same state the fully-locked baseline
+/// would have.
+pub struct DetectorHandle {
+    board: Arc<ReportBoard>,
+    tolerance: f64,
+    inner: Mutex<ConvergenceDetector>,
 }
 
 /// A [`ConvergenceDetector`] shared between the peers of one run.
-pub type SharedDetector = Arc<Mutex<ConvergenceDetector>>;
+pub type SharedDetector = Arc<DetectorHandle>;
+
+impl DetectorHandle {
+    /// Lock the detector, folding all outstanding cell reports so the guard
+    /// observes up-to-date state.
+    pub fn lock(&self) -> MutexGuard<'_, ConvergenceDetector> {
+        contention::count_detector_lock();
+        let mut detector = self.inner.lock().unwrap();
+        detector.fold_cells();
+        detector
+    }
+
+    /// Whether global convergence (or the cap) has stopped the run —
+    /// lock-free mirror of [`ConvergenceDetector::stopped`].
+    pub fn stopped(&self) -> bool {
+        self.board.stopped()
+    }
+
+    /// Lock-free mirror of [`ConvergenceDetector::current_rollback`].
+    pub fn current_rollback(&self) -> Option<(u64, u32)> {
+        self.board.current_rollback()
+    }
+
+    /// The run's report board (for backends that want direct cell access).
+    pub fn board(&self) -> &Arc<ReportBoard> {
+        &self.board
+    }
+
+    /// Publish one sweep's load accounting and convergence report; returns
+    /// true when the run has stopped. The common case — a dirty sweep
+    /// (`diff > tolerance`) of a running run — is lock-free: the load
+    /// counters and the report go into the peer's cell and are folded in by
+    /// the next locked operation. A clean sweep can decide convergence, so
+    /// it takes the locked path (which folds every outstanding cell first).
+    #[allow(clippy::too_many_arguments)]
+    pub fn publish(
+        &self,
+        rank: usize,
+        iteration: u64,
+        diff: f64,
+        stable: bool,
+        now_ns: u64,
+        generation: u32,
+        work_points: u64,
+        busy_ns: u64,
+    ) -> bool {
+        if diff > self.tolerance && !report_cell::force_locked() {
+            // A dirty sweep can never be stable (stability requires
+            // `diff <= tolerance`) and can never complete an iteration below
+            // the tolerance, so losing an overwritten intermediate report
+            // cannot change any convergence decision.
+            debug_assert!(!stable, "a dirty sweep cannot be stable");
+            let cell = self.board.cell(rank);
+            cell.add_load(work_points, busy_ns);
+            if self.board.stopped() {
+                // Stopped runs ignore reports (the locked path's early
+                // return); the loads still count, exactly as `record_load`
+                // before `report` did.
+                return true;
+            }
+            cell.publish(iteration, diff, generation);
+            return self.board.stopped();
+        }
+        contention::count_detector_report_lock();
+        let mut detector = self.lock();
+        detector.record_load(rank, work_points, busy_ns);
+        detector.report(rank, iteration, diff, stable, now_ns, generation)
+    }
+}
 
 impl ConvergenceDetector {
     /// Create the detector for a run of `peers` peers.
     pub fn new(tolerance: f64, scheme: Scheme, peers: usize) -> Self {
+        Self::with_capacity(tolerance, scheme, peers, peers)
+    }
+
+    /// Create the detector with report cells provisioned for `capacity`
+    /// ranks (`capacity >= peers`). The cell array is lock-free and cannot
+    /// be resized, so runs that may grow (planned joins) must provision the
+    /// final peer count up front.
+    pub fn with_capacity(tolerance: f64, scheme: Scheme, peers: usize, capacity: usize) -> Self {
+        let capacity = capacity.max(peers);
         Self {
             tolerance,
             scheme,
@@ -243,12 +339,30 @@ impl ConvergenceDetector {
             rollback_target: 0,
             last_reported: vec![0; peers],
             loads: vec![PeerLoad::default(); peers],
+            board: Arc::new(ReportBoard::new(capacity)),
+            folded_serials: vec![0; capacity],
         }
     }
 
     /// Create a shared detector handle.
     pub fn shared(tolerance: f64, scheme: Scheme, peers: usize) -> SharedDetector {
-        Arc::new(Mutex::new(Self::new(tolerance, scheme, peers)))
+        Self::shared_with_capacity(tolerance, scheme, peers, peers)
+    }
+
+    /// Create a shared detector handle provisioned for up to `capacity`
+    /// ranks (see [`ConvergenceDetector::with_capacity`]).
+    pub fn shared_with_capacity(
+        tolerance: f64,
+        scheme: Scheme,
+        peers: usize,
+        capacity: usize,
+    ) -> SharedDetector {
+        let detector = Self::with_capacity(tolerance, scheme, peers, capacity);
+        Arc::new(DetectorHandle {
+            board: detector.board.clone(),
+            tolerance,
+            inner: Mutex::new(detector),
+        })
     }
 
     /// Whether global convergence (or the cap) has stopped the run.
@@ -329,8 +443,95 @@ impl ConvergenceDetector {
         if converged {
             self.stop = true;
             self.stop_time_ns = Some(now_ns);
+            self.board.publish_stop(true);
         }
         self.stop
+    }
+
+    /// Fold every outstanding cell publication into the detector state.
+    /// Called by [`DetectorHandle::lock`], so all locked operations observe
+    /// the same evidence the fully-locked baseline would have accumulated.
+    fn fold_cells(&mut self) {
+        let board = Arc::clone(&self.board);
+        for rank in 0..self.peers {
+            let cell = board.cell(rank);
+            let (points, busy_ns) = cell.take_load();
+            if points > 0 || busy_ns > 0 {
+                self.record_load(rank, points, busy_ns);
+            }
+            let report = cell.read();
+            if report.serial == self.folded_serials[rank] {
+                continue;
+            }
+            self.folded_serials[rank] = report.serial;
+            self.apply_dirty(rank, report);
+        }
+        // Dirty reports never complete an iteration entry, so entries a
+        // rank skipped past (cell overwrites) would linger forever without
+        // this frontier prune. An entry at or below every rank's watermark
+        // can never be counted into again, so dropping it loses nothing.
+        if self.iteration_reports.len() > 2 * self.peers.max(1) {
+            if let Some(&frontier) = self.last_reported.iter().min() {
+                self.iteration_reports.retain(|&it, _| it > frontier);
+            }
+        }
+    }
+
+    /// Apply one folded dirty-sweep report: exactly the state transitions
+    /// [`ConvergenceDetector::report`] performs for `diff > tolerance`,
+    /// `stable == false` — which can reset stability evidence and advance
+    /// watermarks but can never declare convergence.
+    fn apply_dirty(&mut self, rank: usize, report: CellReport) {
+        if self.stop || report.generation != self.generation {
+            return;
+        }
+        debug_assert!(report.diff > self.tolerance);
+        self.latest_stable[rank] = false;
+        self.streaks[rank] = 0;
+        if report.iteration <= self.last_reported[rank] {
+            return;
+        }
+        self.last_reported[rank] = report.iteration;
+        if matches!(self.scheme, Scheme::Synchronous | Scheme::Hybrid) {
+            let entry = self
+                .iteration_reports
+                .entry(report.iteration)
+                .or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 = entry.1.max(report.diff);
+            if entry.0 == self.peers {
+                // Complete, but its max diff includes this dirty report's
+                // `diff > tolerance` — the locked path would likewise remove
+                // it without declaring convergence.
+                self.iteration_reports.remove(&report.iteration);
+            }
+        }
+    }
+
+    /// Deposit peer `rank`'s final result after the stop signal (or the
+    /// relaxation cap) ended its loop; stamps the stop if this peer is the
+    /// first to react (cap-ended runs have no converged stop). Returns true
+    /// exactly once per run: the caller owning that true broadcasts the stop
+    /// signal to the remaining peers.
+    pub fn deposit_result(
+        &mut self,
+        rank: usize,
+        relaxations: u64,
+        result: Vec<u8>,
+        now_ns: u64,
+    ) -> bool {
+        if self.stop_time_ns.is_none() {
+            self.stop = true;
+            self.stop_time_ns = Some(now_ns);
+            self.board.publish_stop(true);
+        }
+        self.results[rank] = Some((relaxations, result));
+        if self.stop_broadcast {
+            false
+        } else {
+            self.stop_broadcast = true;
+            true
+        }
     }
 
     /// Account `points` relaxed over `busy_ns` of the backend's clock by
@@ -379,6 +580,13 @@ impl ConvergenceDetector {
         if new_peers <= self.peers {
             return;
         }
+        assert!(
+            new_peers <= self.board.capacity(),
+            "detector grown to {new_peers} ranks but report cells were \
+             provisioned for {} — create the detector with \
+             `shared_with_capacity` sized to the provisioned topology",
+            self.board.capacity()
+        );
         self.peers = new_peers;
         self.has_async_neighbor.resize(new_peers, false);
         self.latest_stable.resize(new_peers, false);
@@ -400,6 +608,7 @@ impl ConvergenceDetector {
     pub fn begin_generation(&mut self, generation: u32, from_iteration: u64) {
         self.generation = generation;
         self.rollback_target = from_iteration;
+        self.board.publish_rollback(from_iteration, generation);
         self.iteration_reports.clear();
         for watermark in &mut self.last_reported {
             *watermark = from_iteration;
@@ -566,7 +775,7 @@ impl PeerEngine {
             }
         }
         let tolerance = {
-            let mut detector = shared.lock().unwrap();
+            let mut detector = shared.lock();
             detector.has_async_neighbor[rank] = !async_neighbors.is_empty();
             detector.tolerance
         };
@@ -602,7 +811,7 @@ impl PeerEngine {
     /// scratch buffer. The copy happens under the shared lock but performs
     /// no heap allocation once the buffer has warmed to the peer count.
     fn snapshot_loads(&mut self) {
-        let shared = self.shared.lock().unwrap();
+        let shared = self.shared.lock();
         self.loads_scratch.clear();
         self.loads_scratch.extend_from_slice(shared.loads());
     }
@@ -626,7 +835,7 @@ impl PeerEngine {
         max_relaxations: u64,
     ) -> Option<Self> {
         let (task, epoch, generation) = {
-            let vol = volatility.lock().unwrap();
+            let vol = volatility.lock();
             let plan = vol.plan()?;
             if rank >= plan.parts.len() {
                 return None;
@@ -688,7 +897,7 @@ impl PeerEngine {
             *counter = 0;
         }
         self.max_ghost_change = 0.0;
-        let mut shared = self.shared.lock().unwrap();
+        let mut shared = self.shared.lock();
         shared.has_async_neighbor[self.rank] = !self.async_neighbors.is_empty();
         shared.void_all_stability();
     }
@@ -740,11 +949,17 @@ impl PeerEngine {
         let Some(vol) = self.volatility.clone() else {
             return false;
         };
-        let Some(ticket) = vol.lock().unwrap().adoption(self.epoch, false) else {
+        // Lock-free pre-check: adoption can only return a ticket when a plan
+        // newer than this engine's epoch has been published, and the plan
+        // epoch is mirrored in an atomic.
+        if !vol.plan_newer_than(self.epoch) {
+            return false;
+        }
+        let Some(ticket) = vol.lock().adoption(self.epoch, false) else {
             return false;
         };
         self.adopt_ticket(ticket, true, transport);
-        if self.shared.lock().unwrap().stop {
+        if self.shared.stopped() {
             self.finish(transport);
             return true;
         }
@@ -790,7 +1005,7 @@ impl PeerEngine {
     pub fn on_start(&mut self, transport: &mut impl PeerTransport) {
         transport.note("p2pdc.peers_started");
         if let Some(vol) = &self.volatility {
-            vol.lock().unwrap().store_checkpoint(Checkpoint {
+            vol.lock().store_checkpoint(Checkpoint {
                 rank: self.rank,
                 iteration: self.task.relaxations(),
                 state: self.task.checkpoint_state(),
@@ -842,11 +1057,10 @@ impl PeerEngine {
         if let Some(vol) = &self.volatility {
             // A fired slowdown event scales the sweep's compute cost (the
             // simulated backend charges it to the virtual clock; wall-clock
-            // backends run the kernel for real and ignore work points).
-            let factor = vol
-                .lock()
-                .unwrap()
-                .slowdown_factor(self.rank, self.task.relaxations());
+            // backends run the kernel for real and ignore work points). The
+            // handle answers from its atomic per-rank cache unless a
+            // slowdown event is actually due this iteration.
+            let factor = vol.slowdown_factor(self.rank, self.task.relaxations());
             if factor > 1.0 {
                 work_points = (work_points as f64 * factor).round() as u64;
             }
@@ -873,7 +1087,6 @@ impl PeerEngine {
             if generation > self.generation {
                 self.shared
                     .lock()
-                    .unwrap()
                     .record_load(self.rank, relax.work_points, busy_ns);
                 self.apply_rollback(to_iteration, generation, transport);
                 return;
@@ -882,28 +1095,32 @@ impl PeerEngine {
         // Volatility: deposit the periodic checkpoint, then ask the injector
         // whether this sweep was the peer's last. A crash strikes *before*
         // the sweep's updates are published — they are lost with the peer,
-        // but the sweep itself was executed and is accounted as work.
+        // but the sweep itself was executed and is accounted as work. The
+        // lock-free `sweep_event_due` pre-check keeps the common sweep (no
+        // checkpoint boundary, no armed event due) off the volatility mutex.
         if let Some(vol) = &self.volatility {
-            let mut vol = vol.lock().unwrap();
-            if iteration.is_multiple_of(vol.checkpoint_interval()) {
-                vol.store_checkpoint(Checkpoint {
-                    rank: self.rank,
-                    iteration,
-                    state: self.task.checkpoint_state(),
-                });
-            }
-            if vol.should_crash(self.rank, iteration) {
-                let now = transport.now_ns();
-                vol.on_crash(self.rank, now);
-                drop(vol);
-                self.crashed = true;
-                {
-                    let mut shared = self.shared.lock().unwrap();
-                    shared.record_load(self.rank, relax.work_points, busy_ns);
-                    shared.mark_crashed(self.rank);
+            if vol.sweep_event_due(self.rank, iteration) {
+                let mut vol = vol.lock_sweep();
+                if iteration.is_multiple_of(vol.checkpoint_interval()) {
+                    vol.store_checkpoint(Checkpoint {
+                        rank: self.rank,
+                        iteration,
+                        state: self.task.checkpoint_state(),
+                    });
                 }
-                transport.note("p2pdc.crashes");
-                return;
+                if vol.should_crash(self.rank, iteration) {
+                    let now = transport.now_ns();
+                    vol.on_crash(self.rank, now);
+                    drop(vol);
+                    self.crashed = true;
+                    {
+                        let mut shared = self.shared.lock();
+                        shared.record_load(self.rank, relax.work_points, busy_ns);
+                        shared.mark_crashed(self.rank);
+                    }
+                    transport.note("p2pdc.crashes");
+                    return;
+                }
             }
         }
         // P2P_Send of the boundary planes. The task serializes each update
@@ -959,21 +1176,21 @@ impl PeerEngine {
             }
         }
         self.max_ghost_change = 0.0;
-        // Report to the convergence detector; the same lock records the
-        // sweep into the live per-peer load estimate.
+        // Report to the convergence detector and account the sweep into the
+        // live per-peer load estimate. A dirty sweep goes into this rank's
+        // lock-free report cell; only a clean (possibly-converging) sweep
+        // takes the detector mutex.
         let now = transport.now_ns();
-        let stop = {
-            let mut shared = self.shared.lock().unwrap();
-            shared.record_load(self.rank, relax.work_points, busy_ns);
-            shared.report(
-                self.rank,
-                iteration,
-                relax.local_diff,
-                stable,
-                now,
-                self.generation,
-            )
-        };
+        let stop = self.shared.publish(
+            self.rank,
+            iteration,
+            relax.local_diff,
+            stable,
+            now,
+            self.generation,
+            relax.work_points,
+            busy_ns,
+        );
         transport.note("p2pdc.relaxations");
         if stop || iteration >= self.max_relaxations {
             self.finish(transport);
@@ -996,20 +1213,24 @@ impl PeerEngine {
         let Some(vol) = self.volatility.clone() else {
             return false;
         };
-        if !vol.lock().unwrap().join_due(self.rank, iteration) {
+        // Lock-free pre-check: a join can only be due when this rank has an
+        // armed event at or below `iteration` (`join_due` is exactly the
+        // due-event pop restricted to joins).
+        if !vol.event_due(self.rank, iteration) {
+            return false;
+        }
+        if !vol.lock_sweep().join_due(self.rank, iteration) {
             return false;
         }
         self.snapshot_loads();
-        let Some((new_peers, rollback)) = vol
-            .lock()
-            .unwrap()
-            .create_join_plan(iteration, &self.loads_scratch)
+        let Some((new_peers, rollback)) =
+            vol.lock().create_join_plan(iteration, &self.loads_scratch)
         else {
             // The workload cannot be repartitioned: the join is ignored.
             return false;
         };
-        self.shared.lock().unwrap().grow(new_peers);
-        vol.lock().unwrap().arm_spawn();
+        self.shared.lock().grow(new_peers);
+        vol.lock().arm_spawn();
         if let Some((target, generation)) = rollback {
             // Synchronous realignment (same semantics as a recovery
             // rollback): queued pre-realign updates belong to abandoned
@@ -1018,22 +1239,19 @@ impl PeerEngine {
                 queue.clear();
             }
             self.generation = generation;
-            self.shared
-                .lock()
-                .unwrap()
-                .begin_generation(generation, target);
-            let ticket = vol.lock().unwrap().adoption(self.epoch, true);
+            self.shared.lock().begin_generation(generation, target);
+            let ticket = vol.lock().adoption(self.epoch, true);
             if let Some(ticket) = ticket {
                 self.adopt_ticket(ticket, false, transport);
             }
             transport.broadcast_rollback(target, generation);
         } else {
-            let ticket = vol.lock().unwrap().adoption(self.epoch, false);
+            let ticket = vol.lock().adoption(self.epoch, false);
             if let Some(ticket) = ticket {
                 self.adopt_ticket(ticket, true, transport);
             }
         }
-        if self.shared.lock().unwrap().stop {
+        if self.shared.stopped() {
             self.finish(transport);
             return true;
         }
@@ -1051,8 +1269,8 @@ impl PeerEngine {
         if self.poll_membership(transport) {
             return;
         }
-        // Check the stop flag set by other peers.
-        if self.shared.lock().unwrap().stop {
+        // Check the stop flag set by other peers (lock-free mirror).
+        if self.shared.stopped() {
             self.finish(transport);
             return;
         }
@@ -1083,21 +1301,12 @@ impl PeerEngine {
         }
         self.finished = true;
         let now = transport.now_ns();
-        let broadcast_needed = {
-            let mut shared = self.shared.lock().unwrap();
-            if shared.stop_time_ns.is_none() {
-                // The run ended by the relaxation cap rather than convergence.
-                shared.stop = true;
-                shared.stop_time_ns = Some(now);
-            }
-            shared.results[self.rank] = Some((self.task.relaxations(), self.task.result()));
-            if shared.stop_broadcast {
-                false
-            } else {
-                shared.stop_broadcast = true;
-                true
-            }
-        };
+        let broadcast_needed = self.shared.lock().deposit_result(
+            self.rank,
+            self.task.relaxations(),
+            self.task.result(),
+            now,
+        );
         if broadcast_needed {
             // Wake every other peer: some may be idling on a synchronous wait
             // whose counterpart has already terminated.
@@ -1121,16 +1330,15 @@ impl PeerEngine {
         };
         let now = transport.now_ns();
         self.snapshot_loads();
-        let (checkpoint, rollback) =
-            vol.lock()
-                .unwrap()
-                .take_recovery(self.rank, now, &self.loads_scratch);
+        let (checkpoint, rollback) = vol
+            .lock()
+            .take_recovery(self.rank, now, &self.loads_scratch);
         // Live repartitioning: when the recovery published (or the crash
         // missed) a membership plan, the revived rank adopts its *new* slice
         // instead of restoring the original block — this is where the
         // capacity-weighted shares are applied for real.
         let adoption = {
-            let vol = vol.lock().unwrap();
+            let vol = vol.lock();
             vol.adoption(self.epoch, rollback.is_some())
                 .filter(|ticket| ticket.rollback == rollback)
         };
@@ -1165,13 +1373,12 @@ impl PeerEngine {
             self.generation = generation;
             self.shared
                 .lock()
-                .unwrap()
                 .begin_generation(generation, to_iteration);
             transport.broadcast_rollback(to_iteration, generation);
         }
         // The run may have been stopped (relaxation cap) while this peer was
         // down; deposit the restored result instead of iterating on.
-        if self.shared.lock().unwrap().stop {
+        if self.shared.stopped() {
             self.finish(transport);
             return;
         }
@@ -1185,7 +1392,7 @@ impl PeerEngine {
     /// their idle path, exactly like the `stopped()` poll that backs up the
     /// stop broadcast.
     pub fn poll_rollback(&mut self, transport: &mut impl PeerTransport) {
-        let pending = self.shared.lock().unwrap().current_rollback();
+        let pending = self.shared.current_rollback();
         if let Some((to_iteration, generation)) = pending {
             self.on_rollback(to_iteration, generation, transport);
         }
@@ -1223,17 +1430,16 @@ impl PeerEngine {
         // its own checkpoint.
         let adoption = self.volatility.as_ref().and_then(|vol| {
             vol.lock()
-                .unwrap()
                 .adoption(self.epoch, true)
                 .filter(|ticket| ticket.rollback == Some((to_iteration, generation)))
         });
         if let Some(ticket) = adoption {
             self.adopt_ticket(ticket, false, transport);
-        } else if let Some(checkpoint) = self.volatility.as_ref().and_then(|vol| {
-            vol.lock()
-                .unwrap()
-                .checkpoint_for_rollback(self.rank, to_iteration)
-        }) {
+        } else if let Some(checkpoint) = self
+            .volatility
+            .as_ref()
+            .and_then(|vol| vol.lock().checkpoint_for_rollback(self.rank, to_iteration))
+        {
             let _ = self.task.restore(&checkpoint.state, checkpoint.iteration);
         }
         // Queued pre-rollback updates belong to iterations the run is
@@ -1250,7 +1456,7 @@ impl PeerEngine {
         }
         self.max_ghost_change = 0.0;
         transport.note("p2pdc.rollbacks");
-        if self.shared.lock().unwrap().stop {
+        if self.shared.stopped() {
             self.finish(transport);
             return;
         }
@@ -1662,14 +1868,14 @@ mod tests {
         ta.compute_pending = false;
         a.on_compute_done(&mut ta);
         // A reported diff 0 but B has not: no convergence yet.
-        assert!(!shared.lock().unwrap().stopped());
+        assert!(!shared.lock().stopped());
         assert!(!a.finished());
 
         tb.compute_pending = false;
         b.on_compute_done(&mut tb);
         // B's report completes the iteration below tolerance: B detects the
         // stop, finishes, and is the one peer to broadcast.
-        assert!(shared.lock().unwrap().stopped());
+        assert!(shared.lock().stopped());
         assert!(b.finished());
         assert_eq!(tb.stop_broadcasts, 1);
 
@@ -1681,7 +1887,7 @@ mod tests {
 
         // Every result was deposited and the shared assembly reports a
         // converged run with the metric shape all runtimes share.
-        let (measurement, results) = shared.lock().unwrap().finish_run(99, 1_000);
+        let (measurement, results) = shared.lock().finish_run(99, 1_000);
         assert!(measurement.converged);
         assert_eq!(measurement.peers, 2);
         assert_eq!(measurement.relaxations_per_peer, vec![1, 1]);
@@ -1720,7 +1926,7 @@ mod tests {
         // A recovery elsewhere started generation 1; this peer's rollback
         // datagram was lost. The poll fallback must catch it up: adopt the
         // generation and restart relaxing.
-        shared.lock().unwrap().begin_generation(1, 0);
+        shared.lock().begin_generation(1, 0);
         peer.poll_rollback(&mut transport);
         assert!(
             peer.computing(),
@@ -1757,7 +1963,7 @@ mod tests {
             a.on_compute_done(&mut ta);
         }
         assert!(a.finished(), "the cap must terminate the peer");
-        let (measurement, _) = shared.lock().unwrap().finish_run(5, 3);
+        let (measurement, _) = shared.lock().finish_run(5, 3);
         assert!(
             !measurement.converged,
             "hitting the cap is reported as non-convergence"

@@ -156,11 +156,16 @@ where
     // may join mid-run; their engines stay unspawned until the join fires.
     let topology = config.provisioned_topology();
     let total = topology.len();
-    let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
+    let shared = ConvergenceDetector::shared_with_capacity(
+        config.tolerance,
+        config.scheme,
+        alpha,
+        topology.len(),
+    );
     let volatility = config.churn.as_ref().map(|plan| {
         let vol = VolatilityState::shared(plan, alpha, config.scheme);
         if let Some(handle) = &config.repartitioner {
-            vol.lock().unwrap().set_repartitioner(handle.clone());
+            vol.lock().set_repartitioner(handle.clone());
         }
         vol
     });
@@ -233,7 +238,7 @@ where
         // A join fired: spawn the pre-provisioned rank. Its engine adopts
         // the joined slice of the membership plan and starts relaxing.
         if let Some(vol) = &volatility {
-            let spawn = vol.lock().unwrap().take_pending_spawn();
+            let spawn = vol.lock().take_pending_spawn();
             if let Some(rank) = spawn {
                 if engines[rank].is_none() {
                     if let Some(engine) = PeerEngine::join_run(
@@ -275,17 +280,17 @@ where
                 if let std::collections::hash_map::Entry::Vacant(entry) = recover_at.entry(rank) {
                     let vol = volatility.as_ref().expect("crash implies volatility");
                     {
-                        let shared = shared.lock().unwrap();
+                        let shared = shared.lock();
                         loads_scratch.clear();
                         loads_scratch.extend_from_slice(shared.loads());
                     }
-                    let mut vol = vol.lock().unwrap();
+                    let mut vol = vol.lock();
                     vol.grant(rank, &loads_scratch);
                     entry.insert(clock + vol.detection_delay_events());
                     drop(vol);
                     transports[rank].timers = TimerQueue::new();
                     progress = true;
-                } else if shared.lock().unwrap().stopped() {
+                } else if shared.stopped() {
                     // The run ended (cap) while the peer was down.
                     recover_at.remove(&rank);
                     clock += 1;
@@ -377,7 +382,7 @@ where
             // Propagate a stop another peer established.
             if !engines[rank].as_ref().expect("spawned").finished()
                 && !engines[rank].as_ref().expect("spawned").computing()
-                && shared.lock().unwrap().stopped()
+                && shared.stopped()
             {
                 clock += 1;
                 transports[rank].clock_ns = clock;
@@ -409,12 +414,9 @@ where
         }
     }
 
-    let (mut measurement, results) = shared
-        .lock()
-        .unwrap()
-        .finish_run(clock, config.max_relaxations);
+    let (mut measurement, results) = shared.lock().finish_run(clock, config.max_relaxations);
     if let Some(vol) = &volatility {
-        vol.lock().unwrap().annotate(&mut measurement);
+        vol.lock().annotate(&mut measurement);
     }
     LoopbackRunOutcome {
         measurement,
@@ -573,5 +575,60 @@ mod tests {
             b.measurement.relaxations_per_peer
         );
         assert_eq!(a.results, b.results);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The lock-free report cells are an exact refactor of the locked
+        /// detector: forcing every report through the mutex (`force_locked`,
+        /// the pre-cell baseline semantics) and letting dirty reports ride
+        /// the cells produce the identical convergence iteration, per-peer
+        /// relaxation counts and result bytes, for any (workload, scheme,
+        /// seed, peers). Loopback folds cells at the same deterministic
+        /// points the lock used to be taken, so the runs are comparable
+        /// byte for byte. (Toggling the global knob is safe under the
+        /// parallel test harness: it switches which path reports take, and
+        /// this test is precisely the proof that both paths agree.)
+        #[test]
+        fn cell_and_locked_detectors_agree(
+            workload_pick in 0usize..3,
+            scheme_pick in 0usize..3,
+            seed in proptest::any::<u64>(),
+            peers in 2usize..5,
+        ) {
+            use crate::runtime::report_cell::set_force_locked;
+            use crate::workload::WorkloadKind;
+
+            let kind = WorkloadKind::ALL[workload_pick];
+            let size = match kind {
+                WorkloadKind::Obstacle => 8,
+                WorkloadKind::Heat => 12,
+                WorkloadKind::PageRank => 40,
+            };
+            let scheme = [Scheme::Synchronous, Scheme::Asynchronous, Scheme::Hybrid]
+                [scheme_pick];
+            let mut config = match scheme {
+                Scheme::Hybrid => RunConfig::two_clusters(scheme, peers),
+                _ => RunConfig::quick(scheme, peers),
+            };
+            config.seed = seed;
+            let workload = kind.build(size, peers);
+            let run = |forced: bool| {
+                set_force_locked(forced);
+                let outcome = run_iterative_loopback(&config, |rank| workload.task(rank));
+                set_force_locked(false);
+                outcome
+            };
+            let locked = run(true);
+            let cells = run(false);
+            prop_assert_eq!(locked.measurement.converged, cells.measurement.converged);
+            prop_assert_eq!(
+                locked.measurement.relaxations_per_peer,
+                cells.measurement.relaxations_per_peer,
+                "locked and cell detectors diverged on relaxation counts"
+            );
+            prop_assert_eq!(locked.results, cells.results);
+        }
     }
 }

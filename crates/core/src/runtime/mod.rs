@@ -61,6 +61,7 @@ pub mod driver;
 pub mod engine;
 pub mod loopback;
 pub mod reactor;
+pub mod report_cell;
 pub mod sim;
 pub mod threads;
 pub mod udp;
@@ -68,7 +69,10 @@ pub mod udp;
 pub use driver::{
     driver_for, ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory, DRIVERS,
 };
-pub use engine::{ConvergenceDetector, PeerEngine, PeerTransport, SharedDetector, TimerKey};
+pub use engine::{
+    ConvergenceDetector, DetectorHandle, PeerEngine, PeerTransport, SharedDetector, TimerKey,
+};
+pub use report_cell::{ReportBoard, ReportCell};
 pub use udp::{LossShim, Reassembler};
 
 use crate::churn::ChurnPlan;

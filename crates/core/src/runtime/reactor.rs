@@ -25,20 +25,70 @@
 use crate::app::IterativeTask;
 use crate::churn::{SharedVolatility, VolatilityState};
 use crate::metrics::RunMeasurement;
-use crate::runtime::detection::{self, Heartbeat};
+use crate::runtime::detection::{self, Heartbeat, LoopHeartbeat};
 use crate::runtime::driver::{ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory};
 use crate::runtime::engine::{ConvergenceDetector, PeerEngine, SharedDetector, TimerQueue};
 use crate::runtime::udp::{
     bootstrap_service, localhost, Datagram, LossShim, Reassembler, UdpTransport,
 };
 use crate::runtime::RunConfig;
-use netsim::Topology;
+use netsim::{NodeId, Topology};
 use polling::{Events, Poller};
 use std::collections::HashMap;
 use std::net::{SocketAddr, SocketAddrV4, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// How often the event loops compare their measured busy time and consider
+/// migrating a peer between loops.
+const REBALANCE_PERIOD: Duration = Duration::from_millis(50);
+
+/// Required relative busy-time imbalance (busiest vs least-busy loop over
+/// the last period) before a migration fires.
+const REBALANCE_RATIO: f64 = 1.25;
+
+/// A loop busier than this share of the period is never a migration target,
+/// and one idler than `1 - this` never a source — absolute noise guard so
+/// quiescent phases (discovery, drain-out) do not shuffle peers.
+const REBALANCE_MIN_BUSY: Duration = Duration::from_millis(5);
+
+/// Global switch for the measured loop rebalance (on by default). The
+/// contention bench disables it to isolate the static-shard baseline.
+static REBALANCE_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable migration of peers between reactor event loops.
+pub fn set_rebalance_enabled(enabled: bool) {
+    REBALANCE_ENABLED.store(enabled, Ordering::SeqCst);
+}
+
+/// Whether reactor loop rebalancing is enabled.
+pub fn rebalance_enabled() -> bool {
+    REBALANCE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Per-loop busy-time observability of the most recent reactor run (see
+/// [`last_loop_stats`]).
+#[derive(Debug, Clone)]
+pub struct LoopStats {
+    /// Per-loop busy nanoseconds over the first completed rebalance period
+    /// (the distribution the first migration decision saw).
+    pub busy_ns_first_period: Vec<u64>,
+    /// Per-loop busy nanoseconds accumulated over the whole run.
+    pub busy_ns_final: Vec<u64>,
+    /// Peer migrations performed between loops.
+    pub migrations: u64,
+}
+
+/// Stats of the most recent completed reactor run on this process, for
+/// examples and benches ([`run_iterative_reactor`] overwrites it per run).
+static LAST_LOOP_STATS: Mutex<Option<LoopStats>> = Mutex::new(None);
+
+/// Per-loop busy-time shares and migration count of the most recent reactor
+/// run, if one completed.
+pub fn last_loop_stats() -> Option<LoopStats> {
+    LAST_LOOP_STATS.lock().unwrap().clone()
+}
 
 /// The registered [`RuntimeDriver`] of the reactor backend. Reads the
 /// event-loop count and the loss/reorder shim probabilities from
@@ -153,6 +203,150 @@ struct LoopShared<'a> {
     start: Instant,
     ports: &'a Mutex<Vec<u16>>,
     dropped: &'a AtomicU64,
+    balancer: &'a Balancer,
+}
+
+/// Decision state of the periodic rebalance, taken with `try_lock` so the
+/// check never blocks an event loop.
+struct RebalanceClock {
+    last_check: Instant,
+    /// Busy-ns snapshot at the last check (deltas, not totals, drive the
+    /// decision: a loop that was overloaded early but balanced now must not
+    /// keep shedding).
+    last_busy: Vec<u64>,
+    /// The first completed period's per-loop busy deltas (observability).
+    first_period: Option<Vec<u64>>,
+}
+
+/// Measured busy-time accounting and peer migration between event loops.
+/// Each loop times its own drain+advance work into `busy_ns`; every
+/// [`REBALANCE_PERIOD`] one loop compares the per-period deltas, and the
+/// busiest loop sheds one Running peer into the least-busy loop's mailbox.
+/// Migration happens at a safe point by construction — between loop
+/// iterations nothing of a peer lives on the loop's stack; the socket stays
+/// open (kernel-buffered datagrams survive), only its poller registration
+/// moves.
+struct Balancer {
+    /// Peers in flight towards each loop.
+    mailboxes: Vec<Mutex<Vec<Peer>>>,
+    /// Lock-free occupancy hint per mailbox, so the per-iteration check is
+    /// a load instead of a mutex acquisition.
+    pending: Vec<AtomicUsize>,
+    /// Measured busy nanoseconds per loop.
+    busy_ns: Vec<AtomicU64>,
+    /// Retired (Done) peers across all loops; loops exit when every
+    /// provisioned rank has retired, wherever it ended up living.
+    done: AtomicUsize,
+    total: usize,
+    migrations: AtomicU64,
+    clock: Mutex<RebalanceClock>,
+}
+
+impl Balancer {
+    fn new(loops: usize, total: usize) -> Self {
+        Self {
+            mailboxes: (0..loops).map(|_| Mutex::new(Vec::new())).collect(),
+            pending: (0..loops).map(|_| AtomicUsize::new(0)).collect(),
+            busy_ns: (0..loops).map(|_| AtomicU64::new(0)).collect(),
+            done: AtomicUsize::new(0),
+            total,
+            migrations: AtomicU64::new(0),
+            clock: Mutex::new(RebalanceClock {
+                last_check: Instant::now(),
+                last_busy: vec![0; loops],
+                first_period: None,
+            }),
+        }
+    }
+
+    fn add_busy(&self, index: usize, ns: u64) {
+        self.busy_ns[index].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// A peer retired (reached [`Phase::Done`]); the run drains out once
+    /// every provisioned rank has.
+    fn mark_done(&self) {
+        self.done.fetch_add(1, Ordering::Release);
+    }
+
+    fn all_done(&self) -> bool {
+        self.done.load(Ordering::Acquire) >= self.total
+    }
+
+    /// Hand `peer` to `target`'s mailbox (its socket must already be
+    /// deregistered from the source poller).
+    fn deliver(&self, target: usize, peer: Peer) {
+        self.mailboxes[target].lock().unwrap().push(peer);
+        self.pending[target].fetch_add(1, Ordering::Release);
+        self.migrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take the peers delivered to loop `index`, if any.
+    fn collect(&self, index: usize) -> Vec<Peer> {
+        if self.pending[index].load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        let mut inbox = self.mailboxes[index].lock().unwrap();
+        self.pending[index].store(0, Ordering::Release);
+        std::mem::take(&mut *inbox)
+    }
+
+    /// Rebalance check for loop `index`: returns the loop it should shed
+    /// one Running peer to, when `index` was the busiest loop of a completed
+    /// period and the imbalance clears the ratio and noise guards. Any loop
+    /// may close a period; only the busiest one acts on it.
+    fn shed_target(&self, index: usize) -> Option<usize> {
+        let mut clock = self.clock.try_lock().ok()?;
+        if clock.last_check.elapsed() < REBALANCE_PERIOD {
+            return None;
+        }
+        let busy: Vec<u64> = self
+            .busy_ns
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let deltas: Vec<u64> = busy
+            .iter()
+            .zip(&clock.last_busy)
+            .map(|(now, then)| now.saturating_sub(*then))
+            .collect();
+        clock.last_check = Instant::now();
+        clock.last_busy = busy;
+        if clock.first_period.is_none() {
+            clock.first_period = Some(deltas.clone());
+        }
+        drop(clock);
+        // The period accounting above runs even when migration can't — the
+        // busy-share stats stay meaningful on single-loop and
+        // rebalance-disabled runs.
+        if !rebalance_enabled() || self.mailboxes.len() < 2 {
+            return None;
+        }
+        let (max_loop, max_delta) = deltas.iter().copied().enumerate().max_by_key(|&(_, d)| d)?;
+        let (min_loop, min_delta) = deltas.iter().copied().enumerate().min_by_key(|&(_, d)| d)?;
+        let floor = REBALANCE_MIN_BUSY.as_nanos() as u64;
+        if max_loop != index
+            || min_loop == index
+            || max_delta < floor
+            || (max_delta as f64) < (min_delta as f64) * REBALANCE_RATIO + floor as f64
+        {
+            return None;
+        }
+        Some(min_loop)
+    }
+
+    fn stats(&self) -> LoopStats {
+        let clock = self.clock.lock().unwrap();
+        LoopStats {
+            busy_ns_first_period: clock.first_period.clone().unwrap_or_default(),
+            busy_ns_final: self
+                .busy_ns
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            migrations: self.migrations.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Kernel buffer size requested for every peer socket. A single ghost
@@ -335,7 +529,7 @@ impl Peer {
                 // A joiner builds its task from the checkpointed slice it
                 // adopts (`join_run`), not from the task factory.
                 let vol = ctx.volatility.as_ref().expect("join ranks imply churn");
-                if vol.lock().unwrap().take_spawn_if(self.rank) {
+                if vol.lock().take_spawn_if(self.rank) {
                     match PeerEngine::join_run(
                         self.rank,
                         ctx.config.scheme,
@@ -350,7 +544,7 @@ impl Peer {
                         }
                         None => self.phase = Phase::Done,
                     }
-                } else if ctx.shared.lock().unwrap().stopped() {
+                } else if ctx.shared.stopped() {
                     // The run ended before the join fired: exit without ever
                     // having existed.
                     self.phase = Phase::Done;
@@ -398,7 +592,7 @@ impl Peer {
                 }
             }
             Phase::AwaitGrant => {
-                if ctx.shared.lock().unwrap().stopped() {
+                if ctx.shared.stopped() {
                     // Relaxation cap reached elsewhere while this peer was
                     // down: fold it into the stop instead of reviving it.
                     let transport = self
@@ -413,7 +607,7 @@ impl Peer {
                 } else if ctx
                     .volatility
                     .as_ref()
-                    .is_some_and(|vol| vol.lock().unwrap().is_granted(self.rank))
+                    .is_some_and(|vol| vol.lock().is_granted(self.rank))
                 {
                     // Rejoin: announce the replacement socket to the
                     // bootstrap (which re-broadcasts the table to every
@@ -428,14 +622,9 @@ impl Peer {
             Phase::Running => {
                 let transport = self.transport.as_mut().expect("running peer has socket");
                 let engine = self.engine.as_mut().expect("running peer has engine");
-                // Heartbeat towards the failure detector (rate-limited to
-                // the ping period internally).
-                if let Some(topo) = ctx.topo {
-                    self.heartbeat
-                        .as_mut()
-                        .expect("bound peer has heartbeat")
-                        .beat(topo, ctx.start);
-                }
+                // (Heartbeats are batched at the event-loop level: one
+                // topology-server acquisition per ping period covers every
+                // running peer the loop multiplexes.)
                 while !engine.finished() {
                     let Some(key) = transport.pop_due_timer() else {
                         break;
@@ -482,7 +671,7 @@ impl Peer {
                     // was idling in a scheme wait (or its stop datagram was
                     // dropped). Poll the detector's published verdicts as
                     // the safety net, exactly like the UDP drive loop.
-                    if ctx.shared.lock().unwrap().stopped() {
+                    if ctx.shared.stopped() {
                         engine.on_stop_signal(transport);
                     } else {
                         engine.poll_rollback(transport);
@@ -520,8 +709,11 @@ impl Peer {
     }
 }
 
-/// One event loop: drive `ranks` (a contiguous slice) to completion.
+/// One event loop: drive the peers of `ranks` (its initial shard) plus any
+/// peers migrated in from busier loops, until every provisioned rank —
+/// wherever it ended up living — has retired.
 fn event_loop(
+    index: usize,
     ranks: std::ops::Range<usize>,
     ctx: &LoopShared<'_>,
     task_factory: &(dyn Fn(usize) -> Box<dyn IterativeTask> + Sync),
@@ -529,21 +721,29 @@ fn event_loop(
     let poller = Poller::new().expect("create readiness poller");
     let mut events = Events::new();
     let mut buf = vec![0u8; 65536];
-    let first = ranks.start;
-    let mut peers: Vec<Peer> = ranks
-        .map(|rank| Peer {
-            rank,
-            phase: Phase::Dormant,
-            engine: None,
-            transport: None,
-            reassembler: Reassembler::new(),
-            heartbeat: None,
-            table: None,
+    let mut heartbeat = LoopHeartbeat::new();
+    let mut running_nodes: Vec<NodeId> = Vec::new();
+    // Keyed by rank (the rank is also each socket's poller key), because
+    // migration makes the resident set non-contiguous.
+    let mut peers: HashMap<usize, Peer> = ranks
+        .map(|rank| {
+            (
+                rank,
+                Peer {
+                    rank,
+                    phase: Phase::Dormant,
+                    engine: None,
+                    transport: None,
+                    reassembler: Reassembler::new(),
+                    heartbeat: None,
+                    table: None,
+                },
+            )
         })
         .collect();
     // Initial ranks get their engine and socket up front; pre-provisioned
     // join ranks stay dormant.
-    for peer in &mut peers {
+    for peer in peers.values_mut() {
         if peer.rank < ctx.alpha {
             let mut engine = PeerEngine::new(
                 peer.rank,
@@ -561,28 +761,85 @@ fn event_loop(
         }
     }
 
-    while !peers.iter().all(|p| matches!(p.phase, Phase::Done)) {
+    while !ctx.balancer.all_done() {
+        // Adopt peers migrated in from a busier loop: their sockets are
+        // open but deregistered; register them under this loop's poller.
+        for peer in ctx.balancer.collect(index) {
+            if let Some(transport) = &peer.transport {
+                poller
+                    .add(&transport.socket, peer.rank)
+                    .expect("register migrated socket");
+            }
+            peers.insert(peer.rank, peer);
+        }
         // A pending compute means an immediate turn; otherwise sleep in the
         // poller until the earliest protocol timer, capped so the dormant /
-        // await-grant / discovery / stop polls stay responsive.
-        let timeout = if peers.iter().any(Peer::busy) {
+        // await-grant / discovery / stop / mailbox polls stay responsive.
+        let timeout = if peers.values().any(Peer::busy) {
             Duration::ZERO
         } else {
             let now_ns = ctx.start.elapsed().as_nanos() as u64;
             peers
-                .iter()
+                .values()
                 .filter_map(|p| p.next_deadline(now_ns))
                 .fold(IDLE_POLL_CAP, Duration::min)
         };
         events.clear();
         let _ = poller.wait(&mut events, Some(timeout));
+        let work = Instant::now();
         for event in events.iter() {
-            if let Some(peer) = peers.get_mut(event.key - first) {
+            if let Some(peer) = peers.get_mut(&event.key) {
                 peer.drain(&mut buf);
             }
         }
-        for peer in &mut peers {
+        // One batched heartbeat per ping period covering every running peer
+        // this loop multiplexes: a single topology-server acquisition
+        // instead of one per peer.
+        if let Some(topo) = ctx.topo {
+            if heartbeat.due() {
+                running_nodes.clear();
+                running_nodes.extend(
+                    peers
+                        .values()
+                        .filter(|p| matches!(p.phase, Phase::Running))
+                        .map(|p| NodeId(p.rank)),
+                );
+                heartbeat.beat_many(topo, ctx.topology, ctx.start, &running_nodes);
+            }
+        }
+        for peer in peers.values_mut() {
             peer.advance(&poller, ctx);
+        }
+        peers.retain(|_, peer| {
+            if matches!(peer.phase, Phase::Done) {
+                ctx.balancer.mark_done();
+                false
+            } else {
+                true
+            }
+        });
+        ctx.balancer
+            .add_busy(index, work.elapsed().as_nanos() as u64);
+        // Rebalance at a safe point: between loop iterations nothing of a
+        // peer lives on this stack, so the busiest loop can hand one running
+        // peer to the least-busy loop's mailbox. The socket stays open
+        // (kernel-buffered datagrams survive the hop); only its poller
+        // registration moves. Shedding the *only* running peer would just
+        // relocate the hotspot, so require two.
+        if let Some(target) = ctx.balancer.shed_target(index) {
+            let mut running = peers
+                .values()
+                .filter(|p| matches!(p.phase, Phase::Running))
+                .map(|p| p.rank);
+            let shed_rank = running.next().and_then(|_| running.next());
+            drop(running);
+            if let Some(rank) = shed_rank {
+                let peer = peers.remove(&rank).expect("just found running peer");
+                if let Some(transport) = &peer.transport {
+                    let _ = poller.delete(&transport.socket);
+                }
+                ctx.balancer.deliver(target, peer);
+            }
         }
     }
 }
@@ -599,21 +856,19 @@ where
     // ranks that may join mid-run.
     let topology = config.provisioned_topology();
     let total = topology.len();
-    let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
+    let shared = ConvergenceDetector::shared_with_capacity(
+        config.tolerance,
+        config.scheme,
+        alpha,
+        topology.len(),
+    );
     let volatility = config.churn.as_ref().map(|plan| {
         let vol = VolatilityState::shared(plan, alpha, config.scheme);
         if let Some(handle) = &config.repartitioner {
-            vol.lock().unwrap().set_repartitioner(handle.clone());
+            vol.lock().set_repartitioner(handle.clone());
         }
         vol
     });
-    // Wall-clock failure detection, shared with the other real-time
-    // backends: peers ping a run-local topology-manager server; the monitor
-    // thread sweeps it for missed-ping evictions.
-    let topo = volatility
-        .as_ref()
-        .map(|_| detection::server_with_all_ranks(&config.topology));
-
     // Bootstrap: bind the service port first so peers have a rendezvous.
     let bootstrap_socket = UdpSocket::bind(SocketAddrV4::new(localhost(), 0))
         .expect("bind bootstrap socket on localhost");
@@ -634,10 +889,25 @@ where
         })
         .clamp(1, total);
     let chunk = total.div_ceil(loops);
+    // div_ceil can leave trailing loops with empty shards; size the balancer
+    // to the loops that actually spawn, or a migration could land in a
+    // mailbox no thread ever collects.
+    let live_loops = total.div_ceil(chunk);
+
+    // Wall-clock failure detection, shared with the other real-time
+    // backends: peers ping a run-local topology-manager server; the monitor
+    // thread sweeps it for missed-ping evictions. Each loop heartbeats all
+    // its peers at once, so the eviction window scales with the multiplex
+    // degree (a loaded loop's iteration outlasting three bare ping periods
+    // must not read as the death of every peer it drives).
+    let topo = volatility
+        .as_ref()
+        .map(|_| detection::server_with_all_ranks(&config.topology, chunk));
 
     let start = Instant::now();
     let ports = Mutex::new(vec![0u16; total]);
     let dropped = AtomicU64::new(0);
+    let balancer = Balancer::new(live_loops, total);
     let ctx = LoopShared {
         alpha,
         topology: &topology,
@@ -649,6 +919,7 @@ where
         start,
         ports: &ports,
         dropped: &dropped,
+        balancer: &balancer,
     };
     let task_factory = &task_factory;
     std::thread::scope(|scope| {
@@ -659,24 +930,22 @@ where
             scope.spawn(move || detection::run_monitor(&vol, &topo, &shared, total, start));
         }
         let ctx = &ctx;
-        for index in 0..loops {
+        for index in 0..live_loops {
             let lo = index * chunk;
             let hi = ((index + 1) * chunk).min(total);
-            if lo < hi {
-                scope.spawn(move || event_loop(lo..hi, ctx, task_factory));
-            }
+            scope.spawn(move || event_loop(index, lo..hi, ctx, task_factory));
         }
     });
     bootstrap_stop.store(true, Ordering::Relaxed);
     let _ = bootstrap.join();
+    *LAST_LOOP_STATS.lock().unwrap() = Some(balancer.stats());
 
     let fallback_now = start.elapsed().as_nanos() as u64;
     let (mut measurement, results) = shared
         .lock()
-        .unwrap()
         .finish_run(fallback_now, config.max_relaxations);
     if let Some(vol) = &volatility {
-        vol.lock().unwrap().annotate(&mut measurement);
+        vol.lock().annotate(&mut measurement);
     }
     ReactorRunOutcome {
         measurement,
@@ -760,6 +1029,98 @@ mod tests {
         let outcome = run(&config);
         assert!(outcome.measurement.converged);
         assert_eq!(outcome.results.len(), 4);
+    }
+
+    /// The migration decision: only the busiest loop of a completed period
+    /// sheds, only when the imbalance clears the ratio and absolute-noise
+    /// guards, and the target is the least-busy loop.
+    #[test]
+    fn shed_target_picks_the_least_busy_loop_only_under_real_imbalance() {
+        let balancer = Balancer::new(3, 6);
+        // Synthetic period: loop 0 did 40 ms of work, loop 1 did 10 ms,
+        // loop 2 did 2 ms.
+        balancer.add_busy(0, 40_000_000);
+        balancer.add_busy(1, 10_000_000);
+        balancer.add_busy(2, 2_000_000);
+        // The period has not elapsed yet: nobody sheds.
+        assert_eq!(balancer.shed_target(0), None);
+        std::thread::sleep(REBALANCE_PERIOD + Duration::from_millis(10));
+        // Loop 1 closes the period first but is not the busiest, so it does
+        // not act — and the period is consumed for everyone.
+        assert_eq!(balancer.shed_target(1), None);
+        assert_eq!(balancer.shed_target(0), None, "period already closed");
+        // Next period: same imbalance again, the busiest loop acts.
+        balancer.add_busy(0, 40_000_000);
+        balancer.add_busy(1, 10_000_000);
+        balancer.add_busy(2, 2_000_000);
+        std::thread::sleep(REBALANCE_PERIOD + Duration::from_millis(10));
+        assert_eq!(balancer.shed_target(0), Some(2));
+        // A balanced period sheds nothing even at high absolute load.
+        for index in 0..3 {
+            balancer.add_busy(index, 30_000_000);
+        }
+        std::thread::sleep(REBALANCE_PERIOD + Duration::from_millis(10));
+        assert_eq!(balancer.shed_target(0), None);
+        // The first completed period's deltas were captured for the stats.
+        let stats = balancer.stats();
+        assert_eq!(
+            stats.busy_ns_first_period,
+            vec![40_000_000, 10_000_000, 2_000_000]
+        );
+        assert_eq!(stats.migrations, 0, "decisions alone are not migrations");
+    }
+
+    /// A quiescent imbalance (all deltas under the noise floor) must not
+    /// shuffle peers, and disabling rebalancing vetoes migration while the
+    /// period accounting keeps running.
+    #[test]
+    fn shed_target_respects_noise_floor_and_disable_switch() {
+        let quiet = Balancer::new(2, 4);
+        quiet.add_busy(0, 100_000); // 0.1 ms: under the 5 ms floor
+        std::thread::sleep(REBALANCE_PERIOD + Duration::from_millis(10));
+        assert_eq!(quiet.shed_target(0), None, "noise must not migrate peers");
+
+        let disabled = Balancer::new(2, 4);
+        disabled.add_busy(0, 40_000_000);
+        set_rebalance_enabled(false);
+        std::thread::sleep(REBALANCE_PERIOD + Duration::from_millis(10));
+        let decision = disabled.shed_target(0);
+        set_rebalance_enabled(true);
+        assert_eq!(decision, None, "disabled rebalance must not migrate");
+        assert_eq!(
+            disabled.stats().busy_ns_first_period,
+            vec![40_000_000, 0],
+            "stats still recorded while disabled"
+        );
+    }
+
+    /// The mailbox round trip: a delivered peer is visible through the
+    /// lock-free occupancy hint, collected exactly once, and counted as a
+    /// migration; retirement counting drains the run.
+    #[test]
+    fn mailbox_delivery_and_done_counting() {
+        let balancer = Balancer::new(2, 2);
+        let peer = Peer {
+            rank: 7,
+            phase: Phase::Dormant,
+            engine: None,
+            transport: None,
+            reassembler: Reassembler::new(),
+            heartbeat: None,
+            table: None,
+        };
+        assert!(balancer.collect(1).is_empty());
+        balancer.deliver(1, peer);
+        assert!(balancer.collect(0).is_empty(), "wrong mailbox stays empty");
+        let arrived = balancer.collect(1);
+        assert_eq!(arrived.len(), 1);
+        assert_eq!(arrived[0].rank, 7);
+        assert!(balancer.collect(1).is_empty(), "collect drains the mailbox");
+        assert_eq!(balancer.stats().migrations, 1);
+        assert!(!balancer.all_done());
+        balancer.mark_done();
+        balancer.mark_done();
+        assert!(balancer.all_done());
     }
 
     /// Crash + recovery inside an event loop: the victim's socket is

@@ -244,8 +244,8 @@ impl PeerActor {
         self.net.slots.clear();
         self.net.armed.clear();
         let (vol, detector) = self.volatility.as_ref().expect("crash implies volatility");
-        let loads = detector.lock().unwrap().loads().to_vec();
-        let mut vol = vol.lock().unwrap();
+        let loads = detector.lock().loads().to_vec();
+        let mut vol = vol.lock();
         vol.grant(self.rank, &loads);
         let delay = SimDuration::from_nanos(vol.detection_delay_ns());
         drop(vol);
@@ -256,7 +256,7 @@ impl PeerActor {
     /// named (the joiner builds its engine from the membership plan).
     fn dispatch_spawn(&mut self, ctx: &mut Context<'_>) {
         if let Some((vol, _)) = &self.volatility {
-            let spawn = vol.lock().unwrap().take_pending_spawn();
+            let spawn = vol.lock().take_pending_spawn();
             if let Some(rank) = spawn {
                 ctx.send(ProcessId(rank), Box::new(JoinSignal));
             }
@@ -387,11 +387,16 @@ where
     // that may join mid-run.
     let topology = config.provisioned_topology();
     let total = topology.len();
-    let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
+    let shared = ConvergenceDetector::shared_with_capacity(
+        config.tolerance,
+        config.scheme,
+        alpha,
+        topology.len(),
+    );
     let volatility = config.churn.as_ref().map(|plan| {
         let vol = VolatilityState::shared(plan, alpha, config.scheme);
         if let Some(handle) = &config.repartitioner {
-            vol.lock().unwrap().set_repartitioner(handle.clone());
+            vol.lock().set_repartitioner(handle.clone());
         }
         vol
     });
@@ -454,10 +459,9 @@ where
 
     let (mut measurement, results) = shared
         .lock()
-        .unwrap()
         .finish_run(sim.now().as_nanos(), config.max_relaxations);
     if let Some(vol) = &volatility {
-        vol.lock().unwrap().annotate(&mut measurement);
+        vol.lock().annotate(&mut measurement);
     }
     SimRunOutcome {
         measurement,

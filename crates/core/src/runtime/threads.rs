@@ -190,11 +190,16 @@ where
     // ranks that may join mid-run.
     let topology = config.provisioned_topology();
     let total = topology.len();
-    let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
+    let shared = ConvergenceDetector::shared_with_capacity(
+        config.tolerance,
+        config.scheme,
+        alpha,
+        topology.len(),
+    );
     let volatility = config.churn.as_ref().map(|plan| {
         let vol = VolatilityState::shared(plan, alpha, config.scheme);
         if let Some(handle) = &config.repartitioner {
-            vol.lock().unwrap().set_repartitioner(handle.clone());
+            vol.lock().set_repartitioner(handle.clone());
         }
         vol
     });
@@ -205,7 +210,7 @@ where
     // when its join fires.
     let topo = volatility
         .as_ref()
-        .map(|_| detection::server_with_all_ranks(&config.topology));
+        .map(|_| detection::server_with_all_ranks(&config.topology, 1));
 
     // Router: one inbox per peer plus a central routing channel.
     let (router_tx, router_rx) = unbounded::<Routed>();
@@ -235,7 +240,7 @@ where
             match router_rx.recv_timeout(Duration::from_micros(200)) {
                 Ok(msg) => queue.push_back(msg),
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                    if router_shared.lock().unwrap().stopped() && queue.is_empty() {
+                    if router_shared.stopped() && queue.is_empty() {
                         break;
                     }
                 }
@@ -286,7 +291,7 @@ where
                     // ends first, exit without ever having existed.
                     let vol = volatility.as_ref().expect("join ranks imply churn");
                     let engine = loop {
-                        if vol.lock().unwrap().take_spawn_if(rank) {
+                        if vol.lock().take_spawn_if(rank) {
                             match PeerEngine::join_run(
                                 rank,
                                 scheme,
@@ -299,7 +304,7 @@ where
                                 None => break None,
                             }
                         }
-                        if shared.lock().unwrap().stopped() {
+                        if shared.stopped() {
                             break None;
                         }
                         while rx.try_recv().is_ok() {}
@@ -387,7 +392,7 @@ where
                     }
                     // Another peer may have stopped the run while this one
                     // was idling in a scheme wait.
-                    if shared.lock().unwrap().stopped() {
+                    if shared.stopped() {
                         engine.on_stop_signal(&mut transport);
                         continue;
                     }
@@ -428,10 +433,9 @@ where
     let fallback_now = start.elapsed().as_nanos() as u64;
     let (mut measurement, results) = shared
         .lock()
-        .unwrap()
         .finish_run(fallback_now, config.max_relaxations);
     if let Some(vol) = &volatility {
-        vol.lock().unwrap().annotate(&mut measurement);
+        vol.lock().annotate(&mut measurement);
     }
     ThreadRunOutcome {
         measurement,

@@ -795,11 +795,16 @@ where
     // that may join mid-run.
     let topology = config.provisioned_topology();
     let total = topology.len();
-    let shared = ConvergenceDetector::shared(config.tolerance, config.scheme, alpha);
+    let shared = ConvergenceDetector::shared_with_capacity(
+        config.tolerance,
+        config.scheme,
+        alpha,
+        topology.len(),
+    );
     let volatility = config.churn.as_ref().map(|plan| {
         let vol = VolatilityState::shared(plan, alpha, config.scheme);
         if let Some(handle) = &config.repartitioner {
-            vol.lock().unwrap().set_repartitioner(handle.clone());
+            vol.lock().set_repartitioner(handle.clone());
         }
         vol
     });
@@ -809,7 +814,7 @@ where
     // for missed-ping evictions.
     let topo = volatility
         .as_ref()
-        .map(|_| detection::server_with_all_ranks(&config.topology));
+        .map(|_| detection::server_with_all_ranks(&config.topology, 1));
 
     // Bootstrap: bind the service port first so peers have a rendezvous.
     let bootstrap_socket = UdpSocket::bind(SocketAddrV4::new(localhost(), 0))
@@ -861,7 +866,7 @@ where
                     // the run ends first, exit without ever having existed.
                     let vol = volatility.as_ref().expect("join ranks imply churn");
                     let engine = loop {
-                        if vol.lock().unwrap().take_spawn_if(rank) {
+                        if vol.lock().take_spawn_if(rank) {
                             break PeerEngine::join_run(
                                 rank,
                                 scheme,
@@ -871,7 +876,7 @@ where
                                 max_relaxations,
                             );
                         }
-                        if shared.lock().unwrap().stopped() {
+                        if shared.stopped() {
                             break None;
                         }
                         std::thread::sleep(Duration::from_millis(1));
@@ -1048,7 +1053,7 @@ where
                     // Another peer may have stopped the run while this one
                     // was idling in a scheme wait (or its stop datagram was
                     // still in flight).
-                    if shared.lock().unwrap().stopped() {
+                    if shared.stopped() {
                         engine.on_stop_signal(&mut transport);
                         continue;
                     }
@@ -1083,10 +1088,9 @@ where
     let fallback_now = start.elapsed().as_nanos() as u64;
     let (mut measurement, results) = shared
         .lock()
-        .unwrap()
         .finish_run(fallback_now, config.max_relaxations);
     if let Some(vol) = &volatility {
-        vol.lock().unwrap().annotate(&mut measurement);
+        vol.lock().annotate(&mut measurement);
     }
     UdpRunOutcome {
         measurement,

@@ -89,6 +89,21 @@ impl TopologyManager {
         }
     }
 
+    /// One batched ping sweep on behalf of many peers (an event loop pinging
+    /// for every peer it multiplexes, so the 10 ms cadence costs one server
+    /// acquisition per loop instead of one per peer). Returns the nodes the
+    /// server no longer knows — they must re-register, exactly as a `false`
+    /// from [`TopologyManager::ping`] demands.
+    pub fn ping_many(&mut self, nodes: &[NodeId], now: SimTime) -> Vec<NodeId> {
+        let mut unknown = Vec::new();
+        for &node in nodes {
+            if !self.ping(node, now) {
+                unknown.push(node);
+            }
+        }
+        unknown
+    }
+
     /// Remove every peer whose last ping is older than three ping periods.
     /// Returns the evicted peer ids.
     pub fn evict_stale(&mut self, now: SimTime) -> Vec<NodeId> {
@@ -266,6 +281,30 @@ mod tests {
         // The monitor still learns about it from its own sweep window.
         assert_eq!(m.evictions_since(t(1.0), t(6.0)), vec![NodeId(4)]);
         assert!(m.evictions_since(t(5.0), t(6.0)).is_empty());
+    }
+
+    #[test]
+    fn batched_ping_refreshes_known_peers_and_reports_unknown_ones() {
+        let mut m = manager();
+        m.register(NodeId(0), ClusterId(0), 1.0, t(0.0));
+        m.register(NodeId(1), ClusterId(0), 1.0, t(0.0));
+        // One batched sweep covering a known, an evicted and a never-known
+        // peer: the known ones refresh, the others come back for
+        // re-registration.
+        assert_eq!(
+            m.evictions_since(SimTime::ZERO, t(3.5)),
+            vec![NodeId(0), NodeId(1)]
+        );
+        m.register(NodeId(1), ClusterId(0), 1.0, t(3.5));
+        let unknown = m.ping_many(&[NodeId(0), NodeId(1), NodeId(9)], t(3.6));
+        assert_eq!(unknown, vec![NodeId(0), NodeId(9)]);
+        // The batched ping kept peer 1 alive exactly as individual pings
+        // would: three periods after the sweep it is still registered, and
+        // just past that boundary it goes.
+        assert!(m.evict_stale(t(6.6)).is_empty());
+        assert_eq!(m.evict_stale(t(6.7)), vec![NodeId(1)]);
+        // An empty batch is a no-op.
+        assert!(m.ping_many(&[], t(6.8)).is_empty());
     }
 
     #[test]

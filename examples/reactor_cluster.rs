@@ -72,5 +72,24 @@ fn main() {
     assert_eq!(m.crashes, 1, "exactly one seeded crash");
     assert_eq!(m.recoveries, 1, "the victim must recover");
     assert!(m.joins >= 1, "the seeded join must fire");
+
+    // The measured loop rebalance at work: per-loop busy-time shares over
+    // the first rebalance period (the imbalance the first migration
+    // decision saw) against the whole run, plus the migrations performed.
+    if let Some(stats) = p2pdc::runtime::reactor::last_loop_stats() {
+        let shares = |busy: &[u64]| -> String {
+            let total: u64 = busy.iter().sum::<u64>().max(1);
+            busy.iter()
+                .map(|&ns| format!("{:.0}%", ns as f64 * 100.0 / total as f64))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!(
+            "\nper-loop busy shares: first period [{}] -> whole run [{}] ({} migrations)",
+            shares(&stats.busy_ns_first_period),
+            shares(&stats.busy_ns_final),
+            stats.migrations,
+        );
+    }
     println!("\n{peers} peers, one crash, one join - absorbed on a couple of event loops");
 }

@@ -500,3 +500,59 @@ fn per_peer_throughput_estimates_are_live() {
         );
     }
 }
+
+/// The lock-free report cells agree with the locked-baseline detector
+/// through the volatile paths too: a synchronous crash (checkpoint
+/// restore and rollback broadcast) and a mid-run join (membership plan
+/// and re-slice) produce identical convergence behaviour whether dirty
+/// reports ride the cells or every report is forced through the mutex
+/// (`force_locked`, the pre-cell semantics). Runs on the deterministic
+/// loopback backend, so the comparison is exact.
+#[test]
+fn cell_and_locked_detectors_agree_through_rollback_and_join() {
+    use p2pdc::runtime::report_cell::set_force_locked;
+
+    let peers = 3;
+    let workload = WorkloadKind::Obstacle.build(10, peers);
+    let mut clean = obstacle_config(Scheme::Synchronous, peers);
+    clean.tolerance = 1e-4;
+    let baseline = run_on(workload.as_ref(), &clean, RuntimeKind::Loopback);
+    assert!(baseline.measurement.converged);
+    let baseline_iters = baseline
+        .measurement
+        .relaxations_per_peer
+        .iter()
+        .min()
+        .copied()
+        .unwrap();
+    let crash_at = crash_at_fraction(baseline_iters, 0.3);
+    let join_at = crash_at_fraction(baseline_iters, 0.6);
+    let mut faulty = clean.clone();
+    faulty.churn = Some(
+        ChurnPlan::kill(1, crash_at)
+            .with_checkpoint_interval((crash_at / 2).max(1))
+            .with_repartition(true)
+            .with_join(0, join_at)
+            .with_detection_delay_ns(1_000_000),
+    );
+    let run = |forced: bool| {
+        set_force_locked(forced);
+        let result = run_on(workload.as_ref(), &faulty, RuntimeKind::Loopback);
+        set_force_locked(false);
+        result
+    };
+    let locked = run(true);
+    let cells = run(false);
+    for result in [&locked, &cells] {
+        let m = &result.measurement;
+        assert!(m.converged);
+        assert_eq!((m.crashes, m.recoveries, m.joins), (1, 1, 1));
+        assert!(m.rollbacks >= 1, "synchronous recovery must roll back");
+    }
+    assert_eq!(
+        locked.measurement.relaxations_per_peer, cells.measurement.relaxations_per_peer,
+        "locked and cell detectors diverged through rollback + join"
+    );
+    assert_eq!(locked.measurement.rollbacks, cells.measurement.rollbacks);
+    assert_eq!(locked.measurement.residual, cells.measurement.residual);
+}
