@@ -14,6 +14,8 @@
 //! repro hotpath                # kernel/encode/end-to-end grid -> BENCH_hotpath.json
 //! repro contention             # control-plane lock grid (--full adds the 1024-peer row)
 //!                              # -> BENCH_contention.json
+//! repro gossip                 # gossip control-plane grid (scheme x runtime x fanout x peers,
+//!                              # paired centralized runs) -> BENCH_gossip.json
 //! repro all [--full]           # everything above
 //! ```
 //!
@@ -26,9 +28,10 @@
 //! obstacle cell — the CI smoke assertion for the hot-path overhaul.
 
 use bench_suite::{
-    format_ablation, format_churn_grid, format_contention, format_hotpath, format_runtime_matrix,
-    format_scale_curve, format_table1, run_ablation, run_churn_grid, run_contention, run_figure,
-    run_hotpath, run_runtime_matrix, run_scale_curve, run_table1, FigureConfig,
+    format_ablation, format_churn_grid, format_contention, format_gossip, format_hotpath,
+    format_runtime_matrix, format_scale_curve, format_table1, run_ablation, run_churn_grid,
+    run_contention, run_figure, run_gossip_grid, run_hotpath, run_runtime_matrix, run_scale_curve,
+    run_table1, FigureConfig,
 };
 use p2pdc::format_table;
 
@@ -182,6 +185,52 @@ fn run_contention_grid(full: bool) {
     }
 }
 
+fn run_gossip() {
+    eprintln!("running the gossip control-plane grid (scheme x runtime x fanout x peers) ...");
+    let result = run_gossip_grid();
+    println!("{}", format_gossip(&result));
+    write_json("gossip", &result);
+    // Uploaded alongside BENCH_runtimes.json as a perf-trajectory artifact.
+    write_json_to("BENCH_gossip.json", &result);
+    if !result.rows.iter().all(|r| r.converged) {
+        eprintln!("WARNING: a gossip cell failed to converge");
+        std::process::exit(1);
+    }
+    // Smoke assertion: SWIM failure detection must stay within 5x of the
+    // centralized missed-ping sweep on every paired churn cell. Latencies
+    // under the protocol's own escalation floor are exempt: suspicion takes
+    // two ack windows plus the suspicion timeout by design (~100 ms under
+    // the wall-clock timings), so at toy cell sizes — where one 10 ms ping
+    // sweep catches the crash centrally — the ratio alone would flag the
+    // ladder working exactly as specified.
+    const SWIM_FLOOR_S: f64 = 0.25;
+    for gossip in result
+        .rows
+        .iter()
+        .filter(|r| r.control == "gossip" && r.churn && r.detection_latency_s > SWIM_FLOOR_S)
+    {
+        let centralized = result.rows.iter().find(|r| {
+            r.control == "centralized"
+                && r.churn
+                && r.peers == gossip.peers
+                && r.runtime == gossip.runtime
+                && r.scheme == gossip.scheme
+        });
+        if let Some(c) = centralized {
+            if c.detection_latency_s > 0.0
+                && gossip.detection_latency_s > 5.0 * c.detection_latency_s
+            {
+                eprintln!(
+                    "WARNING: gossip detection latency on {} at {} peers is {:.3}s \
+                     vs centralized {:.3}s (> 5x)",
+                    gossip.runtime, gossip.peers, gossip.detection_latency_s, c.detection_latency_s
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(|s| s.as_str()).unwrap_or("all");
@@ -209,6 +258,7 @@ fn main() {
         "churn" => run_churn(),
         "hotpath" => run_hotpath_grid(),
         "contention" => run_contention_grid(full),
+        "gossip" => run_gossip(),
         "all" => {
             let rows = run_table1();
             println!("{}", format_table1(&rows));
@@ -222,10 +272,11 @@ fn main() {
             run_churn();
             run_hotpath_grid();
             run_contention_grid(full);
+            run_gossip();
         }
         other => {
             eprintln!(
-                "unknown command '{other}'; expected table1 | fig5 | fig6 | ablation | runtimes | scale | churn | hotpath | contention | all"
+                "unknown command '{other}'; expected table1 | fig5 | fig6 | ablation | runtimes | scale | churn | hotpath | contention | gossip | all"
             );
             std::process::exit(2);
         }

@@ -1515,9 +1515,252 @@ pub fn format_contention(result: &ContentionResult) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Gossip control-plane benchmark (BENCH_gossip.json)
+// ---------------------------------------------------------------------------
+
+/// One cell of the gossip grid: a run under one control plane, with the
+/// gossip traffic counters and the decision lag against its paired
+/// centralized run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GossipBenchRow {
+    /// Workload label.
+    pub workload: String,
+    /// Backend label.
+    pub runtime: String,
+    /// Scheme of computation.
+    pub scheme: String,
+    /// Control plane: "centralized" or "gossip".
+    pub control: String,
+    /// Gossip fanout (0 on centralized rows).
+    pub fanout: usize,
+    /// Number of peers.
+    pub peers: usize,
+    /// Whether the run included one seeded crash + recovery.
+    pub churn: bool,
+    /// Real time the whole run took on the bench machine, in seconds.
+    pub wall_time_s: f64,
+    /// The elapsed time the runtime itself reported, in seconds.
+    pub reported_elapsed_s: f64,
+    /// Total relaxations across all peers.
+    pub total_relaxations: u64,
+    /// Minimum relaxations of any peer (what a late stop inflates first).
+    pub min_relaxations: u64,
+    /// Whether the run converged.
+    pub converged: bool,
+    /// Crashes injected / recoveries completed.
+    pub crashes: u64,
+    pub recoveries: u64,
+    /// Crash-to-recovery latency (downtime) in seconds; the failure
+    /// *detection* latency comparison on churn rows (0 on fault-free rows).
+    pub detection_latency_s: f64,
+    /// Gossip traffic counters of this cell (all zero on centralized rows).
+    pub probes_sent: u64,
+    pub indirect_probes: u64,
+    pub rumors_sent: u64,
+    pub rumors_received: u64,
+    pub row_merges: u64,
+    pub death_verdicts: u64,
+    /// `min_relaxations` minus the paired centralized run's — the decision
+    /// lag the digest pays for decentralization (0 on centralized rows).
+    pub decision_lag_relaxations: i64,
+}
+
+/// The complete gossip artifact (`BENCH_gossip.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GossipGridResult {
+    /// Artifact schema version (bump when the row shape changes).
+    pub schema_version: u32,
+    /// All rows: each gossip row directly follows its centralized pair.
+    pub rows: Vec<GossipBenchRow>,
+}
+
+/// Run one cell: PageRank with 4 vertices per peer under the given control
+/// plane. `fanout == 0` means centralized.
+pub fn run_gossip_once(
+    runtime: RuntimeKind,
+    scheme: Scheme,
+    fanout: usize,
+    peers: usize,
+    churn: bool,
+) -> GossipBenchRow {
+    let size = peers * 4;
+    let workload = WorkloadKind::PageRank.build(size, peers);
+    let mut config = RunConfig::single_cluster(scheme, peers);
+    // Looser than the runtime-matrix cells: under churn the gossip stop
+    // decision needs digest agreement across a recovery rollback, and at
+    // 1e-6 that multiplies the redone work into minutes per cell.
+    config.tolerance = 1e-4;
+    if fanout > 0 {
+        config = config.with_gossip(fanout);
+    }
+    if churn {
+        config = config.with_churn(ChurnPlan::kill(peers / 2, 12).with_checkpoint_interval(5));
+    }
+    p2pdc::gossip::stats::reset();
+    let started = Instant::now();
+    let result = run_on(workload.as_ref(), &config, runtime);
+    let wall = started.elapsed();
+    let counters = p2pdc::gossip::stats::snapshot();
+    GossipBenchRow {
+        workload: WorkloadKind::PageRank.label().to_string(),
+        runtime: runtime.label().to_string(),
+        scheme: scheme.to_string(),
+        control: if fanout > 0 { "gossip" } else { "centralized" }.to_string(),
+        fanout,
+        peers,
+        churn,
+        wall_time_s: wall.as_secs_f64(),
+        reported_elapsed_s: result.measurement.elapsed.as_secs_f64(),
+        total_relaxations: result.measurement.total_relaxations(),
+        min_relaxations: result.measurement.min_relaxations(),
+        converged: result.measurement.converged,
+        crashes: result.measurement.crashes,
+        recoveries: result.measurement.recoveries,
+        detection_latency_s: result.measurement.downtime_s,
+        probes_sent: counters.probes_sent,
+        indirect_probes: counters.indirect_probes,
+        rumors_sent: counters.rumors_sent,
+        rumors_received: counters.rumors_received,
+        row_merges: counters.row_merges,
+        death_verdicts: counters.death_verdicts,
+        decision_lag_relaxations: 0,
+    }
+}
+
+/// Run the gossip grid: every (scheme × runtime × fanout) cell at 8 peers,
+/// each gossip run paired with a centralized run on the same seed, plus
+/// crash + recovery cells on the wall-clock backends (8-peer UDP, 64-peer
+/// reactor) comparing the SWIM detection latency against the centralized
+/// ping sweep.
+pub fn run_gossip_grid() -> GossipGridResult {
+    let mut rows = Vec::new();
+    let pair = |runtime: RuntimeKind,
+                scheme: Scheme,
+                fanouts: &[usize],
+                peers: usize,
+                churn: bool,
+                rows: &mut Vec<GossipBenchRow>| {
+        let centralized = run_gossip_once(runtime, scheme, 0, peers, churn);
+        let base = centralized.min_relaxations as i64;
+        rows.push(centralized);
+        for &fanout in fanouts {
+            let mut row = run_gossip_once(runtime, scheme, fanout, peers, churn);
+            row.decision_lag_relaxations = row.min_relaxations as i64 - base;
+            rows.push(row);
+        }
+    };
+    for runtime in [
+        RuntimeKind::Loopback,
+        RuntimeKind::Sim,
+        RuntimeKind::Udp,
+        RuntimeKind::Reactor,
+    ] {
+        for scheme in [Scheme::Synchronous, Scheme::Asynchronous] {
+            pair(runtime, scheme, &[2, 3], 8, false, &mut rows);
+        }
+    }
+    // Detection-latency cells: one seeded crash; SWIM suspicion vs the
+    // centralized missed-ping sweep. The UDP backend spawns a real thread
+    // per peer, so its cell stays small enough not to oversubscribe
+    // CI-class machines (64 runnable threads on a couple of cores starve
+    // the 25 ms ack windows on both control planes); the reactor
+    // multiplexes peers onto event loops and carries the 64-peer cell.
+    pair(
+        RuntimeKind::Udp,
+        Scheme::Asynchronous,
+        &[3],
+        8,
+        true,
+        &mut rows,
+    );
+    pair(
+        RuntimeKind::Reactor,
+        Scheme::Asynchronous,
+        &[3],
+        64,
+        true,
+        &mut rows,
+    );
+    GossipGridResult {
+        schema_version: 1,
+        rows,
+    }
+}
+
+/// Render the gossip grid as text.
+pub fn format_gossip(result: &GossipGridResult) -> String {
+    let mut out = String::from("== Gossip control plane: scheme x runtime x fanout grid ==\n");
+    out.push_str(&format!(
+        "{:<10} {:<14} {:<12} {:<7} {:<6} {:<6} {:>10} {:>11} {:>8} {:>8} {:>8} {:>7} {:>9} {:>6}\n",
+        "runtime",
+        "scheme",
+        "control",
+        "fanout",
+        "peers",
+        "churn",
+        "wall [s]",
+        "relax(min)",
+        "lag",
+        "probes",
+        "rumors",
+        "merges",
+        "detect[s]",
+        "conv"
+    ));
+    for r in &result.rows {
+        out.push_str(&format!(
+            "{:<10} {:<14} {:<12} {:<7} {:<6} {:<6} {:>10.3} {:>11} {:>8} {:>8} {:>8} {:>7} {:>9.3} {:>6}\n",
+            r.runtime,
+            r.scheme,
+            r.control,
+            r.fanout,
+            r.peers,
+            r.churn,
+            r.wall_time_s,
+            r.min_relaxations,
+            r.decision_lag_relaxations,
+            r.probes_sent,
+            r.rumors_sent,
+            r.row_merges,
+            r.detection_latency_s,
+            r.converged
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gossip_grid_rows_round_trip_through_serde() {
+        // One cheap deterministic pair (loopback, 4 peers) rather than the
+        // full grid: this test pins the artifact schema, not the numbers.
+        let centralized = run_gossip_once(RuntimeKind::Loopback, Scheme::Asynchronous, 0, 4, false);
+        let mut gossip = run_gossip_once(RuntimeKind::Loopback, Scheme::Asynchronous, 2, 4, false);
+        gossip.decision_lag_relaxations =
+            gossip.min_relaxations as i64 - centralized.min_relaxations as i64;
+        assert!(centralized.converged && gossip.converged);
+        assert_eq!(centralized.probes_sent, 0, "centralized runs never probe");
+        assert!(gossip.probes_sent > 0, "gossip runs must probe");
+        assert!(
+            gossip.decision_lag_relaxations >= 0,
+            "gossip stopped on weaker evidence than the central fold"
+        );
+        let result = GossipGridResult {
+            schema_version: 1,
+            rows: vec![centralized, gossip],
+        };
+        let json = serde_json::to_string(&result).unwrap();
+        let back: GossipGridResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert_eq!(back.rows.len(), 2);
+        assert_eq!(back.rows[1].control, "gossip");
+        assert_eq!(back.rows[1].fanout, 2);
+        assert_eq!(back.rows[1].min_relaxations, result.rows[1].min_relaxations);
+    }
 
     #[test]
     fn table1_matches_the_paper_in_all_six_cells() {

@@ -30,6 +30,7 @@ pub mod churn;
 pub mod compute;
 pub mod experiment;
 pub mod fault;
+pub mod gossip;
 pub mod heat_app;
 pub mod load_balance;
 pub mod metrics;
@@ -48,6 +49,10 @@ pub use churn::{
 pub use compute::{calibrate_ns_per_point, ComputeModel};
 pub use experiment::{run_on, RuntimeExperimentResult, RuntimeKind};
 pub use fault::{Checkpoint, FaultManager, RecoveryAction};
+pub use gossip::{
+    ConvergenceDigest, DigestRow, GossipMessage, GossipNode, GossipTiming, MemberStatus, Rumor,
+    SweepSummary,
+};
 pub use heat_app::{
     assemble_heat_solution, heat_residual, solve_heat_sequential, HeatApp, HeatParams, HeatTask,
     HeatWorkload,
@@ -64,9 +69,9 @@ pub use pagerank_app::{
     PageRankParams, PageRankTask, PageRankWorkload,
 };
 pub use runtime::{
-    driver_for, BackendExtras, ClockDomain, ConvergenceDetector, DetectorHandle, DriverOutcome,
-    LossShim, PeerEngine, PeerTransport, Reassembler, RunConfig, RuntimeDriver, TaskFactory,
-    DRIVERS,
+    driver_for, BackendExtras, ClockDomain, ControlPlane, ConvergenceDetector, DetectorHandle,
+    DriverOutcome, LossShim, PeerEngine, PeerTransport, Reassembler, RunConfig, RuntimeDriver,
+    TaskFactory, DRIVERS,
 };
 pub use task_manager::{parse_command, Command, Job, JobState, TaskManager};
 pub use topology_manager::{PeerRecord, TopologyManager, MISSED_PINGS_BEFORE_EVICTION};

@@ -113,6 +113,12 @@ impl RunMeasurement {
     pub fn max_relaxations(&self) -> u64 {
         self.relaxations_per_peer.iter().copied().max().unwrap_or(0)
     }
+
+    /// Minimum relaxations performed by any peer (the earliest stopper —
+    /// what a late stop decision inflates first).
+    pub fn min_relaxations(&self) -> u64 {
+        self.relaxations_per_peer.iter().copied().min().unwrap_or(0)
+    }
 }
 
 /// One row of a figure: the measurement plus derived speedup and efficiency.

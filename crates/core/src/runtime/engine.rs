@@ -62,6 +62,7 @@
 use crate::app::{FrameSink, IterativeTask, LocalRelax};
 use crate::churn::SharedVolatility;
 use crate::fault::Checkpoint;
+use crate::gossip::SweepSummary;
 use crate::load_balance::PeerLoad;
 use crate::metrics::RunMeasurement;
 use crate::runtime::report_cell::{self, contention, CellReport, ReportBoard};
@@ -220,6 +221,10 @@ pub struct ConvergenceDetector {
     /// Live per-peer load accounting (points relaxed, busy time) — the
     /// throughput estimates the load balancer and recovery path consume.
     loads: Vec<PeerLoad>,
+    /// Under [`ControlPlane::Gossip`](super::ControlPlane) the stop decision
+    /// belongs to the gossiped digests: `report` still folds evidence (the
+    /// loads feed placement) but never flips the stop itself.
+    distributed_decision: bool,
     /// The lock-free report cells engines publish dirty sweeps into; folded
     /// into the fields above whenever the detector mutex is taken.
     board: Arc<ReportBoard>,
@@ -338,6 +343,7 @@ impl ConvergenceDetector {
             generation: 0,
             rollback_target: 0,
             last_reported: vec![0; peers],
+            distributed_decision: false,
             loads: vec![PeerLoad::default(); peers],
             board: Arc::new(ReportBoard::new(capacity)),
             folded_serials: vec![0; capacity],
@@ -440,12 +446,19 @@ impl ConvergenceDetector {
             // consecutive stable sweeps.
             Scheme::Asynchronous => self.streaks.iter().all(|s| *s >= 2),
         };
-        if converged {
+        if converged && !self.distributed_decision {
             self.stop = true;
             self.stop_time_ns = Some(now_ns);
             self.board.publish_stop(true);
         }
         self.stop
+    }
+
+    /// Hand the stop decision to the gossip layer: `report` keeps folding
+    /// evidence and loads, but only [`ConvergenceDetector::deposit_result`]
+    /// (driven by the deciding peer's gossip digest) may stop the run.
+    pub fn set_distributed_decision(&mut self, distributed: bool) {
+        self.distributed_decision = distributed;
     }
 
     /// Fold every outstanding cell publication into the detector state.
@@ -736,6 +749,18 @@ pub struct PeerEngine {
     /// under the shared lock without allocating once warm. Snapshotting (vs
     /// holding the lock) keeps the shared and volatility locks un-nested.
     loads_scratch: Vec<PeerLoad>,
+    /// Digest author epoch under the gossip control plane: bumped by every
+    /// recovery, so rows published by a crashed incarnation lose the digest
+    /// merge against the recovered one (see
+    /// [`crate::gossip::ConvergenceDigest::void_below_epoch`]).
+    report_epoch: u32,
+    /// Cumulative relaxed points / busy time (the load fields of this
+    /// rank's digest row).
+    total_points: u64,
+    total_busy_ns: u64,
+    /// The digest summary of the last completed sweep — what the gossip
+    /// layer piggy-backs; `None` under the centralized plane's readers.
+    last_sweep: Option<SweepSummary>,
 }
 
 impl PeerEngine {
@@ -804,6 +829,10 @@ impl PeerEngine {
             compute_started_ns: 0,
             frame_sink: FrameSink::new(),
             loads_scratch: Vec::new(),
+            report_epoch: 0,
+            total_points: 0,
+            total_busy_ns: 0,
+            last_sweep: None,
         }
     }
 
@@ -999,6 +1028,17 @@ impl PeerEngine {
         self.task.relaxations()
     }
 
+    /// The digest summary of the last completed sweep (the gossip control
+    /// plane's authoring input; `None` before the first sweep).
+    pub fn sweep_summary(&self) -> Option<SweepSummary> {
+        self.last_sweep
+    }
+
+    /// This peer's current rollback generation.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
     /// Start the peer: performs the first relaxation. When volatility is
     /// active, the initial state is checkpointed first so a rollback target
     /// exists even before the first interval checkpoint.
@@ -1176,6 +1216,41 @@ impl PeerEngine {
             }
         }
         self.max_ghost_change = 0.0;
+        // Author this sweep's digest row for the gossip control plane (the
+        // centralized plane's drivers simply never read it). The streak
+        // accounting lives here because only the engine sees every sweep:
+        // gossip drivers sample `sweep_summary` at their own cadence.
+        self.total_points += relax.work_points;
+        self.total_busy_ns += busy_ns;
+        let clean = relax.local_diff <= self.tolerance;
+        let prev = self
+            .last_sweep
+            .filter(|p| p.generation == self.generation && p.epoch == self.report_epoch);
+        let clean_since = if !clean {
+            u64::MAX
+        } else {
+            match prev {
+                Some(p) if p.clean_since != u64::MAX => p.clean_since,
+                _ => iteration,
+            }
+        };
+        let stable_streak = if !stable {
+            0
+        } else {
+            prev.map_or(0, |p| p.stable_streak).saturating_add(1)
+        };
+        self.last_sweep = Some(SweepSummary {
+            iteration,
+            clean,
+            stable,
+            clean_since,
+            stable_streak,
+            generation: self.generation,
+            epoch: self.report_epoch,
+            has_async_neighbors: !self.async_neighbors.is_empty(),
+            points: self.total_points,
+            busy_ns: self.total_busy_ns,
+        });
         // Report to the convergence detector and account the sweep into the
         // live per-peer load estimate. A dirty sweep goes into this rank's
         // lock-free report cell; only a clean (possibly-converging) sweep
@@ -1357,6 +1432,10 @@ impl PeerEngine {
             *counter = 0;
         }
         self.max_ghost_change = 0.0;
+        // The recovered incarnation authors digest rows under a fresh epoch:
+        // anything the crashed incarnation published is void evidence.
+        self.report_epoch = self.report_epoch.wrapping_add(1);
+        self.last_sweep = None;
         transport.note("p2pdc.recoveries");
         if let Some((to_iteration, generation)) = rollback {
             // Rolling back: queued pre-rollback updates belong to abandoned
@@ -1571,6 +1650,23 @@ impl PeerEngine {
         if !self.computing {
             self.finish(transport);
         }
+    }
+
+    /// The gossip digest this peer merged satisfies the global stop
+    /// criterion (see [`crate::gossip::ConvergenceDigest::decision`]): end
+    /// the run. Unlike a received stop broadcast this may interrupt a sweep
+    /// in flight — the abandoned sweep's evidence is redundant by
+    /// definition (the digest already proved convergence), and
+    /// `PeerEngine::finish`'s deposit flips the shared stop board, which
+    /// every other peer observes at its next publish even if the stop
+    /// broadcast is lost.
+    pub fn on_distributed_decision(&mut self, transport: &mut impl PeerTransport) {
+        if self.finished || self.crashed {
+            return;
+        }
+        self.computing = false;
+        self.pending_relax = None;
+        self.finish(transport);
     }
 }
 

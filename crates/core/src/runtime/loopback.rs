@@ -17,6 +17,7 @@
 
 use crate::app::IterativeTask;
 use crate::churn::VolatilityState;
+use crate::gossip::{GossipMessage, GossipNode, GossipTiming};
 use crate::metrics::RunMeasurement;
 use crate::runtime::driver::{ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory};
 use crate::runtime::engine::{
@@ -76,6 +77,8 @@ enum LoopWire {
     Stop,
     /// Synchronous rollback broadcast: (restart iteration, generation).
     Rollback(u64, u32),
+    /// An encoded SWIM gossip message (control plane, not data path).
+    Gossip(Vec<u8>),
 }
 
 /// The [`PeerTransport`] of the loopback runtime: instant delivery into
@@ -169,6 +172,30 @@ where
         }
         vol
     });
+    // Gossip control plane: the event-counter clock drives the probe
+    // cadence, so runs stay bit-for-bit deterministic; the stop decision
+    // comes from each rank's merged digest instead of the central fold.
+    let gossip_fanout = config.control_plane.fanout();
+    if gossip_fanout.is_some() {
+        shared.lock().set_distributed_decision(true);
+    }
+    let mut gossips: Vec<Option<GossipNode>> = (0..total)
+        .map(|rank| {
+            if rank >= alpha {
+                return None;
+            }
+            gossip_fanout.map(|fanout| {
+                GossipNode::new(
+                    rank,
+                    alpha,
+                    total,
+                    fanout,
+                    config.seed,
+                    GossipTiming::event_count(total),
+                )
+            })
+        })
+        .collect();
 
     let mut engines: Vec<Option<PeerEngine>> = (0..total)
         .map(|rank| {
@@ -252,6 +279,16 @@ where
                         clock += 1;
                         transports[rank].clock_ns = clock;
                         engines[rank] = Some(engine);
+                        gossips[rank] = gossip_fanout.map(|fanout| {
+                            GossipNode::new(
+                                rank,
+                                alpha,
+                                total,
+                                fanout,
+                                config.seed,
+                                GossipTiming::event_count(total),
+                            )
+                        });
                         engines[rank]
                             .as_mut()
                             .expect("just spawned")
@@ -279,7 +316,13 @@ where
             if engines[rank].as_ref().expect("spawned").crashed() {
                 if let std::collections::hash_map::Entry::Vacant(entry) = recover_at.entry(rank) {
                     let vol = volatility.as_ref().expect("crash implies volatility");
-                    {
+                    // Placement weights: the gossiped load estimates when the
+                    // decentralized control plane runs, the central
+                    // detector's otherwise.
+                    if let Some(g) = gossips[rank].as_ref() {
+                        loads_scratch.clear();
+                        loads_scratch.extend(g.gossiped_loads(total));
+                    } else {
                         let shared = shared.lock();
                         loads_scratch.clear();
                         loads_scratch.extend_from_slice(shared.loads());
@@ -309,6 +352,10 @@ where
                         .as_mut()
                         .expect("spawned")
                         .recover(&mut transports[rank]);
+                    // Refute the death verdict with a bumped incarnation.
+                    if let Some(g) = gossips[rank].as_mut() {
+                        g.on_recovered();
+                    }
                     flush(rank, &mut transports, &mut inboxes);
                     progress = true;
                 }
@@ -331,6 +378,15 @@ where
                         .as_mut()
                         .expect("spawned")
                         .on_rollback(to_iteration, generation, &mut transports[rank]),
+                    LoopWire::Gossip(bytes) => {
+                        if let (Some(g), Some(msg)) =
+                            (gossips[rank].as_mut(), GossipMessage::decode(&bytes))
+                        {
+                            for (to, reply) in g.on_message(&msg, clock) {
+                                inboxes[to].push_back((rank, LoopWire::Gossip(reply.encode())));
+                            }
+                        }
+                    }
                 }
                 flush(rank, &mut transports, &mut inboxes);
                 progress = true;
@@ -361,6 +417,32 @@ where
                     .on_compute_done(&mut transports[rank]);
                 flush(rank, &mut transports, &mut inboxes);
                 progress = true;
+            }
+            // Gossip control plane turn: author the latest sweep, run the
+            // probe cycle on the event-counter clock, and evaluate the stop
+            // decision over the merged digest.
+            if let Some(g) = gossips[rank].as_mut() {
+                let engine = engines[rank].as_mut().expect("spawned");
+                if !engine.finished() && !engine.crashed() {
+                    if let Some(sweep) = engine.sweep_summary() {
+                        g.record_sweep(&sweep);
+                    }
+                    let msgs = g.poll(clock);
+                    if !msgs.is_empty() {
+                        clock += 1;
+                        for (to, msg) in msgs {
+                            inboxes[to].push_back((rank, LoopWire::Gossip(msg.encode())));
+                        }
+                        progress = true;
+                    }
+                    if g.decide(config.scheme, engine.generation()) {
+                        clock += 1;
+                        transports[rank].clock_ns = clock;
+                        engine.on_distributed_decision(&mut transports[rank]);
+                        flush(rank, &mut transports, &mut inboxes);
+                        progress = true;
+                    }
+                }
             }
             // Adopt a pending asynchronous/hybrid re-slice even while idle
             // (the engine also polls between sweeps; this covers a peer
@@ -406,6 +488,15 @@ where
                 .iter()
                 .filter_map(|t| t.earliest_deadline())
                 .chain(recover_at.values().copied())
+                .chain(
+                    // Probe cadence: only live gossip nodes can still make
+                    // progress, so only their deadlines keep the clock alive.
+                    gossips
+                        .iter()
+                        .zip(&engines)
+                        .filter(|(_, e)| e.as_ref().is_some_and(|e| !e.finished() && !e.crashed()))
+                        .filter_map(|(g, _)| g.as_ref().map(GossipNode::next_deadline)),
+                )
                 .min();
             match earliest {
                 Some(deadline) if deadline > clock => clock = deadline,
@@ -562,6 +653,42 @@ mod tests {
             outcome.measurement.rollbacks, 1,
             "synchronous recovery must roll back"
         );
+    }
+
+    #[test]
+    fn gossip_control_plane_stops_every_scheme() {
+        for scheme in [Scheme::Synchronous, Scheme::Asynchronous, Scheme::Hybrid] {
+            let mut config = match scheme {
+                Scheme::Hybrid => RunConfig::two_clusters(scheme, 4),
+                _ => RunConfig::quick(scheme, 3),
+            }
+            .with_gossip(2);
+            config.tolerance = 0.5;
+            let centralized = {
+                let mut c = config.clone();
+                c.control_plane = crate::runtime::ControlPlane::Centralized;
+                run(&c)
+            };
+            let gossip = run(&config);
+            assert!(
+                gossip.measurement.converged,
+                "{scheme:?} gossip run stalled"
+            );
+            // The digest decision may lag the central fold (peers keep
+            // relaxing while rumors spread) but can never fire earlier than
+            // evidence the central fold would accept.
+            assert!(
+                gossip.measurement.min_relaxations() >= centralized.measurement.min_relaxations(),
+                "{scheme:?}: gossip stopped on weaker evidence"
+            );
+            // Same seed, same digest exchanges: deterministic.
+            let again = run(&config);
+            assert_eq!(
+                gossip.measurement.relaxations_per_peer,
+                again.measurement.relaxations_per_peer
+            );
+            assert_eq!(gossip.results, again.results);
+        }
     }
 
     #[test]

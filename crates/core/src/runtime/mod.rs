@@ -82,6 +82,43 @@ use desim::SimDuration;
 use netsim::{ClusterId, Topology};
 use p2psap::Scheme;
 
+/// How membership and the stop decision are carried during a run.
+///
+/// `Centralized` (the default) keeps the original machinery: every peer
+/// pings the run's `TopologyManager` and deposits convergence evidence into
+/// the shared [`ConvergenceDetector`] fold. `Gossip` retires both for the
+/// run: membership travels as SWIM-style probes and rumors
+/// ([`crate::gossip`]) piggy-backed on the backend's own wire path, and the
+/// stop decision emerges from merged convergence digests — each peer
+/// evaluates the same criterion over its own merged copy and the first
+/// satisfied peer broadcasts the stop.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ControlPlane {
+    /// Central ping server + shared detector fold (the original design).
+    #[default]
+    Centralized,
+    /// SWIM-style gossip membership + distributed convergence detection.
+    Gossip {
+        /// Probe/dissemination fanout per gossip round.
+        fanout: usize,
+    },
+}
+
+impl ControlPlane {
+    /// Whether this run gossips instead of using the central control plane.
+    pub fn is_gossip(&self) -> bool {
+        matches!(self, ControlPlane::Gossip { .. })
+    }
+
+    /// The gossip fanout (`None` under the centralized plane).
+    pub fn fanout(&self) -> Option<usize> {
+        match self {
+            ControlPlane::Gossip { fanout } => Some(*fanout),
+            ControlPlane::Centralized => None,
+        }
+    }
+}
+
 /// Typed per-backend knobs layered on the shared [`RunConfig`]. Each
 /// [`driver::RuntimeDriver`] reads its own variant through the accessor
 /// methods (which fall back to the backend's defaults for every other
@@ -210,6 +247,9 @@ pub struct RunConfig {
     /// socket impairment, reactor event-loop count). The default variant
     /// means "every backend's defaults".
     pub extras: BackendExtras,
+    /// How membership and the stop decision are carried (central ping
+    /// server + detector fold, or SWIM-style gossip).
+    pub control_plane: ControlPlane,
 }
 
 impl RunConfig {
@@ -244,6 +284,7 @@ impl RunConfig {
             churn: None,
             repartitioner: None,
             extras: BackendExtras::Default,
+            control_plane: ControlPlane::Centralized,
         }
     }
 
@@ -300,6 +341,15 @@ impl RunConfig {
     /// Attach typed backend-specific knobs.
     pub fn with_extras(mut self, extras: BackendExtras) -> Self {
         self.extras = extras;
+        self
+    }
+
+    /// Run membership and convergence detection over SWIM-style gossip with
+    /// the given fanout instead of the centralized control plane.
+    pub fn with_gossip(mut self, fanout: usize) -> Self {
+        self.control_plane = ControlPlane::Gossip {
+            fanout: fanout.max(1),
+        };
         self
     }
 

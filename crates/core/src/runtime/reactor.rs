@@ -24,12 +24,15 @@
 
 use crate::app::IterativeTask;
 use crate::churn::{SharedVolatility, VolatilityState};
+use crate::gossip::{GossipMessage, GossipNode, GossipTiming};
 use crate::metrics::RunMeasurement;
 use crate::runtime::detection::{self, Heartbeat, LoopHeartbeat};
 use crate::runtime::driver::{ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory};
-use crate::runtime::engine::{ConvergenceDetector, PeerEngine, SharedDetector, TimerQueue};
+use crate::runtime::engine::{
+    ConvergenceDetector, PeerEngine, PeerTransport, SharedDetector, TimerQueue,
+};
 use crate::runtime::udp::{
-    bootstrap_service, localhost, Datagram, LossShim, Reassembler, UdpTransport,
+    bootstrap_service, localhost, send_gossip, Datagram, LossShim, Reassembler, UdpTransport,
 };
 use crate::runtime::RunConfig;
 use netsim::{NodeId, Topology};
@@ -189,6 +192,13 @@ struct Peer {
     heartbeat: Option<Heartbeat>,
     /// Table received by the drain sweep, applied by the advance sweep.
     table: Option<Vec<SocketAddr>>,
+    /// The peer's SWIM node under the gossip control plane (`None` under
+    /// the centralized plane and while [`Phase::Dormant`]). Migrates with
+    /// the peer between event loops.
+    gossip: Option<GossipNode>,
+    /// Last observed [`LoopShared::ports_version`]; a newer shared value
+    /// means some rank rebound and this peer must refresh its address book.
+    seen_ports_version: u64,
 }
 
 /// Everything an event loop shares with its siblings.
@@ -202,6 +212,13 @@ struct LoopShared<'a> {
     bootstrap_addr: SocketAddr,
     start: Instant,
     ports: &'a Mutex<Vec<u16>>,
+    /// Bumped on every write to `ports`. Peers poll it each Running turn and
+    /// re-sync their address book when it moves: the `Table` re-broadcast
+    /// after a rebind is a single unacked datagram, and a peer that misses
+    /// it would send ghosts to a recovered peer's dead port forever (the
+    /// victim's freshness guard then rightly never reports stability again,
+    /// so the run never stops).
+    ports_version: &'a AtomicU64,
     dropped: &'a AtomicU64,
     balancer: &'a Balancer,
 }
@@ -397,6 +414,7 @@ impl Peer {
         socket.set_nonblocking(true).expect("set nonblocking");
         grow_socket_buffers(&socket);
         ctx.ports.lock().unwrap()[self.rank] = socket.local_addr().expect("peer local addr").port();
+        ctx.ports_version.fetch_add(1, Ordering::Release);
         poller
             .add(&socket, self.rank)
             .expect("register peer socket");
@@ -511,6 +529,22 @@ impl Peer {
                                 .map(|p| SocketAddr::V4(SocketAddrV4::new(localhost(), p)))
                                 .collect();
                         }
+                        Some(Datagram::Gossip { payload, .. }) => {
+                            if let (Some(g), Some(msg)) =
+                                (self.gossip.as_mut(), GossipMessage::decode(&payload))
+                            {
+                                let now = transport.now_ns();
+                                for (to, reply) in g.on_message(&msg, now) {
+                                    send_gossip(
+                                        &transport.socket,
+                                        &transport.addrs,
+                                        transport.rank,
+                                        to,
+                                        &reply,
+                                    );
+                                }
+                            }
+                        }
                         _ => {}
                     }
                 }
@@ -540,6 +574,7 @@ impl Peer {
                     ) {
                         Some(engine) => {
                             self.engine = Some(engine);
+                            self.gossip = new_gossip_node(ctx, self.rank);
                             self.bind_and_discover(poller, ctx, OnTable::JoinStart);
                         }
                         None => self.phase = Phase::Done,
@@ -584,6 +619,11 @@ impl Peer {
                                     .rejoin(topo, ctx.start);
                             }
                             engine.recover(transport);
+                            // Refute the (correct) death verdict with a
+                            // bumped incarnation.
+                            if let Some(g) = self.gossip.as_mut() {
+                                g.on_recovered();
+                            }
                         }
                     }
                 } else if hello_at.elapsed() >= HELLO_RETRY {
@@ -622,6 +662,20 @@ impl Peer {
             Phase::Running => {
                 let transport = self.transport.as_mut().expect("running peer has socket");
                 let engine = self.engine.as_mut().expect("running peer has engine");
+                // Re-sync the address book when any rank rebound its socket.
+                // Heals a lost `Table` re-broadcast: without this, ghosts to
+                // the victim's dead port keep its freshness guard unstable
+                // forever and the run burns to the relaxation cap.
+                let ports_version = ctx.ports_version.load(Ordering::Acquire);
+                if ports_version != self.seen_ports_version {
+                    self.seen_ports_version = ports_version;
+                    for (nb, &port) in ctx.ports.lock().unwrap().iter().enumerate() {
+                        if nb != self.rank && port != 0 {
+                            transport.addrs[nb] =
+                                SocketAddr::V4(SocketAddrV4::new(localhost(), port));
+                        }
+                    }
+                }
                 // (Heartbeats are batched at the event-loop level: one
                 // topology-server acquisition per ping period covers every
                 // running peer the loop multiplexes.)
@@ -661,9 +715,35 @@ impl Peer {
                             .local_addr()
                             .expect("replacement local addr")
                             .port();
+                        ctx.ports_version.fetch_add(1, Ordering::Release);
                         self.reassembler = Reassembler::new();
                         self.phase = Phase::AwaitGrant;
                         return;
+                    }
+                }
+                // Gossip control plane: author the latest sweep, run the
+                // probe cycle, feed death verdicts into the recovery
+                // coordinator (level-triggered; `grant` no-ops unless the
+                // rank really crashed), and evaluate the stop decision over
+                // the merged digest — same order as the UDP drive loop.
+                if !engine.finished() {
+                    if let Some(g) = self.gossip.as_mut() {
+                        if let Some(sweep) = engine.sweep_summary() {
+                            g.record_sweep(&sweep);
+                        }
+                        let now = transport.now_ns();
+                        for (to, msg) in g.poll(now) {
+                            send_gossip(&transport.socket, &transport.addrs, self.rank, to, &msg);
+                        }
+                        if let Some(vol) = ctx.volatility {
+                            for dead in g.dead_ranks() {
+                                vol.lock()
+                                    .grant(dead, &g.gossiped_loads(ctx.topology.len()));
+                            }
+                        }
+                        if g.decide(ctx.config.scheme, engine.generation()) {
+                            engine.on_distributed_decision(transport);
+                        }
                     }
                 }
                 if !engine.finished() {
@@ -709,6 +789,20 @@ impl Peer {
     }
 }
 
+/// The peer's SWIM node, when the run gossips its control plane.
+fn new_gossip_node(ctx: &LoopShared<'_>, rank: usize) -> Option<GossipNode> {
+    ctx.config.control_plane.fanout().map(|fanout| {
+        GossipNode::new(
+            rank,
+            ctx.alpha,
+            ctx.topology.len(),
+            fanout,
+            ctx.config.seed,
+            GossipTiming::wall_clock(),
+        )
+    })
+}
+
 /// One event loop: drive the peers of `ranks` (its initial shard) plus any
 /// peers migrated in from busier loops, until every provisioned rank —
 /// wherever it ended up living — has retired.
@@ -737,6 +831,8 @@ fn event_loop(
                     reassembler: Reassembler::new(),
                     heartbeat: None,
                     table: None,
+                    gossip: None,
+                    seen_ports_version: 0,
                 },
             )
         })
@@ -757,6 +853,7 @@ fn event_loop(
                 engine.attach_volatility(Arc::clone(vol));
             }
             peer.engine = Some(engine);
+            peer.gossip = new_gossip_node(ctx, peer.rank);
             peer.bind_and_discover(&poller, ctx, OnTable::Start);
         }
     }
@@ -899,13 +996,24 @@ where
     // thread sweeps it for missed-ping evictions. Each loop heartbeats all
     // its peers at once, so the eviction window scales with the multiplex
     // degree (a loaded loop's iteration outlasting three bare ping periods
-    // must not read as the death of every peer it drives).
-    let topo = volatility
-        .as_ref()
-        .map(|_| detection::server_with_all_ranks(&config.topology, chunk));
+    // must not read as the death of every peer it drives). Under the gossip
+    // control plane the ping server is retired for the run — eviction
+    // verdicts come from SWIM rumors, the stop decision from merged
+    // digests.
+    let topo = if config.control_plane.is_gossip() {
+        None
+    } else {
+        volatility
+            .as_ref()
+            .map(|_| detection::server_with_all_ranks(&config.topology, chunk))
+    };
+    if config.control_plane.is_gossip() {
+        shared.lock().set_distributed_decision(true);
+    }
 
     let start = Instant::now();
     let ports = Mutex::new(vec![0u16; total]);
+    let ports_version = AtomicU64::new(0);
     let dropped = AtomicU64::new(0);
     let balancer = Balancer::new(live_loops, total);
     let ctx = LoopShared {
@@ -918,6 +1026,7 @@ where
         bootstrap_addr,
         start,
         ports: &ports,
+        ports_version: &ports_version,
         dropped: &dropped,
         balancer: &balancer,
     };
@@ -1108,6 +1217,8 @@ mod tests {
             reassembler: Reassembler::new(),
             heartbeat: None,
             table: None,
+            gossip: None,
+            seen_ports_version: 0,
         };
         assert!(balancer.collect(1).is_empty());
         balancer.deliver(1, peer);

@@ -17,6 +17,7 @@
 use crate::app::IterativeTask;
 use crate::churn::{SharedVolatility, VolatilityState};
 use crate::compute::ComputeModel;
+use crate::gossip::{GossipMessage, GossipNode, GossipTiming};
 use crate::metrics::RunMeasurement;
 use crate::runtime::driver::{ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory};
 use crate::runtime::engine::{
@@ -35,6 +36,13 @@ const COMPUTE_TIMER_TAG: u64 = u64::MAX;
 /// Timer tag used for "the crashed peer's failure has been detected and its
 /// rank recovers now" (the plan's modelled detection latency).
 const RECOVERY_TIMER_TAG: u64 = u64::MAX - 1;
+
+/// Timer tag of the periodic gossip control-plane turn (virtual time).
+const GOSSIP_TIMER_TAG: u64 = u64::MAX - 2;
+
+/// Virtual-time cadence of the gossip turn: a fraction of the probe period,
+/// so ack and suspicion deadlines are observed promptly.
+const GOSSIP_TICK: SimDuration = SimDuration::from_millis(1);
 
 /// The registered [`RuntimeDriver`] of the simulated backend. Reads the
 /// virtual-time deadline from [`BackendExtras::Sim`](crate::BackendExtras).
@@ -94,6 +102,12 @@ struct RollbackSignal {
 /// Signal sent to a pre-provisioned dormant rank when its join event fires:
 /// the rank builds its engine from the membership plan and starts relaxing.
 struct JoinSignal;
+
+/// An encoded SWIM gossip message between peer processes (control plane,
+/// like [`StopSignal`] — it does not ride the data fabric).
+struct GossipSignal {
+    bytes: Vec<u8>,
+}
 
 /// Substrate-side state of one simulated peer: fabric addressing, the
 /// compute-cost model, sender-side pacing gates and desim timer bookkeeping.
@@ -230,11 +244,68 @@ struct PeerActor {
     /// The run's volatility coordinator and convergence detector (for load
     /// snapshots at grant time), when failure injection is active.
     volatility: Option<(SharedVolatility, SharedDetector)>,
+    /// Initial rank count and seed, for building a joiner's gossip node.
+    alpha: usize,
+    seed: u64,
+    gossip_fanout: Option<usize>,
+    gossip: Option<GossipNode>,
 }
 
 impl PeerActor {
     fn transport<'a, 'c>(net: &'a mut SimNet, ctx: &'a mut Context<'c>) -> SimTransport<'a, 'c> {
         SimTransport { net, ctx }
+    }
+
+    fn new_gossip_node(&self) -> Option<GossipNode> {
+        self.gossip_fanout.map(|fanout| {
+            GossipNode::new(
+                self.rank,
+                self.alpha,
+                self.net.topology.len(),
+                fanout,
+                self.seed,
+                GossipTiming::virtual_time(),
+            )
+        })
+    }
+
+    /// One gossip control-plane turn: author the latest sweep, run the SWIM
+    /// probe cycle, feed death verdicts into the recovery coordinator, and
+    /// evaluate the stop decision over the merged digest.
+    fn gossip_turn(&mut self, ctx: &mut Context<'_>) {
+        let Some(g) = self.gossip.as_mut() else {
+            return;
+        };
+        let Some(engine) = self.engine.as_mut() else {
+            return;
+        };
+        if engine.finished() || engine.crashed() {
+            return;
+        }
+        if let Some(sweep) = engine.sweep_summary() {
+            g.record_sweep(&sweep);
+        }
+        let now = ctx.now().as_nanos();
+        for (to, msg) in g.poll(now) {
+            ctx.send(
+                ProcessId(to),
+                Box::new(GossipSignal {
+                    bytes: msg.encode(),
+                }),
+            );
+        }
+        // Level-triggered: `grant` no-ops for ranks that did not really
+        // crash, so a false verdict cannot corrupt recovery.
+        if let Some((vol, _)) = &self.volatility {
+            let total = self.net.topology.len();
+            for dead in g.dead_ranks() {
+                vol.lock().grant(dead, &g.gossiped_loads(total));
+            }
+        }
+        if g.decide(self.scheme, engine.generation()) {
+            let mut transport = Self::transport(&mut self.net, ctx);
+            engine.on_distributed_decision(&mut transport);
+        }
     }
 
     /// The engine just crashed: its protocol timers die with it, failure
@@ -244,7 +315,13 @@ impl PeerActor {
         self.net.slots.clear();
         self.net.armed.clear();
         let (vol, detector) = self.volatility.as_ref().expect("crash implies volatility");
-        let loads = detector.lock().loads().to_vec();
+        // Placement weights: gossiped load estimates under the
+        // decentralized control plane, the central detector's otherwise.
+        let loads = if let Some(g) = self.gossip.as_ref() {
+            g.gossiped_loads(self.net.topology.len())
+        } else {
+            detector.lock().loads().to_vec()
+        };
         let mut vol = vol.lock();
         vol.grant(self.rank, &loads);
         let delay = SimDuration::from_nanos(vol.detection_delay_ns());
@@ -284,6 +361,10 @@ impl PeerActor {
         let mut transport = Self::transport(&mut self.net, ctx);
         engine.on_start(&mut transport);
         self.engine = Some(engine);
+        self.gossip = self.new_gossip_node();
+        if self.gossip.is_some() {
+            ctx.set_timer(GOSSIP_TICK, GOSSIP_TIMER_TAG);
+        }
     }
 }
 
@@ -292,6 +373,9 @@ impl Process for PeerActor {
         if let Some(engine) = self.engine.as_mut() {
             let mut transport = Self::transport(&mut self.net, ctx);
             engine.on_start(&mut transport);
+            if self.gossip.is_some() {
+                ctx.set_timer(GOSSIP_TICK, GOSSIP_TIMER_TAG);
+            }
         }
     }
 
@@ -299,6 +383,33 @@ impl Process for PeerActor {
         let payload = match payload.downcast::<JoinSignal>() {
             Ok(_) => {
                 self.join(ctx);
+                return;
+            }
+            Err(payload) => payload,
+        };
+        let payload = match payload.downcast::<GossipSignal>() {
+            Ok(signal) => {
+                // A crashed (or finished, or dormant) peer is silent on the
+                // gossip plane too — that silence is what drives suspicion.
+                let alive = self
+                    .engine
+                    .as_ref()
+                    .is_some_and(|e| !e.crashed() && !e.finished());
+                if alive {
+                    if let (Some(g), Some(msg)) =
+                        (self.gossip.as_mut(), GossipMessage::decode(&signal.bytes))
+                    {
+                        let now = ctx.now().as_nanos();
+                        for (to, reply) in g.on_message(&msg, now) {
+                            ctx.send(
+                                ProcessId(to),
+                                Box::new(GossipSignal {
+                                    bytes: reply.encode(),
+                                }),
+                            );
+                        }
+                    }
+                }
                 return;
             }
             Err(payload) => payload,
@@ -335,6 +446,16 @@ impl Process for PeerActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, _timer: TimerId, tag: u64) {
+        if tag == GOSSIP_TIMER_TAG {
+            let live = self.engine.as_ref().is_some_and(|e| !e.finished());
+            if live {
+                self.gossip_turn(ctx);
+                // Re-arm even through a crash window: the revived
+                // incarnation resumes probing without a fresh trigger.
+                ctx.set_timer(GOSSIP_TICK, GOSSIP_TIMER_TAG);
+            }
+            return;
+        }
         let Some(engine) = self.engine.as_mut() else {
             return;
         };
@@ -344,6 +465,10 @@ impl Process for PeerActor {
         if tag == RECOVERY_TIMER_TAG {
             let mut transport = Self::transport(&mut self.net, ctx);
             engine.recover(&mut transport);
+            // Refute the death verdict with a bumped incarnation.
+            if let Some(g) = self.gossip.as_mut() {
+                g.on_recovered();
+            }
             return;
         }
         if engine.crashed() {
@@ -400,6 +525,10 @@ where
         }
         vol
     });
+    let gossip_fanout = config.control_plane.fanout();
+    if gossip_fanout.is_some() {
+        shared.lock().set_distributed_decision(true);
+    }
     let stats = shared_stats();
     let mut sim = Simulator::new(config.seed);
 
@@ -433,6 +562,23 @@ where
             volatility: volatility
                 .as_ref()
                 .map(|vol| (Arc::clone(vol), Arc::clone(&shared))),
+            alpha,
+            seed: config.seed,
+            gossip_fanout,
+            gossip: if rank < alpha {
+                gossip_fanout.map(|fanout| {
+                    GossipNode::new(
+                        rank,
+                        alpha,
+                        total,
+                        fanout,
+                        config.seed,
+                        GossipTiming::virtual_time(),
+                    )
+                })
+            } else {
+                None
+            },
             net: SimNet {
                 rank,
                 fabric: fabric_id,

@@ -16,6 +16,7 @@
 
 use crate::app::IterativeTask;
 use crate::churn::{SharedVolatility, VolatilityState};
+use crate::gossip::{GossipMessage, GossipNode, GossipTiming};
 use crate::metrics::RunMeasurement;
 use crate::runtime::detection::{self, Heartbeat};
 use crate::runtime::driver::{ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory};
@@ -79,6 +80,8 @@ enum PeerWire {
     Stop,
     /// Synchronous rollback broadcast: (restart iteration, generation).
     Rollback(u64, u32),
+    /// An encoded SWIM gossip message (control plane, not data path).
+    Gossip(Vec<u8>),
 }
 
 /// Message routed between peer threads with injected link latency.
@@ -115,6 +118,24 @@ impl ThreadTransport {
         let deadline = self.timers.earliest_deadline()?;
         let now = self.start.elapsed().as_nanos() as u64;
         Some(Duration::from_nanos(deadline.saturating_sub(now)))
+    }
+
+    /// Route one gossip message through the latency-injecting router.
+    /// Gossip IS the failure-detection path here, so it rides the same
+    /// links as data but is never dropped artificially.
+    fn send_gossip(&mut self, to: usize, msg: &GossipMessage) {
+        let latency = self
+            .topology
+            .link_between(NodeId(self.rank), NodeId(to))
+            .latency
+            .as_nanos() as f64
+            * self.latency_scale;
+        let _ = self.router.send(Routed {
+            to,
+            from: self.rank,
+            deliver_at: Instant::now() + Duration::from_nanos(latency as u64),
+            wire: PeerWire::Gossip(msg.encode()),
+        });
     }
 }
 
@@ -207,10 +228,21 @@ where
     // peers ping; the monitor thread sweeps it for missed-ping evictions.
     // Every initial rank is registered before any peer thread spawns (a
     // slow spawn must not read as three missed pings); a joiner registers
-    // when its join fires.
-    let topo = volatility
-        .as_ref()
-        .map(|_| detection::server_with_all_ranks(&config.topology, 1));
+    // when its join fires. Under the gossip control plane the ping server
+    // is retired: SWIM probes detect silence, death rumors trigger the
+    // recovery grant, and merged digests carry the stop decision.
+    let gossip_fanout = config.control_plane.fanout();
+    let topo = if gossip_fanout.is_some() {
+        None
+    } else {
+        volatility
+            .as_ref()
+            .map(|_| detection::server_with_all_ranks(&config.topology, 1))
+    };
+    if gossip_fanout.is_some() {
+        shared.lock().set_distributed_decision(true);
+    }
+    let seed = config.seed;
 
     // Router: one inbox per peer plus a central routing channel.
     let (router_tx, router_rx) = unbounded::<Routed>();
@@ -332,11 +364,37 @@ where
                         heartbeat.rejoin(topo, start);
                     }
                 }
+                let mut gossip = gossip_fanout.map(|fanout| {
+                    GossipNode::new(rank, alpha, total, fanout, seed, GossipTiming::wall_clock())
+                });
                 engine.on_start(&mut transport);
                 while !engine.finished() {
                     // Heartbeat towards the failure detector.
                     if let Some(topo) = &topo {
                         heartbeat.beat(topo, start);
+                    }
+                    // Gossip control plane turn: author the latest sweep,
+                    // run the SWIM probe cycle, feed death verdicts into the
+                    // recovery coordinator (level-triggered; `grant` no-ops
+                    // for ranks that did not really crash), and evaluate the
+                    // stop decision over the merged digest.
+                    if let Some(g) = gossip.as_mut() {
+                        if let Some(sweep) = engine.sweep_summary() {
+                            g.record_sweep(&sweep);
+                        }
+                        let now = transport.now_ns();
+                        for (to, msg) in g.poll(now) {
+                            transport.send_gossip(to, &msg);
+                        }
+                        if let Some(vol) = &volatility {
+                            for dead in g.dead_ranks() {
+                                vol.lock().grant(dead, &g.gossiped_loads(total));
+                            }
+                        }
+                        if g.decide(scheme, engine.generation()) {
+                            engine.on_distributed_decision(&mut transport);
+                            continue;
+                        }
                     }
                     // Drain everything already delivered (asynchronous peers
                     // relax back-to-back, so fresh ghosts must be picked up
@@ -350,6 +408,16 @@ where
                             Ok((_, PeerWire::Stop)) => engine.on_stop_signal(&mut transport),
                             Ok((_, PeerWire::Rollback(to_iteration, generation))) => {
                                 engine.on_rollback(to_iteration, generation, &mut transport)
+                            }
+                            Ok((_, PeerWire::Gossip(bytes))) => {
+                                if let (Some(g), Some(msg)) =
+                                    (gossip.as_mut(), GossipMessage::decode(&bytes))
+                                {
+                                    let now = transport.now_ns();
+                                    for (to, reply) in g.on_message(&msg, now) {
+                                        transport.send_gossip(to, &reply);
+                                    }
+                                }
                             }
                             Err(_) => break,
                         }
@@ -384,6 +452,11 @@ where
                                     heartbeat.rejoin(topo, start);
                                 }
                                 engine.recover(&mut transport);
+                                // Refute the death verdict with a bumped
+                                // incarnation.
+                                if let Some(g) = gossip.as_mut() {
+                                    g.on_recovered();
+                                }
                             } else {
                                 engine.on_stop_signal(&mut transport);
                             }
@@ -402,9 +475,10 @@ where
                         continue;
                     }
                     // Idle waits stay shorter than the ping period while the
-                    // failure detector is active, so a healthy-but-waiting
-                    // peer never reads as dead.
-                    let wait_cap = if topo.is_some() {
+                    // failure detector is active (centralized pings or SWIM
+                    // probes alike), so a healthy-but-waiting peer never
+                    // reads as dead.
+                    let wait_cap = if topo.is_some() || gossip.is_some() {
                         Duration::from_millis(5)
                     } else {
                         Duration::from_millis(20)
@@ -420,6 +494,16 @@ where
                         Ok((_, PeerWire::Stop)) => engine.on_stop_signal(&mut transport),
                         Ok((_, PeerWire::Rollback(to_iteration, generation))) => {
                             engine.on_rollback(to_iteration, generation, &mut transport)
+                        }
+                        Ok((_, PeerWire::Gossip(bytes))) => {
+                            if let (Some(g), Some(msg)) =
+                                (gossip.as_mut(), GossipMessage::decode(&bytes))
+                            {
+                                let now = transport.now_ns();
+                                for (to, reply) in g.on_message(&msg, now) {
+                                    transport.send_gossip(to, &reply);
+                                }
+                            }
                         }
                         Err(_) => {}
                     }

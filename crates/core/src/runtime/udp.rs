@@ -36,6 +36,7 @@
 
 use crate::app::IterativeTask;
 use crate::churn::{SharedVolatility, VolatilityState};
+use crate::gossip::{GossipMessage, GossipNode, GossipTiming};
 use crate::metrics::RunMeasurement;
 use crate::runtime::detection::{self, Heartbeat};
 use crate::runtime::driver::{ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory};
@@ -76,6 +77,7 @@ const KIND_STOP: u8 = 1;
 const KIND_HELLO: u8 = 2;
 const KIND_TABLE: u8 = 3;
 const KIND_ROLLBACK: u8 = 4;
+const KIND_GOSSIP: u8 = 5;
 
 /// A decoded runtime datagram.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +120,16 @@ pub enum Datagram {
         /// The new report generation.
         generation: u32,
     },
+    /// A gossip control-plane message ([`crate::gossip::GossipMessage`]
+    /// encoding): SWIM probes/acks with piggy-backed rumors and convergence
+    /// digest rows. Carried only under
+    /// [`ControlPlane::Gossip`](crate::runtime::ControlPlane).
+    Gossip {
+        /// Sender rank.
+        from: usize,
+        /// The encoded [`crate::gossip::GossipMessage`].
+        payload: Vec<u8>,
+    },
 }
 
 /// Encode one fragment datagram (header + payload chunk) into `out`, which
@@ -152,6 +164,7 @@ impl Datagram {
             Datagram::Stop { .. } | Datagram::Hello { .. } => 5,
             Datagram::Table { ports } => 5 + 2 * ports.len(),
             Datagram::Rollback { .. } => 17,
+            Datagram::Gossip { payload, .. } => 7 + payload.len(),
         }
     }
 
@@ -196,6 +209,12 @@ impl Datagram {
                 out.extend_from_slice(&(*from as u16).to_be_bytes());
                 out.extend_from_slice(&to_iteration.to_be_bytes());
                 out.extend_from_slice(&generation.to_be_bytes());
+            }
+            Datagram::Gossip { from, payload } => {
+                out.push(KIND_GOSSIP);
+                out.extend_from_slice(&(*from as u16).to_be_bytes());
+                out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+                out.extend_from_slice(payload);
             }
         }
         out
@@ -258,6 +277,12 @@ impl Datagram {
                     to_iteration,
                     generation,
                 })
+            }
+            KIND_GOSSIP => {
+                let from = u16_at(3)? as usize;
+                let len = u16_at(5)? as usize;
+                let payload = bytes.get(7..7 + len)?.to_vec();
+                Some(Datagram::Gossip { from, payload })
             }
             _ => None,
         }
@@ -783,6 +808,28 @@ pub(crate) fn discover_peers(
     }
 }
 
+/// Send one gossip message as a [`Datagram::Gossip`] straight over the
+/// socket — past the loss shim, because gossip *is* the failure-detection
+/// path (a dropped probe must look like a dead peer, not like shim noise),
+/// and skipping dormant ranks (port 0 in the bootstrap table).
+pub(crate) fn send_gossip(
+    socket: &UdpSocket,
+    addrs: &[SocketAddr],
+    from: usize,
+    to: usize,
+    msg: &GossipMessage,
+) {
+    if let Some(addr) = addrs.get(to) {
+        if addr.port() != 0 {
+            let datagram = Datagram::Gossip {
+                from,
+                payload: msg.encode(),
+            };
+            let _ = socket.send_to(&datagram.encode(), addr);
+        }
+    }
+}
+
 /// Run a distributed iterative computation over real localhost UDP sockets,
 /// one OS thread per peer.
 pub(crate) fn run_iterative_udp<F>(config: &RunConfig, task_factory: F) -> UdpRunOutcome
@@ -811,10 +858,20 @@ where
     // Wall-clock failure detection, as on the thread runtime: peers ping a
     // run-local topology-manager server (initial ranks pre-registered; a
     // joiner registers when its join fires); the monitor thread sweeps it
-    // for missed-ping evictions.
-    let topo = volatility
-        .as_ref()
-        .map(|_| detection::server_with_all_ranks(&config.topology, 1));
+    // for missed-ping evictions. Under the gossip control plane the ping
+    // server is retired for the run — eviction verdicts come from SWIM
+    // rumors, and the stop decision from the merged digests.
+    let gossip_fanout = config.control_plane.fanout();
+    let topo = if gossip_fanout.is_some() {
+        None
+    } else {
+        volatility
+            .as_ref()
+            .map(|_| detection::server_with_all_ranks(&config.topology, 1))
+    };
+    if gossip_fanout.is_some() {
+        shared.lock().set_distributed_decision(true);
+    }
 
     // Bootstrap: bind the service port first so peers have a rendezvous.
     let bootstrap_socket = UdpSocket::bind(SocketAddrV4::new(localhost(), 0))
@@ -826,6 +883,14 @@ where
     let start = Instant::now();
     let task_factory = &task_factory;
     let ports = std::sync::Mutex::new(vec![0u16; total]);
+    // Bumped on every write to `ports` (initial binds, recovery rebinds,
+    // joins). Peers poll it each drive turn and re-sync their address book
+    // from the shared table when it moves: the bootstrap's Table
+    // re-broadcast is a single unacked datagram the kernel may drop under
+    // load, and a peer that misses it would send ghosts to a recovered
+    // peer's dead port forever (the victim's freshness guard then rightly
+    // never reports stability again, so the run never stops).
+    let ports_version = std::sync::atomic::AtomicU64::new(0);
     let dropped = std::sync::atomic::AtomicU64::new(0);
     std::thread::scope(|scope| {
         if let (Some(vol), Some(topo)) = (&volatility, &topo) {
@@ -844,6 +909,7 @@ where
             let seed = config.seed;
             let (loss, reorder) = config.extras.impairment();
             let ports = &ports;
+            let ports_version = &ports_version;
             let dropped = &dropped;
             scope.spawn(move || {
                 let mut engine = if rank < alpha {
@@ -889,6 +955,7 @@ where
                 let socket = UdpSocket::bind(SocketAddrV4::new(localhost(), 0))
                     .expect("bind peer socket on localhost");
                 ports.lock().unwrap()[rank] = socket.local_addr().expect("peer local addr").port();
+                ports_version.fetch_add(1, Ordering::Release);
                 // A joiner's hello makes the bootstrap re-broadcast the
                 // table, so the already-running peers learn its port.
                 let addrs = discover_peers(&socket, rank, bootstrap_addr);
@@ -908,6 +975,12 @@ where
                     next_send_ok: HashMap::new(),
                     send_frame: Vec::new(),
                 };
+                // The gossip control plane: one SWIM node per peer, probing
+                // over this same socket (its own datagram kind, past the
+                // loss shim — gossip is the control path).
+                let mut gossip = gossip_fanout.map(|fanout| {
+                    GossipNode::new(rank, alpha, total, fanout, seed, GossipTiming::wall_clock())
+                });
                 let mut reassembler = Reassembler::new();
                 let mut buf = vec![0u8; 65536];
                 // Exponential sleep backoff for the idle path; any received
@@ -923,10 +996,48 @@ where
                     }
                 }
                 engine.on_start(&mut transport);
+                let mut seen_ports_version = 0u64;
                 while !engine.finished() {
                     // Heartbeat towards the failure detector.
                     if let Some(topo) = &topo {
                         heartbeat.beat(topo, start);
+                    }
+                    // Re-sync the address book from the shared port table
+                    // whenever any rank rebound (see `ports_version`): the
+                    // polling safety net behind the droppable Table
+                    // re-broadcast.
+                    let v = ports_version.load(Ordering::Acquire);
+                    if v != seen_ports_version {
+                        seen_ports_version = v;
+                        for (nb, &port) in ports.lock().unwrap().iter().enumerate() {
+                            if nb != rank && port != 0 {
+                                transport.addrs[nb] =
+                                    SocketAddr::V4(SocketAddrV4::new(localhost(), port));
+                            }
+                        }
+                    }
+                    // Gossip control plane: author the latest sweep, run the
+                    // probe cycle, feed death verdicts into the recovery
+                    // coordinator (level-triggered — `grant` no-ops unless
+                    // the rank really crashed), and evaluate the stop
+                    // decision over the merged digest.
+                    if let Some(g) = gossip.as_mut() {
+                        if let Some(sweep) = engine.sweep_summary() {
+                            g.record_sweep(&sweep);
+                        }
+                        let now = transport.now_ns();
+                        for (to, msg) in g.poll(now) {
+                            send_gossip(&transport.socket, &transport.addrs, rank, to, &msg);
+                        }
+                        if let Some(vol) = &volatility {
+                            for dead in g.dead_ranks() {
+                                vol.lock().grant(dead, &g.gossiped_loads(total));
+                            }
+                        }
+                        if g.decide(scheme, engine.generation()) {
+                            engine.on_distributed_decision(&mut transport);
+                            continue;
+                        }
                     }
                     // Drain everything the kernel has buffered (asynchronous
                     // peers relax back-to-back, so fresh ghosts must be
@@ -980,6 +1091,22 @@ where
                                                 SocketAddr::V4(SocketAddrV4::new(localhost(), p))
                                             })
                                             .collect();
+                                    }
+                                    Some(Datagram::Gossip { payload, .. }) => {
+                                        if let (Some(g), Some(msg)) =
+                                            (gossip.as_mut(), GossipMessage::decode(&payload))
+                                        {
+                                            let now = transport.now_ns();
+                                            for (to, reply) in g.on_message(&msg, now) {
+                                                send_gossip(
+                                                    &transport.socket,
+                                                    &transport.addrs,
+                                                    rank,
+                                                    to,
+                                                    &reply,
+                                                );
+                                            }
+                                        }
                                     }
                                     // Late bootstrap hellos or foreign
                                     // noise: ignore.
@@ -1037,10 +1164,16 @@ where
                                     .local_addr()
                                     .expect("replacement local addr")
                                     .port();
+                                ports_version.fetch_add(1, Ordering::Release);
                                 if let Some(topo) = &topo {
                                     heartbeat.rejoin(topo, start);
                                 }
                                 engine.recover(&mut transport);
+                                // Refute the (correct) death verdict with a
+                                // bumped incarnation.
+                                if let Some(g) = gossip.as_mut() {
+                                    g.on_recovered();
+                                }
                             } else {
                                 engine.on_stop_signal(&mut transport);
                             }
@@ -1151,6 +1284,28 @@ mod tests {
         ) {
             let datagram = Datagram::Rollback { from, to_iteration, generation };
             let bytes = datagram.encode();
+            proptest::prop_assert_eq!(Datagram::decode(&bytes), Some(datagram));
+            for cut in 0..bytes.len() {
+                proptest::prop_assert_eq!(Datagram::decode(&bytes[..cut]), None);
+            }
+            let mut garbage = bytes.clone();
+            garbage[0] ^= 0xFF; // break the magic
+            proptest::prop_assert_eq!(Datagram::decode(&garbage), None);
+        }
+
+        /// Gossip datagrams round-trip bit-exactly and reject every strict
+        /// prefix and wrong-magic garbage (same guarantees as the rollback
+        /// datagram above; the inner `GossipMessage` encoding has its own
+        /// proptest in `crate::gossip::rumor`).
+        #[test]
+        fn gossip_datagram_round_trips_and_rejects_truncation(
+            from in 0usize..1024,
+            len in 0usize..64,
+            fill in proptest::prelude::any::<u8>(),
+        ) {
+            let datagram = Datagram::Gossip { from, payload: vec![fill; len] };
+            let bytes = datagram.encode();
+            proptest::prop_assert_eq!(bytes.len(), datagram.encoded_len());
             proptest::prop_assert_eq!(Datagram::decode(&bytes), Some(datagram));
             for cut in 0..bytes.len() {
                 proptest::prop_assert_eq!(Datagram::decode(&bytes[..cut]), None);
