@@ -119,6 +119,65 @@ pub enum ChurnEventKind {
     /// live repartition. Requires the workload to support repartitioning
     /// ([`crate::workload::Workload::repartitioner`]); ignored otherwise.
     Join,
+    /// The network splits in two: ranks whose bit is set in `group` on one
+    /// side, everyone else on the other. Traffic crossing the cut is blocked
+    /// (the sim fabric drops it, loopback holds it) until the heal, which is
+    /// scheduled on the backend's own clock — `heal_after_ns` virtual
+    /// nanoseconds on sim, `heal_after_events` engine events on loopback —
+    /// because a partitioned synchronous rank stops relaxing, so the heal
+    /// cannot key off relaxation counts. Deterministic backends only; the
+    /// wall-clock backends ignore link faults.
+    Partition {
+        /// Rank bitmask of one partition side (bit `r` = rank `r`).
+        group: u64,
+        /// Virtual nanoseconds until the cut heals (sim backend).
+        heal_after_ns: u64,
+        /// Engine events until the cut heals (loopback backend).
+        heal_after_events: u64,
+    },
+    /// The single edge between the event's rank and `peer` flaps: `cycles`
+    /// down-then-up periods, each half lasting `period_ns` of virtual time
+    /// (sim) / `period_events` engine events (loopback).
+    FlappingLink {
+        /// The other endpoint of the flapping edge.
+        peer: usize,
+        /// Half-period in virtual nanoseconds (sim backend).
+        period_ns: u64,
+        /// Half-period in engine events (loopback backend).
+        period_events: u64,
+        /// Number of down-then-up cycles before the edge stays up.
+        cycles: u32,
+    },
+    /// Traffic *from* the event's rank *towards* `peer` is slowed by
+    /// `factor` (≥ 1.0); the reverse direction is unaffected.
+    AsymmetricLatency {
+        /// Destination rank of the slowed direction.
+        peer: usize,
+        /// Latency multiplier on the slowed direction.
+        factor: f64,
+    },
+    /// The next `flips` frames the rank sends are corrupted in flight (one
+    /// seeded byte flip each). The framing checksums must reject the frames
+    /// — corrupted traffic is effectively lost, never consumed as data.
+    Corruption {
+        /// Number of outgoing frames to corrupt.
+        flips: u32,
+    },
+}
+
+impl ChurnEventKind {
+    /// Whether this kind models the *link* rather than the peer itself
+    /// (consumed by the transport drivers via
+    /// [`VolatilityState::take_link_events`], not by the engine).
+    pub fn is_link_fault(&self) -> bool {
+        matches!(
+            self,
+            ChurnEventKind::Partition { .. }
+                | ChurnEventKind::FlappingLink { .. }
+                | ChurnEventKind::AsymmetricLatency { .. }
+                | ChurnEventKind::Corruption { .. }
+        )
+    }
 }
 
 /// One scheduled peer event. The trigger is the *victim's own relaxation
@@ -267,6 +326,89 @@ impl ChurnPlan {
         self
     }
 
+    /// Bitmask over `ranks` for [`ChurnEventKind::Partition::group`].
+    pub fn rank_mask(ranks: &[usize]) -> u64 {
+        ranks.iter().fold(0u64, |mask, &rank| {
+            assert!(rank < 64, "partition groups address ranks 0..64");
+            mask | (1u64 << rank)
+        })
+    }
+
+    /// Schedule a network partition: once `trigger_rank` completes
+    /// `at_iteration` relaxations, the ranks in `group` split from the rest;
+    /// the cut heals after the dual-clock delay.
+    pub fn with_partition(
+        mut self,
+        trigger_rank: usize,
+        at_iteration: u64,
+        group: &[usize],
+        heal_after_ns: u64,
+        heal_after_events: u64,
+    ) -> Self {
+        self.events.push(ChurnEvent {
+            rank: trigger_rank,
+            at_iteration,
+            kind: ChurnEventKind::Partition {
+                group: Self::rank_mask(group),
+                heal_after_ns,
+                heal_after_events,
+            },
+        });
+        self
+    }
+
+    /// Schedule a flapping link between `rank` and `peer`.
+    pub fn with_flapping_link(
+        mut self,
+        rank: usize,
+        at_iteration: u64,
+        peer: usize,
+        period_ns: u64,
+        period_events: u64,
+        cycles: u32,
+    ) -> Self {
+        self.events.push(ChurnEvent {
+            rank,
+            at_iteration,
+            kind: ChurnEventKind::FlappingLink {
+                peer,
+                period_ns,
+                period_events,
+                cycles,
+            },
+        });
+        self
+    }
+
+    /// Schedule an asymmetric latency fault: traffic from `rank` towards
+    /// `peer` slowed by `factor`.
+    pub fn with_asym_latency(
+        mut self,
+        rank: usize,
+        at_iteration: u64,
+        peer: usize,
+        factor: f64,
+    ) -> Self {
+        assert!(factor >= 1.0, "latency factors slow a link down");
+        self.events.push(ChurnEvent {
+            rank,
+            at_iteration,
+            kind: ChurnEventKind::AsymmetricLatency { peer, factor },
+        });
+        self
+    }
+
+    /// Schedule message corruption: the next `flips` frames `rank` sends
+    /// after the trigger are corrupted in flight.
+    pub fn with_corruption(mut self, rank: usize, at_iteration: u64, flips: u32) -> Self {
+        self.events.push(ChurnEvent {
+            rank,
+            at_iteration,
+            kind: ChurnEventKind::Corruption { flips },
+        });
+        self
+    }
+
     /// Number of crash events in the plan.
     pub fn crash_count(&self) -> usize {
         self.events
@@ -280,6 +422,15 @@ impl ChurnPlan {
         self.events
             .iter()
             .filter(|e| e.kind == ChurnEventKind::Join)
+            .count()
+    }
+
+    /// Number of link-fault events (partitions, flaps, asymmetric latency,
+    /// corruption) in the plan.
+    pub fn link_fault_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind.is_link_fault())
             .count()
     }
 }
@@ -310,53 +461,67 @@ impl FaultInjector {
         }
     }
 
+    /// Remove and return the first *due* event of `rank` matching `matches`.
+    /// Due events (`at_iteration <= iteration`) sit contiguously at the back
+    /// of the descending-sorted queue; scanning the whole due suffix instead
+    /// of only the very last slot keeps co-due events of different kinds
+    /// from jamming each other (e.g. a due partition must not hide a due
+    /// crash from [`FaultInjector::should_crash`]).
+    fn pop_due(
+        &mut self,
+        rank: usize,
+        iteration: u64,
+        matches: impl Fn(&ChurnEventKind) -> bool,
+    ) -> Option<ChurnEvent> {
+        let events = self.pending.get_mut(&rank)?;
+        let mut at = events.len();
+        while at > 0 && events[at - 1].at_iteration <= iteration {
+            if matches(&events[at - 1].kind) {
+                return Some(events.remove(at - 1));
+            }
+            at -= 1;
+        }
+        None
+    }
+
     /// `rank` just completed relaxation `iteration`: does it crash now? The
     /// trigger is `at_iteration <= iteration`, so a crash scheduled inside a
     /// checkpoint interval cannot be skipped over. Consumes the event.
     pub fn should_crash(&mut self, rank: usize, iteration: u64) -> bool {
-        let Some(events) = self.pending.get_mut(&rank) else {
-            return false;
-        };
-        let due = events
-            .last()
-            .is_some_and(|e| e.kind == ChurnEventKind::Crash && e.at_iteration <= iteration);
-        if due {
-            events.pop();
-        }
-        due
+        self.pop_due(rank, iteration, |k| *k == ChurnEventKind::Crash)
+            .is_some()
     }
 
     /// `rank` just completed relaxation `iteration`: does its clock trigger
     /// a scheduled join now? Consumes the event.
     pub fn join_due(&mut self, rank: usize, iteration: u64) -> bool {
-        let Some(events) = self.pending.get_mut(&rank) else {
-            return false;
-        };
-        let due = events
-            .last()
-            .is_some_and(|e| e.kind == ChurnEventKind::Join && e.at_iteration <= iteration);
-        if due {
-            events.pop();
-        }
-        due
+        self.pop_due(rank, iteration, |k| *k == ChurnEventKind::Join)
+            .is_some()
     }
 
     /// The compute-slowdown factor of `rank` as of relaxation `iteration`
     /// (1.0 = full speed). Fired slowdown events accumulate multiplicatively
     /// and persist.
     pub fn slowdown_factor(&mut self, rank: usize, iteration: u64) -> f64 {
-        if let Some(events) = self.pending.get_mut(&rank) {
-            while let Some(event) = events.last().copied() {
-                match event.kind {
-                    ChurnEventKind::Slowdown { factor } if event.at_iteration <= iteration => {
-                        events.pop();
-                        *self.slowdown.entry(rank).or_insert(1.0) *= factor;
-                    }
-                    _ => break,
-                }
+        while let Some(event) = self.pop_due(rank, iteration, |k| {
+            matches!(k, ChurnEventKind::Slowdown { .. })
+        }) {
+            if let ChurnEventKind::Slowdown { factor } = event.kind {
+                *self.slowdown.entry(rank).or_insert(1.0) *= factor;
             }
         }
         self.slowdown.get(&rank).copied().unwrap_or(1.0)
+    }
+
+    /// Drain every due link-fault event of `rank` (partition, flap,
+    /// asymmetric latency, corruption), in schedule order. The transport
+    /// drivers consume these — the engine never sees link faults.
+    pub fn take_link_events(&mut self, rank: usize, iteration: u64) -> Vec<ChurnEvent> {
+        let mut out = Vec::new();
+        while let Some(event) = self.pop_due(rank, iteration, ChurnEventKind::is_link_fault) {
+            out.push(event);
+        }
+        out
     }
 
     /// The next iteration at which any pending event of `rank` fires
@@ -914,6 +1079,18 @@ impl VolatilityState {
         factor
     }
 
+    /// Injector query: drain every due link-fault event of `rank` (the
+    /// deterministic transport drivers translate these into their own link
+    /// models; the engine itself never sees link faults).
+    pub fn take_link_events(&mut self, rank: usize, iteration: u64) -> Vec<ChurnEvent> {
+        let events = self.injector.take_link_events(rank, iteration);
+        if !events.is_empty() {
+            self.fast
+                .set_next_event(rank, self.injector.next_event_at(rank));
+        }
+        events
+    }
+
     /// A peer crashed at clock value `now_ns`.
     pub fn on_crash(&mut self, rank: usize, now_ns: u64) {
         self.crashes += 1;
@@ -1099,6 +1276,54 @@ mod tests {
         assert_eq!(injector.slowdown_factor(2, 7), 2.0);
         assert_eq!(injector.slowdown_factor(2, 12), 6.0);
         assert_eq!(injector.slowdown_factor(0, 12), 1.0);
+    }
+
+    #[test]
+    fn co_due_link_events_do_not_jam_the_crash_queue() {
+        // A due partition queued behind (in trigger order, before) a due
+        // crash must not hide the crash from the kind-specific popper.
+        let plan = ChurnPlan::kill(0, 10).with_partition(0, 5, &[0], 1_000, 16);
+        let mut injector = FaultInjector::new(&plan);
+        assert!(injector.should_crash(0, 10));
+        let link = injector.take_link_events(0, 10);
+        assert_eq!(link.len(), 1);
+        assert!(link[0].kind.is_link_fault());
+    }
+
+    #[test]
+    fn take_link_events_drains_due_faults_in_schedule_order() {
+        let plan = ChurnPlan::new(vec![])
+            .with_corruption(1, 8, 3)
+            .with_flapping_link(1, 4, 2, 1_000, 8, 2)
+            .with_asym_latency(1, 12, 0, 4.0);
+        let mut injector = FaultInjector::new(&plan);
+        assert!(injector.take_link_events(1, 3).is_empty());
+        let first = injector.take_link_events(1, 8);
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].at_iteration, 4, "earliest due fault first");
+        assert_eq!(first[1].at_iteration, 8);
+        let second = injector.take_link_events(1, 20);
+        assert_eq!(second.len(), 1);
+        assert!(matches!(
+            second[0].kind,
+            ChurnEventKind::AsymmetricLatency { peer: 0, .. }
+        ));
+        assert!(injector.take_link_events(1, 99).is_empty(), "consumed");
+    }
+
+    #[test]
+    fn partition_builder_encodes_the_group_mask() {
+        let plan = ChurnPlan::new(vec![]).with_partition(0, 10, &[0, 2, 5], 1_000, 32);
+        assert_eq!(plan.link_fault_count(), 1);
+        match plan.events[0].kind {
+            ChurnEventKind::Partition { group, .. } => {
+                assert_eq!(group, 0b100101);
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        let json = serde_json::to_string(&plan).expect("link faults serialize");
+        let back: ChurnPlan = serde_json::from_str(&json).expect("and round-trip");
+        assert_eq!(back, plan);
     }
 
     #[test]

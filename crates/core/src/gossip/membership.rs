@@ -32,6 +32,19 @@ const RETRANSMIT_FACTOR: u32 = 3;
 /// Rumors piggy-backed per message (the freshest-budget ones go first).
 const MAX_RUMORS_PER_MESSAGE: usize = 16;
 
+/// Every this-many probe rounds the node also probes one member it holds a
+/// *death verdict* for. A network partition hardens symmetric false verdicts
+/// (each side declares the other dead), and since dead members are excluded
+/// from the regular probe rotation, no traffic would ever cross the healed
+/// boundary again: neither side can learn the other is back, the digest's
+/// evidence gate stays shut and the stop decision never fires. Direct
+/// contact is the one path that beats a Dead rumor at the same incarnation
+/// (`heard_from`/`confirm_alive` are first-hand evidence), so the
+/// occasional "lazarus" probe is what lets a falsely-dead member rejoin —
+/// the same escape hatch memberlist ships as gossip-to-the-dead. Probes to
+/// genuinely dead members go unanswered and cost one datagram per period.
+const DEAD_REPROBE_PERIOD: u64 = 4;
+
 /// Digest rows piggy-backed per message. Every probe and ack carries rows,
 /// so this bounds the steady-state gossip bandwidth: at 64+ peers a full
 /// digest on every datagram saturates localhost socket buffers under the
@@ -115,6 +128,8 @@ pub struct GossipNode {
     pending_indirect: HashMap<u16, Vec<u16>>,
     digest: ConvergenceDigest,
     next_probe_at: u64,
+    /// Probe rounds completed (drives the [`DEAD_REPROBE_PERIOD`] cadence).
+    rounds: u64,
     /// Scratch for fanout selection.
     eligible: Vec<usize>,
 }
@@ -160,6 +175,7 @@ impl GossipNode {
             pending_indirect: HashMap::new(),
             digest: ConvergenceDigest::new(capacity),
             next_probe_at: 0,
+            rounds: 0,
             eligible: Vec::new(),
         }
     }
@@ -245,7 +261,18 @@ impl GossipNode {
         for member in &self.members {
             if member.status == MemberStatus::Alive {
                 if let Some(sent_at) = member.probe_sent_at {
-                    deadline = deadline.min(sent_at + self.timing.ack_timeout);
+                    // Once the missed direct ack has escalated into indirect
+                    // probes, the next actionable edge is the *second* ack
+                    // window (suspicion), not the first — reporting the
+                    // already-acted-on edge hands idle-jumping drivers a
+                    // deadline in the past, which reads as "nothing left to
+                    // wait for" and ends the run under a live schedule.
+                    let edge = if member.indirect_asked {
+                        2 * self.timing.ack_timeout
+                    } else {
+                        self.timing.ack_timeout
+                    };
+                    deadline = deadline.min(sent_at + edge);
                 }
             }
             if member.status == MemberStatus::Suspect {
@@ -330,6 +357,7 @@ impl GossipNode {
         // The probe round proper: one direct target per period.
         if now >= self.next_probe_at {
             self.next_probe_at = now + self.timing.probe_period;
+            self.rounds = self.rounds.wrapping_add(1);
             let targets = self.pick_targets_n(now, None, 1);
             for target in targets {
                 stats::count_probe();
@@ -337,6 +365,24 @@ impl GossipNode {
                     self.members[target].probe_sent_at = Some(now);
                 }
                 out.push((target, self.message(GossipKind::Probe, self.rank as u16)));
+            }
+            // Lazarus probe (see [`DEAD_REPROBE_PERIOD`]): without it a
+            // healed partition leaves both sides holding symmetric death
+            // verdicts forever. No ack deadline is armed — a genuinely dead
+            // target staying silent must not restart the suspicion ladder.
+            if self.rounds.is_multiple_of(DEAD_REPROBE_PERIOD) {
+                self.eligible.clear();
+                for (r, member) in self.members.iter().enumerate() {
+                    if r != self.rank && member.born && member.status == MemberStatus::Dead {
+                        self.eligible.push(r);
+                    }
+                }
+                if !self.eligible.is_empty() {
+                    let pick = (self.rng.next_u64() % self.eligible.len() as u64) as usize;
+                    let target = self.eligible[pick];
+                    stats::count_probe();
+                    out.push((target, self.message(GossipKind::Probe, self.rank as u16)));
+                }
             }
         }
         out
@@ -758,6 +804,62 @@ mod tests {
         assert!(!batch.is_empty(), "recovered rank probes again");
         exchange(&mut nodes, batch, now);
         assert!(nodes[0].dead_ranks().is_empty() || nodes[1].dead_ranks().is_empty());
+    }
+
+    /// A partition hardens *symmetric* false death verdicts: each side
+    /// declares the other dead while the link is cut. Because the regular
+    /// probe rotation skips dead members, only the periodic lazarus probe
+    /// can carry first-hand proof of life across the healed boundary — this
+    /// is the wedge the scenario fuzzer found (a healed split left the
+    /// gossip stop decision unfireable forever).
+    #[test]
+    fn healed_partition_refutes_symmetric_false_deaths() {
+        let mut nodes = cluster(4, 23);
+        let timing = GossipTiming::wall_clock();
+        let cut = |rank: usize| rank == 3;
+        // Deliver only messages that stay on one side of the cut — replies
+        // spawned during delivery must respect it too.
+        let deliver_cut =
+            |nodes: &mut [GossipNode], mut queue: Vec<(usize, usize, GossipMessage)>, now: u64| {
+                while let Some((from, to, msg)) = queue.pop() {
+                    if cut(from) != cut(to) {
+                        continue;
+                    }
+                    for (next_to, reply) in nodes[to].on_message(&msg, now) {
+                        queue.push((to, next_to, reply));
+                    }
+                }
+            };
+        let mut now = 0;
+        for _ in 0..40 {
+            now += timing.probe_period;
+            for rank in 0..4 {
+                let batch = poll_into(&mut nodes, rank, now);
+                deliver_cut(&mut nodes, batch, now);
+            }
+            let majority_sees_3_dead = (0..3).all(|rank| nodes[rank].dead_ranks().contains(&3));
+            let isolated_sees_rest_dead = nodes[3].dead_ranks() == vec![0, 1, 2];
+            if majority_sees_3_dead && isolated_sees_rest_dead {
+                break;
+            }
+        }
+        assert_eq!(nodes[3].dead_ranks(), vec![0, 1, 2], "split never hardened");
+        // Heal: full delivery again. The lazarus probes must re-establish
+        // contact and refute every false verdict on both sides.
+        for _ in 0..6 * DEAD_REPROBE_PERIOD {
+            now += timing.probe_period;
+            for rank in 0..4 {
+                let batch = poll_into(&mut nodes, rank, now);
+                exchange(&mut nodes, batch, now);
+            }
+        }
+        for (rank, node) in nodes.iter().enumerate() {
+            assert!(
+                node.dead_ranks().is_empty(),
+                "rank {rank} still holds false verdicts {:?} after the heal",
+                node.dead_ranks()
+            );
+        }
     }
 
     #[test]

@@ -195,11 +195,18 @@ const RUMOR_BYTES: usize = 7;
 /// rank(2) generation(4) epoch(4) latest(8) clean_since(8) streak(4)
 /// flags(1) points(8) busy_ns(8).
 const ROW_BYTES: usize = 47;
+/// Trailing FNV-1a integrity checksum over header + rumors + rows. Gossip
+/// frames cross lossy links; a flipped byte must fail decode rather than
+/// merge a phantom rumor or digest row into the member table.
+const CHECKSUM_BYTES: usize = 4;
 
 impl GossipMessage {
     /// Exact encoded size in bytes.
     pub fn encoded_len(&self) -> usize {
-        HEADER_BYTES + RUMOR_BYTES * self.rumors.len() + ROW_BYTES * self.digest.len()
+        HEADER_BYTES
+            + RUMOR_BYTES * self.rumors.len()
+            + ROW_BYTES * self.digest.len()
+            + CHECKSUM_BYTES
     }
 
     /// Encode to the on-wire byte representation.
@@ -227,13 +234,26 @@ impl GossipMessage {
             out.extend_from_slice(&row.points.to_be_bytes());
             out.extend_from_slice(&row.busy_ns.to_be_bytes());
         }
+        let checksum = p2psap::data::frame_checksum(&out);
+        out.extend_from_slice(&checksum.to_be_bytes());
         out
     }
 
-    /// Decode from received bytes; `None` for truncated, oversized or
-    /// foreign traffic (unknown kind/status bytes, trailing garbage).
+    /// Decode from received bytes; `None` for truncated, oversized, corrupted
+    /// or foreign traffic (checksum mismatch, unknown kind/status bytes,
+    /// trailing garbage).
     pub fn decode(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() < HEADER_BYTES {
+        if bytes.len() < HEADER_BYTES + CHECKSUM_BYTES {
+            return None;
+        }
+        let body_len = bytes.len() - CHECKSUM_BYTES;
+        let checksum = u32::from_be_bytes([
+            bytes[body_len],
+            bytes[body_len + 1],
+            bytes[body_len + 2],
+            bytes[body_len + 3],
+        ]);
+        if checksum != p2psap::data::frame_checksum(&bytes[..body_len]) {
             return None;
         }
         let kind = GossipKind::from_byte(bytes[0])?;
@@ -243,7 +263,7 @@ impl GossipMessage {
         let rumor_count = u16::from_be_bytes([bytes[9], bytes[10]]) as usize;
         let row_count = u16::from_be_bytes([bytes[11], bytes[12]]) as usize;
         let expected = HEADER_BYTES + RUMOR_BYTES * rumor_count + ROW_BYTES * row_count;
-        if bytes.len() != expected {
+        if body_len != expected {
             return None;
         }
         let mut at = HEADER_BYTES;
@@ -430,6 +450,12 @@ mod tests {
             let mut garbage = bytes.clone();
             garbage[0] = 0xFF;
             proptest::prop_assert_eq!(GossipMessage::decode(&garbage), None);
+            // A single flipped bit anywhere in the frame fails the checksum.
+            for at in 0..bytes.len() {
+                let mut corrupted = bytes.clone();
+                corrupted[at] ^= 1 << (at % 8);
+                proptest::prop_assert_eq!(GossipMessage::decode(&corrupted), None);
+            }
         }
     }
 }

@@ -37,6 +37,7 @@ pub mod metrics;
 pub mod obstacle_app;
 pub mod pagerank_app;
 pub mod runtime;
+pub mod scenario;
 pub mod task_manager;
 pub mod topology_manager;
 pub mod workload;
@@ -73,6 +74,7 @@ pub use runtime::{
     DriverOutcome, LossShim, PeerEngine, PeerTransport, Reassembler, RunConfig, RuntimeDriver,
     TaskFactory, DRIVERS,
 };
+pub use scenario::{check_case, FuzzCase, Violation};
 pub use task_manager::{parse_command, Command, Job, JobState, TaskManager};
 pub use topology_manager::{PeerRecord, TopologyManager, MISSED_PINGS_BEFORE_EVICTION};
 pub use workload::{

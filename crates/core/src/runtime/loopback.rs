@@ -16,7 +16,7 @@
 //! loop).
 
 use crate::app::IterativeTask;
-use crate::churn::VolatilityState;
+use crate::churn::{ChurnEventKind, VolatilityState};
 use crate::gossip::{GossipMessage, GossipNode, GossipTiming};
 use crate::metrics::RunMeasurement;
 use crate::runtime::driver::{ClockDomain, DriverOutcome, RuntimeDriver, RuntimeKind, TaskFactory};
@@ -81,8 +81,240 @@ enum LoopWire {
     Gossip(Vec<u8>),
 }
 
+/// Event-count link-fault model of the loopback substrate — the analogue of
+/// [`netsim::LinkFaults`] on the virtual-time backend, with the event
+/// counter standing in for nanoseconds. Data wires crossing a cut edge are
+/// *held* until the edge reopens (the loopback clock cannot reach
+/// retransmission timescales, so dropping them would deadlock a synchronous
+/// edge — the same reasoning that holds in-flight traffic to crashed
+/// peers); gossip wires are *dropped* (the control plane is built for loss,
+/// and that loss is what raises suspicions during a partition). Stop and
+/// rollback broadcasts travel as pre-decoded structs and model reliable
+/// control delivery on both deterministic backends, so they pass unimpaired.
+struct LoopLinkState {
+    /// Armed partitions: (rank-group bitmask, from-event, heal-event).
+    partitions: Vec<(u64, u64, u64)>,
+    /// Flapping edges: (a, b, from-event, half-period events, cycles).
+    flaps: Vec<(usize, usize, u64, u64, u32)>,
+    /// Asymmetric delays: (from, to, extra delivery delay in events).
+    asym: Vec<(usize, usize, u64)>,
+    /// Corruption budgets: (sender, remaining flips, splitmix64 state).
+    corruption: Vec<(usize, u32, u64)>,
+    /// Wires held on cut or slowed edges: (release-event, from, to, wire).
+    held: Vec<(u64, usize, usize, LoopWire)>,
+}
+
+/// `splitmix64` step (the seeded corruption byte picker; kept in sync with
+/// the netsim fault model so both backends flip deterministically).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl LoopLinkState {
+    fn new() -> Self {
+        Self {
+            partitions: Vec::new(),
+            flaps: Vec::new(),
+            asym: Vec::new(),
+            corruption: Vec::new(),
+            held: Vec::new(),
+        }
+    }
+
+    /// Arm one due link event of `rank` (the event-count twin of the sim
+    /// backend's `PeerActor::apply_link_events`).
+    fn arm(&mut self, rank: usize, event: crate::churn::ChurnEvent, clock: u64, seed: u64) {
+        match event.kind {
+            ChurnEventKind::Partition {
+                group,
+                heal_after_events,
+                ..
+            } => self
+                .partitions
+                .push((group, clock, clock.saturating_add(heal_after_events))),
+            ChurnEventKind::FlappingLink {
+                peer,
+                period_events,
+                cycles,
+                ..
+            } => self
+                .flaps
+                .push((rank, peer, clock, period_events.max(1), cycles)),
+            ChurnEventKind::AsymmetricLatency { peer, factor } => {
+                // The loopback link has no latency to scale; each unit of
+                // slowdown beyond 1x becomes one engine event of delay.
+                let delay = (factor - 1.0).round().max(0.0) as u64;
+                if delay > 0 {
+                    self.asym.push((rank, peer, delay));
+                }
+            }
+            ChurnEventKind::Corruption { flips } => self.corruption.push((
+                rank,
+                flips,
+                seed ^ ((rank as u64) << 32) ^ event.at_iteration,
+            )),
+            _ => {}
+        }
+    }
+
+    /// Whether the edge `from ↔ to` is cut at event `now`.
+    fn blocked(&self, from: usize, to: usize, now: u64) -> bool {
+        if from == to {
+            return false;
+        }
+        let side = |mask: u64, rank: usize| rank < 64 && mask & (1u64 << rank) != 0;
+        for &(group, from_ev, heal_at) in &self.partitions {
+            if now >= from_ev && now < heal_at && side(group, from) != side(group, to) {
+                return true;
+            }
+        }
+        for &(a, b, from_ev, half, cycles) in &self.flaps {
+            if ((a, b) != (from, to) && (a, b) != (to, from)) || now < from_ev {
+                continue;
+            }
+            let half_periods = (now - from_ev) / half;
+            if half_periods < 2 * cycles as u64 && half_periods.is_multiple_of(2) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The earliest event strictly after `now` at which the edge `from ↔ to`
+    /// is open (stepping through partition heals and flap transitions; every
+    /// fault is finite, so this always terminates).
+    fn next_open(&self, from: usize, to: usize, mut now: u64) -> u64 {
+        while self.blocked(from, to, now) {
+            let mut next = u64::MAX;
+            for &(_, from_ev, heal_at) in &self.partitions {
+                for t in [from_ev, heal_at] {
+                    if t > now {
+                        next = next.min(t);
+                    }
+                }
+            }
+            for &(_, _, from_ev, half, cycles) in &self.flaps {
+                for k in 0..=(2 * cycles as u64) {
+                    let t = from_ev + k * half;
+                    if t > now {
+                        next = next.min(t);
+                        break;
+                    }
+                }
+            }
+            if next == u64::MAX {
+                break;
+            }
+            now = next;
+        }
+        now
+    }
+
+    /// Extra delivery delay (events) on the directed edge `from → to`.
+    fn asym_delay(&self, from: usize, to: usize) -> u64 {
+        self.asym
+            .iter()
+            .filter(|&&(f, t, _)| f == from && t == to)
+            .map(|&(_, _, d)| d)
+            .sum()
+    }
+
+    /// Charge one frame sent by `from` against the corruption budgets:
+    /// returns the seeded `(byte, bit)` flip for a frame of `len` bytes.
+    fn corrupt_frame(&mut self, from: usize, len: usize) -> Option<(usize, u8)> {
+        if len == 0 {
+            return None;
+        }
+        let budget = self
+            .corruption
+            .iter_mut()
+            .find(|b| b.0 == from && b.1 > 0)?;
+        budget.1 -= 1;
+        let draw = splitmix64(&mut budget.2);
+        Some(((draw % len as u64) as usize, 1 << ((draw >> 32) % 8)))
+    }
+
+    /// Route one flushed wire: deliver it, hold it, corrupt it or drop it.
+    fn route(
+        &mut self,
+        from: usize,
+        to: usize,
+        mut wire: LoopWire,
+        clock: u64,
+        inboxes: &mut [VecDeque<(usize, LoopWire)>],
+    ) {
+        // Seeded in-flight corruption (the framing checksums reject the
+        // frame at the receiver, so a corrupted wire is effectively lost).
+        match &mut wire {
+            LoopWire::Segment(bytes) => {
+                if let Some((at, bit)) = self.corrupt_frame(from, bytes.len()) {
+                    let mut corrupted = bytes.to_vec();
+                    corrupted[at] ^= bit;
+                    *bytes = Bytes::from(corrupted);
+                }
+            }
+            LoopWire::Gossip(bytes) => {
+                if let Some((at, bit)) = self.corrupt_frame(from, bytes.len()) {
+                    bytes[at] ^= bit;
+                }
+            }
+            _ => {}
+        }
+        match &wire {
+            LoopWire::Segment(_) => {
+                let release = if self.blocked(from, to, clock) {
+                    self.next_open(from, to, clock)
+                } else {
+                    clock + self.asym_delay(from, to)
+                };
+                if release > clock {
+                    self.held.push((release, from, to, wire));
+                } else {
+                    inboxes[to].push_back((from, wire));
+                }
+            }
+            LoopWire::Gossip(_) if self.blocked(from, to, clock) => {}
+            _ => inboxes[to].push_back((from, wire)),
+        }
+    }
+
+    /// Move held wires whose edge reopened (or delay elapsed) into the
+    /// destination inboxes. Returns whether anything was released.
+    fn release_due(&mut self, clock: u64, inboxes: &mut [VecDeque<(usize, LoopWire)>]) -> bool {
+        let mut released = false;
+        let mut at = 0;
+        while at < self.held.len() {
+            if self.held[at].0 <= clock {
+                let (_, from, to, wire) = self.held.swap_remove(at);
+                inboxes[to].push_back((from, wire));
+                released = true;
+            } else {
+                at += 1;
+            }
+        }
+        released
+    }
+
+    /// Earliest pending release (for the idle clock jump).
+    fn next_release(&self) -> Option<u64> {
+        self.held.iter().map(|&(release, ..)| release).min()
+    }
+}
+
 /// The [`PeerTransport`] of the loopback runtime: instant delivery into
 /// sibling inboxes, timers on the shared event-counter clock.
+/// Nanoseconds of protocol-timer delay per loopback event tick (0.1 ms):
+/// the exchange rate [`LoopbackTransport::arm_timer`] applies to the
+/// session stack's ns-denominated timer requests. Chosen so the reliable
+/// channel's 600 ms retransmission timeout becomes 6 000 events — far
+/// above any loopback round trip (a handful of events), far below the
+/// driver's wedge-guard gap even at full exponential back-off.
+const NS_PER_EVENT: u64 = 100_000;
+
 struct LoopbackTransport {
     rank: usize,
     peers: usize,
@@ -115,7 +347,14 @@ impl PeerTransport for LoopbackTransport {
     }
 
     fn arm_timer(&mut self, key: TimerKey, delay_ns: u64) {
-        self.timers.arm(key, self.clock_ns + delay_ns);
+        // Session protocol timers are ns-denominated (the stack knows
+        // nothing of the event-counter clock). Map them onto the event
+        // clock at [`NS_PER_EVENT`] so a reliable-channel retransmission
+        // (600 ms RTO) lands thousands of events out — reachable while
+        // gossip chatter keeps the clock busy — instead of hundreds of
+        // millions, which the wedge guard rightly calls a stalled run.
+        self.timers
+            .arm(key, self.clock_ns + (delay_ns / NS_PER_EVENT).max(1));
     }
 
     fn cancel_timer(&mut self, key: TimerKey) {
@@ -142,6 +381,43 @@ impl PeerTransport for LoopbackTransport {
                     .push((rank, LoopWire::Rollback(to_iteration, generation)));
             }
         }
+    }
+}
+
+/// Env-gated (`LOOPBACK_WEDGE_DEBUG=1`) dump of the per-rank drive state on
+/// the two no-progress exit paths (wedge guard and empty idle-jump) — the
+/// scenario fuzzer's first debugging stop when a loopback run ends
+/// unconverged.
+fn dump_no_progress_exit(
+    path: &str,
+    clock: u64,
+    engines: &[Option<PeerEngine>],
+    transports: &[LoopbackTransport],
+    inboxes: &[VecDeque<(usize, LoopWire)>],
+    gossips: &[Option<GossipNode>],
+) {
+    if std::env::var("LOOPBACK_WEDGE_DEBUG").is_err() {
+        return;
+    }
+    eprintln!("{path} at clock {clock}:");
+    for rank in 0..engines.len() {
+        let Some(e) = engines[rank].as_ref() else {
+            eprintln!("  rank {rank}: unspawned");
+            continue;
+        };
+        eprintln!(
+            "  rank {rank}: relax={} finished={} crashed={} computing={} gen={} inbox={} compute_pending={} timer_deadline={:?} gossip_deadline={:?} dead_ranks={:?}",
+            e.relaxations(),
+            e.finished(),
+            e.crashed(),
+            e.computing(),
+            e.generation(),
+            inboxes[rank].len(),
+            transports[rank].compute_pending,
+            transports[rank].earliest_deadline(),
+            gossips[rank].as_ref().map(GossipNode::next_deadline),
+            gossips[rank].as_ref().map(|g| g.dead_ranks()),
+        );
     }
 }
 
@@ -230,14 +506,40 @@ where
         (0..total).map(|_| VecDeque::new()).collect();
 
     let mut clock: u64 = 0;
+    // Scenario link faults, when the plan schedules any (the event-count
+    // twin of the sim backend's netsim fault schedule).
+    let mut links: Option<LoopLinkState> = config
+        .churn
+        .as_ref()
+        .filter(|plan| plan.link_fault_count() > 0)
+        .map(|_| LoopLinkState::new());
+
+    // Route one wire towards its destination inbox, through the link-fault
+    // model when one is armed.
+    fn deliver(
+        links: &mut Option<LoopLinkState>,
+        inboxes: &mut [VecDeque<(usize, LoopWire)>],
+        from: usize,
+        to: usize,
+        wire: LoopWire,
+        clock: u64,
+    ) {
+        match links.as_mut() {
+            Some(l) => l.route(from, to, wire, clock, inboxes),
+            None => inboxes[to].push_back((from, wire)),
+        }
+    }
+
     // Drain a transport's outbox into the destination inboxes.
     fn flush(
         rank: usize,
         transports: &mut [LoopbackTransport],
         inboxes: &mut [VecDeque<(usize, LoopWire)>],
+        links: &mut Option<LoopLinkState>,
+        clock: u64,
     ) {
         for (to, wire) in transports[rank].outbox.drain(..) {
-            inboxes[to].push_back((rank, wire));
+            deliver(links, inboxes, rank, to, wire, clock);
         }
     }
 
@@ -248,7 +550,7 @@ where
             .as_mut()
             .expect("initial ranks are spawned")
             .on_start(&mut transports[rank]);
-        flush(rank, &mut transports, &mut inboxes);
+        flush(rank, &mut transports, &mut inboxes, &mut links, clock);
     }
 
     // Clock values at which crashed ranks recover (the plan's modelled
@@ -259,9 +561,26 @@ where
     // shared lock without allocating once warm (the two locks stay
     // un-nested).
     let mut loads_scratch: Vec<crate::load_balance::PeerLoad> = Vec::new();
+    // Wedge guard: the event clock at the last completed relaxation, and
+    // the relaxation total it was observed at. A run where the clock keeps
+    // advancing (gossip probes, protocol timers, link-fault releases) while
+    // no engine relaxes for WEDGE_EVENT_GAP events is declared wedged and
+    // reported as non-converged — the loopback substrate has no deadline,
+    // so without this a fault schedule that permanently stalls the engines
+    // (e.g. a cut that never heals) would drive the chatter forever.
+    const WEDGE_EVENT_GAP: u64 = 1_000_000;
+    let mut last_relax_clock: u64 = 0;
+    let mut last_relax_total: u64 = 0;
 
     loop {
         let mut progress = false;
+        // Release wires whose cut edge reopened (or whose asymmetric delay
+        // elapsed) into the destination inboxes.
+        if let Some(l) = links.as_mut() {
+            if l.release_due(clock, &mut inboxes) {
+                progress = true;
+            }
+        }
         // A join fired: spawn the pre-provisioned rank. Its engine adopts
         // the joined slice of the membership plan and starts relaxing.
         if let Some(vol) = &volatility {
@@ -293,7 +612,7 @@ where
                             .as_mut()
                             .expect("just spawned")
                             .on_start(&mut transports[rank]);
-                        flush(rank, &mut transports, &mut inboxes);
+                        flush(rank, &mut transports, &mut inboxes, &mut links, clock);
                         progress = true;
                     }
                 }
@@ -342,7 +661,7 @@ where
                         .as_mut()
                         .expect("spawned")
                         .on_stop_signal(&mut transports[rank]);
-                    flush(rank, &mut transports, &mut inboxes);
+                    flush(rank, &mut transports, &mut inboxes, &mut links, clock);
                     progress = true;
                 } else if clock >= recover_at[&rank] {
                     recover_at.remove(&rank);
@@ -356,7 +675,7 @@ where
                     if let Some(g) = gossips[rank].as_mut() {
                         g.on_recovered();
                     }
-                    flush(rank, &mut transports, &mut inboxes);
+                    flush(rank, &mut transports, &mut inboxes, &mut links, clock);
                     progress = true;
                 }
                 continue;
@@ -383,12 +702,19 @@ where
                             (gossips[rank].as_mut(), GossipMessage::decode(&bytes))
                         {
                             for (to, reply) in g.on_message(&msg, clock) {
-                                inboxes[to].push_back((rank, LoopWire::Gossip(reply.encode())));
+                                deliver(
+                                    &mut links,
+                                    &mut inboxes,
+                                    rank,
+                                    to,
+                                    LoopWire::Gossip(reply.encode()),
+                                    clock,
+                                );
                             }
                         }
                     }
                 }
-                flush(rank, &mut transports, &mut inboxes);
+                flush(rank, &mut transports, &mut inboxes, &mut links, clock);
                 progress = true;
                 if engines[rank].as_ref().expect("spawned").crashed() {
                     break;
@@ -403,7 +729,7 @@ where
                     .as_mut()
                     .expect("spawned")
                     .on_timer(key, &mut transports[rank]);
-                flush(rank, &mut transports, &mut inboxes);
+                flush(rank, &mut transports, &mut inboxes, &mut links, clock);
                 progress = true;
             }
             // Complete a pending relaxation.
@@ -415,7 +741,19 @@ where
                     .as_mut()
                     .expect("spawned")
                     .on_compute_done(&mut transports[rank]);
-                flush(rank, &mut transports, &mut inboxes);
+                flush(rank, &mut transports, &mut inboxes, &mut links, clock);
+                // Arm due link-fault events on this rank's relaxation clock
+                // (the engine never sees them — the link model owns them).
+                if let Some(l) = links.as_mut() {
+                    if let Some(vol) = &volatility {
+                        let relaxations = engines[rank].as_ref().expect("spawned").relaxations();
+                        if vol.event_due(rank, relaxations) {
+                            for event in vol.lock().take_link_events(rank, relaxations) {
+                                l.arm(rank, event, clock, config.seed);
+                            }
+                        }
+                    }
+                }
                 progress = true;
             }
             // Gossip control plane turn: author the latest sweep, run the
@@ -431,7 +769,14 @@ where
                     if !msgs.is_empty() {
                         clock += 1;
                         for (to, msg) in msgs {
-                            inboxes[to].push_back((rank, LoopWire::Gossip(msg.encode())));
+                            deliver(
+                                &mut links,
+                                &mut inboxes,
+                                rank,
+                                to,
+                                LoopWire::Gossip(msg.encode()),
+                                clock,
+                            );
                         }
                         progress = true;
                     }
@@ -439,7 +784,7 @@ where
                         clock += 1;
                         transports[rank].clock_ns = clock;
                         engine.on_distributed_decision(&mut transports[rank]);
-                        flush(rank, &mut transports, &mut inboxes);
+                        flush(rank, &mut transports, &mut inboxes, &mut links, clock);
                         progress = true;
                     }
                 }
@@ -457,7 +802,7 @@ where
                     .poll_membership(&mut transports[rank])
                 {
                     clock += 1;
-                    flush(rank, &mut transports, &mut inboxes);
+                    flush(rank, &mut transports, &mut inboxes, &mut links, clock);
                     progress = true;
                 }
             }
@@ -472,11 +817,23 @@ where
                     .as_mut()
                     .expect("spawned")
                     .on_stop_signal(&mut transports[rank]);
-                flush(rank, &mut transports, &mut inboxes);
+                flush(rank, &mut transports, &mut inboxes, &mut links, clock);
                 progress = true;
             }
         }
         if engines.iter().flatten().all(|e| e.finished()) {
+            break;
+        }
+        let relax_total: u64 = engines.iter().flatten().map(PeerEngine::relaxations).sum();
+        // `!=` rather than `>`: a checkpoint restore rewinds the counters,
+        // and the rewind itself is evidence the run is still moving.
+        if relax_total != last_relax_total {
+            last_relax_total = relax_total;
+            last_relax_clock = clock;
+        } else if clock.saturating_sub(last_relax_clock) > WEDGE_EVENT_GAP {
+            // Wedged (see the guard's declaration): end the run; finish_run
+            // reports it as not converged.
+            dump_no_progress_exit("WEDGE", clock, &engines, &transports, &inboxes, &gossips);
             break;
         }
         if !progress {
@@ -497,10 +854,40 @@ where
                         .filter(|(_, e)| e.as_ref().is_some_and(|e| !e.finished() && !e.crashed()))
                         .filter_map(|(g, _)| g.as_ref().map(GossipNode::next_deadline)),
                 )
+                // A held wire behind a cut edge releases at a known clock; a
+                // quiet network must still advance to that point.
+                .chain(links.as_ref().and_then(LoopLinkState::next_release))
+                // Only strictly-future instants can unblock anything: a
+                // deadline at or before the current clock was already swept
+                // this turn without progress, and letting it shadow a later
+                // genuine deadline (a pending recovery, another node's probe
+                // round) would end a run that still has scheduled work.
+                .filter(|&deadline| deadline > clock)
                 .min();
             match earliest {
-                Some(deadline) if deadline > clock => clock = deadline,
-                _ => break,
+                Some(deadline) => {
+                    // An idle jump processes zero events, and the wedge
+                    // guard measures processed events — so the jumped span
+                    // must not count toward the gap. The reliable channel's
+                    // retransmission timeout is ns-denominated (600 ms),
+                    // which on this clock is a deadline hundreds of millions
+                    // of ticks out: charging the jump to the guard would
+                    // declare every corrupted-then-retransmitted synchronous
+                    // segment a wedge before the retransmission fires.
+                    last_relax_clock += deadline - clock;
+                    clock = deadline;
+                }
+                None => {
+                    dump_no_progress_exit(
+                        "IDLE-EXIT",
+                        clock,
+                        &engines,
+                        &transports,
+                        &inboxes,
+                        &gossips,
+                    );
+                    break;
+                }
             }
         }
     }

@@ -92,7 +92,7 @@ use p2psap::Scheme;
 /// stop decision emerges from merged convergence digests — each peer
 /// evaluates the same criterion over its own merged copy and the first
 /// satisfied peer broadcasts the stop.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ControlPlane {
     /// Central ping server + shared detector fold (the original design).
     #[default]

@@ -15,7 +15,7 @@
 //! the simulated network delays.
 
 use crate::app::IterativeTask;
-use crate::churn::{SharedVolatility, VolatilityState};
+use crate::churn::{ChurnEventKind, SharedVolatility, VolatilityState};
 use crate::compute::ComputeModel;
 use crate::gossip::{GossipMessage, GossipNode, GossipTiming};
 use crate::metrics::RunMeasurement;
@@ -26,7 +26,10 @@ use crate::runtime::engine::{
 use crate::runtime::RunConfig;
 use bytes::Bytes;
 use desim::{Context, Payload, Process, ProcessId, SimDuration, SimTime, Simulator, TimerId};
-use netsim::{shared_stats, Deliver, NetStats, NetworkFabric, NodeId, Packet, Topology, Transmit};
+use netsim::{
+    shared_stats, Deliver, LinkFaults, NetStats, NetworkFabric, NodeId, Packet, SharedLinkFaults,
+    Topology, Transmit,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -249,6 +252,9 @@ struct PeerActor {
     seed: u64,
     gossip_fanout: Option<usize>,
     gossip: Option<GossipNode>,
+    /// Scenario link faults shared with the fabric (armed by this rank's due
+    /// link events, consulted for the fabric-bypassing gossip signals).
+    faults: Option<SharedLinkFaults>,
 }
 
 impl PeerActor {
@@ -329,6 +335,46 @@ impl PeerActor {
         ctx.set_timer(delay, RECOVERY_TIMER_TAG);
     }
 
+    /// Arm this rank's due link-fault events on the shared fault schedule
+    /// (the engine never sees link faults — the transport layer owns them).
+    fn apply_link_events(&mut self, ctx: &mut Context<'_>, relaxations: u64) {
+        let Some(faults) = self.faults.as_ref() else {
+            return;
+        };
+        let Some((vol, _)) = self.volatility.as_ref() else {
+            return;
+        };
+        if !vol.event_due(self.rank, relaxations) {
+            return;
+        }
+        let now = ctx.now().as_nanos();
+        let events = vol.lock().take_link_events(self.rank, relaxations);
+        for event in events {
+            match event.kind {
+                ChurnEventKind::Partition {
+                    group,
+                    heal_after_ns,
+                    ..
+                } => faults.partition(group, now, heal_after_ns),
+                ChurnEventKind::FlappingLink {
+                    peer,
+                    period_ns,
+                    cycles,
+                    ..
+                } => faults.flap(self.rank, peer, now, period_ns, cycles),
+                ChurnEventKind::AsymmetricLatency { peer, factor } => {
+                    faults.asym_latency(self.rank, peer, factor)
+                }
+                ChurnEventKind::Corruption { flips } => faults.corrupt_next(
+                    self.rank,
+                    flips,
+                    self.seed ^ ((self.rank as u64) << 32) ^ event.at_iteration,
+                ),
+                _ => {}
+            }
+        }
+    }
+
     /// A join event fired somewhere in the run: wake the dormant rank it
     /// named (the joiner builds its engine from the membership plan).
     fn dispatch_spawn(&mut self, ctx: &mut Context<'_>) {
@@ -379,7 +425,7 @@ impl Process for PeerActor {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_>, _from: ProcessId, payload: Payload) {
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: ProcessId, payload: Payload) {
         let payload = match payload.downcast::<JoinSignal>() {
             Ok(_) => {
                 self.join(ctx);
@@ -389,6 +435,16 @@ impl Process for PeerActor {
         };
         let payload = match payload.downcast::<GossipSignal>() {
             Ok(signal) => {
+                // Gossip signals bypass the data fabric, so the scenario
+                // link faults are enforced here: traffic across a cut link
+                // is lost, and that loss is what raises (false) suspicions
+                // during a partition.
+                if let Some(faults) = &self.faults {
+                    if faults.blocked(from.index(), self.rank, ctx.now().as_nanos()) {
+                        faults.record_blocked_drop();
+                        return;
+                    }
+                }
                 // A crashed (or finished, or dormant) peer is silent on the
                 // gossip plane too — that silence is what drives suspicion.
                 let alive = self
@@ -479,6 +535,8 @@ impl Process for PeerActor {
             let mut transport = Self::transport(&mut self.net, ctx);
             engine.on_compute_done(&mut transport);
             let crashed = engine.crashed();
+            let relaxations = engine.relaxations();
+            self.apply_link_events(ctx, relaxations);
             // A join the sweep triggered names a dormant rank: wake it.
             self.dispatch_spawn(ctx);
             if crashed {
@@ -529,6 +587,11 @@ where
     if gossip_fanout.is_some() {
         shared.lock().set_distributed_decision(true);
     }
+    let faults = config
+        .churn
+        .as_ref()
+        .filter(|plan| plan.link_fault_count() > 0)
+        .map(|_| LinkFaults::new());
     let stats = shared_stats();
     let mut sim = Simulator::new(config.seed);
 
@@ -579,6 +642,7 @@ where
             } else {
                 None
             },
+            faults: faults.clone(),
             net: SimNet {
                 rank,
                 fabric: fabric_id,
@@ -597,6 +661,9 @@ where
     let mut fabric = NetworkFabric::new(topology.clone(), endpoints, Arc::clone(&stats));
     if config.topology.cluster_count() > 1 {
         fabric = fabric.with_inter_cluster_netem(netsim::Netem::delay_100ms());
+    }
+    if let Some(faults) = &faults {
+        fabric = fabric.with_faults(Arc::clone(faults));
     }
     let actual_fabric_id = sim.add_process(Box::new(fabric));
     assert_eq!(actual_fabric_id, fabric_id);

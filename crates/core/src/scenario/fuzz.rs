@@ -1,0 +1,483 @@
+//! The scenario fuzzer: seeded case generation, greedy plan shrinking and
+//! the batch driver behind `repro fuzz`.
+//!
+//! # Generation
+//!
+//! [`generate_case`] is a pure function of `(master_seed, index)`. The
+//! (workload × scheme × control plane) grid is covered *deterministically*
+//! — the index cycles through all 18 combinations — while the fault plan
+//! (event kinds, victims, trigger iterations, heal delays, corruption
+//! budgets) is drawn from a `ChaCha8Rng` derived from both inputs, so a
+//! batch is reproducible from its master seed alone and any single case is
+//! reproducible from its serialized [`FuzzCase`].
+//!
+//! Every generated fault is *finite* by construction: partitions carry
+//! bounded dual-clock heals, flaps carry bounded cycle counts, corruption
+//! carries a bounded flip budget. The convergence oracle depends on this —
+//! an unbounded cut genuinely prevents convergence and would be a
+//! generator bug, not a runtime bug.
+//!
+//! # Shrinking
+//!
+//! [`shrink`] minimizes a failing case in two greedy phases, re-running
+//! the full oracle suite after each candidate edit:
+//!
+//! 1. **Event removal** — repeatedly drop any single event whose removal
+//!    keeps the case failing, to a fixpoint. Plans typically collapse to
+//!    one or two load-bearing events here.
+//! 2. **Parameter halving** — repeatedly halve any single numeric
+//!    parameter (trigger iteration, heal delay, flap period/cycles,
+//!    latency factor, flip budget) whose halving keeps the case failing,
+//!    to a fixpoint. Every accepted edit strictly decreases a positive
+//!    measure, so the loop terminates.
+//!
+//! The result is the minimal repro serialized into `results/fuzz_repros/`
+//! by the CLI and replayed byte-identically with `repro fuzz --replay`.
+
+use super::{check_case, FuzzCase, Violation};
+use crate::churn::{ChurnEvent, ChurnEventKind, ChurnPlan};
+use crate::runtime::ControlPlane;
+use crate::workload::WorkloadKind;
+use p2psap::Scheme;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Schemes in generator cycling order.
+const SCHEMES: [Scheme; 3] = [Scheme::Asynchronous, Scheme::Synchronous, Scheme::Hybrid];
+
+/// Modelled failure-detection latency of generated plans, matched to the
+/// sim backend's virtual timescale (a whole quick run is a few virtual
+/// milliseconds; the 30 ms wall-clock default would dominate it).
+const DETECTION_DELAY_NS: u64 = 1_000_000;
+
+/// One case the batch flagged: the original case, its violations, and the
+/// shrunk minimal repro with the violations it still produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureReport {
+    /// Batch index of the failing case.
+    pub index: usize,
+    /// The case exactly as generated.
+    pub case: FuzzCase,
+    /// Oracle violations of the generated case.
+    pub violations: Vec<Violation>,
+    /// The greedily shrunk minimal case.
+    pub shrunk: FuzzCase,
+    /// Oracle violations of the shrunk case (non-empty by construction).
+    pub shrunk_violations: Vec<Violation>,
+}
+
+/// Outcome of one fuzz batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchOutcome {
+    /// Master seed the batch was derived from.
+    pub master_seed: u64,
+    /// Number of cases run.
+    pub cases: usize,
+    /// Every failing case, with its shrunk repro.
+    pub failures: Vec<FailureReport>,
+}
+
+/// The serialized form of one minimal repro: the shrunk case plus the
+/// violations a replay must reproduce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReproFile {
+    /// The minimal failing case.
+    pub case: FuzzCase,
+    /// The violations [`check_case`] produced for it when it was saved; a
+    /// replay re-checks the case and compares against these.
+    pub violations: Vec<Violation>,
+}
+
+fn pick(rng: &mut ChaCha8Rng, bound: u64) -> u64 {
+    rng.next_u64() % bound.max(1)
+}
+
+/// Generate case `index` of the batch derived from `master_seed` (see the
+/// module docs for the grid/randomness split).
+pub fn generate_case(master_seed: u64, index: usize) -> FuzzCase {
+    let workload = WorkloadKind::ALL[index % 3];
+    let scheme = SCHEMES[(index / 3) % 3];
+    let gossip = (index / 9) % 2 == 1;
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(master_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let peers = 3 + pick(&mut rng, 2) as usize;
+    let size = match workload {
+        WorkloadKind::Obstacle => 8,
+        WorkloadKind::Heat => 10 + pick(&mut rng, 3) as usize,
+        WorkloadKind::PageRank => 24 + 8 * pick(&mut rng, 3) as usize,
+    };
+    let control = if gossip {
+        ControlPlane::Gossip {
+            fanout: 2.min(peers - 1),
+        }
+    } else {
+        ControlPlane::Centralized
+    };
+
+    let mut plan = ChurnPlan::new(vec![])
+        .with_checkpoint_interval(3 + pick(&mut rng, 5))
+        .with_detection_delay_ns(DETECTION_DELAY_NS)
+        .with_repartition(pick(&mut rng, 2) == 1);
+    let mut crashed: Vec<usize> = Vec::new();
+    for _ in 0..1 + pick(&mut rng, 3) {
+        let rank = pick(&mut rng, peers as u64) as usize;
+        let at = 2 + pick(&mut rng, 18);
+        match pick(&mut rng, 12) {
+            // Peer faults. Crash victims stay distinct: a rank recovered
+            // once holds no second life in the spare accounting.
+            0 | 1 if !crashed.contains(&rank) => {
+                crashed.push(rank);
+                plan.events.push(ChurnEvent {
+                    rank,
+                    at_iteration: at,
+                    kind: ChurnEventKind::Crash,
+                });
+            }
+            2 => plan = plan.with_join(rank, at),
+            3 => plan.events.push(ChurnEvent {
+                rank,
+                at_iteration: at,
+                kind: ChurnEventKind::Slowdown {
+                    factor: 1.5 + pick(&mut rng, 3) as f64 * 0.5,
+                },
+            }),
+            // Link faults, always finite.
+            4..=6 => {
+                // A random proper, non-empty rank subset as one side.
+                let mut group: Vec<usize> = (0..peers).filter(|_| pick(&mut rng, 2) == 1).collect();
+                if group.is_empty() {
+                    group.push(rank);
+                }
+                if group.len() == peers {
+                    group.pop();
+                }
+                plan = plan.with_partition(
+                    rank,
+                    at,
+                    &group,
+                    1_000_000 + pick(&mut rng, 2_000_000),
+                    100 + pick(&mut rng, 300),
+                );
+            }
+            7 | 8 => {
+                let peer = (rank + 1 + pick(&mut rng, peers as u64 - 1) as usize) % peers;
+                plan = plan.with_flapping_link(
+                    rank,
+                    at,
+                    peer,
+                    200_000 + pick(&mut rng, 600_000),
+                    16 + pick(&mut rng, 48),
+                    1 + pick(&mut rng, 2) as u32,
+                );
+            }
+            9 => {
+                let peer = (rank + 1 + pick(&mut rng, peers as u64 - 1) as usize) % peers;
+                plan = plan.with_asym_latency(rank, at, peer, 1.5 + pick(&mut rng, 4) as f64 * 0.5);
+            }
+            _ => plan = plan.with_corruption(rank, at, 1 + pick(&mut rng, 3) as u32),
+        }
+    }
+
+    FuzzCase {
+        seed: master_seed ^ rng.next_u64(),
+        workload,
+        size,
+        peers,
+        scheme,
+        control,
+        plan,
+    }
+}
+
+/// Candidate single-parameter halvings of one event, each strictly
+/// decreasing some positive measure of the event (so the shrink loop
+/// terminates).
+fn halvings(event: &ChurnEvent) -> Vec<ChurnEvent> {
+    let mut out = Vec::new();
+    if event.at_iteration >= 2 {
+        let mut e = *event;
+        e.at_iteration /= 2;
+        out.push(e);
+    }
+    let halve_factor = |f: f64| {
+        if f <= 1.25 {
+            1.0
+        } else {
+            1.0 + (f - 1.0) / 2.0
+        }
+    };
+    match event.kind {
+        ChurnEventKind::Crash | ChurnEventKind::Join => {}
+        ChurnEventKind::Slowdown { factor } if factor > 1.0 => {
+            let mut e = *event;
+            e.kind = ChurnEventKind::Slowdown {
+                factor: halve_factor(factor),
+            };
+            out.push(e);
+        }
+        ChurnEventKind::Slowdown { .. } => {}
+        ChurnEventKind::Partition {
+            group,
+            heal_after_ns,
+            heal_after_events,
+        } => {
+            if heal_after_ns >= 2 {
+                let mut e = *event;
+                e.kind = ChurnEventKind::Partition {
+                    group,
+                    heal_after_ns: heal_after_ns / 2,
+                    heal_after_events,
+                };
+                out.push(e);
+            }
+            if heal_after_events >= 2 {
+                let mut e = *event;
+                e.kind = ChurnEventKind::Partition {
+                    group,
+                    heal_after_ns,
+                    heal_after_events: heal_after_events / 2,
+                };
+                out.push(e);
+            }
+            if group.count_ones() > 1 {
+                // Shrink the split itself: drop the highest rank from the
+                // group side.
+                let mut e = *event;
+                e.kind = ChurnEventKind::Partition {
+                    group: group & !(1u64 << (63 - group.leading_zeros())),
+                    heal_after_ns,
+                    heal_after_events,
+                };
+                out.push(e);
+            }
+        }
+        ChurnEventKind::FlappingLink {
+            peer,
+            period_ns,
+            period_events,
+            cycles,
+        } => {
+            for (ns, ev, cy) in [
+                (period_ns / 2, period_events, cycles),
+                (period_ns, period_events / 2, cycles),
+                (period_ns, period_events, cycles / 2),
+            ] {
+                if (ns, ev, cy) != (period_ns, period_events, cycles)
+                    && ns >= 1
+                    && ev >= 1
+                    && cy >= 1
+                {
+                    let mut e = *event;
+                    e.kind = ChurnEventKind::FlappingLink {
+                        peer,
+                        period_ns: ns,
+                        period_events: ev,
+                        cycles: cy,
+                    };
+                    out.push(e);
+                }
+            }
+        }
+        ChurnEventKind::AsymmetricLatency { peer, factor } if factor > 1.0 => {
+            let mut e = *event;
+            e.kind = ChurnEventKind::AsymmetricLatency {
+                peer,
+                factor: halve_factor(factor),
+            };
+            out.push(e);
+        }
+        ChurnEventKind::AsymmetricLatency { .. } => {}
+        ChurnEventKind::Corruption { flips } if flips >= 2 => {
+            let mut e = *event;
+            e.kind = ChurnEventKind::Corruption { flips: flips / 2 };
+            out.push(e);
+        }
+        ChurnEventKind::Corruption { .. } => {}
+    }
+    out
+}
+
+/// Greedily minimize a failing case: drop events, then halve parameters,
+/// keeping every edit that still fails the oracles (see the module docs).
+/// Returns the input unchanged if it does not fail.
+pub fn shrink(case: &FuzzCase) -> FuzzCase {
+    let fails = |c: &FuzzCase| !check_case(c).is_empty();
+    if !fails(case) {
+        return case.clone();
+    }
+    let mut best = case.clone();
+    // Phase 1: event removal to a fixpoint.
+    loop {
+        let removed = (0..best.plan.events.len()).find_map(|at| {
+            let mut candidate = best.clone();
+            candidate.plan.events.remove(at);
+            fails(&candidate).then_some(candidate)
+        });
+        match removed {
+            Some(candidate) => best = candidate,
+            None => break,
+        }
+    }
+    // Phase 2: parameter halving to a fixpoint.
+    loop {
+        let halved = (0..best.plan.events.len()).find_map(|at| {
+            halvings(&best.plan.events[at]).into_iter().find_map(|e| {
+                let mut candidate = best.clone();
+                candidate.plan.events[at] = e;
+                fails(&candidate).then_some(candidate)
+            })
+        });
+        match halved {
+            Some(candidate) => best = candidate,
+            None => break,
+        }
+    }
+    best
+}
+
+/// Run a batch of `count` generated cases, shrinking every failure.
+/// `progress` is called once per case with its violations (empty = pass).
+pub fn run_batch(
+    master_seed: u64,
+    count: usize,
+    progress: &mut dyn FnMut(usize, &FuzzCase, &[Violation]),
+) -> BatchOutcome {
+    let mut failures = Vec::new();
+    for index in 0..count {
+        let case = generate_case(master_seed, index);
+        let violations = check_case(&case);
+        progress(index, &case, &violations);
+        if !violations.is_empty() {
+            let shrunk = shrink(&case);
+            let shrunk_violations = check_case(&shrunk);
+            failures.push(FailureReport {
+                index,
+                case,
+                violations,
+                shrunk,
+                shrunk_violations,
+            });
+        }
+    }
+    BatchOutcome {
+        master_seed,
+        cases: count,
+        failures,
+    }
+}
+
+/// Serialize one failure's minimal repro into `dir` (created on demand) as
+/// pretty JSON; returns the file path.
+pub fn save_repro(dir: &Path, report: &FailureReport) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let file = ReproFile {
+        case: report.shrunk.clone(),
+        violations: report.shrunk_violations.clone(),
+    };
+    let path = dir.join(format!(
+        "case_{:03}_seed_{}.json",
+        report.index, report.case.seed
+    ));
+    let body = serde_json::to_string_pretty(&file)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Load a repro file previously written by [`save_repro`].
+pub fn load_repro(path: &Path) -> Result<ReproFile, String> {
+    let body = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    serde_json::from_str(&body).map_err(|e| format!("parse {path:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_covers_the_grid() {
+        let mut seen = std::collections::HashSet::new();
+        for index in 0..18 {
+            let case = generate_case(42, index);
+            assert_eq!(case, generate_case(42, index), "case {index} not stable");
+            seen.insert((
+                case.workload.label(),
+                format!("{:?}", case.scheme),
+                case.control.is_gossip(),
+            ));
+            assert!(!case.plan.events.is_empty(), "case {index} has no faults");
+            assert!(case.peers >= 3);
+            // Every generated link fault is finite.
+            for event in &case.plan.events {
+                if let ChurnEventKind::Partition {
+                    heal_after_ns,
+                    heal_after_events,
+                    group,
+                } = event.kind
+                {
+                    assert!(heal_after_ns > 0 && heal_after_events > 0);
+                    assert!(group != 0, "empty partition side");
+                    assert!(group.count_ones() < case.peers as u32, "full-set split");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 18, "grid coverage: {seen:?}");
+    }
+
+    #[test]
+    fn different_master_seeds_draw_different_plans() {
+        let a = generate_case(1, 0);
+        let b = generate_case(2, 0);
+        assert_eq!(a.workload, b.workload, "grid axes are index-determined");
+        assert_ne!(a, b, "plans must vary with the master seed");
+    }
+
+    #[test]
+    fn halvings_strictly_shrink_every_parameter() {
+        let case = generate_case(7, 4);
+        for event in &case.plan.events {
+            for halved in halvings(event) {
+                assert_ne!(&halved, event, "halving must change the event");
+            }
+        }
+        // A partition's group side loses its highest rank.
+        let event = ChurnEvent {
+            rank: 0,
+            at_iteration: 8,
+            kind: ChurnEventKind::Partition {
+                group: 0b101,
+                heal_after_ns: 100,
+                heal_after_events: 50,
+            },
+        };
+        assert!(halvings(&event)
+            .iter()
+            .any(|e| matches!(e.kind, ChurnEventKind::Partition { group: 0b001, .. })));
+    }
+
+    #[test]
+    fn repro_files_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("fuzz_repro_test_{}", std::process::id()));
+        let case = generate_case(42, 0);
+        let report = FailureReport {
+            index: 0,
+            case: case.clone(),
+            violations: vec![Violation {
+                oracle: "converges".into(),
+                detail: "synthetic".into(),
+            }],
+            shrunk: case,
+            shrunk_violations: vec![Violation {
+                oracle: "converges".into(),
+                detail: "synthetic".into(),
+            }],
+        };
+        let path = save_repro(&dir, &report).expect("save");
+        let loaded = load_repro(&path).expect("load");
+        assert_eq!(loaded.case, report.shrunk);
+        assert_eq!(loaded.violations, report.shrunk_violations);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,388 @@
+//! Scenario fuzzing and invariant oracles over the deterministic backends.
+//!
+//! The two deterministic substrates (virtual-time sim, event-count
+//! loopback) replay a seeded [`FuzzCase`] bit-identically, which turns the
+//! whole runtime stack into a checkable function: pick a random
+//! (workload × scheme × control plane) configuration, pick a random
+//! [`ChurnPlan`] mixing peer faults (crashes, joins, slowdowns) with link
+//! faults (partitions, flapping edges, asymmetric latency, frame
+//! corruption), run it on both backends, and assert the invariants that
+//! must hold for *every* plan the generator can produce:
+//!
+//! * **converges** — both backends reach convergence within the
+//!   relaxation/deadline budget (every generated fault is finite: cuts
+//!   heal, flaps stop, corruption budgets run out).
+//! * **no-stranded-peer** — every rank of a converged run performed at
+//!   least one relaxation; a peer wedged on a dead report generation (e.g.
+//!   by a mis-handled rollback) either blocks convergence or shows up here.
+//! * **solution-quality** — the assembled solution's fixed-point residual
+//!   stays within a small multiple of what the *same configuration without
+//!   fault events* reaches on the same backend, so recovery re-slices are
+//!   lossless (a dropped or doubled block moves the residual orders of
+//!   magnitude, not percent). The bound is baseline-relative because the
+//!   asynchronous stop criterion bounds local diffs, not the assembled
+//!   global residual: under the sim fabric's latency a perfectly healthy
+//!   asynchronous run stops with a residual thousands of times the
+//!   tolerance, all of it staleness and none of it loss.
+//! * **reslice-accounting** — every join that fired was granted a work
+//!   share through a live repartition.
+//! * **sync-agreement** — for crash-free synchronous plans under the
+//!   centralized control plane the convergence iteration is
+//!   problem-determined, so sim and loopback must agree on the minimum
+//!   relaxation count even while partitions, flaps and corruption reorder
+//!   and delay the traffic underneath. (Gossip stop decisions lag the
+//!   criterion by rumor propagation, which the two clock domains measure
+//!   differently — relaxation counts are only comparable centrally.)
+//! * **control-plane-equivalence** — the same case re-run on loopback with
+//!   the *other* control plane (gossip ↔ centralized) converges to the
+//!   same final membership whenever the same fault events fired: the stop
+//!   decision may travel differently, but the live set it stops must not.
+//!
+//! [`check_case`] runs one case against all oracles and returns the
+//! violations; [`fuzz`] wraps it in a seeded generator, a greedy plan
+//! shrinker and the batch driver behind `repro fuzz`.
+
+pub mod fuzz;
+
+pub use fuzz::{
+    generate_case, load_repro, run_batch, save_repro, shrink, BatchOutcome, FailureReport,
+    ReproFile,
+};
+
+use crate::churn::ChurnPlan;
+use crate::experiment::{run_on, RuntimeExperimentResult, RuntimeKind};
+use crate::runtime::{ControlPlane, RunConfig};
+use crate::workload::WorkloadKind;
+use p2psap::Scheme;
+use serde::{Deserialize, Serialize};
+
+/// Residual slack the solution-quality oracle grants over the larger of the
+/// tolerance and the same-backend fault-free baseline residual (the idiom
+/// the churn e2e suite uses): lost or doubled work moves the residual by
+/// orders of magnitude, scheduling noise by percents.
+pub const RESIDUAL_SLACK: f64 = 10.0;
+
+/// Virtual-time budget of a fuzzed sim run (see [`FuzzCase::config`]).
+pub const FUZZ_SIM_DEADLINE: desim::SimDuration = desim::SimDuration::from_secs(10);
+
+/// One fuzzable scenario: a full run configuration plus a churn plan,
+/// self-contained and serializable so a failing case replays from a file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzCase {
+    /// Master seed of the run's deterministic random sources.
+    pub seed: u64,
+    /// Workload under test.
+    pub workload: WorkloadKind,
+    /// Problem size (the workload's natural size knob).
+    pub size: usize,
+    /// Peer count.
+    pub peers: usize,
+    /// Scheme of computation.
+    pub scheme: Scheme,
+    /// Control plane carrying membership and the stop decision.
+    pub control: ControlPlane,
+    /// The fault schedule under test.
+    pub plan: ChurnPlan,
+}
+
+/// One oracle violation: which invariant broke and how.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The oracle that flagged the case (one of the module-level names).
+    pub oracle: String,
+    /// Human-readable detail of the breach.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(oracle: &str, detail: String) -> Self {
+        Self {
+            oracle: oracle.into(),
+            detail,
+        }
+    }
+}
+
+impl FuzzCase {
+    /// Convergence tolerance matched to the workload's numeric scale (the
+    /// same values the cross-backend experiment tests pin).
+    pub fn tolerance(&self) -> f64 {
+        match self.workload {
+            WorkloadKind::Obstacle | WorkloadKind::Heat => 1e-3,
+            WorkloadKind::PageRank => 1e-8,
+        }
+    }
+
+    /// The run configuration this case describes. The churn plan is armed
+    /// even when its event list is empty so every case exercises the
+    /// checkpointing path. The sim deadline is tightened from the harness
+    /// default (100 000 virtual seconds) to [`FUZZ_SIM_DEADLINE`]: a quick
+    /// run converges within virtual milliseconds, and a wedged gossip run
+    /// would otherwise tick its probe timers for 10⁸ virtual rounds before
+    /// the oracle could call the non-convergence.
+    pub fn config(&self) -> RunConfig {
+        let mut config = RunConfig::quick(self.scheme, self.peers);
+        config.tolerance = self.tolerance();
+        config.seed = self.seed;
+        config.control_plane = self.control;
+        config.churn = Some(self.plan.clone());
+        config.extras = crate::runtime::BackendExtras::Sim {
+            deadline: FUZZ_SIM_DEADLINE,
+        };
+        config
+    }
+
+    /// The same case under the other control plane (for the equivalence
+    /// oracle).
+    pub fn counterpart_control(&self) -> ControlPlane {
+        match self.control {
+            ControlPlane::Centralized => ControlPlane::Gossip {
+                fanout: 2.min(self.peers.saturating_sub(1)).max(1),
+            },
+            ControlPlane::Gossip { .. } => ControlPlane::Centralized,
+        }
+    }
+
+    /// Compact one-line description for logs and repro file names.
+    pub fn label(&self) -> String {
+        let control = match self.control {
+            ControlPlane::Centralized => "central".to_string(),
+            ControlPlane::Gossip { fanout } => format!("gossip{fanout}"),
+        };
+        format!(
+            "seed={} {}/{:?}/{} peers={} events={}",
+            self.seed,
+            self.workload,
+            self.scheme,
+            control,
+            self.peers,
+            self.plan.events.len()
+        )
+    }
+}
+
+/// Per-backend oracles: convergence, stranded peers, solution quality and
+/// repartition accounting. `baseline_residual` runs the fault-free twin of
+/// the case on the same backend — invoked lazily, only when the faulted
+/// residual misses the plain tolerance bound (the common converged case
+/// costs no extra run).
+fn check_backend(
+    case: &FuzzCase,
+    label: &str,
+    result: &RuntimeExperimentResult,
+    baseline_residual: impl FnOnce() -> f64,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let m = &result.measurement;
+    if !m.converged {
+        violations.push(Violation::new(
+            "converges",
+            format!(
+                "{label}: run did not converge within budget ({})",
+                case.label()
+            ),
+        ));
+        // The remaining per-backend oracles are only meaningful for
+        // converged runs.
+        return violations;
+    }
+    if let Some(rank) = m.relaxations_per_peer.iter().position(|&r| r == 0) {
+        violations.push(Violation::new(
+            "no-stranded-peer",
+            format!(
+                "{label}: rank {rank} never relaxed in a converged run, counts {:?}",
+                m.relaxations_per_peer
+            ),
+        ));
+    }
+    // NaN residuals must count as violations, so the comparisons are
+    // written as explicit "NaN or too large" rather than a negated `<`.
+    let too_large = |residual: f64, bound: f64| residual.is_nan() || residual >= bound;
+    if too_large(m.residual, case.tolerance() * RESIDUAL_SLACK) {
+        let baseline = baseline_residual();
+        let bound = case.tolerance().max(baseline) * RESIDUAL_SLACK;
+        if too_large(m.residual, bound) {
+            violations.push(Violation::new(
+                "solution-quality",
+                format!(
+                    "{label}: residual {} exceeds {bound} (fault-free baseline {baseline}, {})",
+                    m.residual,
+                    case.label()
+                ),
+            ));
+        }
+    }
+    if m.joins > 0 && m.repartitions < m.joins {
+        violations.push(Violation::new(
+            "reslice-accounting",
+            format!(
+                "{label}: {} joins fired but only {} repartitions applied",
+                m.joins, m.repartitions
+            ),
+        ));
+    }
+    violations
+}
+
+/// Run `case` on both deterministic backends (plus the counterpart control
+/// plane on loopback) and evaluate every oracle. An empty vector means the
+/// case holds.
+pub fn check_case(case: &FuzzCase) -> Vec<Violation> {
+    let workload = case.workload.build(case.size, case.peers);
+    let config = case.config();
+    let sim = run_on(workload.as_ref(), &config, RuntimeKind::Sim);
+    let loopback = run_on(workload.as_ref(), &config, RuntimeKind::Loopback);
+
+    // The fault-free twin of this case (events removed, the plan otherwise
+    // armed), for the baseline-relative solution-quality bound.
+    let baseline_config = {
+        let mut twin = case.clone();
+        twin.plan.events.clear();
+        twin.config()
+    };
+    let workload_ref = workload.as_ref();
+    let baseline_ref = &baseline_config;
+    let baseline = move |kind: RuntimeKind| {
+        move || {
+            run_on(workload_ref, baseline_ref, kind)
+                .measurement
+                .residual
+        }
+    };
+
+    let mut violations = Vec::new();
+    violations.extend(check_backend(case, "sim", &sim, baseline(RuntimeKind::Sim)));
+    violations.extend(check_backend(
+        case,
+        "loopback",
+        &loopback,
+        baseline(RuntimeKind::Loopback),
+    ));
+
+    // Synchronous convergence is problem-determined: with no crash (whose
+    // rollback depth depends on the backend clock's detection latency), no
+    // join (whose re-slice depends on backend capacity estimates) and the
+    // centralized stop decision (a gossip stop lags the criterion by rumor
+    // propagation, which the two clock domains measure differently), the
+    // two backends must agree on the convergence iteration regardless of
+    // what the link faults did to the traffic.
+    if case.scheme == Scheme::Synchronous
+        && case.control == ControlPlane::Centralized
+        && case.plan.crash_count() == 0
+        && case.plan.join_count() == 0
+        && sim.measurement.converged
+        && loopback.measurement.converged
+    {
+        let min =
+            |r: &RuntimeExperimentResult| r.measurement.relaxations_per_peer.iter().min().copied();
+        if min(&sim) != min(&loopback) {
+            violations.push(Violation::new(
+                "sync-agreement",
+                format!(
+                    "sim converged at {:?} but loopback at {:?} relaxations ({})",
+                    min(&sim),
+                    min(&loopback),
+                    case.label()
+                ),
+            ));
+        }
+    }
+
+    // Control-plane equivalence on the loopback backend: the stop decision
+    // may travel as gossip digests or detector folds, but when the same
+    // fault events fired, the membership it stops must be the same.
+    let mut counter_config = config.clone();
+    counter_config.control_plane = case.counterpart_control();
+    let counter = run_on(workload.as_ref(), &counter_config, RuntimeKind::Loopback);
+    if !counter.measurement.converged {
+        violations.push(Violation::new(
+            "control-plane-equivalence",
+            format!(
+                "loopback under {:?} did not converge ({})",
+                counter_config.control_plane,
+                case.label()
+            ),
+        ));
+    } else if loopback.measurement.converged {
+        let live = |r: &RuntimeExperimentResult| {
+            let m = &r.measurement;
+            (
+                m.crashes,
+                m.joins,
+                m.recoveries,
+                m.relaxations_per_peer.len(),
+            )
+        };
+        let (a, b) = (live(&loopback), live(&counter));
+        // Same fired events => same final membership. (A crash or join
+        // scheduled near the convergence point may fire under one control
+        // plane and not the other — different stop decisions legitimately
+        // stop at different times — so the live sets are only comparable
+        // when the fault histories match.)
+        if (a.0, a.1) == (b.0, b.1) && a != b {
+            violations.push(Violation::new(
+                "control-plane-equivalence",
+                format!(
+                    "same fault history but live sets differ: {:?} {a:?} vs {:?} {b:?}",
+                    config.control_plane, counter_config.control_plane
+                ),
+            ));
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_case() -> FuzzCase {
+        FuzzCase {
+            seed: 7,
+            workload: WorkloadKind::Obstacle,
+            size: 8,
+            peers: 2,
+            scheme: Scheme::Asynchronous,
+            control: ControlPlane::Centralized,
+            plan: ChurnPlan::new(vec![]),
+        }
+    }
+
+    #[test]
+    fn a_fault_free_case_holds_every_oracle() {
+        assert_eq!(check_case(&quiet_case()), Vec::new());
+    }
+
+    #[test]
+    fn cases_serialize_and_replay_identically() {
+        let mut case = quiet_case();
+        case.plan = ChurnPlan::kill(1, 10)
+            .with_partition(0, 5, &[0], 2_000_000, 200)
+            .with_corruption(1, 3, 2);
+        let json = serde_json::to_string_pretty(&case).expect("serialize");
+        let back: FuzzCase = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, case);
+        // Byte-identical re-serialization: the repro file round-trips.
+        assert_eq!(
+            serde_json::to_string_pretty(&back).expect("re-serialize"),
+            json
+        );
+    }
+
+    #[test]
+    fn an_unhealed_partition_is_flagged_by_the_convergence_oracle() {
+        // A synchronous run split in two with the heal beyond any budget
+        // cannot converge; the oracle must say so on both backends.
+        let mut case = quiet_case();
+        case.peers = 3;
+        case.size = 8;
+        case.scheme = Scheme::Synchronous;
+        case.plan = ChurnPlan::new(vec![]).with_partition(0, 2, &[0], u64::MAX / 2, u64::MAX / 2);
+        let violations = check_case(&case);
+        assert!(
+            violations.iter().any(|v| v.oracle == "converges"),
+            "unhealed split-brain must break convergence: {violations:?}"
+        );
+    }
+}

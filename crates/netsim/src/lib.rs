@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod link;
 pub mod netem;
 pub mod network;
@@ -22,6 +23,7 @@ pub mod packet;
 pub mod stats;
 pub mod topology;
 
+pub use faults::{LinkFaults, SharedLinkFaults};
 pub use link::LinkSpec;
 pub use netem::{Netem, NetemOutcome};
 pub use network::{stats_snapshot, NetworkFabric};

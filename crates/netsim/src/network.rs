@@ -7,6 +7,7 @@
 //! impairment, then delivers a [`Deliver`] message to the destination peer's
 //! process.
 
+use crate::faults::SharedLinkFaults;
 use crate::netem::{Netem, NetemOutcome};
 use crate::packet::{Deliver, PacketId, Transmit};
 use crate::stats::{NetStats, SharedNetStats};
@@ -23,6 +24,9 @@ pub struct NetworkFabric {
     /// Optional extra impairment applied only to inter-cluster packets
     /// (emulates the paper's netem-configured WAN path).
     inter_cluster_netem: Option<Netem>,
+    /// Optional scenario link faults (partitions, flaps, asymmetric latency,
+    /// corruption) shared with the peer actors.
+    faults: Option<SharedLinkFaults>,
     /// Per-directed-link time at which the link becomes free (models
     /// store-and-forward serialization and FIFO queueing).
     link_busy_until: HashMap<(usize, usize), SimTime>,
@@ -43,6 +47,7 @@ impl NetworkFabric {
             topology,
             endpoints,
             inter_cluster_netem: None,
+            faults: None,
             link_busy_until: HashMap::new(),
             next_packet_id: 0,
             stats,
@@ -52,6 +57,12 @@ impl NetworkFabric {
     /// Apply a netem impairment to all inter-cluster packets.
     pub fn with_inter_cluster_netem(mut self, netem: Netem) -> Self {
         self.inter_cluster_netem = Some(netem);
+        self
+    }
+
+    /// Attach a scenario link-fault schedule consulted on every transmit.
+    pub fn with_faults(mut self, faults: SharedLinkFaults) -> Self {
+        self.faults = Some(faults);
         self
     }
 
@@ -71,6 +82,24 @@ impl NetworkFabric {
         ctx.stats().add("net.packets_sent", 1);
 
         let link = self.topology.link_between(src, dst).clone();
+
+        // Scenario link faults: a cut link (partition / flap down-phase)
+        // drops the packet outright; a corruption budget flips one seeded
+        // byte (the framing checksums reject the frame at the receiver, so
+        // corrupted traffic is effectively lost too, just later).
+        if let Some(faults) = &self.faults {
+            if faults.blocked(src.0, dst.0, ctx.now().as_nanos()) {
+                faults.record_blocked_drop();
+                self.stats.lock().unwrap().record_dropped(src, dst, kind);
+                ctx.stats().add("net.packets_dropped", 1);
+                return;
+            }
+            if let Some((at, bit)) = faults.corrupt_frame(src.0, transmit.packet.payload.len()) {
+                let mut corrupted = transmit.packet.payload.to_vec();
+                corrupted[at] ^= bit;
+                transmit.packet.payload = bytes::Bytes::from(corrupted);
+            }
+        }
 
         // Loss from the link itself.
         if link.loss_probability > 0.0 && uniform01(ctx.rng()) < link.loss_probability {
@@ -116,7 +145,15 @@ impl NetworkFabric {
         let done_sending = start + serialization;
         self.link_busy_until.insert(key, done_sending);
 
-        let arrival = done_sending + link.latency + extra;
+        // Asymmetric latency scales the propagation delay of one direction.
+        let mut propagation = link.latency + extra;
+        if let Some(faults) = &self.faults {
+            let factor = faults.latency_factor(src.0, dst.0);
+            if factor > 1.0 {
+                propagation = propagation.mul_f64(factor);
+            }
+        }
+        let arrival = done_sending + propagation;
         let delay = arrival - now;
 
         self.stats

@@ -16,4 +16,6 @@ pub use physical::{adapter_name, build_physical, PhysicalAdapter};
 pub use transport::{
     apply_reconfiguration, build_transport, plan_reconfiguration, priorities, ReconfigAction,
 };
-pub use wire::{SegmentKind, WireSegment, SEGMENT_HEADER_BYTES};
+pub use wire::{
+    frame_checksum, SegmentKind, WireSegment, SEGMENT_CHECKSUM_BYTES, SEGMENT_HEADER_BYTES,
+};

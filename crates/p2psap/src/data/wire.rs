@@ -58,6 +58,22 @@ pub struct WireSegment {
 /// Size in bytes of the fixed segment header.
 pub const SEGMENT_HEADER_BYTES: usize = 1 + 1 + 8 + 8 + 4;
 
+/// Size in bytes of the trailing integrity checksum (FNV-1a over header and
+/// payload). Link-level corruption — a flipped byte anywhere in the frame —
+/// must be rejected by this codec rather than consumed as garbage boundary
+/// data, so every segment carries its own end-to-end check.
+pub const SEGMENT_CHECKSUM_BYTES: usize = 4;
+
+/// 32-bit FNV-1a over `bytes` (the segment integrity checksum).
+pub fn frame_checksum(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &byte in bytes {
+        hash ^= byte as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
 impl WireSegment {
     /// Build a data segment.
     pub fn data(seq: u64, ack_requested: bool, sent_at_ns: u64, payload: Bytes) -> Self {
@@ -93,27 +109,38 @@ impl WireSegment {
     /// the pooled buffer has grown to segment size.
     pub fn encode_into(&self, buf: &mut Vec<u8>) {
         buf.clear();
-        buf.reserve(SEGMENT_HEADER_BYTES + self.payload.len());
+        buf.reserve(SEGMENT_HEADER_BYTES + self.payload.len() + SEGMENT_CHECKSUM_BYTES);
         buf.push(self.kind.to_u8());
         buf.push(u8::from(self.ack_requested));
         buf.extend_from_slice(&self.seq.to_be_bytes());
         buf.extend_from_slice(&self.sent_at_ns.to_be_bytes());
         buf.extend_from_slice(&(self.payload.len() as u32).to_be_bytes());
         buf.extend_from_slice(&self.payload);
+        let checksum = frame_checksum(buf);
+        buf.extend_from_slice(&checksum.to_be_bytes());
     }
 
-    /// Decode from the on-wire byte representation.
+    /// Decode from the on-wire byte representation. Rejects frames whose
+    /// trailing checksum does not match (corrupted in flight), that are
+    /// truncated, or that carry trailing bytes beyond the declared payload.
     pub fn decode(mut bytes: Bytes) -> Option<Self> {
         use bytes::Buf;
-        if bytes.len() < SEGMENT_HEADER_BYTES {
+        if bytes.len() < SEGMENT_HEADER_BYTES + SEGMENT_CHECKSUM_BYTES {
             return None;
         }
+        let body_len = bytes.len() - SEGMENT_CHECKSUM_BYTES;
+        let mut checksum_bytes = [0u8; SEGMENT_CHECKSUM_BYTES];
+        checksum_bytes.copy_from_slice(&bytes[body_len..]);
+        if u32::from_be_bytes(checksum_bytes) != frame_checksum(&bytes[..body_len]) {
+            return None;
+        }
+        let mut bytes = bytes.split_to(body_len);
         let kind = SegmentKind::from_u8(bytes.get_u8())?;
         let ack_requested = bytes.get_u8() != 0;
         let seq = bytes.get_u64();
         let sent_at_ns = bytes.get_u64();
         let len = bytes.get_u32() as usize;
-        if bytes.len() < len {
+        if bytes.len() != len {
             return None;
         }
         let payload = bytes.split_to(len);
@@ -189,6 +216,29 @@ mod tests {
         assert!(msg.flag(ATTR_ACK_REQUESTED));
         let back = WireSegment::from_message(&msg);
         assert_eq!(back, seg);
+    }
+
+    #[test]
+    fn flipped_byte_anywhere_rejected() {
+        let seg = WireSegment::data(42, true, 123_456, Bytes::from_static(b"hello world"));
+        let raw = seg.encode().to_vec();
+        for i in 0..raw.len() {
+            let mut bad = raw.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                WireSegment::decode(Bytes::from(bad)).is_none(),
+                "flip at byte {i} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut raw = WireSegment::data(3, false, 1, Bytes::from_static(b"p"))
+            .encode()
+            .to_vec();
+        raw.push(0xAB);
+        assert!(WireSegment::decode(Bytes::from(raw)).is_none());
     }
 
     #[test]
